@@ -1,0 +1,86 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each benchmark regenerates one ablation:
+
+- division reduction on/off (op counts, Sec. IV-D);
+- pass counting across all cascades (the analysis itself);
+- FLAT's buffer-capacity sweep (when spilling begins);
+- interleaving on/off in the binding simulator (Fig. 4/5);
+- block-size (M0) sweep for the 1-pass correction overhead.
+"""
+
+import pytest
+
+from repro.analysis import count_passes, family, total_ops
+from repro.arch.spec import flat_arch
+from repro.cascades import (
+    attention_1pass,
+    attention_2pass,
+    attention_3pass,
+)
+from repro.model.flat import spill_decision
+from repro.simulator import PipelineConfig, compare_bindings
+
+SHAPES = {"E": 64, "F": 64, "M": 16384, "P": 1024, "M0": 256, "M1": 64}
+
+
+def test_bench_division_reduction(benchmark):
+    def ablation():
+        plain = total_ops(attention_3pass(div_opt=False), SHAPES)
+        opt = total_ops(attention_3pass(div_opt=True), SHAPES)
+        return plain.get("divide"), opt.get("divide")
+
+    plain_div, opt_div = benchmark(ablation)
+    assert plain_div == SHAPES["M"] * SHAPES["P"]
+    assert opt_div == SHAPES["F"] * SHAPES["P"]
+    assert plain_div // opt_div == SHAPES["M"] // SHAPES["F"]
+
+
+def test_bench_pass_analysis(benchmark):
+    def analyse_all():
+        return (
+            count_passes(attention_3pass(), family("m")).num_passes,
+            count_passes(attention_2pass(), family("m1", "m0")).num_passes,
+            count_passes(attention_1pass(), family("m1", "m0")).num_passes,
+        )
+
+    assert benchmark(analyse_all) == (3, 2, 1)
+
+
+def test_bench_flat_buffer_sweep(benchmark):
+    """Where does FLAT start paying extra traffic as L grows?"""
+
+    def sweep():
+        arch = flat_arch()
+        return [
+            spill_decision(arch, 64, 64, m, m).strategy
+            for m in (1024, 4096, 16384, 65536, 262144, 2**20)
+        ]
+
+    strategies = benchmark(sweep)
+    assert strategies[0] == "resident"
+    assert strategies[-1] == "spill"
+    assert "retile" in strategies
+
+
+def test_bench_binding_interleave(benchmark):
+    """Interleaving on/off: the Fig. 4/5 utilization gap."""
+    reports = benchmark(compare_bindings, PipelineConfig(chunks=16))
+    assert reports["interleaved"].util_2d > 2 * reports["tile-serial"].util_2d
+    assert reports["interleaved"].makespan < reports["tile-serial"].makespan
+
+
+def test_bench_block_size_sweep(benchmark):
+    """1-pass correction overhead shrinks as the M0 block grows."""
+
+    def sweep():
+        overheads = []
+        for m0 in (16, 64, 256):
+            shapes = dict(SHAPES, M0=m0, M1=SHAPES["M"] // m0)
+            overheads.append(
+                total_ops(attention_1pass(), shapes).macc_equivalents()
+            )
+        return overheads
+
+    overheads = benchmark(sweep)
+    assert overheads == sorted(overheads, reverse=True)

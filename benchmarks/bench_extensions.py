@@ -1,0 +1,61 @@
+"""Benchmarks: extension cascades and the generic evaluator.
+
+Not paper figures — they exercise the library's extensibility path (the
+Sec. VIII future-work direction): analyze and evaluate new attention
+variants with no bespoke model code.
+"""
+
+import numpy as np
+
+from repro.analysis import count_passes, family
+from repro.arch import fusemax_arch
+from repro.cascades import (
+    attention_1pass,
+    causal_attention,
+    sigmoid_attention,
+    sliding_window_attention,
+)
+from repro.functional import evaluate_output
+from repro.mapping import fusemax_binding
+from repro.model import evaluate_cascade
+from repro.workloads import BERT
+
+
+def test_bench_extension_pass_analysis(benchmark):
+    def classify_all():
+        return (
+            count_passes(causal_attention(), family("m")).num_passes,
+            count_passes(sliding_window_attention(), family("m")).num_passes,
+            count_passes(sigmoid_attention(), family("m")).num_passes,
+        )
+
+    assert benchmark(classify_all) == (2, 2, 1)
+
+
+def test_bench_causal_interpreter(benchmark):
+    rng = np.random.default_rng(11)
+    shapes = {"E": 8, "F": 8, "M": 64, "P": 64}
+    inputs = {
+        "Q": rng.normal(size=(8, 64)),
+        "K": rng.normal(size=(8, 64)),
+        "V": rng.normal(size=(8, 64)),
+    }
+    out = benchmark(evaluate_output, causal_attention(), shapes, inputs)
+    assert np.all(np.isfinite(out))
+
+
+def test_bench_generic_evaluator(benchmark):
+    shapes = BERT.attention_shapes(65536, block=256)
+
+    def evaluate():
+        return evaluate_cascade(
+            attention_1pass(),
+            fusemax_binding(),
+            family("m1", "m0"),
+            fusemax_arch(),
+            shapes,
+        )
+
+    result = benchmark(evaluate)
+    assert result.util_2d > 0.9
+    assert result.buffered

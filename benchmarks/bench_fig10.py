@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 10 (end-to-end inference speedup).
+
+Paper headline: 7.6x over the unfused baseline, 5.3x over FLAT, growing
+with sequence length (7.5x over FLAT at 1M).
+"""
+
+from repro.experiments import fig10
+
+
+def test_bench_fig10(benchmark):
+    rows = benchmark(fig10.run)
+    assert 4.0 <= fig10.fusemax_vs_flat(rows) <= 7.5  # paper: 5.3x
+    by_key = {(r.config, r.model, r.seq_len): r.speedup for r in rows}
+    # The gap grows with sequence length.
+    short = by_key[("+Binding", "BERT", 1024)] / by_key[("FLAT", "BERT", 1024)]
+    long = by_key[("+Binding", "BERT", 2**20)] / by_key[("FLAT", "BERT", 2**20)]
+    assert long > short

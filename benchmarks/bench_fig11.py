@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 11 (end-to-end inference energy).
+
+Paper headline: FuseMax uses 82% of the unfused baseline's and 83% of
+FLAT's energy end to end.
+"""
+
+from repro.experiments import fig11
+
+
+def test_bench_fig11(benchmark):
+    rows = benchmark(fig11.run)
+    assert 0.5 <= fig11.fusemax_vs_flat(rows) <= 0.95  # paper: 0.83
+    # FuseMax (+Binding) never uses more energy than the unfused baseline.
+    assert all(
+        r.normalized_energy <= 1.0 for r in rows if r.config == "+Binding"
+    )

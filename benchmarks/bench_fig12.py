@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 12 (area/latency Pareto at 256K)."""
+
+from repro.experiments import fig12
+
+
+def test_bench_fig12(benchmark):
+    results = benchmark(fig12.run)
+    assert set(results) == {"BERT", "TrXL", "T5", "XLM"}
+    for result in results.values():
+        latencies = [p.latency_seconds for p in result.points]
+        areas = [p.area_cm2 for p in result.points]
+        assert latencies == sorted(latencies, reverse=True)
+        assert areas == sorted(areas)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 1b (compute proportions vs sequence length)."""
+
+from repro.experiments import fig1b
+
+
+def test_bench_fig1b(benchmark):
+    rows = benchmark(fig1b.run)
+    # Shape check: linear dominates at 1K, attention at 1M.
+    assert rows[0].linear > rows[0].attn
+    assert rows[-1].attn > rows[-1].linear

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 6 (1D/2D utilization, full grid)."""
+
+from repro.experiments import fig6
+
+
+def test_bench_fig6(benchmark):
+    rows = benchmark(fig6.run)
+    assert len(rows) == 5 * 4 * 6  # configs x models x lengths
+    binding = {
+        (r.model, r.seq_len): r for r in rows if r.config == "+Binding"
+    }
+    # FuseMax: near-full utilization of both arrays at steady state.
+    assert binding[("BERT", 65536)].util_2d > 0.9
+    assert binding[("BERT", 65536)].util_1d > 0.9
+    # FLAT: memory-bound collapse at 256K.
+    flat = {(r.model, r.seq_len): r for r in rows if r.config == "FLAT"}
+    assert flat[("BERT", 262144)].util_1d < flat[("BERT", 16384)].util_1d

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 7 (2D utilization by Einsum, BERT)."""
+
+from repro.experiments import fig7
+
+
+def test_bench_fig7(benchmark):
+    rows = benchmark(fig7.run)
+    fusemax_rows = [r for r in rows if r.config == "+Binding"]
+    # FuseMax hides softmax costs: tensor products dominate active cycles.
+    for row in fusemax_rows:
+        products = row.shares["QK"] + row.shares["SLNV/AV"]
+        assert products > row.shares["SLN"]

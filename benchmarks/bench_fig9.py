@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 9 (attention energy vs unfused).
+
+Paper headline: FuseMax uses 77% of the unfused baseline's and 79% of
+FLAT's energy on attention; >= 95% of its energy is 2D-array compute.
+"""
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9(benchmark):
+    rows = benchmark(fig9.run)
+    assert 0.4 <= fig9.fusemax_vs_flat(rows) <= 0.9  # paper: 0.79
+    fusemax_rows = [r for r in rows if r.config == "+Binding"]
+    assert all(r.compute_2d_fraction >= 0.9 for r in fusemax_rows)

@@ -1,0 +1,33 @@
+"""Benchmark: the functional interpreter executing the 1-pass cascade.
+
+Not a paper figure — tracks the executable-semantics substrate itself so
+regressions in the interpreter show up in benchmark runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cascades import attention_1pass, attention_3pass
+from repro.functional import attention, evaluate_output
+
+SHAPES = {"E": 16, "F": 16, "M": 256, "P": 16, "M0": 32, "M1": 8}
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    rng = np.random.default_rng(7)
+    return {
+        "Q": rng.normal(size=(16, 16)),
+        "K": rng.normal(size=(16, 256)),
+        "V": rng.normal(size=(16, 256)),
+    }
+
+
+def test_bench_interpreter_3pass(benchmark, inputs):
+    out = benchmark(evaluate_output, attention_3pass(), SHAPES, inputs)
+    assert np.allclose(out, attention(inputs["Q"], inputs["K"], inputs["V"]))
+
+
+def test_bench_interpreter_1pass(benchmark, inputs):
+    out = benchmark(evaluate_output, attention_1pass(), SHAPES, inputs)
+    assert np.allclose(out, attention(inputs["Q"], inputs["K"], inputs["V"]))

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table I (the pass-count taxonomy)."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark(table1.run)
+    by_name = {r.cascade: r.passes for r in rows}
+    assert by_name["attention-3pass"] == 3
+    assert by_name["attention-2pass"] == 2
+    assert by_name["attention-1pass"] == 1

@@ -1,0 +1,56 @@
+"""Scenario: visualizing the FuseMax binding (Fig. 4/5) in simulation.
+
+Runs the cycle-granular epoch simulator under the tile-serial
+(+Architecture) and interleaved (+Binding) disciplines, prints the
+utilization gap, and renders a small text waterfall of task finish times
+showing the software pipelining across epochs.
+
+Run:  python examples/binding_pipeline_demo.py
+"""
+
+from repro.simulator import (
+    PipelineConfig,
+    Simulator,
+    build_tasks,
+    compare_bindings,
+)
+from repro.simulator.systolic import bqk_tile_timing
+from repro.simulator.waterfall import waterfall_text
+
+
+def waterfall(chunks: int = 5) -> None:
+    """Print per-chunk finish times for the interleaved binding."""
+    config = PipelineConfig(chunks=chunks)
+    tasks = build_tasks(config, serial=False)
+    result = Simulator(tasks, mode="interleaved", slots=2).run()
+    names = ("BQK", "LM", "RM", "SLN", "SLNV", "PRM", "RD", "RNV")
+    print(f"{'chunk':>5} " + " ".join(f"{n:>6}" for n in names))
+    for i in range(chunks):
+        row = [f"{result.finish_times[f'{n}[{i}]']:>6}" for n in names]
+        print(f"{i:>5} " + " ".join(row))
+    print("\nNote the overlap: BQK of chunk i+1 finishes before RNV of chunk")
+    print("i — the epochs of Fig. 4, emerging from dependencies alone.")
+    print("\nWaterfall (B=BQK, S=SLN/SLNV/SLD, L=LM, R=RM/RD/RNV, P=PRM):")
+    print(waterfall_text(tasks, result, width=68))
+
+
+def main():
+    timing = bqk_tile_timing(array_dim=256, embedding=64)
+    print("Per-tile arithmetic (Sec. V): each PE performs "
+          f"{timing.compute} MACCs but fill+drain cost "
+          f"{timing.fill + timing.drain} cycles -> tile-serial utilization "
+          f"caps at {timing.serial_utilization:.2f}\n")
+
+    reports = compare_bindings(PipelineConfig(chunks=32))
+    print(f"{'binding':>12} {'makespan':>9} {'util 2D':>8} {'util 1D':>8}")
+    for name, r in reports.items():
+        print(f"{name:>12} {r.makespan:>9} {r.util_2d:>8.2f} {r.util_1d:>8.2f}")
+    serial, inter = reports["tile-serial"], reports["interleaved"]
+    print(f"\ninterleaving is {serial.makespan / inter.makespan:.1f}x faster "
+          "at identical hardware\n")
+
+    waterfall()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Scenario: analyzing a *new* attention variant with the library.
+
+The paper's conclusion invites applying cascades of Einsums to other
+attention variants.  This script authors sigmoid attention — which
+replaces the softmax with an element-wise sigmoid, so no global
+normalization exists — as a cascade, then:
+
+1. verifies it numerically against a direct numpy implementation,
+2. runs the pass analysis: with no cross-M dependence, it is 1-pass
+   *without* any running-max machinery,
+3. compares its op counts against softmax attention.
+
+This is the workflow an architect would follow before building hardware
+for a new kernel.
+
+Run:  python examples/custom_cascade_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis import count_passes, family, live_footprints, total_ops
+from repro.cascades import attention_3pass
+from repro.einsum import Cascade, Einsum, MUL, Map, SIGMOID, TensorRef, Unary, ref
+from repro.functional import evaluate_output
+
+
+def sigmoid_attention_cascade() -> Cascade:
+    """AV[f, p] = Σ_m σ(QK[m, p]) × V[f, m] as a cascade."""
+    qk = Einsum(
+        output=TensorRef.of("QK", "m", "p"),
+        expr=Map(MUL, ref("Q", "e", "p"), ref("K", "e", "m")),
+        name="QK",
+    )
+    sig = Einsum(
+        output=TensorRef.of("SA", "m", "p"),
+        expr=Unary(SIGMOID, ref("QK", "m", "p")),
+        name="SA",
+    )
+    av = Einsum(
+        output=TensorRef.of("AV", "f", "p"),
+        expr=Map(MUL, ref("SA", "m", "p"), ref("V", "f", "m")),
+        name="AV",
+    )
+    return Cascade.build(
+        name="sigmoid-attention",
+        einsums=[qk, sig, av],
+        inputs=["Q", "K", "V"],
+        rank_shapes={"e": "E", "f": "F", "m": "M", "p": "P"},
+        outputs=["AV"],
+    )
+
+
+def main():
+    cascade = sigmoid_attention_cascade()
+    print(cascade)
+
+    # 1. Numerical validation against direct numpy.
+    rng = np.random.default_rng(3)
+    shapes = {"E": 8, "F": 8, "M": 64, "P": 8}
+    inputs = {
+        "Q": rng.normal(size=(8, 8)),
+        "K": rng.normal(size=(8, 64)),
+        "V": rng.normal(size=(8, 64)),
+    }
+    out = evaluate_output(cascade, shapes, inputs)
+    qk = inputs["K"].T @ inputs["Q"]
+    expected = inputs["V"] @ (1.0 / (1.0 + np.exp(-qk)))
+    print(f"\nmatches direct numpy: {np.allclose(out, expected)}")
+
+    # 2. Pass analysis: sigmoid needs no normalization, hence one pass
+    #    with no running-state corrections at all.
+    analysis = count_passes(cascade, family("m"))
+    print(f"passes over M: {analysis.num_passes} "
+          "(vs 3 for stable softmax attention)")
+    report = live_footprints(analysis, {"E": 64, "F": 64, "M": 65536, "P": 1024})
+    print(f"sequence-dependent live tensors: "
+          f"{report.sequence_dependent_tensors() or 'none'}")
+
+    # 3. Op-count comparison at a real workload point.
+    big = {"E": 64, "F": 64, "M": 65536, "P": 1024, "M0": 256, "M1": 256}
+    ours = total_ops(cascade, big)
+    softmax = total_ops(attention_3pass(), big)
+    print("\nop counts vs stable softmax attention (M=64K, P=1K):")
+    for cls in ("macc", "exp", "max", "add", "divide"):
+        print(f"  {cls:>7}: sigmoid {ours.get(cls):>14,}  "
+              f"softmax {softmax.get(cls):>14,}")
+    print("\nConclusion: sigmoid attention is natively single-pass — an")
+    print("accelerator needs neither the running-max corrections nor any")
+    print("sequence-proportional buffering. The cascade abstraction shows")
+    print("this before any mapping or RTL work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Scenario: sizing a FuseMax-style accelerator for a latency target.
+
+Reproduces the Sec. VI-D design-space sweep (Fig. 12) and extends it:
+given a latency budget for BERT attention at 256K tokens, find the
+smallest-area design that meets it, and report the area breakdown of the
+chosen configuration.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.arch import area_of
+from repro.model.pareto import ARRAY_DIMS, PARETO_SEQ_LEN, pareto_frontier, sweep
+from repro.model.pareto import _scaled_arch  # reuse the sweep's arch scaling
+from repro.workloads import BERT, MODELS
+
+
+def main():
+    print(f"Design sweep at L = 256K (paper Fig. 12), dims {ARRAY_DIMS}:\n")
+    print(f"{'model':>6} {'array':>9} {'area cm^2':>10} {'latency s':>10}")
+    frontiers = {}
+    for model in MODELS:
+        points = sweep(model, seq_len=PARETO_SEQ_LEN)
+        frontiers[model.name] = pareto_frontier(points)
+        for p in points:
+            print(f"{p.model:>6} {p.array_dim:>5}x{p.array_dim:<3} "
+                  f"{p.area_cm2:>10.3f} {p.latency_seconds:>10.1f}")
+
+    budget_seconds = 200.0
+    print(f"\nSmallest design meeting a {budget_seconds:.0f}s budget on BERT:")
+    feasible = [
+        p for p in frontiers["BERT"] if p.latency_seconds <= budget_seconds
+    ]
+    if not feasible:
+        print("  no swept design meets the budget")
+        return
+    chosen = min(feasible, key=lambda p: p.area_cm2)
+    print(f"  {chosen.array_dim}x{chosen.array_dim} "
+          f"({chosen.area_cm2:.2f} cm^2, {chosen.latency_seconds:.1f} s)")
+
+    breakdown = area_of(_scaled_arch(chosen.array_dim))
+    print("  area breakdown (mm^2):")
+    print(f"    2D PE array   {breakdown.pe_2d:9.1f}")
+    print(f"    1D PE array   {breakdown.pe_1d:9.1f}")
+    print(f"    global buffer {breakdown.global_buffer:9.1f}")
+    print(f"    fixed/NoC     {breakdown.fixed:9.1f}")
+    print(f"    total         {breakdown.total:9.1f}")
+
+
+if __name__ == "__main__":
+    main()

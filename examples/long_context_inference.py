@@ -1,0 +1,60 @@
+"""Scenario: serving encoders at million-token context lengths.
+
+The paper's motivating workload (Sec. I): sequence lengths are growing —
+Google reports 10M-token research contexts — and attention accelerators
+whose buffering scales with sequence length fall off a cliff.  This script
+walks BERT from 1K to 1M tokens and shows:
+
+- where FLAT starts spilling (its buffer-capacity crossover),
+- how each design's utilization, DRAM traffic, and latency respond,
+- the end-to-end inference picture including the linear layers.
+
+Run:  python examples/long_context_inference.py
+"""
+
+from repro.model import FLATModel, UnfusedModel, evaluate_inference, fusemax
+from repro.model.flat import spill_decision
+from repro.workloads import BERT, SEQUENCE_LENGTHS, seq_label
+
+
+def main():
+    configs = (UnfusedModel(), FLATModel(), fusemax())
+
+    print("FLAT's buffer-capacity crossover (Sec. VI-B):")
+    arch = FLATModel().arch
+    for seq_len in SEQUENCE_LENGTHS:
+        decision = spill_decision(arch, 64, 64, seq_len, seq_len)
+        extra_gb = decision.extra_dram_words * arch.word_bytes / 2**30
+        print(f"  L={seq_label(seq_len):>4}: {decision.strategy:>9} "
+              f"(+{extra_gb:8.2f} GB extra DRAM traffic per head)")
+
+    print("\nAttention kernel across sequence lengths (BERT, batch 64):")
+    header = f"{'L':>5}"
+    for config in configs:
+        header += f" | {config.name:>8}: {'s':>9} {'u2D':>5} {'DRAM GB':>8}"
+    print(header)
+    for seq_len in SEQUENCE_LENGTHS:
+        line = f"{seq_label(seq_len):>5}"
+        for config in configs:
+            r = config.evaluate(BERT, seq_len)
+            seconds = config.arch.seconds(r.latency_cycles)
+            line += (f" | {'':>8}  {seconds:>9.2f} {r.util_2d:>5.2f} "
+                     f"{r.dram_bytes / 2**30:>8.1f}")
+        print(line)
+
+    print("\nEnd-to-end encoder inference (attention + linear layers):")
+    print(f"{'L':>5} {'unfused (s)':>12} {'FLAT (s)':>10} {'FuseMax (s)':>12} "
+          f"{'speedup vs FLAT':>16}")
+    for seq_len in SEQUENCE_LENGTHS:
+        results = [evaluate_inference(c, BERT, seq_len) for c in configs]
+        secs = [c.arch.seconds(r.latency_cycles) for c, r in zip(configs, results)]
+        print(f"{seq_label(seq_len):>5} {secs[0]:>12.2f} {secs[1]:>10.2f} "
+              f"{secs[2]:>12.2f} {secs[1] / secs[2]:>15.1f}x")
+
+    print("\nTakeaway: FuseMax's DRAM traffic stays input-proportional and its")
+    print("utilization stays ~100% no matter the context length, while FLAT")
+    print("goes memory-bound once a score fiber outgrows the global buffer.")
+
+
+if __name__ == "__main__":
+    main()

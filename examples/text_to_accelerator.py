@@ -1,0 +1,83 @@
+"""Scenario: from textual Einsums to an accelerator estimate, end to end.
+
+Authors a full attention cascade in the text notation, validates it
+numerically, classifies it with the pass analysis, binds it to the
+FuseMax architecture, and gets a first-order latency/utilization estimate
+from the generic evaluator — the complete architect's loop without
+writing a single IR constructor by hand.
+
+Run:  python examples/text_to_accelerator.py
+"""
+
+import numpy as np
+
+from repro.analysis import count_passes, family
+from repro.arch import fusemax_arch
+from repro.einsum import Cascade, parse_einsum
+from repro.functional import attention, evaluate_output
+from repro.mapping import Binding
+from repro.model import evaluate_cascade
+from repro.workloads import BERT
+
+
+def main():
+    # 1. Author the cascade as text (3-pass + division reduction).
+    source = [
+        "QK[m, p] = Q[e, p] * K[e, m]",
+        "GM[p] = QK[m, p] :: max(m)",
+        "SN[m, p] = exp(QK[m, p] - GM[p])",
+        "SD[p] = SN[m, p]",
+        "SNV[f, p] = SN[m, p] * V[f, m]",
+        "AV[f, p] = SNV[f, p] / SD[p]",
+    ]
+    cascade = Cascade.build(
+        "textual-attention",
+        [parse_einsum(line) for line in source],
+        inputs=["Q", "K", "V"],
+        rank_shapes={"e": "E", "f": "F", "m": "M", "p": "P"},
+        outputs=["AV"],
+    )
+    print(cascade)
+
+    # 2. Numerical validation on a small instance.
+    rng = np.random.default_rng(1)
+    shapes = {"E": 8, "F": 8, "M": 64, "P": 8}
+    inputs = {
+        "Q": rng.normal(size=(8, 8)),
+        "K": rng.normal(size=(8, 64)),
+        "V": rng.normal(size=(8, 64)),
+    }
+    out = evaluate_output(cascade, shapes, inputs)
+    ok = np.allclose(out, attention(inputs["Q"], inputs["K"], inputs["V"]))
+    print(f"\nnumerically correct: {ok}")
+
+    # 3. Mapping-independent classification.
+    analysis = count_passes(cascade, family("m"))
+    print(f"passes over M: {analysis.num_passes} "
+          "(division reduction merged passes 2 and 3)")
+
+    # 4. Bind to the FuseMax architecture and evaluate.
+    binding = Binding(
+        name="textual",
+        assignment={
+            "QK": "2d", "GM": "2d", "SN": "2d", "SNV": "2d",
+            "SD": "1d", "AV": "1d",
+        },
+    )
+    arch = fusemax_arch()
+    big = BERT.attention_shapes(65536, block=256)
+    big = {k: big[k] for k in ("E", "F", "M", "P")}
+    result = evaluate_cascade(cascade, binding, family("m"), arch, big)
+    seconds = arch.seconds(result.latency_cycles)
+    print(f"\nper-(batch, head) instance at L = 64K on the cloud machine:")
+    print(f"  latency  {result.latency_cycles:,.0f} cycles ({seconds*1e3:.2f} ms)")
+    print(f"  util 2D  {result.util_2d:.2f}")
+    print(f"  util 1D  {result.util_1d:.2f}")
+    print(f"  DRAM     {result.dram_words * arch.word_bytes / 2**20:.1f} MB "
+          f"(buffered on chip: {result.buffered})")
+    print("\nNote the 2-pass cascade spills its M-long intermediates at this")
+    print("length — the reason FuseMax adopts the 1-pass cascade instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — a reproduction of FuseMax (Nayak et al., MICRO 2024).
+
+FuseMax uses cascades of Extended Einsums to analyze and optimize
+attention accelerators.  This package provides:
+
+- :mod:`repro.einsum` — the Extended Einsum IR (EDGE subset) and cascades;
+- :mod:`repro.cascades` — the paper's cascades (attention 3/2/1-pass, the
+  pedagogical examples, transformer linear layers);
+- :mod:`repro.analysis` — mapping-independent pass counting, live-footprint
+  lower bounds, op counting, and the Table I taxonomy;
+- :mod:`repro.functional` — a numpy interpreter validating every cascade
+  numerically;
+- :mod:`repro.arch`, :mod:`repro.mapping`, :mod:`repro.model` — the
+  Timeloop/Accelergy-style models of the unfused baseline, FLAT, and the
+  FuseMax configurations;
+- :mod:`repro.simulator` — a cycle-granular simulator of the FuseMax
+  binding (Fig. 4/5);
+- :mod:`repro.workloads`, :mod:`repro.experiments` — the BERT/TrXL/T5/XLM
+  workloads and the drivers regenerating every evaluation figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "arch",
+    "cascades",
+    "einsum",
+    "experiments",
+    "functional",
+    "model",
+    "simulator",
+    "workloads",
+]

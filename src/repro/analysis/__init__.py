@@ -1,0 +1,42 @@
+"""Mapping-independent analyses over cascades of Einsums (Section III)."""
+
+from .dependence import DependenceGraph, build_dependence
+from .footprint import FootprintReport, TensorFootprint, live_footprints
+from .opcount import EXP_MACCS, OpCounts, count_einsum_ops, count_ops, total_ops
+from .passes import (
+    Availability,
+    EinsumPassInfo,
+    PassAnalysis,
+    RankFamily,
+    count_passes,
+    family,
+)
+from .taxonomy import TABLE_I, TaxonomyEntry, attention_rank_family, build_taxonomy, classify
+from .traffic import TensorTraffic, TrafficBound, traffic_lower_bound
+
+__all__ = [
+    "Availability",
+    "DependenceGraph",
+    "EXP_MACCS",
+    "EinsumPassInfo",
+    "FootprintReport",
+    "OpCounts",
+    "PassAnalysis",
+    "RankFamily",
+    "TABLE_I",
+    "TaxonomyEntry",
+    "TensorFootprint",
+    "TensorTraffic",
+    "TrafficBound",
+    "attention_rank_family",
+    "build_dependence",
+    "build_taxonomy",
+    "classify",
+    "count_einsum_ops",
+    "count_ops",
+    "count_passes",
+    "family",
+    "live_footprints",
+    "total_ops",
+    "traffic_lower_bound",
+]

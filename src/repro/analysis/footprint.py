@@ -1,0 +1,135 @@
+"""Algorithmic-minimum live footprints (Section III-B).
+
+A tensor produced in pass ``k`` over a rank family and consumed at a later
+time must keep a full family fiber live: an architecture must either buffer
+it on chip or spill and reload it, incurring memory traffic proportional to
+the fiber shape.  This module derives those lower bounds from a
+:class:`~repro.analysis.passes.PassAnalysis` — so, like the pass counts,
+they hold for *any* mapping of the cascade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..einsum import Cascade
+from ..einsum.index import Shifted, Var
+from .passes import PassAnalysis
+
+_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class TensorFootprint:
+    """Live-footprint lower bound for one tensor.
+
+    Attributes:
+        tensor: Tensor name.
+        crosses_pass_boundary: Whether some consumer runs strictly after the
+            producer's availability (forcing the full fiber live).
+        family_vars: The (non-iterative) family variables the tensor carries.
+        family_elems: Fiber-footprint lower bound in elements: the product of
+            the carried family variables' extents when crossing, else 1
+            (tileable to a single element).
+        total_elems: ``family_elems`` times the extents of the tensor's
+            non-family ranks — the full-tensor live lower bound when no
+            other rank is tiled away.
+        scales_with_sequence: True when the footprint grows with the family
+            extent (the paper's "on-chip memory ∝ sequence length" symptom).
+    """
+
+    tensor: str
+    crosses_pass_boundary: bool
+    family_vars: Tuple[str, ...]
+    family_elems: int
+    total_elems: int
+    scales_with_sequence: bool
+
+
+@dataclass(frozen=True)
+class FootprintReport:
+    """Per-tensor live-footprint lower bounds for a cascade."""
+
+    cascade_name: str
+    entries: Mapping[str, TensorFootprint]
+
+    def max_family_footprint(self) -> int:
+        """Largest per-fiber footprint over all intermediate tensors."""
+        return max((e.family_elems for e in self.entries.values()), default=1)
+
+    def sequence_dependent_tensors(self) -> Tuple[str, ...]:
+        """Tensors whose live footprint grows with the sequence length."""
+        return tuple(
+            name
+            for name, e in self.entries.items()
+            if e.scales_with_sequence
+        )
+
+    def buffered_bytes(self, word_bytes: int = 2) -> int:
+        """Total live bytes if every crossing tensor is buffered on chip."""
+        return word_bytes * sum(
+            e.total_elems for e in self.entries.values() if e.crosses_pass_boundary
+        )
+
+
+def live_footprints(
+    analysis: PassAnalysis, shapes: Mapping[str, int]
+) -> FootprintReport:
+    """Compute live-footprint lower bounds for every produced tensor.
+
+    ``shapes`` binds the cascade's shape symbols (``{"M": 4096, ...}``).
+    Iterative rank variables contribute O(1) live coordinates (only the
+    current and next slice of a running tensor are alive), which is
+    precisely how the 1-pass cascade escapes sequence-length-proportional
+    buffering.
+    """
+    cascade = analysis.cascade
+    fam_vars = set(analysis.rank_family.vars)
+    iterative = set(cascade.iterative_vars)
+    entries: Dict[str, TensorFootprint] = {}
+
+    for tensor in cascade.tensors():
+        if tensor in cascade.inputs:
+            continue
+        producer = cascade.producer(tensor)
+        if producer is None or producer.is_view:
+            continue
+        avail = analysis.availability.get(tensor)
+        if avail is None:
+            continue
+        consumers = analysis.graph.consumers_of.get(tensor, ())
+        crossing = False
+        for label in consumers:
+            inf = analysis.info.get(label)
+            if inf is None or label == producer.label:
+                continue
+            if inf.consumption_time > avail.time + _TOLERANCE:
+                crossing = True
+                break
+
+        carried: list = []
+        other_extent = 1
+        for ix in producer.output.indices:
+            if not isinstance(ix, (Var, Shifted)):
+                continue
+            var = ix.vars()[0]
+            if var in fam_vars:
+                if var not in iterative:
+                    carried.append(var)
+            else:
+                other_extent *= cascade.rank_extent(var, shapes)
+
+        family_elems = 1
+        if crossing:
+            for var in carried:
+                family_elems *= cascade.rank_extent(var, shapes)
+        entries[tensor] = TensorFootprint(
+            tensor=tensor,
+            crosses_pass_boundary=crossing,
+            family_vars=tuple(carried),
+            family_elems=family_elems,
+            total_elems=family_elems * other_extent,
+            scales_with_sequence=crossing and bool(carried),
+        )
+    return FootprintReport(cascade_name=cascade.name, entries=entries)

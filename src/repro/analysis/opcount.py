@@ -1,0 +1,139 @@
+"""Operation counting for cascades of Einsums.
+
+Attributes every map, reduce, and unary action of every Einsum to a cost
+class (MACC, add, max, divide, exp) given concrete shapes.  This is the
+machinery behind:
+
+- the division-reduction result of Section IV-D (``M × P`` vs ``F × P``
+  divisions),
+- the "evidently increased compute" of the 1-pass cascade (Sec. IV-E3),
+- the compute side of the performance model (Sec. VI).
+
+Counting conventions (documented because they define our cost model):
+
+- A map action is performed once per point of the iteration space spanned
+  by the rank variables under its expression node.
+- A sum-reduction fused under a multiplicative map is a multiply-accumulate
+  (counted once as a ``macc``, not again as an ``add``), matching how
+  spatial-array PEs execute it.
+- ``max`` reductions and map-``max`` count as ``max`` operations; they run
+  on comparator hardware.
+- ``sub-then-exp`` and ``exp`` count one ``exp`` each.  The hardware model
+  later expands an exp into 6 sequential MACCs (Taylor series, per the
+  paper's Sec. V).
+- Views and scalar initialisations are free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from ..einsum import Cascade, Einsum
+from ..einsum.tensor import Expr, Leaf, Literal, Map, Unary
+
+#: Number of sequential MACC operations implementing one exponentiation
+#: (Nilsson et al., used by both FuseMax and SpAtten — paper Sec. V).
+EXP_MACCS = 6
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Operation counts keyed by cost class."""
+
+    counts: Mapping[str, int] = field(default_factory=dict)
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        merged = dict(self.counts)
+        for key, value in other.counts.items():
+            merged[key] = merged.get(key, 0) + value
+        return OpCounts(merged)
+
+    def get(self, cls: str) -> int:
+        return self.counts.get(cls, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def macc_equivalents(self, exp_maccs: int = EXP_MACCS) -> int:
+        """Total work in MACC-units with exps expanded (divides excluded).
+
+        Used to size work on the 2D array, whose PEs perform
+        multiply-accumulate and max but not division.
+        """
+        total = 0
+        for cls, value in self.counts.items():
+            if cls == "exp":
+                total += value * exp_maccs
+            elif cls == "divide":
+                continue
+            else:
+                total += value
+        return total
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        return f"OpCounts({inner})"
+
+
+def _space(vars_: Tuple[str, ...], cascade: Cascade, shapes: Mapping[str, int]) -> int:
+    size = 1
+    for var in vars_:
+        size *= cascade.rank_extent(var, shapes)
+    return size
+
+
+def _count_expr(
+    expr: Expr, cascade: Cascade, shapes: Mapping[str, int], counts: Dict[str, int]
+) -> None:
+    if isinstance(expr, (Leaf, Literal)):
+        return
+    if isinstance(expr, Unary):
+        _count_expr(expr.child, cascade, shapes, counts)
+        space = _space(expr.vars(), cascade, shapes)
+        counts[expr.op.cost_class] = counts.get(expr.op.cost_class, 0) + space
+        return
+    if isinstance(expr, Map):
+        _count_expr(expr.lhs, cascade, shapes, counts)
+        _count_expr(expr.rhs, cascade, shapes, counts)
+        space = _space(expr.vars(), cascade, shapes)
+        counts[expr.op.cost_class] = counts.get(expr.op.cost_class, 0) + space
+        return
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def count_einsum_ops(
+    einsum: Einsum, cascade: Cascade, shapes: Mapping[str, int]
+) -> OpCounts:
+    """Count the operations one Einsum performs under concrete shapes."""
+    if einsum.is_view:
+        return OpCounts({})
+    counts: Dict[str, int] = {}
+    _count_expr(einsum.expr, cascade, shapes, counts)
+    space = _space(einsum.iteration_vars(), cascade, shapes)
+    root_is_macc = isinstance(einsum.expr, Map) and einsum.expr.op.cost_class == "macc"
+    for var in einsum.reduced_vars():
+        op = einsum.reduce_action(var)
+        if op.cost_class == "add" and root_is_macc:
+            continue  # fused multiply-accumulate: already counted as macc
+        counts[op.cost_class] = counts.get(op.cost_class, 0) + space
+    return OpCounts(counts)
+
+
+def count_ops(
+    cascade: Cascade, shapes: Mapping[str, int]
+) -> Dict[str, OpCounts]:
+    """Per-Einsum operation counts, keyed by Einsum label."""
+    return {
+        einsum.label: count_einsum_ops(einsum, cascade, shapes)
+        for einsum in cascade.einsums
+    }
+
+
+def total_ops(cascade: Cascade, shapes: Mapping[str, int]) -> OpCounts:
+    """Aggregate operation counts for the whole cascade."""
+    total = OpCounts({})
+    for counts in count_ops(cascade, shapes).values():
+        total = total + counts
+    return total

@@ -1,0 +1,26 @@
+"""Architecture specifications, energy, and area models."""
+
+from .area import AreaBreakdown, area_of
+from .energy import DEFAULT_ENERGY, EnergyBreakdown, EnergyTable
+from .spec import (
+    Architecture,
+    EXP_AS_MACCS,
+    flat_arch,
+    fusemax_arch,
+    fusemax_edge_arch,
+    unfused_arch,
+)
+
+__all__ = [
+    "Architecture",
+    "AreaBreakdown",
+    "DEFAULT_ENERGY",
+    "EXP_AS_MACCS",
+    "EnergyBreakdown",
+    "EnergyTable",
+    "area_of",
+    "flat_arch",
+    "fusemax_arch",
+    "fusemax_edge_arch",
+    "unfused_arch",
+]

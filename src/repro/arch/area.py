@@ -1,0 +1,67 @@
+"""Area model at 45 nm (used for the iso-area claim and Fig. 12).
+
+Per-component areas assembled from 45 nm synthesis literature (the same
+sources Accelergy bundles).  As with energy, only relative magnitudes
+matter: the 2D PE array and the global buffer dominate, so sweeping the
+array dimension (Fig. 12) trades compute area against latency.
+
+All values in mm².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import Architecture
+
+#: One 16-bit MACC PE incl. pipeline registers (45 nm).
+PE_MACC_MM2 = 0.0025
+
+#: Extra area for the FuseMax 2D PE: comparator (max) + 10-entry RF.
+PE_FUSEMAX_EXTRA_MM2 = 0.00012
+
+#: One 1D PE: MACC + comparator + FP divider (Xia et al. @45 nm).
+PE_1D_MM2 = 0.012
+
+#: Dedicated exponentiation unit in a FLAT-style 1D PE.
+PE_EXP_UNIT_MM2 = 0.004
+
+#: SRAM density for the global buffer (45 nm, incl. periphery).
+SRAM_MM2_PER_MB = 1.5
+
+#: NoC, controllers, I/O pads and other fixed overheads.
+FIXED_OVERHEAD_MM2 = 8.0
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Component areas of one accelerator configuration (mm²)."""
+
+    pe_2d: float
+    pe_1d: float
+    global_buffer: float
+    fixed: float
+
+    @property
+    def total(self) -> float:
+        return self.pe_2d + self.pe_1d + self.global_buffer + self.fixed
+
+    @property
+    def total_cm2(self) -> float:
+        return self.total / 100.0
+
+
+def area_of(arch: Architecture) -> AreaBreakdown:
+    """Area model for an :class:`Architecture`."""
+    pe_2d_unit = PE_MACC_MM2
+    if arch.fused_2d_softmax:
+        pe_2d_unit += PE_FUSEMAX_EXTRA_MM2
+    pe_1d_unit = PE_1D_MM2
+    if arch.exp_unit_1d:
+        pe_1d_unit += PE_EXP_UNIT_MM2
+    return AreaBreakdown(
+        pe_2d=arch.pe_2d * pe_2d_unit,
+        pe_1d=arch.pe_1d * pe_1d_unit,
+        global_buffer=arch.global_buffer_bytes / 2**20 * SRAM_MM2_PER_MB,
+        fixed=FIXED_OVERHEAD_MM2,
+    )

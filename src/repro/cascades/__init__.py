@@ -1,0 +1,50 @@
+"""Cascade definitions from the FuseMax paper.
+
+- :mod:`repro.cascades.pedagogical` — Cascades 1–3 (Sec. III) and prefix sums.
+- :mod:`repro.cascades.softmax` — softmax as a cascade (Sec. IV-C).
+- :mod:`repro.cascades.attention` — the 3-/2-/1-pass attention cascades
+  (Sec. IV-E), with and without the division-reduction optimization.
+- :mod:`repro.cascades.transformer` — the linear layers surrounding
+  attention in a transformer encoder (Sec. IV-A).
+"""
+
+from .attention import (
+    attention_1pass,
+    attention_1pass_fa1,
+    attention_2pass,
+    attention_3pass,
+    attention_batched,
+    attention_naive,
+)
+from .extensions import (
+    causal_attention,
+    sigmoid_attention,
+    sliding_window_attention,
+)
+from .pedagogical import (
+    cascade1_two_pass,
+    cascade2_deferred,
+    cascade3_iterative,
+    iterative_prefix_sum,
+)
+from .softmax import naive_softmax, stable_softmax
+from .transformer import encoder_layer_einsums
+
+__all__ = [
+    "attention_1pass",
+    "attention_1pass_fa1",
+    "attention_2pass",
+    "attention_3pass",
+    "attention_batched",
+    "attention_naive",
+    "cascade1_two_pass",
+    "cascade2_deferred",
+    "cascade3_iterative",
+    "causal_attention",
+    "encoder_layer_einsums",
+    "sigmoid_attention",
+    "sliding_window_attention",
+    "iterative_prefix_sum",
+    "naive_softmax",
+    "stable_softmax",
+]

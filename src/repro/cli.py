@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``report``            — regenerate every table and figure (text).
+- ``fig1b`` … ``fig12``, ``table1`` — one experiment.
+- ``taxonomy``          — classify the attention cascades (Table I).
+- ``passes CASCADE``    — pass analysis of a named cascade
+  (``3pass``, ``3pass-divopt``, ``2pass``, ``1pass``, ``causal``,
+  ``sigmoid``).
+- ``simulate``          — run the binding pipeline simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .analysis import count_passes, live_footprints
+from .analysis.taxonomy import attention_rank_family, build_taxonomy
+from .cascades import (
+    attention_1pass,
+    attention_2pass,
+    attention_3pass,
+    causal_attention,
+    sigmoid_attention,
+)
+from .experiments import (
+    ablations,
+    fig1b,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table1,
+)
+from .experiments.report import full_report
+from .simulator import PipelineConfig, compare_bindings
+
+_CASCADES: Dict[str, Callable] = {
+    "3pass": attention_3pass,
+    "3pass-divopt": lambda: attention_3pass(div_opt=True),
+    "2pass": attention_2pass,
+    "1pass": attention_1pass,
+    "causal": causal_attention,
+    "sigmoid": sigmoid_attention,
+}
+
+_EXPERIMENTS = {
+    "ablations": ablations,
+    "fig1b": fig1b,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "table1": table1,
+}
+
+
+def _cmd_report(_args) -> int:
+    print(full_report())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    _EXPERIMENTS[args.command].main()
+    return 0
+
+
+def _cmd_taxonomy(_args) -> int:
+    for name, entry in build_taxonomy().items():
+        exemplars = ", ".join(entry.exemplars)
+        print(f"{name}: {entry.category} ({exemplars})")
+    return 0
+
+
+def _cmd_passes(args) -> int:
+    try:
+        cascade = _CASCADES[args.cascade]()
+    except KeyError:
+        print(f"unknown cascade {args.cascade!r}; have {sorted(_CASCADES)}",
+              file=sys.stderr)
+        return 2
+    fam = attention_rank_family(cascade)
+    analysis = count_passes(cascade, fam)
+    print(f"{cascade.name}: {analysis.num_passes}-pass over {fam}")
+    for label, info in analysis.info.items():
+        where = (
+            f"pass {info.pass_number}" if info.pass_number is not None
+            else ("view" if info.is_view else f"between passes (t={info.time})")
+        )
+        print(f"  {label:>6}: {where}")
+    shapes = {"E": 64, "F": 64, "M": 65536, "P": 1024, "M0": 256, "M1": 256}
+    report = live_footprints(analysis, shapes)
+    seq_dep = report.sequence_dependent_tensors()
+    print(f"sequence-dependent live tensors: {seq_dep or 'none'}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    config = PipelineConfig(chunks=args.chunks)
+    for name, r in compare_bindings(config).items():
+        print(f"{name:12s} makespan={r.makespan:7d} "
+              f"util2d={r.util_2d:.3f} util1d={r.util_1d:.3f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FuseMax reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("report", help="regenerate every table and figure")
+    for name in _EXPERIMENTS:
+        sub.add_parser(name, help=f"regenerate {name}")
+    sub.add_parser("taxonomy", help="Table I classification")
+    passes = sub.add_parser("passes", help="pass analysis of one cascade")
+    passes.add_argument("cascade", help=f"one of {sorted(_CASCADES)}")
+    simulate = sub.add_parser("simulate", help="binding pipeline simulation")
+    simulate.add_argument("--chunks", type=int, default=32)
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command in _EXPERIMENTS:
+        return _cmd_experiment(args)
+    if args.command == "taxonomy":
+        return _cmd_taxonomy(args)
+    if args.command == "passes":
+        return _cmd_passes(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

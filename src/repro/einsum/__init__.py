@@ -1,0 +1,76 @@
+"""Extended Einsum intermediate representation (EDGE subset).
+
+The public authoring API:
+
+>>> from repro.einsum import ref, Einsum, Cascade, Map, MUL
+>>> gemm = Einsum(
+...     output=ref("Z", "m", "n").ref,
+...     expr=Map(MUL, ref("A", "k", "m"), ref("B", "k", "n")),
+...     name="Z",
+... )
+"""
+
+from .cascade import Cascade, CascadeError, IterativeRank
+from .einsum import Einsum
+from .index import Affine, Filter, Fixed, IndexExpr, Shifted, Var, resolve_symint
+from .ops import (
+    ADD,
+    DIV,
+    EXP,
+    MAX,
+    MAX_REDUCE,
+    MUL,
+    MapOp,
+    NEG,
+    ReduceOp,
+    SIGMOID,
+    SUB,
+    SUB_THEN_EXP,
+    SUM_REDUCE,
+    UnaryOp,
+    map_op,
+    reduce_op,
+    unary_op,
+)
+from .parser import ParseError, parse_einsum
+from .tensor import Expr, Leaf, Literal, Map, TensorRef, Unary, ref
+
+__all__ = [
+    "Affine",
+    "ADD",
+    "Cascade",
+    "CascadeError",
+    "DIV",
+    "Einsum",
+    "EXP",
+    "Expr",
+    "Filter",
+    "Fixed",
+    "IndexExpr",
+    "IterativeRank",
+    "Leaf",
+    "Literal",
+    "Map",
+    "MapOp",
+    "MAX",
+    "MAX_REDUCE",
+    "MUL",
+    "NEG",
+    "ParseError",
+    "ReduceOp",
+    "SIGMOID",
+    "Shifted",
+    "SUB",
+    "SUB_THEN_EXP",
+    "SUM_REDUCE",
+    "TensorRef",
+    "Unary",
+    "UnaryOp",
+    "Var",
+    "map_op",
+    "parse_einsum",
+    "reduce_op",
+    "ref",
+    "resolve_symint",
+    "unary_op",
+]

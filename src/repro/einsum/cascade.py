@@ -1,0 +1,194 @@
+"""Cascades of Einsums.
+
+A cascade (TeAAL, Nayak et al.) is a sequence of dependent Einsums forming a
+directed acyclic graph: later Einsums may read tensors produced by earlier
+ones.  Cascades may additionally declare *iterative ranks* (EDGE's
+generative ranks): the extended Einsums of the cascade are then evaluated
+once per coordinate of the iterative rank, with shifted output indices
+(``RM[m1 + 1, p]``) expressing the recurrence and a stopping condition
+(``⋄ : m1 ≥ M1``) bounding the iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .einsum import Einsum
+from .index import ShapeEnv, SymInt, resolve_symint
+from .tensor import TensorRef
+
+
+class CascadeError(ValueError):
+    """Raised when a cascade is structurally invalid."""
+
+
+@dataclass(frozen=True)
+class IterativeRank:
+    """An iterative rank declaration: variable name and stopping extent.
+
+    ``var`` iterates from 0 while ``var < extent`` (the paper's stopping
+    condition ``⋄ : var ≥ extent``).  Tensors indexed by ``var + 1`` thus
+    carry ``extent + 1`` coordinates along that rank.
+    """
+
+    var: str
+    extent: SymInt
+
+    def resolved_extent(self, shapes: ShapeEnv) -> int:
+        return resolve_symint(self.extent, shapes)
+
+
+@dataclass(frozen=True)
+class Cascade:
+    """An ordered DAG of Einsums with optional iterative ranks.
+
+    Attributes:
+        name: Identifier used in reports (e.g. ``"attention-1pass"``).
+        einsums: The statements in program order.  Initialization statements
+            (``is_initialization=True``) run once; the rest are the extended
+            Einsums, re-evaluated per iterative-rank coordinate when
+            ``iterative`` is non-empty.
+        inputs: Names of tensors supplied from outside the cascade.
+        rank_shapes: Extent symbol (or literal) per rank variable, e.g.
+            ``{"m0": "M0", "p": "P"}``.
+        iterative: Iterative rank declarations, outermost first.
+        outputs: Names of the tensors that constitute the cascade's result
+            (defaults to tensors never read by a later Einsum).
+    """
+
+    name: str
+    einsums: Tuple[Einsum, ...]
+    inputs: Tuple[str, ...]
+    rank_shapes: Mapping[str, SymInt]
+    iterative: Tuple[IterativeRank, ...] = ()
+    outputs: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    # -- construction helpers ----------------------------------------------
+
+    @staticmethod
+    def build(
+        name: str,
+        einsums: Sequence[Einsum],
+        inputs: Iterable[str],
+        rank_shapes: Mapping[str, SymInt],
+        iterative: Sequence[IterativeRank] = (),
+        outputs: Iterable[str] = (),
+    ) -> "Cascade":
+        return Cascade(
+            name=name,
+            einsums=tuple(einsums),
+            inputs=tuple(inputs),
+            rank_shapes=dict(rank_shapes),
+            iterative=tuple(iterative),
+            outputs=tuple(outputs),
+        )
+
+    # -- validation ----------------------------------------------------------
+
+    def _validate(self) -> None:
+        input_set = set(self.inputs)
+        defined = set(self.inputs)
+        for einsum in self.einsums:
+            written = einsum.writes_tensor()
+            if written in input_set:
+                raise CascadeError(
+                    f"{self.name}: Einsum {einsum.label!r} writes input "
+                    f"tensor {written!r}"
+                )
+            for ref_ in einsum.reads():
+                if ref_.tensor not in defined and ref_.tensor != written:
+                    raise CascadeError(
+                        f"{self.name}: Einsum {einsum.label!r} reads "
+                        f"undefined tensor {ref_.tensor!r}"
+                    )
+            defined.add(written)
+            for var in einsum.iteration_vars():
+                if var not in self.rank_shapes:
+                    raise CascadeError(
+                        f"{self.name}: rank variable {var!r} in Einsum "
+                        f"{einsum.label!r} has no declared shape"
+                    )
+
+    # -- structural queries ---------------------------------------------------
+
+    @property
+    def iterative_vars(self) -> Tuple[str, ...]:
+        return tuple(it.var for it in self.iterative)
+
+    def is_iterative(self) -> bool:
+        return bool(self.iterative)
+
+    def initialization(self) -> Tuple[Einsum, ...]:
+        return tuple(e for e in self.einsums if e.is_initialization)
+
+    def extended(self) -> Tuple[Einsum, ...]:
+        return tuple(e for e in self.einsums if not e.is_initialization)
+
+    def tensors(self) -> Tuple[str, ...]:
+        """All tensor names, inputs first, then in order of definition."""
+        names: List[str] = list(self.inputs)
+        for einsum in self.einsums:
+            if einsum.writes_tensor() not in names:
+                names.append(einsum.writes_tensor())
+        return tuple(names)
+
+    def intermediates(self) -> Tuple[str, ...]:
+        """Tensors produced by the cascade that are not declared outputs."""
+        outs = set(self.result_tensors())
+        return tuple(
+            t for t in self.tensors() if t not in self.inputs and t not in outs
+        )
+
+    def result_tensors(self) -> Tuple[str, ...]:
+        """Declared outputs, or tensors never consumed downstream."""
+        if self.outputs:
+            return self.outputs
+        consumed = set()
+        for einsum in self.einsums:
+            consumed.update(einsum.read_tensors())
+        produced = [e.writes_tensor() for e in self.einsums]
+        return tuple(dict.fromkeys(t for t in produced if t not in consumed))
+
+    def producers(self, tensor: str) -> Tuple[Einsum, ...]:
+        """Einsums writing ``tensor`` (several for iterative tensors)."""
+        return tuple(e for e in self.einsums if e.writes_tensor() == tensor)
+
+    def producer(self, tensor: str) -> Optional[Einsum]:
+        """The non-initialization producer of ``tensor``, if any."""
+        candidates = [
+            e for e in self.producers(tensor) if not e.is_initialization
+        ]
+        if not candidates:
+            candidates = list(self.producers(tensor))
+        return candidates[0] if candidates else None
+
+    def consumers(self, tensor: str) -> Tuple[Einsum, ...]:
+        return tuple(e for e in self.einsums if tensor in e.read_tensors())
+
+    def find(self, label: str) -> Einsum:
+        """Look up an Einsum by its label."""
+        for einsum in self.einsums:
+            if einsum.label == label:
+                return einsum
+        raise KeyError(f"{self.name}: no Einsum labelled {label!r}")
+
+    def rank_extent(self, var: str, shapes: ShapeEnv) -> int:
+        """Concrete extent of a rank variable under a shape environment."""
+        return resolve_symint(self.rank_shapes[var], shapes)
+
+    def __str__(self) -> str:
+        lines = [f"Cascade {self.name}:"]
+        init = self.initialization()
+        if init:
+            lines.append("  Initialization:")
+            lines.extend(f"    {e}" for e in init)
+            lines.append("  Extended Einsums:")
+        for einsum in self.extended():
+            lines.append(f"    {einsum}")
+        for it in self.iterative:
+            lines.append(f"  ⋄ : {it.var} >= {it.extent}")
+        return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""The Einsum statement: one node of a cascade.
+
+An Einsum couples an output tensor reference, a right-hand-side expression
+tree, and explicit reduce actions for the ranks it collapses.  Following the
+paper's shorthand (Sec. II-C2), ranks that appear on the right-hand side but
+not on the left default to a ``+(∪)`` (sum) reduction unless overridden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from .index import Fixed, IndexExpr
+from .ops import ReduceOp, SUM_REDUCE
+from .tensor import Expr, TensorRef
+
+
+@dataclass(frozen=True)
+class Einsum:
+    """A single Extended Einsum statement.
+
+    Attributes:
+        output: The left-hand-side tensor reference (may use shifted indices
+            on an iterative rank, e.g. ``RM[m1 + 1, p]``).
+        expr: The right-hand-side expression tree.
+        reductions: Reduce action per collapsed rank variable.  Variables on
+            the RHS but absent from both the LHS and this mapping get the
+            default sum reduction.
+        name: Short label used in figures and diagnostics (e.g. ``"SLNV"``).
+        is_initialization: True for EDGE ``Initialization`` statements, which
+            execute once rather than per iteration of an iterative rank.
+        is_view: True when the Einsum merely re-indexes (partitions) another
+            tensor without computing, e.g. ``BK[e, m1, m0] = K[e, m1*M0+m0]``.
+            Views contribute no compute and the pass analysis treats a read
+            of a view as a read of the backing tensor.
+    """
+
+    output: TensorRef
+    expr: Expr
+    reductions: Mapping[str, ReduceOp] = field(default_factory=dict)
+    name: str = ""
+    is_initialization: bool = False
+    is_view: bool = False
+
+    @property
+    def label(self) -> str:
+        """Display name: the explicit name if given, else the output tensor."""
+        return self.name or self.output.tensor
+
+    def output_vars(self) -> Tuple[str, ...]:
+        return self.output.vars()
+
+    def input_vars(self) -> Tuple[str, ...]:
+        return self.expr.vars()
+
+    def iteration_vars(self) -> Tuple[str, ...]:
+        """All rank variables of this Einsum's iteration space, LHS first."""
+        seen = list(self.output_vars())
+        for name in self.expr.vars():
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+    def reduced_vars(self) -> Tuple[str, ...]:
+        """Rank variables collapsed by this Einsum (explicit or default)."""
+        out = set(self.output_vars())
+        return tuple(v for v in self.expr.vars() if v not in out)
+
+    def reduce_action(self, var: str) -> ReduceOp:
+        """The reduce action applied to ``var`` (default: sum)."""
+        return dict(self.reductions).get(var, SUM_REDUCE)
+
+    def reads(self) -> Tuple[TensorRef, ...]:
+        """All tensor references on the right-hand side."""
+        return tuple(self.expr.refs())
+
+    def read_tensors(self) -> FrozenSet[str]:
+        return frozenset(r.tensor for r in self.reads())
+
+    def writes_tensor(self) -> str:
+        return self.output.tensor
+
+    def reads_tensor_on(self, tensor: str, var: str) -> bool:
+        """Whether this Einsum reads ``tensor`` traversing rank ``var``."""
+        return any(r.tensor == tensor and r.carries(var) for r in self.reads())
+
+    def traverses(self, var: str) -> bool:
+        """Whether ``var`` is part of this Einsum's iteration space."""
+        return var in self.iteration_vars()
+
+    def __str__(self) -> str:
+        text = f"{self.output} = {self.expr}"
+        explicit = {v: op for v, op in self.reductions.items() if op != SUM_REDUCE}
+        if explicit:
+            actions = ", ".join(f"∨_{v} {op.name}" for v, op in explicit.items())
+            text += f" :: {actions}"
+        return text

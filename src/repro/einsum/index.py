@@ -1,0 +1,189 @@
+"""Index expressions for Extended Einsum tensor references.
+
+The EDGE notation (Odemuyiwa et al.) indexes tensor ranks with *rank
+variable expressions*.  This module models the subset of those expressions
+used by the FuseMax paper:
+
+- plain rank variables (``m``),
+- shifted variables for iterative ranks (``m1 + 1``),
+- affine combinations for partitioning (``m1 * M0 + m0``),
+- single fixed coordinates (``RNV[f, M1, p]`` reads coordinate ``M1``).
+
+Every expression can report the rank variables it mentions and evaluate
+itself given a concrete binding of those variables.  Shape symbols (such as
+the ``M0`` in ``m1 * M0 + m0``) are resolved against a *shape environment*,
+a mapping from symbol name to integer extent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple, Union
+
+ShapeEnv = Mapping[str, int]
+
+#: A coefficient or offset may be a literal int or the name of a shape symbol.
+SymInt = Union[int, str]
+
+
+def resolve_symint(value: SymInt, shapes: ShapeEnv) -> int:
+    """Resolve a literal-or-symbolic integer against a shape environment.
+
+    A leading ``-`` on a symbol negates it (``"-W"`` → ``-shapes["W"]``),
+    which lets affine expressions describe trailing windows like
+    ``p - W``.
+    """
+    if isinstance(value, str):
+        negate = value.startswith("-")
+        symbol = value[1:] if negate else value
+        try:
+            resolved = shapes[symbol]
+        except KeyError:
+            raise KeyError(f"shape symbol {symbol!r} is not bound") from None
+        return -resolved if negate else resolved
+    return value
+
+
+class IndexExpr:
+    """Base class for rank variable expressions."""
+
+    def vars(self) -> Tuple[str, ...]:
+        """Rank variables mentioned by this expression, in syntactic order."""
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, int], shapes: ShapeEnv) -> int:
+        """Evaluate to a coordinate given variable bindings and shapes."""
+        raise NotImplementedError
+
+    def shifted_by(self) -> int:
+        """Constant offset applied to a single variable (0 when not shifted)."""
+        return 0
+
+
+@dataclass(frozen=True)
+class Var(IndexExpr):
+    """A plain rank variable, e.g. the ``m`` in ``A[m, p]``."""
+
+    name: str
+
+    def vars(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def evaluate(self, env: Mapping[str, int], shapes: ShapeEnv) -> int:
+        return env[self.name]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Shifted(IndexExpr):
+    """A variable plus a constant, e.g. the ``m1 + 1`` in ``RM[m1 + 1, p]``.
+
+    Shifted indices are how EDGE expresses iterative (generative) rank
+    access: an Einsum writing ``RM[m1 + 1]`` while reading ``RM[m1]``
+    defines a recurrence along ``m1``.
+    """
+
+    name: str
+    offset: int = 1
+
+    def vars(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def evaluate(self, env: Mapping[str, int], shapes: ShapeEnv) -> int:
+        return env[self.name] + self.offset
+
+    def shifted_by(self) -> int:
+        return self.offset
+
+    def __str__(self) -> str:
+        sign = "+" if self.offset >= 0 else "-"
+        return f"{self.name}{sign}{abs(self.offset)}"
+
+
+@dataclass(frozen=True)
+class Affine(IndexExpr):
+    """An affine combination of variables, e.g. ``m1 * M0 + m0``.
+
+    ``terms`` maps each variable to its (possibly symbolic) coefficient.
+    The FuseMax cascades use this for partitioning a flat rank ``m`` into
+    ``(m1, m0)`` chunks via ``K[e, m1 * M0 + m0]``.
+    """
+
+    terms: Tuple[Tuple[str, SymInt], ...]
+    offset: SymInt = 0
+
+    def vars(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.terms)
+
+    def evaluate(self, env: Mapping[str, int], shapes: ShapeEnv) -> int:
+        total = resolve_symint(self.offset, shapes)
+        for name, coeff in self.terms:
+            total += env[name] * resolve_symint(coeff, shapes)
+        return total
+
+    def __str__(self) -> str:
+        parts = [
+            name if coeff == 1 else f"{name}*{coeff}" for name, coeff in self.terms
+        ]
+        if self.offset != 0:
+            parts.append(str(self.offset))
+        return "+".join(parts)
+
+
+@dataclass(frozen=True)
+class Fixed(IndexExpr):
+    """A single fixed coordinate, e.g. the ``M1`` in ``RNV[f, M1, p]``.
+
+    The coordinate may be symbolic (a shape name) so that cascades can refer
+    to "the final coordinate of the iterative rank" without committing to a
+    concrete extent.
+    """
+
+    value: SymInt
+
+    def vars(self) -> Tuple[str, ...]:
+        return ()
+
+    def evaluate(self, env: Mapping[str, int], shapes: ShapeEnv) -> int:
+        return resolve_symint(self.value, shapes)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Filter:
+    """A filtering rank expression such as the ``k <= i`` in ``A[k: k<=i]``.
+
+    Only points of the iteration space satisfying ``<var> <op> <bound>`` are
+    touched; culled points contribute the reduction identity.  ``bound`` may
+    reference another rank variable (``i``) or a constant.
+    """
+
+    var: str
+    op: str  # one of "<", "<=", "==", ">=", ">"
+    bound: IndexExpr
+
+    _OPS = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        "==": lambda a, b: a == b,
+        ">=": lambda a, b: a >= b,
+        ">": lambda a, b: a > b,
+    }
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ValueError(f"unsupported filter operator {self.op!r}")
+
+    def vars(self) -> Tuple[str, ...]:
+        return (self.var,) + tuple(self.bound.vars())
+
+    def test(self, env: Mapping[str, int], shapes: ShapeEnv) -> bool:
+        """Evaluate the filter predicate under concrete variable bindings."""
+        return self._OPS[self.op](env[self.var], self.bound.evaluate(env, shapes))
+
+    def __str__(self) -> str:
+        return f"{self.var}{self.op}{self.bound}"

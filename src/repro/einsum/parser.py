@@ -1,0 +1,349 @@
+"""A text front-end for authoring Extended Einsums.
+
+Accepts a pragmatic rendering of the paper's notation:
+
+>>> parse_einsum("Z[m, n] = A[k, m] * B[k, n]")
+>>> parse_einsum("GM[p] = QK[m, p] :: max(m)")
+>>> parse_einsum("SN[m, p] = exp(QK[m, p] - GM[p])")
+>>> parse_einsum("RM[m1+1, p] = max(RM[m1, p], LM[m1, p])")
+>>> parse_einsum("BK[e, m1, m0] = K[e, m1*M0 + m0]", view=True)
+>>> parse_einsum("S[i+1] = A[k : k <= i]")
+>>> parse_einsum("RD[0, p] = 0.0", init=True)
+
+Grammar (informal):
+
+- statement:   ``OUT = EXPR`` optionally followed by ``:: red(var), ...``
+  where ``red`` is ``sum`` or ``max`` (naming the reduce action applied to
+  ``var``; unlisted reduced variables default to sum, per the shorthand).
+- tensor ref:  ``Name[idx, idx, ...]`` or bare ``Name`` (0-tensor).
+- index:       variable ``m`` · shifted ``m1+1`` · fixed ``0`` / ``M1``
+  (uppercase symbol) · affine ``m1*M0 + m0`` · filtered ``k : k <= i``.
+- expression:  ``*`` ``/`` bind tighter than ``+`` ``-``; parentheses;
+  functions ``max(a, b)``, ``exp(x)``, ``sigmoid(x)``; numeric literals
+  including ``-inf``.  ``exp(a - b)`` folds into the paper's
+  ``sub-then-exp`` map action.
+
+Convention: lowercase leading letter → rank variable; uppercase leading
+letter inside an index position → a fixed symbolic coordinate (``M1``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .einsum import Einsum
+from .index import Affine, Filter, Fixed, IndexExpr, Shifted, Var
+from .ops import (
+    ADD,
+    DIV,
+    EXP,
+    MAX,
+    MAX_REDUCE,
+    MUL,
+    SIGMOID,
+    SUB,
+    SUB_THEN_EXP,
+    SUM_REDUCE,
+)
+from .tensor import Expr, Leaf, Literal, Map, TensorRef, Unary
+
+
+class ParseError(ValueError):
+    """Raised on malformed Einsum text."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+\.\d*|\d+|inf)"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op><=|>=|==|::|[\[\],:+\-*/()<>=]))"
+)
+
+_FUNCTIONS = {"exp": EXP, "sigmoid": SIGMOID}
+_REDUCERS = {"max": MAX_REDUCE, "sum": SUM_REDUCE}
+
+
+@dataclass
+class _Token:
+    kind: str  # "number" | "name" | "op"
+    text: str
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"cannot tokenize at: {remainder[:20]!r}")
+        pos = match.end()
+        for kind in ("number", "name", "op"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(_Token(kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Optional[_Token]:
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in {self.text!r}")
+        self.pos += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.next()
+        if token.text != text:
+            raise ParseError(
+                f"expected {text!r}, found {token.text!r} in {self.text!r}"
+            )
+        return token
+
+    def accept(self, text: str) -> bool:
+        token = self.peek()
+        if token is not None and token.text == text:
+            self.pos += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_statement(self) -> Tuple[TensorRef, Expr, dict]:
+        output = self.parse_tensor_ref()
+        self.expect("=")
+        expr = self.parse_expr()
+        reductions = {}
+        if self.accept("::"):
+            reductions = self.parse_reductions()
+        if not self.at_end():
+            raise ParseError(
+                f"trailing input {self.peek().text!r} in {self.text!r}"
+            )
+        return output, expr, reductions
+
+    def parse_reductions(self) -> dict:
+        reductions = {}
+        while True:
+            name = self.next()
+            if name.kind != "name" or name.text not in _REDUCERS:
+                raise ParseError(
+                    f"unknown reduce action {name.text!r}; "
+                    f"have {sorted(_REDUCERS)}"
+                )
+            self.expect("(")
+            var = self.next()
+            self.expect(")")
+            reductions[var.text] = _REDUCERS[name.text]
+            if not self.accept(","):
+                break
+        return reductions
+
+    # expression: additive over multiplicative over atoms
+    def parse_expr(self) -> Expr:
+        left = self.parse_term()
+        while True:
+            if self.accept("+"):
+                left = Map(ADD, left, self.parse_term())
+            elif self.accept("-"):
+                left = Map(SUB, left, self.parse_term())
+            else:
+                return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_atom()
+        while True:
+            if self.accept("*"):
+                left = Map(MUL, left, self.parse_atom())
+            elif self.accept("/"):
+                left = Map(DIV, left, self.parse_atom())
+            else:
+                return left
+
+    def parse_atom(self) -> Expr:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of expression in {self.text!r}")
+        if token.text == "-":
+            # Unary minus: only numeric literals may be negated.
+            self.next()
+            number = self.next()
+            if number.kind != "number":
+                raise ParseError(
+                    f"unary minus requires a literal in {self.text!r}"
+                )
+            return Literal(-self._number(number.text))
+        if token.text == "(":
+            self.next()
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        if token.kind == "number":
+            self.next()
+            return Literal(self._number(token.text))
+        if token.kind == "name":
+            nxt = self.peek(1)
+            if token.text == "max" and nxt is not None and nxt.text == "(":
+                self.next()
+                self.expect("(")
+                a = self.parse_expr()
+                self.expect(",")
+                b = self.parse_expr()
+                self.expect(")")
+                return Map(MAX, a, b)
+            if token.text in _FUNCTIONS and nxt is not None and nxt.text == "(":
+                self.next()
+                self.expect("(")
+                inner = self.parse_expr()
+                self.expect(")")
+                if token.text == "exp" and _is_subtraction(inner):
+                    return Map(SUB_THEN_EXP, inner.lhs, inner.rhs)
+                return Unary(_FUNCTIONS[token.text], inner)
+            return Leaf(self.parse_tensor_ref())
+        raise ParseError(f"unexpected token {token.text!r} in {self.text!r}")
+
+    @staticmethod
+    def _number(text: str) -> float:
+        if text == "inf":
+            return math.inf
+        if text == "-inf":
+            return -math.inf
+        return float(text)
+
+    # -- tensor references -----------------------------------------------------
+
+    def parse_tensor_ref(self) -> TensorRef:
+        name = self.next()
+        if name.kind != "name":
+            raise ParseError(f"expected tensor name, found {name.text!r}")
+        if not self.accept("["):
+            return TensorRef(name.text, ())
+        indices: List[IndexExpr] = []
+        filters: List[Filter] = []
+        while True:
+            indices.append(self.parse_index())
+            if self.accept(":"):
+                filters.append(self.parse_filter())
+            if self.accept(","):
+                continue
+            self.expect("]")
+            break
+        return TensorRef(name.text, tuple(indices), tuple(filters))
+
+    def parse_index(self) -> IndexExpr:
+        """One index position: fixed, variable, shifted, or affine."""
+        terms: List[Tuple[str, Union[int, str]]] = []
+        offset: Union[int, str] = 0
+        sign = 1
+        while True:
+            token = self.next()
+            if token.kind == "number":
+                value = sign * int(float(token.text))
+                offset = value if offset == 0 else _add_offsets(offset, value)
+            elif token.kind == "name":
+                if token.text[0].isupper() and not terms and sign == 1:
+                    # A bare uppercase symbol is a fixed symbolic coordinate
+                    # unless it is a coefficient (handled under '*').
+                    follower = self.peek()
+                    if follower is None or follower.text in ("]", ",", ":"):
+                        if offset == 0 and not terms:
+                            return Fixed(token.text)
+                if self.accept("*"):
+                    coeff_token = self.next()
+                    coeff: Union[int, str]
+                    if coeff_token.kind == "number":
+                        coeff = sign * int(float(coeff_token.text))
+                    else:
+                        coeff = coeff_token.text
+                    terms.append((token.text, coeff))
+                else:
+                    terms.append((token.text, sign))
+            else:
+                raise ParseError(
+                    f"unexpected {token.text!r} in index of {self.text!r}"
+                )
+            if self.accept("+"):
+                sign = 1
+                continue
+            if self.accept("-"):
+                sign = -1
+                continue
+            break
+        return _build_index(terms, offset)
+
+    def parse_filter(self) -> Filter:
+        var = self.next()
+        op = self.next()
+        if op.text not in ("<", "<=", "==", ">=", ">"):
+            raise ParseError(f"bad filter operator {op.text!r}")
+        bound = self.parse_index()
+        return Filter(var.text, op.text, bound)
+
+
+def _add_offsets(a: Union[int, str], b: int) -> Union[int, str]:
+    if isinstance(a, int):
+        return a + b
+    raise ParseError("cannot combine symbolic and numeric offsets")
+
+
+def _build_index(
+    terms: Sequence[Tuple[str, Union[int, str]]], offset: Union[int, str]
+) -> IndexExpr:
+    if not terms:
+        return Fixed(offset)
+    if len(terms) == 1 and terms[0][1] == 1:
+        name = terms[0][0]
+        if offset == 0:
+            return Var(name)
+        if isinstance(offset, int):
+            return Shifted(name, offset)
+    return Affine(tuple(terms), offset)
+
+
+def _is_subtraction(expr: Expr) -> bool:
+    return isinstance(expr, Map) and expr.op is SUB
+
+
+def parse_einsum(
+    text: str,
+    name: str = "",
+    init: bool = False,
+    view: bool = False,
+) -> Einsum:
+    """Parse one Einsum statement.
+
+    Args:
+        text: The statement, e.g. ``"Z[m, n] = A[k, m] * B[k, n]"``.
+        name: Optional label (defaults to the output tensor's name).
+        init: Mark as an EDGE Initialization statement.
+        view: Mark as a pure re-indexing (no compute).
+    """
+    output, expr, reductions = _Parser(text).parse_statement()
+    return Einsum(
+        output=output,
+        expr=expr,
+        reductions=reductions,
+        name=name,
+        is_initialization=init,
+        is_view=view,
+    )

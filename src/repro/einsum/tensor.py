@@ -1,0 +1,157 @@
+"""Tensor references and expression trees for Extended Einsums.
+
+A :class:`TensorRef` names a tensor and gives one index expression per rank
+(``A[k, m]``), optionally restricted by filters (``A[k: k<=i]``).  An
+:class:`Expr` tree combines tensor references, scalars, map actions, and
+unary operations into the right-hand side of an Einsum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple, Union
+
+from .index import Filter, Fixed, IndexExpr, Shifted, Var
+from .ops import MapOp, UnaryOp
+
+
+def _coerce_index(index: Union[str, IndexExpr]) -> IndexExpr:
+    """Allow bare strings as shorthand for plain rank variables."""
+    if isinstance(index, str):
+        return Var(index)
+    return index
+
+
+@dataclass(frozen=True)
+class TensorRef:
+    """A reference to (a slice of) a named tensor inside an Einsum.
+
+    ``indices`` holds one :class:`IndexExpr` per rank of the tensor, in rank
+    order.  ``filters`` optionally restrict which points are touched.
+    """
+
+    tensor: str
+    indices: Tuple[IndexExpr, ...]
+    filters: Tuple[Filter, ...] = ()
+
+    @staticmethod
+    def of(tensor: str, *indices: Union[str, IndexExpr], filters=()) -> "TensorRef":
+        """Convenience constructor accepting bare variable names."""
+        return TensorRef(
+            tensor, tuple(_coerce_index(ix) for ix in indices), tuple(filters)
+        )
+
+    def vars(self) -> Tuple[str, ...]:
+        """Rank variables mentioned by indices and filters, deduplicated."""
+        seen = []
+        for ix in self.indices:
+            for name in ix.vars():
+                if name not in seen:
+                    seen.append(name)
+        for flt in self.filters:
+            for name in flt.vars():
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+    def rank_count(self) -> int:
+        return len(self.indices)
+
+    def carries(self, var: str) -> bool:
+        """Whether this reference traverses rank variable ``var``."""
+        return any(var in ix.vars() for ix in self.indices)
+
+    def iterative_offset(self, var: str) -> int:
+        """The shift applied to ``var`` (e.g. +1 for ``RM[m1 + 1, p]``)."""
+        for ix in self.indices:
+            if var in ix.vars():
+                return ix.shifted_by()
+        return 0
+
+    def is_fixed_coordinate(self, rank_position: int) -> bool:
+        """Whether the given rank is pinned to a single coordinate."""
+        return isinstance(self.indices[rank_position], Fixed)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(ix) for ix in self.indices)
+        for flt in self.filters:
+            inner += f": {flt}"
+        return f"{self.tensor}[{inner}]"
+
+
+class Expr:
+    """Base class for right-hand-side expression trees."""
+
+    def refs(self) -> Iterator[TensorRef]:
+        """Yield every tensor reference in the tree, left to right."""
+        raise NotImplementedError
+
+    def vars(self) -> Tuple[str, ...]:
+        """Rank variables mentioned anywhere in the tree, deduplicated."""
+        seen = []
+        for ref in self.refs():
+            for name in ref.vars():
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class Leaf(Expr):
+    """A tensor reference appearing as an operand."""
+
+    ref: TensorRef
+
+    def refs(self) -> Iterator[TensorRef]:
+        yield self.ref
+
+    def __str__(self) -> str:
+        return str(self.ref)
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A scalar constant operand (e.g. ``1/sqrt(E)`` or ``-inf``)."""
+
+    value: float
+
+    def refs(self) -> Iterator[TensorRef]:
+        return iter(())
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Map(Expr):
+    """A map action between two sub-expressions (infix shorthand in EDGE)."""
+
+    op: MapOp
+    lhs: Expr
+    rhs: Expr
+
+    def refs(self) -> Iterator[TensorRef]:
+        yield from self.lhs.refs()
+        yield from self.rhs.refs()
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op.name} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """A user-defined unary operation applied to a sub-expression."""
+
+    op: UnaryOp
+    child: Expr
+
+    def refs(self) -> Iterator[TensorRef]:
+        yield from self.child.refs()
+
+    def __str__(self) -> str:
+        return f"{self.op.name}({self.child})"
+
+
+def ref(tensor: str, *indices: Union[str, IndexExpr], filters=()) -> Leaf:
+    """Build a :class:`Leaf` around a tensor reference (main authoring API)."""
+    return Leaf(TensorRef.of(tensor, *indices, filters=filters))

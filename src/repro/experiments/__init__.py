@@ -1,0 +1,34 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module exposes ``run()`` (structured rows), ``render()`` (text table),
+and ``main()`` (print).  ``repro.experiments.report.full_report()`` runs
+everything.
+"""
+
+from . import (
+    ablations,
+    fig1b,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    report,
+    table1,
+)
+
+__all__ = [
+    "ablations",
+    "fig1b",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "report",
+    "table1",
+]

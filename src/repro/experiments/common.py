@@ -1,0 +1,50 @@
+"""Shared helpers for the per-figure experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..model import all_attention_models
+from ..model.metrics import AttentionResult
+from ..workloads.models import MODELS, ModelConfig, SEQUENCE_LENGTHS
+
+
+def default_grid(
+    models: Sequence[ModelConfig] = MODELS,
+    seq_lens: Sequence[int] = SEQUENCE_LENGTHS,
+):
+    """The (configuration, model, length) grid used by Figs. 6-11."""
+    configs = all_attention_models()
+    for config in configs:
+        for model in models:
+            for seq_len in seq_lens:
+                yield config, model, seq_len
+
+
+def sweep_attention(
+    models: Sequence[ModelConfig] = MODELS,
+    seq_lens: Sequence[int] = SEQUENCE_LENGTHS,
+) -> Dict[Tuple[str, str, int], AttentionResult]:
+    """Evaluate every configuration on the grid; keyed by
+    ``(config_name, model_name, seq_len)``."""
+    results: Dict[Tuple[str, str, int], AttentionResult] = {}
+    for config, model, seq_len in default_grid(models, seq_lens):
+        result = config.evaluate(model, seq_len)
+        results[(result.config, model.name, seq_len)] = result
+    return results
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a fixed-width text table."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

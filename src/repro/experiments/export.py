@@ -1,0 +1,120 @@
+"""Export experiment results to CSV files.
+
+``python -m repro.experiments.export [outdir]`` writes one CSV per
+table/figure plus a headline summary — the artifact-style output for
+downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import sys
+from typing import Iterable, List, Sequence
+
+from . import ablations, fig1b, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1
+
+
+def _write_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def export_all(outdir: str) -> List[str]:
+    """Write every experiment's rows as CSV; returns the file paths."""
+    os.makedirs(outdir, exist_ok=True)
+    written: List[str] = []
+
+    def emit(name, headers, rows):
+        path = os.path.join(outdir, name)
+        _write_csv(path, headers, rows)
+        written.append(path)
+
+    emit(
+        "fig1b.csv",
+        ["model", "seq_len", "attn", "linear", "other"],
+        [(r.model, r.seq_len, r.attn, r.linear, r.other) for r in fig1b.run()],
+    )
+    emit(
+        "table1.csv",
+        ["cascade", "passes", "exemplars"],
+        [(r.cascade, r.passes, r.exemplars) for r in table1.run()],
+    )
+    emit(
+        "fig6.csv",
+        ["config", "model", "seq_len", "util_1d", "util_2d"],
+        [
+            (r.config, r.model, r.seq_len, r.util_1d, r.util_2d)
+            for r in fig6.run()
+        ],
+    )
+    emit(
+        "fig7.csv",
+        ["config", "seq_len"] + list(fig7.GROUPS),
+        [
+            [r.config, r.seq_len] + [r.shares[g] for g in fig7.GROUPS]
+            for r in fig7.run()
+        ],
+    )
+    emit(
+        "fig8.csv",
+        ["config", "model", "seq_len", "speedup"],
+        [(r.config, r.model, r.seq_len, r.speedup) for r in fig8.run()],
+    )
+    emit(
+        "fig9.csv",
+        ["config", "model", "seq_len", "normalized_energy"],
+        [
+            (r.config, r.model, r.seq_len, r.normalized_energy)
+            for r in fig9.run()
+        ],
+    )
+    emit(
+        "fig10.csv",
+        ["config", "model", "seq_len", "speedup"],
+        [(r.config, r.model, r.seq_len, r.speedup) for r in fig10.run()],
+    )
+    emit(
+        "fig11.csv",
+        ["config", "model", "seq_len", "normalized_energy"],
+        [
+            (r.config, r.model, r.seq_len, r.normalized_energy)
+            for r in fig11.run()
+        ],
+    )
+    fig12_rows = []
+    for result in fig12.run().values():
+        for point in result.points:
+            fig12_rows.append(
+                (point.model, point.array_dim, point.area_cm2,
+                 point.latency_seconds)
+            )
+    emit(
+        "fig12.csv",
+        ["model", "array_dim", "area_cm2", "latency_seconds"],
+        fig12_rows,
+    )
+    emit(
+        "ablation_divisions.csv",
+        ["cascade", "divisions", "exps", "macc_equivalents"],
+        [
+            (r.cascade, r.divisions, r.exps, r.macc_equivalents)
+            for r in ablations.division_reduction()
+        ],
+    )
+    return written
+
+
+def main(argv=None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    outdir = args[0] if args else "results"
+    paths = export_all(outdir)
+    for path in paths:
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""Figure 10: end-to-end transformer inference speedup over unfused.
+
+Attention plus the encoder's linear layers (Sec. VI-C).  Paper headline:
+FuseMax averages 7.6× over the unfused baseline and 5.3× over FLAT, with
+the gap growing with sequence length as attention dominates.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..model import all_attention_models, evaluate_inference
+from ..model.metrics import InferenceResult
+from ..workloads.models import MODELS, ModelConfig, SEQUENCE_LENGTHS, seq_label
+from .common import format_table
+
+BASELINE = "Unfused"
+
+
+@dataclass(frozen=True)
+class InferenceSpeedupRow:
+    config: str
+    model: str
+    seq_len: int
+    speedup: float
+
+
+def sweep_inference(
+    models: Sequence[ModelConfig] = MODELS,
+    seq_lens: Sequence[int] = SEQUENCE_LENGTHS,
+) -> Dict[Tuple[str, str, int], InferenceResult]:
+    results: Dict[Tuple[str, str, int], InferenceResult] = {}
+    for config in all_attention_models():
+        for model in models:
+            for seq_len in seq_lens:
+                result = evaluate_inference(config, model, seq_len)
+                results[(result.config, model.name, seq_len)] = result
+    return results
+
+
+def run(
+    models: Sequence[ModelConfig] = MODELS,
+    seq_lens: Sequence[int] = SEQUENCE_LENGTHS,
+) -> List[InferenceSpeedupRow]:
+    results = sweep_inference(models, seq_lens)
+    rows = []
+    for (config, model, seq_len), result in results.items():
+        base = results[(BASELINE, model, seq_len)]
+        rows.append(
+            InferenceSpeedupRow(
+                config=config,
+                model=model,
+                seq_len=seq_len,
+                speedup=base.latency_cycles / result.latency_cycles,
+            )
+        )
+    return rows
+
+
+def fusemax_vs_flat(rows: List[InferenceSpeedupRow]) -> float:
+    by_key = {(r.config, r.model, r.seq_len): r.speedup for r in rows}
+    ratios = [
+        by_key[("+Binding", model, seq)] / by_key[("FLAT", model, seq)]
+        for (config, model, seq) in by_key
+        if config == "+Binding"
+    ]
+    return statistics.mean(ratios)
+
+
+def render(rows: List[InferenceSpeedupRow]) -> str:
+    ordered = sorted(rows, key=lambda r: (r.model, r.seq_len, r.config))
+    return format_table(
+        ["model", "L", "config", "speedup"],
+        [
+            (r.model, seq_label(r.seq_len), r.config, f"{r.speedup:.2f}")
+            for r in ordered
+        ],
+    )
+
+
+def main() -> None:
+    rows = run()
+    print("Figure 10 — end-to-end inference speedup over the unfused baseline")
+    print(render(rows))
+    print(f"FuseMax over FLAT: {fusemax_vs_flat(rows):.2f}x (paper: 5.3x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Figure 12: Pareto-optimal area/latency curves at sequence length 256K.
+
+Sweeps the FuseMax PE array from 16×16 to 512×512 (buffers scaled with the
+binding, Sec. VI-D) and reports the attention-latency/area trade-off per
+model, plus the Pareto frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..model.pareto import ARRAY_DIMS, DesignPoint, PARETO_SEQ_LEN, pareto_frontier, sweep
+from ..workloads.models import MODELS, ModelConfig
+from .common import format_table
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    """The sweep points and frontier for one model."""
+
+    model: str
+    points: List[DesignPoint]
+    frontier: List[DesignPoint]
+
+
+def run(
+    models: Sequence[ModelConfig] = MODELS,
+    seq_len: int = PARETO_SEQ_LEN,
+    dims: Sequence[int] = ARRAY_DIMS,
+) -> Dict[str, Fig12Result]:
+    results = {}
+    for model in models:
+        points = sweep(model, seq_len=seq_len, dims=dims)
+        results[model.name] = Fig12Result(
+            model=model.name,
+            points=points,
+            frontier=pareto_frontier(points),
+        )
+    return results
+
+
+def render(results: Dict[str, Fig12Result]) -> str:
+    rows = []
+    for result in results.values():
+        frontier_dims = {p.array_dim for p in result.frontier}
+        for point in result.points:
+            rows.append(
+                (
+                    point.model,
+                    f"{point.array_dim}x{point.array_dim}",
+                    f"{point.area_cm2:.3f}",
+                    f"{point.latency_seconds:.1f}",
+                    "*" if point.array_dim in frontier_dims else "",
+                )
+            )
+    return format_table(
+        ["model", "array", "area (cm^2)", "latency (s)", "pareto"], rows
+    )
+
+
+def main() -> None:
+    print("Figure 12 — area vs attention latency at L = 256K")
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

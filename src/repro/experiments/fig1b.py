@@ -1,0 +1,63 @@
+"""Figure 1b: proportion of encoder compute vs sequence length.
+
+Regenerates the Attn / Linear / Other series for the BERT encoder (the
+paper's Fig. 1b), showing linear layers dominating at short lengths and
+attention dominating beyond a few thousand tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..workloads.compute import compute_breakdown
+from ..workloads.models import BERT, ModelConfig, SEQUENCE_LENGTHS, seq_label
+from .common import format_table
+
+
+@dataclass(frozen=True)
+class Fig1bRow:
+    """One sequence-length point of the Fig. 1b stack."""
+
+    model: str
+    seq_len: int
+    attn: float
+    linear: float
+    other: float
+
+
+def run(
+    model: ModelConfig = BERT, seq_lens: Sequence[int] = SEQUENCE_LENGTHS
+) -> List[Fig1bRow]:
+    rows = []
+    for seq_len in seq_lens:
+        props = compute_breakdown(model, seq_len).proportions()
+        rows.append(
+            Fig1bRow(
+                model=model.name,
+                seq_len=seq_len,
+                attn=props["Attn"],
+                linear=props["Linear"],
+                other=props["Other"],
+            )
+        )
+    return rows
+
+
+def render(rows: List[Fig1bRow]) -> str:
+    return format_table(
+        ["L", "Attn", "Linear", "Other"],
+        [
+            (seq_label(r.seq_len), f"{r.attn:.3f}", f"{r.linear:.3f}", f"{r.other:.3f}")
+            for r in rows
+        ],
+    )
+
+
+def main() -> None:
+    print("Figure 1b — proportion of required compute (BERT)")
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Functional (numerical) execution of cascades."""
+
+from .attention_ref import attention, flash_attention, scores, softmax, two_pass_attention
+from .interpreter import Interpreter, InterpreterError, evaluate, evaluate_output
+
+__all__ = [
+    "Interpreter",
+    "InterpreterError",
+    "attention",
+    "evaluate",
+    "evaluate_output",
+    "flash_attention",
+    "scores",
+    "softmax",
+    "two_pass_attention",
+]

@@ -1,0 +1,98 @@
+"""Reference numpy implementations of attention.
+
+These are the ground truth the cascade interpreter is validated against.
+All functions use the paper's tensor conventions (Sec. IV-B):
+
+- ``Q[e, p]`` — queries (embedding × query-sequence),
+- ``K[e, m]`` — keys (embedding × key-sequence),
+- ``V[f, m]`` — values (embedding × key-sequence),
+- result ``AV[f, p]``.
+
+The ``1/sqrt(E)`` scaling is omitted to match the cascades (Sec. IV-C1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def scores(q: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """Einsum 22 without scaling: ``QK[m, p] = sum_e Q[e, p] K[e, m]``."""
+    return k.T @ q
+
+
+def softmax(qk: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the ``m`` (first) rank of ``QK``."""
+    shifted = qk - qk.max(axis=0, keepdims=True)
+    numer = np.exp(shifted)
+    return numer / numer.sum(axis=0, keepdims=True)
+
+
+def attention(q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Full attention: ``AV[f, p] = sum_m softmax(QK)[m, p] V[f, m]``."""
+    return v @ softmax(scores(q, k))
+
+
+def flash_attention(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, block: int
+) -> np.ndarray:
+    """A direct numpy transliteration of the 1-pass cascade (Cascade 5).
+
+    Processes keys/values in ``M1 = M / block`` chunks of ``block`` elements,
+    maintaining the running maximum ``RM``, running denominator ``RD``, and
+    running numerator-times-V ``RNV``.  Written independently of the cascade
+    interpreter so the two can be cross-checked.
+    """
+    n_e, m = k.shape
+    n_f = v.shape[0]
+    p = q.shape[1]
+    if m % block != 0:
+        raise ValueError(f"sequence length {m} not divisible by block {block}")
+    rm = np.full(p, -np.inf)
+    rd = np.zeros(p)
+    rnv = np.zeros((n_f, p))
+    for start in range(0, m, block):
+        chunk = slice(start, start + block)
+        bqk = k[:, chunk].T @ q  # (block, p)
+        lm = bqk.max(axis=0)
+        rm_next = np.maximum(rm, lm)
+        sln = np.exp(bqk - rm_next)  # (block, p)
+        sld = sln.sum(axis=0)
+        slnv = v[:, chunk] @ sln  # (f, p)
+        prm = np.exp(rm - rm_next)
+        rd = sld + rd * prm
+        rnv = slnv + rnv * prm
+        rm = rm_next
+    return rnv / rd
+
+
+def two_pass_attention(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, block: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A numpy transliteration of the 2-pass cascade (Sec. IV-E2).
+
+    Returns ``(AV, SLN)`` — the second element is the pass-1 local numerator
+    that must stay live across the pass boundary, exposed so tests can check
+    its O(M) footprint claim.
+    """
+    n_e, m = k.shape
+    p = q.shape[1]
+    if m % block != 0:
+        raise ValueError(f"sequence length {m} not divisible by block {block}")
+    m1 = m // block
+    # Pass 1: per-partition local max / numerator / denominator.
+    bqk = (k.T @ q).reshape(m1, block, p)
+    lm = bqk.max(axis=1)  # (m1, p)
+    gm = lm.max(axis=0)  # (p,)
+    sln = np.exp(bqk - lm[:, None, :])  # (m1, block, p) — lives across passes
+    sld = sln.sum(axis=1)  # (m1, p)
+    # Between passes: denominator from partition-granular tensors only.
+    pm = np.exp(lm - gm[None, :])  # (m1, p)
+    sd = (sld * pm).sum(axis=0)  # (p,)
+    # Pass 2: correct the numerators and produce the output.
+    sn = sln * pm[:, None, :]
+    a = sn / sd[None, None, :]
+    av = np.einsum("fm,mp->fp", v, a.reshape(m, p))
+    return av, sln

@@ -1,0 +1,200 @@
+"""A minimal format-agnostic fibertree (paper Sec. II-A).
+
+The fibertree abstraction (TeAAL, Sec. 2.1) represents a tensor as a tree
+of *fibers*: each fiber holds the coordinates of one rank (with common
+coordinates for all higher ranks), and each coordinate carries a payload —
+a reference to a fiber of the next rank, or a leaf value.
+
+This module implements the subset the paper relies on:
+
+- construction from (and back to) dense numpy arrays,
+- per-fiber traversal in coordinate order,
+- the two EDGE merge operators over fibers: intersection (``∩``) and
+  union (``∪``), which define which iteration-space points a map action
+  touches (Sec. II-C1),
+- occupancy statistics (used to reason about footprints).
+
+Zero values are treated as empty positions, so intersection/union have
+their sparse-tensor-algebra meaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Payload = Union["Fiber", float]
+
+
+@dataclass
+class Fiber:
+    """One fiber: sorted coordinates with payloads.
+
+    Payloads are either leaf values (bottom rank) or child fibers.
+    """
+
+    rank: str
+    elements: List[Tuple[int, Payload]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        coords = [c for c, _ in self.elements]
+        if coords != sorted(coords):
+            raise ValueError(f"fiber over {self.rank!r}: coordinates unsorted")
+        if len(set(coords)) != len(coords):
+            raise ValueError(f"fiber over {self.rank!r}: duplicate coordinates")
+
+    def coords(self) -> Tuple[int, ...]:
+        return tuple(c for c, _ in self.elements)
+
+    def payload(self, coord: int) -> Optional[Payload]:
+        for c, p in self.elements:
+            if c == coord:
+                return p
+        return None
+
+    def __iter__(self) -> Iterator[Tuple[int, Payload]]:
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def occupancy(self) -> int:
+        """Number of non-empty leaves in this subtree."""
+        total = 0
+        for _, payload in self.elements:
+            total += payload.occupancy() if isinstance(payload, Fiber) else 1
+        return total
+
+    # -- EDGE merge operators -------------------------------------------------
+
+    def intersect(self, other: "Fiber") -> Tuple[Tuple[int, Payload, Payload], ...]:
+        """``∩``: coordinates present (non-empty) in both fibers."""
+        mine = dict(self.elements)
+        out = []
+        for coord, payload in other.elements:
+            if coord in mine:
+                out.append((coord, mine[coord], payload))
+        return tuple(out)
+
+    def union(
+        self, other: "Fiber", empty: float = 0.0
+    ) -> Tuple[Tuple[int, Payload, Payload], ...]:
+        """``∪``: coordinates present in at least one fiber; the missing
+        side contributes ``empty``."""
+        mine = dict(self.elements)
+        theirs = dict(other.elements)
+        coords = sorted(set(mine) | set(theirs))
+        return tuple(
+            (coord, mine.get(coord, empty), theirs.get(coord, empty))
+            for coord in coords
+        )
+
+
+@dataclass
+class FibertreeTensor:
+    """A tensor as a fibertree: named ranks, root fiber, and shape."""
+
+    rank_names: Tuple[str, ...]
+    root: Fiber
+    shape: Tuple[int, ...]
+
+    @staticmethod
+    def from_dense(
+        array: np.ndarray, rank_names: Sequence[str]
+    ) -> "FibertreeTensor":
+        """Build the fibertree of a dense array (zeros become empty)."""
+        array = np.asarray(array, dtype=float)
+        if array.ndim != len(rank_names):
+            raise ValueError(
+                f"{array.ndim}-tensor needs {array.ndim} rank names, "
+                f"got {list(rank_names)}"
+            )
+        if array.ndim == 0:
+            raise ValueError("0-tensors have no fibers")
+
+        def build(sub: np.ndarray, depth: int) -> Fiber:
+            elements: List[Tuple[int, Payload]] = []
+            if depth == len(rank_names) - 1:
+                for coord, value in enumerate(sub):
+                    if value != 0.0:
+                        elements.append((coord, float(value)))
+            else:
+                for coord in range(sub.shape[0]):
+                    child = build(sub[coord], depth + 1)
+                    if len(child):
+                        elements.append((coord, child))
+            return Fiber(rank_names[depth], elements)
+
+        return FibertreeTensor(
+            rank_names=tuple(rank_names),
+            root=build(array, 0),
+            shape=array.shape,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+
+        def fill(fiber: Fiber, prefix: Tuple[int, ...]) -> None:
+            for coord, payload in fiber:
+                if isinstance(payload, Fiber):
+                    fill(payload, prefix + (coord,))
+                else:
+                    out[prefix + (coord,)] = payload
+
+        fill(self.root, ())
+        return out
+
+    def occupancy(self) -> int:
+        """Non-zero leaf count."""
+        return self.root.occupancy()
+
+    def fiber_at(self, *prefix: int) -> Optional[Fiber]:
+        """The fiber reached by following ``prefix`` coordinates from the
+        root — e.g. ``fiber_at(p)`` of ``QK[p][m]`` is one M fiber, the
+        unit the paper's pass analysis counts traversals of."""
+        fiber: Payload = self.root
+        for coord in prefix:
+            if not isinstance(fiber, Fiber):
+                raise ValueError("prefix descends below the leaf rank")
+            nxt = fiber.payload(coord)
+            if nxt is None:
+                return None
+            fiber = nxt
+        if not isinstance(fiber, Fiber):
+            raise ValueError("prefix reaches a leaf value, not a fiber")
+        return fiber
+
+    def swizzle(self, order: Sequence[str]) -> "FibertreeTensor":
+        """Reorder ranks (the format-agnostic part of the abstraction)."""
+        if sorted(order) != sorted(self.rank_names):
+            raise ValueError(
+                f"order {list(order)} does not permute {list(self.rank_names)}"
+            )
+        perm = [self.rank_names.index(name) for name in order]
+        dense = self.to_dense().transpose(perm)
+        return FibertreeTensor.from_dense(dense, order)
+
+
+def dot_via_intersection(a: Fiber, b: Fiber) -> float:
+    """A dot product using the ``×(∩)`` map + default sum reduction —
+    the GEMM inner loop of Einsum 2, executed on fibers."""
+    total = 0.0
+    for _, va, vb in a.intersect(b):
+        if isinstance(va, Fiber) or isinstance(vb, Fiber):
+            raise ValueError("dot product needs leaf fibers")
+        total += va * vb
+    return total
+
+
+def max_via_union(a: Fiber, b: Fiber) -> Fiber:
+    """The ``max(∪)`` map of Sec. II-C1 executed on leaf fibers."""
+    elements: List[Tuple[int, Payload]] = []
+    for coord, va, vb in a.union(b):
+        if isinstance(va, Fiber) or isinstance(vb, Fiber):
+            raise ValueError("max needs leaf fibers")
+        value = max(va, vb)
+        if value != 0.0:
+            elements.append((coord, value))
+    return Fiber(a.rank, elements)

@@ -1,0 +1,40 @@
+"""Mappings (loop nests, tilings) and bindings (Einsum → array)."""
+
+from .binding import (
+    Binding,
+    BindingError,
+    flat_binding,
+    fusemax_binding,
+    plus_cascade_binding,
+    validate_binding,
+    validated_bindings,
+)
+from .loopnest import Loop, LoopNest, fusemax_mapping
+from .mapper import GemmMapping, GemmShape, gemm_latency_cycles, search_gemm_mapping
+from .tiling import (
+    BufferRequirement,
+    FusionGroups,
+    buffer_requirement,
+    fusion_groups,
+)
+
+__all__ = [
+    "Binding",
+    "BindingError",
+    "BufferRequirement",
+    "FusionGroups",
+    "GemmMapping",
+    "GemmShape",
+    "Loop",
+    "LoopNest",
+    "buffer_requirement",
+    "flat_binding",
+    "fusemax_binding",
+    "fusemax_mapping",
+    "fusion_groups",
+    "gemm_latency_cycles",
+    "plus_cascade_binding",
+    "search_gemm_mapping",
+    "validate_binding",
+    "validated_bindings",
+]

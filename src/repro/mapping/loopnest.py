@@ -1,0 +1,110 @@
+"""Loop-nest mapping specifications (Sec. II-D and Mapping 1).
+
+A mapping describes *how* a cascade's iteration space is walked: loop
+order, partitioning (tiling), and which loops are parallelized onto the
+spatial array.  :func:`fusemax_mapping` reconstructs the paper's Mapping 1:
+partition on M and P, fuse every Einsum of the 1-pass cascade under one
+nest, and parallelize the innermost M0/P0 loops across the 2D PEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping as TMapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One loop level of a mapping.
+
+    ``extent`` may be symbolic (resolved against a shape environment);
+    ``parallel`` marks a ``parallel_for`` mapped across PEs.
+    """
+
+    rank: str
+    extent: object  # int or shape-symbol string
+    parallel: bool = False
+
+    def __str__(self) -> str:
+        kind = "parallel_for" if self.parallel else "for"
+        return f"{kind} {self.rank} in [0, {self.extent})"
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """An ordered loop nest over a fused group of Einsums."""
+
+    name: str
+    loops: Tuple[Loop, ...]
+    body: Tuple[str, ...]  # Einsum labels evaluated inside the nest
+
+    def parallel_ranks(self) -> Tuple[str, ...]:
+        return tuple(loop.rank for loop in self.loops if loop.parallel)
+
+    def sequential_ranks(self) -> Tuple[str, ...]:
+        return tuple(loop.rank for loop in self.loops if not loop.parallel)
+
+    def spatial_size(self, shapes: TMapping[str, int]) -> int:
+        """PEs required: the product of parallel loop extents."""
+        size = 1
+        for loop in self.loops:
+            if loop.parallel:
+                size *= _resolve(loop.extent, shapes)
+        return size
+
+    def trip_count(self, shapes: TMapping[str, int]) -> int:
+        """Sequential iterations: the product of non-parallel extents."""
+        count = 1
+        for loop in self.loops:
+            if not loop.parallel:
+                count *= _resolve(loop.extent, shapes)
+        return count
+
+    def render(self) -> str:
+        lines = []
+        for depth, loop in enumerate(self.loops):
+            lines.append("  " * depth + str(loop) + ":")
+        body_indent = "  " * len(self.loops)
+        for label in self.body:
+            lines.append(body_indent + label)
+        return "\n".join(lines)
+
+
+def _resolve(extent, shapes: TMapping[str, int]) -> int:
+    if isinstance(extent, str):
+        return shapes[extent]
+    return int(extent)
+
+
+def fusemax_mapping() -> Tuple[LoopNest, LoopNest]:
+    """The paper's Mapping 1 as two fused loop nests.
+
+    The first nest (``ComputeRNVTile``) evaluates Einsums 44-54 with the
+    innermost M0 and P0 loops parallelized across the spatial array; the
+    second (``ComputeAVTile``) evaluates Einsum 55, fused with the first
+    only on P2.
+    """
+    rnv_tile = LoopNest(
+        name="ComputeRNVTile",
+        loops=(
+            Loop("p2", "P2"),
+            Loop("m1", "M1"),
+            Loop("p1", "P1"),
+            Loop("p0", "P0", parallel=True),
+            Loop("m0", "M0", parallel=True),
+        ),
+        body=(
+            "BQK", "LM", "RM", "SLN", "SLD", "SLNV",
+            "PRM", "SPD", "RD", "SPNV", "RNV",
+        ),
+    )
+    av_tile = LoopNest(
+        name="ComputeAVTile",
+        loops=(
+            Loop("p2", "P2"),
+            Loop("p1", "P1"),
+            Loop("p0", "P0", parallel=True),
+        ),
+        body=("AV",),
+    )
+    return rnv_tile, av_tile

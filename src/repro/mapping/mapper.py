@@ -1,0 +1,122 @@
+"""A small Timeloop-style mapper for GEMM tiling.
+
+The paper "uses Timeloop to search for efficient mappings to perform QK
+and AV" (Sec. VI-A) and for the linear layers (Sec. VI-C).  This module
+implements the corresponding search for a two-operand GEMM
+``Z[m, n] = A[k, m] × B[k, n]`` on the modeled memory hierarchy: pick tile
+sizes ``(Tm, Tn, Tk)`` that fit the global buffer and minimize DRAM
+traffic under the classic tiled-GEMM traffic formulas.
+
+Traffic model for tiles resident in the global buffer (output-stationary
+at the tile level):
+
+- A is read ``ceil(N / Tn)`` times in full,
+- B is read ``ceil(M / Tm)`` times in full,
+- Z is written once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..arch.spec import Architecture
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """Problem shape for ``Z[m, n] = A[k, m] × B[k, n]``."""
+
+    m: int
+    n: int
+    k: int
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.n * self.k
+
+
+@dataclass(frozen=True)
+class GemmMapping:
+    """One tiling choice and its modeled cost."""
+
+    tile_m: int
+    tile_n: int
+    tile_k: int
+    dram_words: float
+    buffer_words: int
+
+    def traffic_per_mac(self, shape: GemmShape) -> float:
+        return self.dram_words / shape.macs
+
+
+def _tile_candidates(extent: int) -> List[int]:
+    """Powers of two up to the extent, plus the extent itself."""
+    sizes = []
+    size = 1
+    while size < extent:
+        sizes.append(size)
+        size *= 2
+    sizes.append(extent)
+    return sizes
+
+
+def _traffic(shape: GemmShape, tm: int, tn: int, tk: int) -> float:
+    reads_a = math.ceil(shape.n / tn) * shape.k * shape.m
+    reads_b = math.ceil(shape.m / tm) * shape.k * shape.n
+    writes_z = shape.m * shape.n
+    return float(reads_a + reads_b + writes_z)
+
+
+def _buffer_need(tm: int, tn: int, tk: int) -> int:
+    # Double-buffered A/B tiles plus the output tile.
+    return 2 * (tk * tm + tk * tn) + tm * tn
+
+
+def search_gemm_mapping(
+    shape: GemmShape,
+    arch: Architecture,
+    buffer_fraction: float = 1.0,
+) -> GemmMapping:
+    """Exhaustively search power-of-two tilings minimizing DRAM traffic.
+
+    Ties break toward larger tiles (more on-chip reuse headroom).  Raises
+    if no tiling fits, which cannot happen for ``tile = 1``-capable
+    buffers (a few words).
+    """
+    capacity_words = int(
+        arch.global_buffer_bytes * buffer_fraction / arch.word_bytes
+    )
+    best: Optional[GemmMapping] = None
+    for tm in _tile_candidates(shape.m):
+        for tn in _tile_candidates(shape.n):
+            for tk in _tile_candidates(shape.k):
+                need = _buffer_need(tm, tn, tk)
+                if need > capacity_words:
+                    continue
+                words = _traffic(shape, tm, tn, tk)
+                candidate = GemmMapping(tm, tn, tk, words, need)
+                if (
+                    best is None
+                    or words < best.dram_words
+                    or (
+                        words == best.dram_words
+                        and need > best.buffer_words
+                    )
+                ):
+                    best = candidate
+    if best is None:
+        raise ValueError(
+            f"no tiling of {shape} fits {capacity_words} buffer words"
+        )
+    return best
+
+
+def gemm_latency_cycles(
+    shape: GemmShape, arch: Architecture, mapping: GemmMapping
+) -> float:
+    """Roofline latency of the mapped GEMM on the 2D array."""
+    compute = shape.macs / arch.pe_2d
+    traffic = mapping.dram_words * arch.word_bytes / arch.dram_bytes_per_cycle
+    return max(compute, traffic)

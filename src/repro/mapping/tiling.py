@@ -1,0 +1,76 @@
+"""Fusion-tiling legality derived from the pass analysis (Sec. III-B).
+
+"Einsums within a pass can be fused at will, producing and consuming a
+tile of the intermediate at a time.  Einsums in different passes cannot be
+fused."  This module turns a :class:`~repro.analysis.passes.PassAnalysis`
+into concrete fusion groups and checks whether a fused schedule's live
+tensors fit a buffer — the machinery behind FLAT's spill threshold and
+FuseMax's sequence-length independence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from ..analysis.footprint import live_footprints
+from ..analysis.passes import PassAnalysis
+
+
+@dataclass(frozen=True)
+class FusionGroups:
+    """Einsums grouped by the pass they execute in."""
+
+    groups: Mapping[int, Tuple[str, ...]]
+
+    def group_of(self, label: str) -> int:
+        for pass_number, labels in self.groups.items():
+            if label in labels:
+                return pass_number
+        raise KeyError(label)
+
+    def can_fuse(self, a: str, b: str) -> bool:
+        """Two Einsums may be fused on the analysed rank iff they share a
+        pass."""
+        return self.group_of(a) == self.group_of(b)
+
+
+def fusion_groups(analysis: PassAnalysis) -> FusionGroups:
+    """Partition the participating Einsums by pass number."""
+    groups: Dict[int, List[str]] = {}
+    for label, info in analysis.info.items():
+        if info.pass_number is not None:
+            groups.setdefault(info.pass_number, []).append(label)
+    return FusionGroups({k: tuple(v) for k, v in sorted(groups.items())})
+
+
+@dataclass(frozen=True)
+class BufferRequirement:
+    """On-chip bytes a maximally fused schedule must provision."""
+
+    cascade_name: str
+    crossing_bytes: int
+    fits: bool
+    capacity_bytes: int
+
+
+def buffer_requirement(
+    analysis: PassAnalysis,
+    shapes: Mapping[str, int],
+    capacity_bytes: int,
+    word_bytes: int = 2,
+) -> BufferRequirement:
+    """Bytes needed to keep every pass-crossing tensor resident.
+
+    If this exceeds the capacity, the schedule must spill — incurring
+    memory traffic proportional to the crossing tensors (what happens to
+    FLAT at 256K).
+    """
+    report = live_footprints(analysis, shapes)
+    needed = report.buffered_bytes(word_bytes)
+    return BufferRequirement(
+        cascade_name=analysis.cascade.name,
+        crossing_bytes=needed,
+        fits=needed <= capacity_bytes,
+        capacity_bytes=capacity_bytes,
+    )

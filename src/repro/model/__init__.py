@@ -1,0 +1,49 @@
+"""Analytical performance/energy models of the evaluated accelerators."""
+
+from .decode import DecodeStep, decode_attention, machine_balance
+from .flat import FLATModel, SpillDecision, spill_decision
+from .fusemax import FuseMaxModel, fusemax, plus_architecture, plus_cascade
+from .generic import GenericEvaluation, evaluate_cascade
+from .inference import LinearPhase, evaluate_inference, evaluate_linear
+from .metrics import AttentionResult, InferenceResult
+from .pareto import ARRAY_DIMS, DesignPoint, PARETO_SEQ_LEN, pareto_frontier, sweep
+from .unfused import UnfusedModel
+
+
+def all_attention_models():
+    """The five configurations of Figs. 6-11, in presentation order."""
+    return (
+        UnfusedModel(),
+        FLATModel(),
+        plus_cascade(),
+        plus_architecture(),
+        fusemax(),
+    )
+
+
+__all__ = [
+    "ARRAY_DIMS",
+    "AttentionResult",
+    "DecodeStep",
+    "DesignPoint",
+    "FLATModel",
+    "GenericEvaluation",
+    "FuseMaxModel",
+    "InferenceResult",
+    "LinearPhase",
+    "PARETO_SEQ_LEN",
+    "SpillDecision",
+    "UnfusedModel",
+    "all_attention_models",
+    "decode_attention",
+    "evaluate_cascade",
+    "evaluate_inference",
+    "machine_balance",
+    "evaluate_linear",
+    "fusemax",
+    "pareto_frontier",
+    "plus_architecture",
+    "plus_cascade",
+    "spill_decision",
+    "sweep",
+]

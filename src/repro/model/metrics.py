@@ -1,0 +1,70 @@
+"""Result types for the performance/energy models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from ..arch.energy import EnergyBreakdown
+
+
+@dataclass(frozen=True)
+class AttentionResult:
+    """Modeled execution of the attention kernel for one configuration.
+
+    All cycle counts cover the whole batched multi-head kernel
+    (``B × H`` heads).  Utilizations follow the paper's definition: the
+    fraction of the kernel's total latency during which an array performs
+    useful work at full occupancy.
+    """
+
+    config: str
+    model: str
+    seq_len: int
+    latency_cycles: float
+    busy_2d_cycles: float
+    busy_1d_cycles: float
+    dram_bytes: float
+    glb_words: float
+    energy: EnergyBreakdown
+    per_einsum_2d_cycles: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def util_2d(self) -> float:
+        return min(1.0, self.busy_2d_cycles / self.latency_cycles)
+
+    @property
+    def util_1d(self) -> float:
+        return min(1.0, self.busy_1d_cycles / self.latency_cycles)
+
+    @property
+    def energy_pj(self) -> float:
+        return self.energy.total
+
+    def einsum_share_of_latency(self) -> Dict[str, float]:
+        """Fraction of total latency each Einsum keeps the 2D array busy
+        (Fig. 7's 'proportion active')."""
+        return {
+            label: cycles / self.latency_cycles
+            for label, cycles in self.per_einsum_2d_cycles.items()
+        }
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Modeled end-to-end encoder inference (attention + linear layers)."""
+
+    config: str
+    model: str
+    seq_len: int
+    attention: AttentionResult
+    linear_latency_cycles: float
+    linear_energy: EnergyBreakdown
+
+    @property
+    def latency_cycles(self) -> float:
+        return self.attention.latency_cycles + self.linear_latency_cycles
+
+    @property
+    def energy_pj(self) -> float:
+        return self.attention.energy_pj + self.linear_energy.total

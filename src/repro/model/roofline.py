@@ -1,0 +1,58 @@
+"""Roofline characterization of the attention kernel per configuration.
+
+Places each evaluated design on the machine's roofline: operations per
+DRAM byte against the compute/bandwidth balance point.  This is the
+one-number explanation of Fig. 6 — FLAT's spills push it left of the
+balance point at long sequences while FuseMax's intensity *grows* with
+sequence length (quadratic compute over linear traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.spec import Architecture
+from .metrics import AttentionResult
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One design at one workload point on the roofline."""
+
+    config: str
+    model: str
+    seq_len: int
+    ops_per_byte: float
+    balance_ops_per_byte: float
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.ops_per_byte >= self.balance_ops_per_byte
+
+    @property
+    def headroom(self) -> float:
+        """Intensity relative to the balance point (>1 = compute bound)."""
+        return self.ops_per_byte / self.balance_ops_per_byte
+
+
+def machine_balance_point(arch: Architecture) -> float:
+    """Operations per DRAM byte at which the 2D array saturates."""
+    return arch.pe_2d / arch.dram_bytes_per_cycle
+
+
+def roofline_point(
+    result: AttentionResult, arch: Architecture
+) -> RooflinePoint:
+    """Characterize one modeled attention result.
+
+    Operations are taken as 2D-array busy work (cycles × PEs), the
+    quantity the roofline's compute ceiling bounds.
+    """
+    ops = result.busy_2d_cycles * arch.pe_2d
+    return RooflinePoint(
+        config=result.config,
+        model=result.model,
+        seq_len=result.seq_len,
+        ops_per_byte=ops / result.dram_bytes,
+        balance_ops_per_byte=machine_balance_point(arch),
+    )

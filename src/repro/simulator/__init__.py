@@ -1,0 +1,29 @@
+"""Cycle-granular simulation of spatial-array bindings."""
+
+from .dataflow import TileResult, expected_compute_cycles, simulate_tile
+from .engine import SimResult, Simulator, Task
+from .pipeline import (
+    PipelineConfig,
+    PipelineReport,
+    build_tasks,
+    compare_bindings,
+    simulate_binding,
+)
+from .systolic import TileTiming, bqk_tile_timing, exp_tile_timing
+
+__all__ = [
+    "PipelineConfig",
+    "PipelineReport",
+    "SimResult",
+    "Simulator",
+    "Task",
+    "TileResult",
+    "TileTiming",
+    "bqk_tile_timing",
+    "build_tasks",
+    "compare_bindings",
+    "exp_tile_timing",
+    "expected_compute_cycles",
+    "simulate_binding",
+    "simulate_tile",
+]

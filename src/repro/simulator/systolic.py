@@ -1,0 +1,55 @@
+"""Fill/compute/drain timing of one systolic tile (Sec. V, "Binding").
+
+The paper's motivating arithmetic: evaluating an ``M0 × P0`` tile of
+``BQK`` with an output-stationary dataflow takes ``E`` multiply-accumulate
+cycles per PE, but filling operands into and draining results out of a
+``dim × dim`` array costs on the order of the array dimension each —
+"while each PE performs 64 MACCs, it takes ∼256 cycles to both fill and
+drain the spatial array".  Without interleaving this caps utilization at
+roughly ``E / (E + fill + drain)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TileTiming:
+    """Cycle budget for one tile on the 2D array."""
+
+    fill: int
+    compute: int
+    drain: int
+
+    @property
+    def serial_cycles(self) -> int:
+        """Latency when fill, compute, and drain do not overlap."""
+        return self.fill + self.compute + self.drain
+
+    @property
+    def serial_utilization(self) -> float:
+        """PE utilization of the tile-serial binding."""
+        return self.compute / self.serial_cycles
+
+    @property
+    def pipelined_interval(self) -> int:
+        """Initiation interval once consecutive tiles are interleaved:
+        fills and drains of neighbouring tiles overlap with compute."""
+        return max(self.compute, 1)
+
+
+def bqk_tile_timing(array_dim: int, embedding: int) -> TileTiming:
+    """Timing of one output-stationary ``BQK`` tile.
+
+    ``embedding`` is E (the reduction depth): each PE performs E MACCs.
+    Operand skew across the array costs ~``array_dim`` cycles on the way
+    in and the spatial reduction/drain ~``array_dim`` on the way out.
+    """
+    return TileTiming(fill=array_dim, compute=embedding, drain=array_dim)
+
+
+def exp_tile_timing(array_dim: int, exp_maccs: int = 6) -> TileTiming:
+    """Timing of an in-place exponentiation tile (``SLN``): no refill —
+    operands are already output-stationary in the PE register files."""
+    return TileTiming(fill=0, compute=exp_maccs, drain=array_dim)

@@ -1,0 +1,45 @@
+"""Transformer workload definitions and compute inventories."""
+
+from .compute import (
+    ComputeBreakdown,
+    attention_crossover_length,
+    attention_ops,
+    compute_breakdown,
+    linear_ops,
+    other_ops,
+)
+from .sweep import WorkloadPoint, evaluation_grid, work_summary
+from .models import (
+    BATCH_SIZE,
+    BERT,
+    MODELS,
+    MODELS_BY_NAME,
+    ModelConfig,
+    SEQUENCE_LENGTHS,
+    T5,
+    TRXL,
+    XLM,
+    seq_label,
+)
+
+__all__ = [
+    "BATCH_SIZE",
+    "BERT",
+    "ComputeBreakdown",
+    "MODELS",
+    "MODELS_BY_NAME",
+    "ModelConfig",
+    "SEQUENCE_LENGTHS",
+    "T5",
+    "TRXL",
+    "WorkloadPoint",
+    "XLM",
+    "attention_crossover_length",
+    "attention_ops",
+    "compute_breakdown",
+    "evaluation_grid",
+    "linear_ops",
+    "other_ops",
+    "seq_label",
+    "work_summary",
+]

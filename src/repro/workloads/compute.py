@@ -1,0 +1,93 @@
+"""Compute inventories for transformer inference (Fig. 1b, Sec. IV-A).
+
+Breaks one encoder layer's work into the paper's three categories:
+
+- **Attn** — the attention kernel: QK, softmax, AV (per head);
+- **Linear** — the weight-times-activation GEMMs: Q/K/V projections,
+  deprojection, and the two FFN layers;
+- **Other** — the non-linearities: layer norms, the FFN ReLU, residual
+  adds.  The paper observes these are negligible at every length.
+
+Counts are in scalar operations (a MACC counts as one operation; the
+relative proportions are insensitive to that convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..cascades.transformer import linear_layers
+from .models import ModelConfig
+
+
+@dataclass(frozen=True)
+class ComputeBreakdown:
+    """Per-category operation counts for one encoder layer at one length."""
+
+    attention: float
+    linear: float
+    other: float
+
+    @property
+    def total(self) -> float:
+        return self.attention + self.linear + self.other
+
+    def proportions(self) -> Dict[str, float]:
+        total = self.total
+        return {
+            "Attn": self.attention / total,
+            "Linear": self.linear / total,
+            "Other": self.other / total,
+        }
+
+
+def attention_ops(model: ModelConfig, seq_len: int) -> float:
+    """Attention operations per sequence for one encoder layer.
+
+    Per head: QK (E·M·P MACCs), softmax (max + exp + sum + divide per
+    score ≈ 4 ops per element), AV (F·M·P MACCs).
+    """
+    m = p = seq_len
+    per_head = (model.d_head * m * p) * 2 + 4 * m * p
+    return model.n_heads * per_head
+
+
+def linear_ops(model: ModelConfig, seq_len: int) -> float:
+    """Linear-layer (GEMM) operations per sequence for one encoder layer."""
+    per_token = sum(layer.macs_per_token for layer in linear_layers(
+        model.d_model, model.n_heads, model.d_head, model.d_ff
+    ))
+    return per_token * seq_len
+
+
+def other_ops(model: ModelConfig, seq_len: int) -> float:
+    """Normalization / activation / residual operations per sequence.
+
+    Two layer norms (≈8 ops per element), one ReLU over the FFN hidden
+    dimension, two residual adds.
+    """
+    d, g = model.d_model, model.d_ff
+    per_token = 2 * 8 * d + g + 2 * d
+    return per_token * seq_len
+
+
+def compute_breakdown(model: ModelConfig, seq_len: int) -> ComputeBreakdown:
+    """Fig. 1b's data point for one model and sequence length."""
+    return ComputeBreakdown(
+        attention=attention_ops(model, seq_len),
+        linear=linear_ops(model, seq_len),
+        other=other_ops(model, seq_len),
+    )
+
+
+def attention_crossover_length(model: ModelConfig) -> float:
+    """The sequence length where attention equals linear compute.
+
+    Setting ``H·2E·L² = per_token_linear·L`` gives the crossover the paper
+    highlights: beyond a few thousand tokens, attention dominates.
+    """
+    per_token = sum(layer.macs_per_token for layer in linear_layers(
+        model.d_model, model.n_heads, model.d_head, model.d_ff
+    ))
+    return per_token / (2 * model.n_heads * model.d_head + 4 * model.n_heads)

@@ -1,0 +1,64 @@
+"""Workload sweep utilities: the evaluation grid in one place.
+
+The paper's evaluation grid is 4 models × 6 sequence lengths at batch 64.
+These helpers enumerate it, build shape environments, and summarize total
+work — used by the experiment drivers and available to downstream users
+scoping their own studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Sequence, Tuple
+
+from .compute import attention_ops, linear_ops
+from .models import BATCH_SIZE, MODELS, ModelConfig, SEQUENCE_LENGTHS
+
+
+@dataclass(frozen=True)
+class WorkloadPoint:
+    """One (model, sequence length) point of the evaluation grid."""
+
+    model: ModelConfig
+    seq_len: int
+    batch: int = BATCH_SIZE
+
+    def attention_shapes(self, block: int = 256) -> Dict[str, int]:
+        return self.model.attention_shapes(self.seq_len, block=block)
+
+    @property
+    def attention_instances(self) -> int:
+        """Independent (batch, head) attention kernels at this point."""
+        return self.batch * self.model.n_heads
+
+    def total_attention_ops(self) -> float:
+        return self.batch * attention_ops(self.model, self.seq_len)
+
+    def total_linear_ops(self) -> float:
+        return self.batch * linear_ops(self.model, self.seq_len)
+
+
+def evaluation_grid(
+    models: Sequence[ModelConfig] = MODELS,
+    seq_lens: Sequence[int] = SEQUENCE_LENGTHS,
+    batch: int = BATCH_SIZE,
+) -> Iterator[WorkloadPoint]:
+    """The paper's grid, row-major over (model, length)."""
+    for model in models:
+        for seq_len in seq_lens:
+            yield WorkloadPoint(model=model, seq_len=seq_len, batch=batch)
+
+
+def work_summary(
+    models: Sequence[ModelConfig] = MODELS,
+    seq_lens: Sequence[int] = SEQUENCE_LENGTHS,
+) -> Dict[Tuple[str, int], Dict[str, float]]:
+    """Total attention / linear operations per grid point."""
+    summary = {}
+    for point in evaluation_grid(models, seq_lens):
+        summary[(point.model.name, point.seq_len)] = {
+            "attention_ops": point.total_attention_ops(),
+            "linear_ops": point.total_linear_ops(),
+            "instances": float(point.attention_instances),
+        }
+    return summary

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def attention_inputs(rng):
+    """Small attention instance: Q[e,p], K[e,m], V[f,m] with M=16, M0=4."""
+    e, f, m, p = 4, 5, 16, 3
+    return {
+        "Q": rng.normal(size=(e, p)),
+        "K": rng.normal(size=(e, m)),
+        "V": rng.normal(size=(f, m)),
+    }
+
+
+@pytest.fixture
+def attention_shapes():
+    return {"E": 4, "F": 5, "M": 16, "P": 3, "M0": 4, "M1": 4}

@@ -1,0 +1,67 @@
+"""Tests for the ablation experiment driver."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.workloads import SEQUENCE_LENGTHS
+
+
+class TestDivisionReductionAblation:
+    def test_divopt_rows_have_few_divisions(self):
+        rows = {r.cascade: r for r in ablations.division_reduction()}
+        assert rows["attention-3pass"].divisions == 1024 * 65536
+        assert rows["attention-3pass-divopt"].divisions == 64 * 1024
+        assert rows["attention-1pass"].divisions == 64 * 1024
+
+    def test_macc_equivalents_unchanged_by_divopt(self):
+        rows = {r.cascade: r for r in ablations.division_reduction()}
+        assert (
+            rows["attention-3pass"].macc_equivalents
+            == rows["attention-3pass-divopt"].macc_equivalents
+        )
+
+    def test_1pass_does_more_work(self):
+        rows = {r.cascade: r for r in ablations.division_reduction()}
+        assert (
+            rows["attention-1pass"].macc_equivalents
+            > rows["attention-3pass"].macc_equivalents
+        )
+
+
+class TestBlockSizeAblation:
+    def test_overhead_monotone_decreasing(self):
+        sweep = ablations.block_size()
+        costs = [cost for _, cost in sweep]
+        assert costs == sorted(costs, reverse=True)
+
+
+class TestBufferCapacityAblation:
+    def test_larger_buffers_delay_spilling(self):
+        table = ablations.buffer_capacity((4, 16, 64))
+        first_spill = {
+            mb: next(
+                (i for i, s in enumerate(strategies) if s == "spill"),
+                len(strategies),
+            )
+            for mb, strategies in table.items()
+        }
+        assert first_spill[4] <= first_spill[16] <= first_spill[64]
+
+    def test_1k_always_resident(self):
+        table = ablations.buffer_capacity((4, 16, 64))
+        assert all(strategies[0] == "resident" for strategies in table.values())
+
+
+class TestInterleavingAblation:
+    def test_interleaving_dominates(self):
+        results = ablations.interleaving(chunks=8)
+        assert results["interleaved"][0] > results["tile-serial"][0]
+        assert results["interleaved"][1] > results["tile-serial"][1]
+
+
+class TestRender:
+    def test_render_contains_all_sections(self):
+        text = ablations.render()
+        for fragment in ("division reduction", "block size", "buffer capacity",
+                         "interleaving"):
+            assert fragment in text

@@ -1,0 +1,122 @@
+"""Tests for architecture specs, energy tables, and the area model."""
+
+import pytest
+
+from repro.arch import (
+    DEFAULT_ENERGY,
+    EnergyBreakdown,
+    EnergyTable,
+    area_of,
+    flat_arch,
+    fusemax_arch,
+    unfused_arch,
+)
+from repro.arch.spec import EXP_AS_MACCS
+
+
+class TestArchitecture:
+    def test_cloud_parameters_match_paper_fig2(self):
+        arch = fusemax_arch()
+        assert arch.array_dim == 256
+        assert arch.pe_2d == 256 * 256
+        assert arch.pe_1d == 256
+        assert arch.global_buffer_bytes == 16 * 2**20
+        assert arch.dram_gbps == 400.0
+        assert arch.frequency_ghz == pytest.approx(0.94)
+
+    def test_dram_bytes_per_cycle(self):
+        arch = fusemax_arch()
+        assert arch.dram_bytes_per_cycle == pytest.approx(400.0 / 0.94)
+
+    def test_flat_has_dedicated_exp(self):
+        assert flat_arch().exp_cycles_1d() == 1
+        assert unfused_arch().exp_cycles_1d() == 1
+
+    def test_fusemax_exp_is_six_maccs(self):
+        assert fusemax_arch().exp_cycles_1d() == EXP_AS_MACCS
+        assert not fusemax_arch().exp_unit_1d
+
+    def test_fusemax_pe_capabilities(self):
+        arch = fusemax_arch()
+        assert arch.fused_2d_softmax
+        assert arch.rf_entries_2d == 10
+
+    def test_with_array_dim(self):
+        scaled = fusemax_arch().with_array_dim(64)
+        assert scaled.pe_2d == 4096
+        assert scaled.pe_1d == 64
+        assert "64x64" in scaled.name
+
+    def test_seconds_conversion(self):
+        arch = fusemax_arch()
+        assert arch.seconds(0.94e9) == pytest.approx(1.0)
+
+
+class TestEnergyTable:
+    def test_hierarchy_ordering(self):
+        """DRAM >> global buffer >> scratchpad >> compute — the relative
+        ordering the paper's energy conclusions depend on."""
+        t = DEFAULT_ENERGY
+        assert t.dram_word > t.glb_word > t.spad_word
+        assert t.dram_word > 10 * t.macc
+
+    def test_exp_costs_six_maccs_without_unit(self):
+        t = DEFAULT_ENERGY
+        assert t.op_energy("exp") == pytest.approx(6 * t.macc)
+
+    def test_compute_energy_with_dedicated_exp(self):
+        t = EnergyTable()
+        with_unit = t.compute_energy({"exp": 10}, dedicated_exp=True)
+        without = t.compute_energy({"exp": 10}, dedicated_exp=False)
+        assert with_unit == pytest.approx(10 * t.exp_unit)
+        assert without == pytest.approx(60 * t.macc)
+        assert with_unit < without
+
+    def test_unknown_class_defaults_to_macc(self):
+        assert DEFAULT_ENERGY.op_energy("other") == DEFAULT_ENERGY.macc
+
+
+class TestEnergyBreakdown:
+    def test_accumulation_and_fractions(self):
+        b = EnergyBreakdown()
+        b.add("dram", 75.0)
+        b.add("compute_2d", 25.0)
+        b.add("dram", 25.0)
+        assert b.total == 125.0
+        assert b.fraction("dram") == pytest.approx(0.8)
+        assert b.fraction("missing") == 0.0
+
+    def test_empty_fraction_is_zero(self):
+        assert EnergyBreakdown().fraction("dram") == 0.0
+
+    def test_merged(self):
+        a = EnergyBreakdown({"dram": 1.0})
+        b = EnergyBreakdown({"dram": 2.0, "compute_2d": 3.0})
+        merged = a.merged(b)
+        assert merged.pj == {"dram": 3.0, "compute_2d": 3.0}
+        assert a.pj == {"dram": 1.0}  # merge does not mutate
+
+
+class TestArea:
+    def test_components_positive(self):
+        breakdown = area_of(fusemax_arch())
+        assert breakdown.pe_2d > 0
+        assert breakdown.pe_1d > 0
+        assert breakdown.global_buffer > 0
+        assert breakdown.total > breakdown.pe_2d
+
+    def test_iso_area_comparison(self):
+        """The paper reports FuseMax's chip is slightly (6.4%) smaller than
+        FLAT's; our model should land within a few percent of parity."""
+        fm = area_of(fusemax_arch()).total
+        fl = area_of(flat_arch()).total
+        assert abs(fm - fl) / fl < 0.10
+
+    def test_area_grows_with_array(self):
+        small = area_of(fusemax_arch().with_array_dim(64)).total
+        big = area_of(fusemax_arch().with_array_dim(512)).total
+        assert big > small
+
+    def test_total_cm2(self):
+        breakdown = area_of(fusemax_arch())
+        assert breakdown.total_cm2 == pytest.approx(breakdown.total / 100)

@@ -1,0 +1,159 @@
+"""Numerical equivalence of every attention cascade (Sec. IV).
+
+The central correctness claim: all cascades (3-pass, 2-pass, 1-pass, with
+or without the division-reduction optimization) compute identical attention
+outputs — they differ only in how many passes they take over M fibers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cascades import (
+    attention_1pass,
+    attention_2pass,
+    attention_3pass,
+    attention_naive,
+)
+from repro.functional import (
+    attention,
+    evaluate,
+    evaluate_output,
+    flash_attention,
+    scores,
+    softmax,
+    two_pass_attention,
+)
+
+ALL_CASCADES = [
+    attention_naive,
+    attention_3pass,
+    lambda: attention_3pass(div_opt=True),
+    attention_2pass,
+    lambda: attention_2pass(div_opt=True),
+    attention_1pass,
+]
+
+CASCADE_IDS = [
+    "naive",
+    "3pass",
+    "3pass-divopt",
+    "2pass",
+    "2pass-divopt",
+    "1pass",
+]
+
+
+@pytest.mark.parametrize("builder", ALL_CASCADES, ids=CASCADE_IDS)
+def test_cascade_matches_reference(builder, attention_inputs, attention_shapes):
+    expected = attention(
+        attention_inputs["Q"], attention_inputs["K"], attention_inputs["V"]
+    )
+    out = evaluate_output(builder(), attention_shapes, attention_inputs)
+    assert np.allclose(out, expected, atol=1e-12)
+
+
+@pytest.mark.parametrize("builder", ALL_CASCADES[1:], ids=CASCADE_IDS[1:])
+def test_stable_cascades_survive_large_scores(builder, rng, attention_shapes):
+    """The numerically stable variants must not overflow on large QK."""
+    inputs = {
+        "Q": 40.0 * rng.normal(size=(4, 3)),
+        "K": 40.0 * rng.normal(size=(4, 16)),
+        "V": rng.normal(size=(5, 16)),
+    }
+    out = evaluate_output(builder(), attention_shapes, inputs)
+    assert np.all(np.isfinite(out))
+    expected = attention(inputs["Q"], inputs["K"], inputs["V"])
+    assert np.allclose(out, expected, atol=1e-9)
+
+
+def test_naive_cascade_overflows_on_large_scores(rng, attention_shapes):
+    """The unstable softmax really is unstable — motivating Sec. IV-C1."""
+    inputs = {
+        "Q": 40.0 * rng.normal(size=(4, 3)),
+        "K": 40.0 * rng.normal(size=(4, 16)),
+        "V": rng.normal(size=(5, 16)),
+    }
+    with np.errstate(over="ignore", invalid="ignore"):
+        out = evaluate_output(attention_naive(), attention_shapes, inputs)
+    assert not np.all(np.isfinite(out))
+
+
+class TestIntermediateTensors:
+    def test_3pass_softmax_rows_sum_to_one(self, attention_inputs, attention_shapes):
+        tensors = evaluate(attention_3pass(), attention_shapes, attention_inputs)
+        assert np.allclose(tensors["A"].sum(axis=0), 1.0)
+
+    def test_3pass_numerator_bounded(self, attention_inputs, attention_shapes):
+        """Subtracting the global max bounds SN to (0, 1] (Sec. IV-C1)."""
+        tensors = evaluate(attention_3pass(), attention_shapes, attention_inputs)
+        assert np.all(tensors["SN"] > 0)
+        assert np.all(tensors["SN"] <= 1.0)
+        assert np.allclose(tensors["SN"].max(axis=0), 1.0)
+
+    def test_global_max_matches_numpy(self, attention_inputs, attention_shapes):
+        tensors = evaluate(attention_3pass(), attention_shapes, attention_inputs)
+        qk = scores(attention_inputs["Q"], attention_inputs["K"])
+        assert np.allclose(tensors["GM"], qk.max(axis=0))
+
+    def test_1pass_running_max_is_monotone(self, attention_inputs, attention_shapes):
+        tensors = evaluate(attention_1pass(), attention_shapes, attention_inputs)
+        rm = tensors["RM"]  # (M1+1, P)
+        assert np.all(np.diff(rm, axis=0) >= 0)
+
+    def test_1pass_final_running_max_is_global_max(
+        self, attention_inputs, attention_shapes
+    ):
+        tensors = evaluate(attention_1pass(), attention_shapes, attention_inputs)
+        qk = scores(attention_inputs["Q"], attention_inputs["K"])
+        assert np.allclose(tensors["RM"][-1], qk.max(axis=0))
+
+    def test_1pass_final_denominator_matches_3pass(
+        self, attention_inputs, attention_shapes
+    ):
+        t1 = evaluate(attention_1pass(), attention_shapes, attention_inputs)
+        t3 = evaluate(attention_3pass(), attention_shapes, attention_inputs)
+        assert np.allclose(t1["RD"][-1], t3["SD"])
+
+    def test_2pass_denominator_matches_3pass(
+        self, attention_inputs, attention_shapes
+    ):
+        t2 = evaluate(attention_2pass(), attention_shapes, attention_inputs)
+        t3 = evaluate(attention_3pass(), attention_shapes, attention_inputs)
+        assert np.allclose(t2["SD"], t3["SD"])
+        assert np.allclose(t2["GM"], t3["GM"])
+
+
+class TestReferenceImplementations:
+    def test_softmax_columns_sum_to_one(self, rng):
+        qk = rng.normal(size=(8, 3))
+        assert np.allclose(softmax(qk).sum(axis=0), 1.0)
+
+    def test_flash_attention_matches_direct(self, attention_inputs):
+        q, k, v = (attention_inputs[n] for n in ("Q", "K", "V"))
+        assert np.allclose(flash_attention(q, k, v, block=4), attention(q, k, v))
+
+    @pytest.mark.parametrize("block", [1, 2, 4, 8, 16])
+    def test_flash_attention_block_invariance(self, attention_inputs, block):
+        q, k, v = (attention_inputs[n] for n in ("Q", "K", "V"))
+        assert np.allclose(flash_attention(q, k, v, block), attention(q, k, v))
+
+    def test_flash_attention_rejects_ragged_blocks(self, attention_inputs):
+        q, k, v = (attention_inputs[n] for n in ("Q", "K", "V"))
+        with pytest.raises(ValueError, match="not divisible"):
+            flash_attention(q, k, v, block=5)
+
+    def test_two_pass_matches_direct(self, attention_inputs):
+        q, k, v = (attention_inputs[n] for n in ("Q", "K", "V"))
+        av, sln = two_pass_attention(q, k, v, block=4)
+        assert np.allclose(av, attention(q, k, v))
+        # The pass-1 numerator really is O(M): full sequence length stored.
+        assert sln.shape[0] * sln.shape[1] == k.shape[1]
+
+    def test_cascade_interpreter_agrees_with_flash_reference(
+        self, attention_inputs, attention_shapes
+    ):
+        q, k, v = (attention_inputs[n] for n in ("Q", "K", "V"))
+        out_cascade = evaluate_output(
+            attention_1pass(), attention_shapes, attention_inputs
+        )
+        assert np.allclose(out_cascade, flash_attention(q, k, v, block=4))

@@ -1,0 +1,101 @@
+"""Property-based tests (hypothesis) for the attention cascades.
+
+These check the paper's functional-equivalence claims over randomly drawn
+shapes and values rather than a fixed instance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cascades import attention_1pass, attention_2pass, attention_3pass
+from repro.functional import attention, evaluate_output, flash_attention
+
+
+@st.composite
+def attention_instances(draw):
+    """Random (shapes, inputs) for a partitioned attention instance."""
+    e = draw(st.integers(min_value=1, max_value=5))
+    f = draw(st.integers(min_value=1, max_value=5))
+    m0 = draw(st.integers(min_value=1, max_value=4))
+    m1 = draw(st.integers(min_value=1, max_value=4))
+    p = draw(st.integers(min_value=1, max_value=4))
+    m = m0 * m1
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    scale = draw(st.sampled_from([0.1, 1.0, 10.0]))
+    rng = np.random.default_rng(seed)
+    shapes = {"E": e, "F": f, "M": m, "P": p, "M0": m0, "M1": m1}
+    inputs = {
+        "Q": scale * rng.normal(size=(e, p)),
+        "K": scale * rng.normal(size=(e, m)),
+        "V": rng.normal(size=(f, m)),
+    }
+    return shapes, inputs
+
+
+@settings(max_examples=40, deadline=None)
+@given(attention_instances())
+def test_1pass_equals_3pass(instance):
+    shapes, inputs = instance
+    out1 = evaluate_output(attention_1pass(), shapes, inputs)
+    out3 = evaluate_output(attention_3pass(), shapes, inputs)
+    assert np.allclose(out1, out3, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(attention_instances())
+def test_2pass_equals_3pass(instance):
+    shapes, inputs = instance
+    out2 = evaluate_output(attention_2pass(), shapes, inputs)
+    out3 = evaluate_output(attention_3pass(), shapes, inputs)
+    assert np.allclose(out2, out3, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(attention_instances())
+def test_div_opt_is_pure_reassociation(instance):
+    """Sec. IV-D: deferring the division changes op counts, not values."""
+    shapes, inputs = instance
+    plain = evaluate_output(attention_3pass(div_opt=False), shapes, inputs)
+    opt = evaluate_output(attention_3pass(div_opt=True), shapes, inputs)
+    assert np.allclose(plain, opt, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(attention_instances())
+def test_cascade_matches_reference(instance):
+    shapes, inputs = instance
+    out = evaluate_output(attention_3pass(), shapes, inputs)
+    assert np.allclose(out, attention(inputs["Q"], inputs["K"], inputs["V"]),
+                       atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(attention_instances())
+def test_attention_output_is_convex_combination(instance):
+    """Each AV column is a convex combination of V columns, so it lies
+    inside V's per-row value range — a softmax invariant."""
+    shapes, inputs = instance
+    out = evaluate_output(attention_1pass(), shapes, inputs)
+    v = inputs["V"]
+    lo = v.min(axis=1, keepdims=True) - 1e-9
+    hi = v.max(axis=1, keepdims=True) + 1e-9
+    assert np.all(out >= lo)
+    assert np.all(out <= hi)
+
+
+@settings(max_examples=30, deadline=None)
+@given(attention_instances(), st.floats(min_value=-50.0, max_value=50.0))
+def test_softmax_shift_invariance(instance, shift):
+    """Adding a constant to all scores leaves attention unchanged — the
+    identity behind replacing the global max with a running max."""
+    shapes, inputs = instance
+    out = flash_attention(inputs["Q"], inputs["K"], inputs["V"], shapes["M0"])
+    # Shift keys so QK shifts by a constant per query: scale Q by appending
+    # is complex; instead shift scores directly through the reference.
+    q, k, v = inputs["Q"], inputs["K"], inputs["V"]
+    qk = k.T @ q + shift
+    shifted = qk - qk.max(axis=0, keepdims=True)
+    numer = np.exp(shifted)
+    expected = v @ (numer / numer.sum(axis=0, keepdims=True))
+    assert np.allclose(out, expected, atol=1e-9)

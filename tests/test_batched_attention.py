@@ -1,0 +1,69 @@
+"""Tests for batched multi-head attention (the B and H ranks of Sec. IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import count_passes, family, live_footprints, total_ops
+from repro.cascades import attention_batched
+from repro.functional import attention, evaluate_output
+
+SHAPES = {"B": 2, "H": 3, "E": 4, "F": 5, "M": 8, "P": 6}
+
+
+@pytest.fixture
+def batched_inputs(rng):
+    b, h, e, f, m, p = (SHAPES[k] for k in "BHEFMP")
+    return {
+        "Q": rng.normal(size=(b, h, e, p)),
+        "K": rng.normal(size=(b, h, e, m)),
+        "V": rng.normal(size=(b, h, f, m)),
+    }
+
+
+class TestBatchedNumerics:
+    def test_matches_per_head_reference(self, batched_inputs):
+        out = evaluate_output(attention_batched(), SHAPES, batched_inputs)
+        for b in range(SHAPES["B"]):
+            for h in range(SHAPES["H"]):
+                expected = attention(
+                    batched_inputs["Q"][b, h],
+                    batched_inputs["K"][b, h],
+                    batched_inputs["V"][b, h],
+                )
+                assert np.allclose(out[b, h], expected)
+
+    def test_heads_are_independent(self, batched_inputs):
+        """Perturbing one head changes only that head's output — the
+        'no data sharing between batch elements' property of Sec. IV-B."""
+        base = evaluate_output(attention_batched(), SHAPES, batched_inputs)
+        modified = {k: v.copy() for k, v in batched_inputs.items()}
+        # Perturb V (a uniform K shift would fall in softmax's invariant
+        # subspace and change nothing).
+        modified["V"][1, 2] += 10.0
+        out = evaluate_output(attention_batched(), SHAPES, modified)
+        assert not np.allclose(out[1, 2], base[1, 2])
+        mask = np.ones(out.shape, dtype=bool)
+        mask[1, 2] = False
+        assert np.allclose(out[mask], base[mask])
+
+
+class TestBatchedAnalysis:
+    def test_pass_count_unchanged_by_batching(self):
+        """B and H add outer loops; the M-rank pass structure is intact
+        (the batched builder uses the div-opt form: 2 passes)."""
+        assert count_passes(attention_batched(), family("m")).num_passes == 2
+
+    def test_ops_scale_linearly_with_batch_and_heads(self):
+        ops1 = total_ops(attention_batched(), SHAPES).total
+        ops2 = total_ops(attention_batched(), dict(SHAPES, B=4)).total
+        assert ops2 == 2 * ops1
+        ops3 = total_ops(attention_batched(), dict(SHAPES, H=6)).total
+        assert ops3 == 2 * ops1
+
+    def test_footprints_scale_with_batch(self):
+        shapes = {**SHAPES, "M": 64, "P": 16}
+        analysis = count_passes(attention_batched(), family("m"))
+        report = live_footprints(analysis, shapes)
+        assert report.entries["QK"].family_elems == 64
+        # Total live includes the B and H ranks.
+        assert report.entries["QK"].total_elems == 2 * 3 * 64 * 16

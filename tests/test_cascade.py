@@ -1,0 +1,120 @@
+"""Unit tests for the Cascade container and its validation."""
+
+import pytest
+
+from repro.cascades import (
+    attention_1pass,
+    attention_3pass,
+    cascade1_two_pass,
+    cascade3_iterative,
+)
+from repro.einsum import (
+    Cascade,
+    CascadeError,
+    Einsum,
+    IterativeRank,
+    MUL,
+    Map,
+    TensorRef,
+    ref,
+)
+
+
+def _einsum(out, out_ranks, a, a_ranks, b, b_ranks, **kwargs):
+    return Einsum(
+        output=TensorRef.of(out, *out_ranks),
+        expr=Map(MUL, ref(a, *a_ranks), ref(b, *b_ranks)),
+        name=out,
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_reading_undefined_tensor_raises(self):
+        with pytest.raises(CascadeError, match="undefined tensor"):
+            Cascade.build(
+                "bad",
+                [_einsum("Z", ("m",), "A", ("m",), "Missing", ("m",))],
+                inputs=["A"],
+                rank_shapes={"m": "M"},
+            )
+
+    def test_writing_input_raises(self):
+        with pytest.raises(CascadeError, match="writes input"):
+            Cascade.build(
+                "bad",
+                [_einsum("A", ("m",), "B", ("m",), "C", ("m",))],
+                inputs=["A", "B", "C"],
+                rank_shapes={"m": "M"},
+            )
+
+    def test_undeclared_rank_raises(self):
+        with pytest.raises(CascadeError, match="no declared shape"):
+            Cascade.build(
+                "bad",
+                [_einsum("Z", ("m",), "A", ("m", "k"), "B", ("k",))],
+                inputs=["A", "B"],
+                rank_shapes={"m": "M"},
+            )
+
+
+class TestStructure:
+    def test_tensors_inputs_first(self):
+        cascade = cascade1_two_pass()
+        assert cascade.tensors() == ("A", "B", "Y", "Z")
+
+    def test_result_tensors_inferred(self):
+        assert cascade1_two_pass().result_tensors() == ("Z",)
+
+    def test_result_tensors_declared(self):
+        assert attention_3pass().result_tensors() == ("AV",)
+
+    def test_intermediates(self):
+        cascade = attention_3pass()
+        assert "QK" in cascade.intermediates()
+        assert "AV" not in cascade.intermediates()
+        assert "Q" not in cascade.intermediates()
+
+    def test_producer_and_consumers(self):
+        cascade = attention_3pass()
+        assert cascade.producer("QK").label == "QK"
+        assert {e.label for e in cascade.consumers("QK")} == {"GM", "SN"}
+
+    def test_producer_prefers_extended_over_init(self):
+        cascade = attention_1pass()
+        producer = cascade.producer("RM")
+        assert producer is not None
+        assert not producer.is_initialization
+
+    def test_find_by_label(self):
+        assert attention_3pass().find("SN").label == "SN"
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(KeyError):
+            attention_3pass().find("NOPE")
+
+    def test_initialization_and_extended_partition(self):
+        cascade = attention_1pass()
+        init = cascade.initialization()
+        ext = cascade.extended()
+        assert len(init) + len(ext) == len(cascade.einsums)
+        assert all(e.is_initialization for e in init)
+        assert {e.label for e in init} == {"BK", "BV", "RM0", "RD0", "RNV0"}
+
+    def test_iterative_vars(self):
+        assert attention_1pass().iterative_vars == ("m1",)
+        assert attention_3pass().iterative_vars == ()
+        assert attention_1pass().is_iterative()
+
+    def test_rank_extent_resolution(self):
+        cascade = attention_3pass()
+        assert cascade.rank_extent("m", {"M": 128}) == 128
+
+    def test_iterative_rank_extent(self):
+        it = IterativeRank("m1", "M1")
+        assert it.resolved_extent({"M1": 8}) == 8
+
+    def test_str_mentions_stopping_condition(self):
+        text = str(cascade3_iterative())
+        assert "Initialization" in text
+        assert "i >= K" in text

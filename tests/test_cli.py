@@ -1,0 +1,42 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_taxonomy(self, capsys):
+        assert main(["taxonomy"]) == 0
+        out = capsys.readouterr().out
+        assert "3-pass" in out and "1-pass" in out
+
+    @pytest.mark.parametrize("cascade,expected", [
+        ("3pass", "3-pass"),
+        ("1pass", "1-pass"),
+        ("sigmoid", "1-pass"),
+    ])
+    def test_passes(self, capsys, cascade, expected):
+        assert main(["passes", cascade]) == 0
+        assert expected in capsys.readouterr().out
+
+    def test_passes_unknown_cascade(self, capsys):
+        assert main(["passes", "nope"]) == 2
+        assert "unknown cascade" in capsys.readouterr().err
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--chunks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "interleaved" in out and "tile-serial" in out
+
+    def test_fig1b(self, capsys):
+        assert main(["fig1b"]) == 0
+        assert "Attn" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "FlashAttention" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

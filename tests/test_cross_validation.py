@@ -1,0 +1,87 @@
+"""Cross-validation between independent layers of the reproduction.
+
+The analytical models, the cycle-granular simulator, the traffic bounds,
+and the footprint analysis were built separately; these tests check they
+agree where their domains overlap.
+"""
+
+import pytest
+
+from repro.analysis import count_passes, family
+from repro.analysis.traffic import traffic_lower_bound
+from repro.cascades import attention_1pass, attention_3pass
+from repro.model import FLATModel, fusemax, plus_architecture
+from repro.simulator import PipelineConfig, compare_bindings
+from repro.workloads import BATCH_SIZE, BERT
+
+
+class TestModelVsSimulator:
+    """The analytical utilizations and the simulated ones must agree in
+    ordering and rough magnitude."""
+
+    @pytest.fixture(scope="class")
+    def simulated(self):
+        return compare_bindings(PipelineConfig(chunks=32))
+
+    def test_binding_utilization(self, simulated):
+        analytical = fusemax().evaluate(BERT, 65536)
+        sim = simulated["interleaved"]
+        assert abs(analytical.util_2d - sim.util_2d) < 0.15
+        assert abs(analytical.util_1d - sim.util_1d) < 0.15
+
+    def test_tile_serial_utilization(self, simulated):
+        analytical = plus_architecture().evaluate(BERT, 65536)
+        sim = simulated["tile-serial"]
+        assert abs(analytical.util_2d - sim.util_2d) < 0.12
+        assert abs(analytical.util_1d - sim.util_1d) < 0.12
+
+    def test_speedup_ordering(self, simulated):
+        """Both layers agree the interleaved binding is several-fold
+        faster than tile-serial on identical hardware."""
+        sim_ratio = (
+            simulated["tile-serial"].makespan / simulated["interleaved"].makespan
+        )
+        a_serial = plus_architecture().evaluate(BERT, 65536).latency_cycles
+        a_binding = fusemax().evaluate(BERT, 65536).latency_cycles
+        model_ratio = a_serial / a_binding
+        assert sim_ratio > 3 and model_ratio > 3
+        assert 0.4 < sim_ratio / model_ratio < 2.5
+
+
+class TestModelVsTrafficBounds:
+    """The accelerator models must never claim less DRAM traffic than the
+    cascade's algorithmic floor."""
+
+    def test_fusemax_respects_floor(self):
+        shapes = BERT.attention_shapes(65536, block=256)
+        analysis = count_passes(attention_1pass(), family("m1", "m0"))
+        floor = traffic_lower_bound(
+            analysis, shapes, buffer_bytes=16 * 2**20
+        ).total_bytes(2)
+        modeled = fusemax().evaluate(BERT, 65536).dram_bytes
+        per_instance = modeled / (BATCH_SIZE * BERT.n_heads)
+        assert per_instance >= floor * 0.999
+
+    def test_fusemax_achieves_floor(self):
+        """FuseMax's modeled traffic IS the floor (inputs + output only)."""
+        shapes = BERT.attention_shapes(65536, block=256)
+        analysis = count_passes(attention_1pass(), family("m1", "m0"))
+        floor = traffic_lower_bound(
+            analysis, shapes, buffer_bytes=16 * 2**20
+        ).total_bytes(2)
+        modeled = fusemax().evaluate(BERT, 65536).dram_bytes
+        per_instance = modeled / (BATCH_SIZE * BERT.n_heads)
+        assert per_instance == pytest.approx(floor, rel=1e-6)
+
+    def test_flat_spill_exceeds_unbuffered_floor_structure(self):
+        """When FLAT spills, its traffic is the same order as the 3-pass
+        cascade's small-buffer floor (both ∝ M·P intermediates)."""
+        seq = 262144
+        shapes = BERT.attention_shapes(seq, block=256)
+        analysis = count_passes(attention_3pass(), family("m"))
+        floor = traffic_lower_bound(
+            analysis, shapes, buffer_bytes=16 * 2**20
+        ).total_bytes(2)
+        modeled = FLATModel().evaluate(BERT, seq).dram_bytes
+        per_instance = modeled / (BATCH_SIZE * BERT.n_heads)
+        assert 0.5 < per_instance / floor < 3.0

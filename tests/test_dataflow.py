@@ -1,0 +1,87 @@
+"""Tests for the PE-level systolic dataflow simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator.dataflow import (
+    TileResult,
+    expected_compute_cycles,
+    simulate_tile,
+)
+from repro.simulator.systolic import bqk_tile_timing
+
+
+class TestCorrectness:
+    def test_matches_numpy_matmul(self, rng):
+        a = rng.normal(size=(8, 4))  # E x R
+        b = rng.normal(size=(8, 5))  # E x C
+        result = simulate_tile(a, b)
+        assert np.allclose(result.output, a.T @ b)
+
+    def test_local_max_matches_column_max(self, rng):
+        a = rng.normal(size=(6, 4))
+        b = rng.normal(size=(6, 3))
+        result = simulate_tile(a, b)
+        assert np.allclose(result.local_max, (a.T @ b).max(axis=0))
+
+    def test_single_pe(self, rng):
+        a = rng.normal(size=(5, 1))
+        b = rng.normal(size=(5, 1))
+        result = simulate_tile(a, b)
+        assert np.isclose(result.output[0, 0], a[:, 0] @ b[:, 0])
+
+    def test_depth_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="depths differ"):
+            simulate_tile(rng.normal(size=(4, 2)), rng.normal(size=(5, 2)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=8),
+        st.integers(0, 2**31),
+    )
+    def test_property_matches_numpy(self, rows, cols, depth, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(depth, rows))
+        b = rng.normal(size=(depth, cols))
+        result = simulate_tile(a, b)
+        assert np.allclose(result.output, a.T @ b)
+        assert np.allclose(result.local_max, (a.T @ b).max(axis=0))
+
+
+class TestTiming:
+    @pytest.mark.parametrize(
+        "rows,cols,depth",
+        [(1, 1, 1), (2, 2, 4), (4, 3, 8), (6, 6, 2)],
+    )
+    def test_compute_cycles_closed_form(self, rng, rows, cols, depth):
+        a = rng.normal(size=(depth, rows))
+        b = rng.normal(size=(depth, cols))
+        result = simulate_tile(a, b)
+        assert result.compute_cycles == expected_compute_cycles(depth, rows, cols)
+
+    def test_drain_is_one_row_per_cycle(self, rng):
+        result = simulate_tile(rng.normal(size=(2, 5)), rng.normal(size=(2, 3)))
+        assert result.drain_cycles == 5
+
+    def test_consistent_with_coarse_timing_model(self, rng):
+        """The coarse TileTiming arithmetic (Sec. V) must agree with the
+        PE-level simulation at the square-array shape it abstracts."""
+        dim, depth = 6, 4
+        a = rng.normal(size=(depth, dim))
+        b = rng.normal(size=(depth, dim))
+        fine = simulate_tile(a, b)
+        coarse = bqk_tile_timing(array_dim=dim, embedding=depth)
+        # fill (operand skew) + compute = dim-skew + depth; the coarse
+        # model charges fill=dim, compute=depth.
+        assert fine.compute_cycles == coarse.fill + coarse.compute + dim - 2
+        assert fine.drain_cycles == dim
+
+    def test_utilization_motivates_interleaving(self, rng):
+        """E=4 on a 6x6 tile: most cycles are skew/drain, not MACCs —
+        the quantitative argument for the Fig. 5 interleaving."""
+        result = simulate_tile(rng.normal(size=(4, 6)), rng.normal(size=(4, 6)))
+        useful = 4  # MACC cycles per PE
+        assert useful / result.total_cycles < 0.4

@@ -1,0 +1,81 @@
+"""Tests for the dependence graph and the Table I taxonomy."""
+
+import pytest
+
+from repro.analysis.dependence import build_dependence
+from repro.analysis.taxonomy import (
+    TABLE_I,
+    attention_rank_family,
+    build_taxonomy,
+    classify,
+)
+from repro.cascades import (
+    attention_1pass,
+    attention_2pass,
+    attention_3pass,
+    cascade1_two_pass,
+)
+
+
+class TestDependenceGraph:
+    def test_producers(self):
+        graph = build_dependence(attention_3pass())
+        assert graph.producer_of["QK"] == "QK"
+        assert graph.producer_of["AV"] == "AV"
+
+    def test_consumers(self):
+        graph = build_dependence(attention_3pass())
+        assert set(graph.consumers_of["QK"]) == {"GM", "SN"}
+        assert set(graph.consumers_of["SN"]) == {"SD", "A"}
+
+    def test_init_producers_separate(self):
+        graph = build_dependence(attention_1pass())
+        assert graph.init_producer_of["RM"] == "RM0"
+        assert graph.producer_of["RM"] == "RM"
+
+    def test_view_backing_resolves_to_input(self):
+        graph = build_dependence(attention_1pass())
+        assert graph.backing["BK"] == "K"
+        assert graph.backing["BV"] == "V"
+        assert graph.is_input_backed("BK")
+        assert not graph.is_input_backed("BQK")
+
+    def test_predecessors(self):
+        graph = build_dependence(attention_3pass())
+        sn = attention_3pass().find("SN")
+        assert set(graph.predecessors(sn)) == {"QK", "GM"}
+
+    def test_topological_check_accepts_iterative_back_edges(self):
+        # attention_1pass has RD/RNV recurrences; build must not raise.
+        build_dependence(attention_1pass())
+
+    def test_simple_cascade(self):
+        graph = build_dependence(cascade1_two_pass())
+        assert graph.consumers_of["A"] == ("Y", "Z")
+
+
+class TestTaxonomy:
+    def test_classify_all_three(self):
+        assert classify(attention_3pass()) == "3-pass"
+        assert classify(attention_2pass()) == "2-pass"
+        assert classify(attention_1pass()) == "1-pass"
+
+    def test_rank_family_selection(self):
+        assert attention_rank_family(attention_3pass()).vars == ("m",)
+        assert attention_rank_family(attention_1pass()).vars == ("m1", "m0")
+
+    def test_table1_exemplars(self):
+        assert "FLAT" in TABLE_I["3-pass"]
+        assert "TileFlow" in TABLE_I["2-pass"]
+        assert "FlashAttention-2" in TABLE_I["1-pass"]
+
+    def test_build_taxonomy_matches_table1(self):
+        taxonomy = build_taxonomy()
+        assert len(taxonomy) == 3
+        by_category = {entry.category: entry for entry in taxonomy.values()}
+        for category, exemplars in TABLE_I.items():
+            assert by_category[category].exemplars == exemplars
+
+    def test_passes_field_consistent(self):
+        for entry in build_taxonomy().values():
+            assert entry.category == f"{entry.passes}-pass"

@@ -1,0 +1,156 @@
+"""Edge-case and failure-injection tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro.einsum import (
+    ADD,
+    Affine,
+    Cascade,
+    Einsum,
+    Filter,
+    IterativeRank,
+    Literal,
+    Map,
+    Shifted,
+    TensorRef,
+    Var,
+    ref,
+)
+from repro.functional.interpreter import Interpreter, InterpreterError, evaluate
+from repro.model import fusemax, plus_architecture
+from repro.model.pareto import sweep
+from repro.workloads import BERT, XLM
+
+
+class TestInterpreterFailures:
+    def test_nested_iterative_rejected(self, rng):
+        inner = Einsum(
+            output=TensorRef.of("S", Shifted("i", 1), Shifted("j", 1)),
+            expr=Map(ADD, ref("S", "i", "j"), ref("A", "i", "j")),
+            name="S",
+        )
+        init = Einsum(
+            output=TensorRef.of("S", Var("i"), Var("j")),
+            expr=Literal(0.0),
+            name="S0",
+            is_initialization=True,
+        )
+        cascade = Cascade.build(
+            "nested",
+            [init, inner],
+            inputs=["A"],
+            rank_shapes={"i": "K", "j": "K"},
+            iterative=[IterativeRank("i", "K"), IterativeRank("j", "K")],
+        )
+        with pytest.raises(InterpreterError, match="nested iterative"):
+            evaluate(cascade, {"K": 2}, {"A": rng.normal(size=(2, 2))})
+
+    def test_affine_output_index_rejected(self, rng):
+        bad = Einsum(
+            output=TensorRef.of("Z", Affine((("m", 2),))),
+            expr=ref("A", "m"),
+            name="Z",
+        )
+        cascade = Cascade.build(
+            "affine-out", [bad], inputs=["A"], rank_shapes={"m": "M"}
+        )
+        with pytest.raises(InterpreterError, match="affine output"):
+            evaluate(cascade, {"M": 4}, {"A": rng.normal(size=4)})
+
+    def test_filter_on_foreign_variable_rejected(self, rng):
+        bad = Einsum(
+            output=TensorRef.of("Z", "m"),
+            expr=ref("A", "m", filters=[Filter("q", "<=", Var("m"))]),
+            name="Z",
+        )
+        cascade = Cascade.build(
+            "bad-filter", [bad], inputs=["A"],
+            rank_shapes={"m": "M", "q": "Q"},
+        )
+        with pytest.raises(InterpreterError, match="does not index"):
+            evaluate(cascade, {"M": 4, "Q": 4}, {"A": rng.normal(size=4)})
+
+    def test_repeated_variable_in_ref_rejected(self, rng):
+        diag = Einsum(
+            output=TensorRef.of("Z", "m"),
+            expr=ref("A", "m", "m"),
+            name="Z",
+        )
+        cascade = Cascade.build(
+            "diag", [diag], inputs=["A"], rank_shapes={"m": "M"}
+        )
+        with pytest.raises(InterpreterError, match="repeated"):
+            evaluate(cascade, {"M": 3}, {"A": rng.normal(size=(3, 3))})
+
+    def test_unbound_shape_symbol(self, rng):
+        gemm = Einsum(
+            output=TensorRef.of("Z", "m"),
+            expr=ref("A", "m"),
+            name="Z",
+        )
+        cascade = Cascade.build(
+            "missing-shape", [gemm], inputs=["A"], rank_shapes={"m": "M"}
+        )
+        with pytest.raises(KeyError, match="M"):
+            Interpreter(cascade, {}, {"A": rng.normal(size=4)})
+
+
+class TestModelEdgeCases:
+    def test_batch_one(self):
+        result = fusemax().evaluate(BERT, 4096, batch=1)
+        assert result.latency_cycles > 0
+        assert result.util_2d > 0.5
+
+    def test_xlm_balanced_arrays(self):
+        """XLM's E=F=128 keeps the two arrays near-balanced (Sec. VI-B)."""
+        result = fusemax().evaluate(XLM, 65536)
+        ratio = result.busy_2d_cycles / result.busy_1d_cycles
+        assert 0.8 < ratio < 1.2
+
+    def test_architecture_stage_tiles_at_1k(self):
+        """+Architecture at the shortest length: tiles still divide."""
+        result = plus_architecture().evaluate(BERT, 1024)
+        assert result.latency_cycles > 0
+
+    def test_pareto_smallest_array(self):
+        """16x16 arrays still evaluate (block size follows the array)."""
+        points = sweep(BERT, dims=(16,))
+        assert points[0].latency_seconds > 0
+
+    def test_results_deterministic(self):
+        a = fusemax().evaluate(BERT, 16384)
+        b = fusemax().evaluate(BERT, 16384)
+        assert a.latency_cycles == b.latency_cycles
+        assert a.energy_pj == b.energy_pj
+
+
+class TestNumericalEdges:
+    def test_attention_with_identical_scores(self):
+        """Constant scores: attention averages V uniformly."""
+        from repro.cascades import attention_1pass
+        from repro.functional import evaluate_output
+
+        e, f, m, p, m0 = 2, 3, 8, 2, 4
+        shapes = {"E": e, "F": f, "M": m, "P": p, "M0": m0, "M1": m // m0}
+        inputs = {
+            "Q": np.zeros((e, p)),
+            "K": np.zeros((e, m)),
+            "V": np.arange(float(f * m)).reshape(f, m),
+        }
+        out = evaluate_output(attention_1pass(), shapes, inputs)
+        assert np.allclose(out, inputs["V"].mean(axis=1, keepdims=True))
+
+    def test_attention_single_key(self):
+        from repro.cascades import attention_1pass
+        from repro.functional import evaluate_output
+
+        shapes = {"E": 2, "F": 3, "M": 1, "P": 2, "M0": 1, "M1": 1}
+        rng = np.random.default_rng(5)
+        inputs = {
+            "Q": rng.normal(size=(2, 2)),
+            "K": rng.normal(size=(2, 1)),
+            "V": rng.normal(size=(3, 1)),
+        }
+        out = evaluate_output(attention_1pass(), shapes, inputs)
+        assert np.allclose(out, np.repeat(inputs["V"], 2, axis=1))

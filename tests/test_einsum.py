@@ -1,0 +1,84 @@
+"""Unit tests for the Einsum statement class."""
+
+import pytest
+
+from repro.einsum import (
+    Einsum,
+    MAX_REDUCE,
+    MUL,
+    Map,
+    SUM_REDUCE,
+    TensorRef,
+    ref,
+)
+
+
+@pytest.fixture
+def gemm():
+    """Z[m, n] = A[k, m] × B[k, n]."""
+    return Einsum(
+        output=TensorRef.of("Z", "m", "n"),
+        expr=Map(MUL, ref("A", "k", "m"), ref("B", "k", "n")),
+        name="Z",
+    )
+
+
+class TestEinsumStructure:
+    def test_output_vars(self, gemm):
+        assert gemm.output_vars() == ("m", "n")
+
+    def test_input_vars(self, gemm):
+        assert gemm.input_vars() == ("k", "m", "n")
+
+    def test_iteration_vars_lhs_first(self, gemm):
+        assert gemm.iteration_vars() == ("m", "n", "k")
+
+    def test_reduced_vars(self, gemm):
+        assert gemm.reduced_vars() == ("k",)
+
+    def test_default_reduction_is_sum(self, gemm):
+        assert gemm.reduce_action("k") is SUM_REDUCE
+
+    def test_explicit_reduction_override(self):
+        gm = Einsum(
+            output=TensorRef.of("GM", "p"),
+            expr=ref("QK", "m", "p"),
+            reductions={"m": MAX_REDUCE},
+            name="GM",
+        )
+        assert gm.reduce_action("m") is MAX_REDUCE
+
+    def test_reads_and_writes(self, gemm):
+        assert gemm.read_tensors() == frozenset({"A", "B"})
+        assert gemm.writes_tensor() == "Z"
+
+    def test_reads_tensor_on(self, gemm):
+        assert gemm.reads_tensor_on("A", "k")
+        assert not gemm.reads_tensor_on("A", "n")
+        assert not gemm.reads_tensor_on("Z", "m")
+
+    def test_traverses(self, gemm):
+        assert gemm.traverses("k")
+        assert not gemm.traverses("q")
+
+    def test_label_defaults_to_output(self):
+        unnamed = Einsum(
+            output=TensorRef.of("Y"),
+            expr=Map(MUL, ref("A", "k"), ref("B", "k")),
+        )
+        assert unnamed.label == "Y"
+
+    def test_str_shows_explicit_reduction(self):
+        gm = Einsum(
+            output=TensorRef.of("GM", "p"),
+            expr=ref("QK", "m", "p"),
+            reductions={"m": MAX_REDUCE},
+        )
+        assert "max" in str(gm)
+
+    def test_str_hides_default_sum(self, gemm):
+        assert "sum" not in str(gemm)
+
+    def test_view_flag_default_false(self, gemm):
+        assert not gemm.is_view
+        assert not gemm.is_initialization

@@ -1,0 +1,149 @@
+"""Integration tests for the experiment drivers (one per figure/table)."""
+
+import pytest
+
+from repro.experiments import (
+    fig1b,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table1,
+)
+from repro.experiments.common import format_table
+from repro.workloads import BERT, MODELS, SEQUENCE_LENGTHS
+
+SHORT = (1024, 262144)  # trimmed grid keeps integration tests quick
+
+
+class TestFig1b:
+    def test_rows_cover_sweep(self):
+        rows = fig1b.run()
+        assert [r.seq_len for r in rows] == list(SEQUENCE_LENGTHS)
+
+    def test_proportions_normalized(self):
+        for row in fig1b.run():
+            assert row.attn + row.linear + row.other == pytest.approx(1.0)
+
+    def test_crossover_visible(self):
+        rows = fig1b.run()
+        assert rows[0].linear > rows[0].attn  # 1K
+        assert rows[-1].attn > 0.99  # 1M
+
+    def test_render(self):
+        assert "Attn" in fig1b.render(fig1b.run())
+
+
+class TestTable1:
+    def test_three_categories_plus_ablations(self):
+        rows = table1.run()
+        by_name = {r.cascade: r.passes for r in rows}
+        assert by_name["attention-3pass"] == 3
+        assert by_name["attention-2pass"] == 2
+        assert by_name["attention-1pass"] == 1
+        assert by_name["attention-3pass-divopt"] == 2
+
+    def test_exemplars_present(self):
+        rows = table1.run()
+        text = table1.render(rows)
+        assert "FlashAttention-2" in text
+        assert "FLAT" in text
+
+
+class TestFig6:
+    def test_grid_size(self):
+        rows = fig6.run(models=[BERT], seq_lens=SHORT)
+        assert len(rows) == 5 * 1 * 2  # configs x models x lengths
+
+    def test_utilizations_in_unit_interval(self):
+        for row in fig6.run(models=[BERT], seq_lens=SHORT):
+            assert 0.0 <= row.util_1d <= 1.0
+            assert 0.0 <= row.util_2d <= 1.0
+
+    def test_series_extraction(self):
+        rows = fig6.run(models=[BERT], seq_lens=SHORT)
+        series = fig6.series(rows, "1d")
+        assert len(series[("+Binding", "BERT")]) == 2
+
+
+class TestFig7:
+    def test_groups_sum_below_one(self):
+        for row in fig7.run(seq_lens=SHORT):
+            assert 0.0 < row.total_active <= 1.0 + 1e-9
+
+    def test_fusemax_dominated_by_tensor_products(self):
+        """Fig. 7: most active cycles go to QK and SLNV/AV."""
+        rows = [r for r in fig7.run(seq_lens=(262144,)) if r.config == "+Binding"]
+        row = rows[0]
+        products = row.shares["QK"] + row.shares["SLNV/AV"]
+        assert products > 0.8 * row.total_active
+
+    def test_flat_has_no_exponentials_on_2d(self):
+        rows = [r for r in fig7.run(seq_lens=(1024,)) if r.config == "FLAT"]
+        assert rows[0].shares["SLN"] == 0.0
+
+
+class TestFig8:
+    def test_unfused_baseline_is_one(self):
+        rows = fig8.run(models=[BERT], seq_lens=SHORT)
+        for row in rows:
+            if row.config == "Unfused":
+                assert row.speedup == pytest.approx(1.0)
+
+    def test_binding_fastest_everywhere(self):
+        rows = fig8.run(models=[BERT], seq_lens=SHORT)
+        by_len = {}
+        for row in rows:
+            by_len.setdefault(row.seq_len, {})[row.config] = row.speedup
+        for speedups in by_len.values():
+            assert speedups["+Binding"] == max(speedups.values())
+
+    def test_headline_band(self):
+        assert 5.0 <= fig8.fusemax_vs_flat(fig8.run()) <= 9.0
+
+
+class TestFig9:
+    def test_fusemax_cheapest(self):
+        rows = fig9.run(models=[BERT], seq_lens=SHORT)
+        by_len = {}
+        for row in rows:
+            by_len.setdefault(row.seq_len, {})[row.config] = row.normalized_energy
+        for energies in by_len.values():
+            assert energies["+Binding"] == min(energies.values())
+
+    def test_headline_band(self):
+        assert 0.4 <= fig9.fusemax_vs_flat(fig9.run()) <= 0.9
+
+
+class TestFig10And11:
+    def test_speedup_headline_band(self):
+        assert 4.0 <= fig10.fusemax_vs_flat(fig10.run()) <= 7.5
+
+    def test_energy_headline_band(self):
+        assert 0.5 <= fig11.fusemax_vs_flat(fig11.run()) <= 0.95
+
+    def test_e2e_speedup_below_attention_speedup(self):
+        attn = fig8.fusemax_vs_flat(fig8.run(models=[BERT], seq_lens=SHORT))
+        e2e = fig10.fusemax_vs_flat(fig10.run(models=[BERT], seq_lens=SHORT))
+        assert e2e < attn
+
+
+class TestFig12:
+    def test_all_models_swept(self):
+        results = fig12.run(seq_len=262144, dims=(64, 256))
+        assert set(results) == {m.name for m in MODELS}
+
+    def test_render_marks_pareto(self):
+        text = fig12.render(fig12.run(dims=(64, 256)))
+        assert "*" in text
+
+
+class TestFormatting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])

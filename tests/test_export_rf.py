@@ -1,0 +1,65 @@
+"""Tests for CSV export and the register-file working-set check."""
+
+import csv
+import os
+
+import pytest
+
+from repro.arch import fusemax_arch
+from repro.experiments.export import export_all
+from repro.mapping import fusemax_binding, plus_cascade_binding
+from repro.mapping.binding import rf_working_set
+
+
+class TestRegisterFileWorkingSet:
+    def test_fusemax_fits_ten_entries(self):
+        """Fig. 3c: the FuseMax PE carries a 10-entry register file; the
+        interleaved binding's working set must fit it."""
+        need = rf_working_set(fusemax_binding())
+        assert need <= fusemax_arch().rf_entries_2d
+
+    def test_fusemax_needs_more_than_a_plain_macc_pe(self):
+        """The working set exceeds the 1-2 registers of a plain TPU PE —
+        the reason the architecture change is required at all."""
+        assert rf_working_set(fusemax_binding()) > 2
+
+    def test_uninterleaved_binding_needs_less(self):
+        assert rf_working_set(plus_cascade_binding()) < rf_working_set(
+            fusemax_binding()
+        )
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def outdir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("results")
+        export_all(str(path))
+        return str(path)
+
+    def test_all_files_written(self, outdir):
+        names = set(os.listdir(outdir))
+        expected = {
+            "fig1b.csv", "table1.csv", "fig6.csv", "fig7.csv", "fig8.csv",
+            "fig9.csv", "fig10.csv", "fig11.csv", "fig12.csv",
+            "ablation_divisions.csv",
+        }
+        assert expected <= names
+
+    def test_fig6_grid_complete(self, outdir):
+        with open(os.path.join(outdir, "fig6.csv")) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 5 * 4 * 6
+        assert {r["config"] for r in rows} == {
+            "Unfused", "FLAT", "+Cascade", "+Architecture", "+Binding"
+        }
+
+    def test_fig8_numeric_round_trip(self, outdir):
+        with open(os.path.join(outdir, "fig8.csv")) as handle:
+            rows = list(csv.DictReader(handle))
+        speedups = [float(r["speedup"]) for r in rows if r["config"] == "+Binding"]
+        assert all(s > 1.0 for s in speedups)
+
+    def test_table1_contents(self, outdir):
+        with open(os.path.join(outdir, "table1.csv")) as handle:
+            rows = {r["cascade"]: r for r in csv.DictReader(handle)}
+        assert rows["attention-1pass"]["passes"] == "1"

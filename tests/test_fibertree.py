@@ -1,0 +1,115 @@
+"""Tests for the fibertree abstraction (paper Sec. II-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.functional.fibertree import (
+    Fiber,
+    FibertreeTensor,
+    dot_via_intersection,
+    max_via_union,
+)
+
+
+class TestFiber:
+    def test_sorted_coordinates_enforced(self):
+        with pytest.raises(ValueError, match="unsorted"):
+            Fiber("k", [(2, 1.0), (1, 2.0)])
+
+    def test_duplicate_coordinates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Fiber("k", [(1, 1.0), (1, 2.0)])
+
+    def test_payload_lookup(self):
+        fiber = Fiber("k", [(0, 1.5), (3, 2.5)])
+        assert fiber.payload(3) == 2.5
+        assert fiber.payload(1) is None
+
+    def test_intersection_keeps_common(self):
+        a = Fiber("k", [(0, 1.0), (2, 2.0), (5, 3.0)])
+        b = Fiber("k", [(2, 4.0), (4, 5.0), (5, 6.0)])
+        assert a.intersect(b) == ((2, 2.0, 4.0), (5, 3.0, 6.0))
+
+    def test_union_fills_empty(self):
+        a = Fiber("k", [(0, 1.0)])
+        b = Fiber("k", [(1, 2.0)])
+        assert a.union(b) == ((0, 1.0, 0.0), (1, 0.0, 2.0))
+
+
+class TestFibertreeTensor:
+    def test_round_trip_dense(self, rng):
+        dense = rng.normal(size=(3, 4))
+        dense[0, 1] = 0.0
+        tensor = FibertreeTensor.from_dense(dense, ["m", "k"])
+        assert np.allclose(tensor.to_dense(), dense)
+
+    def test_zeros_become_empty(self):
+        dense = np.array([[0.0, 1.0], [0.0, 0.0]])
+        tensor = FibertreeTensor.from_dense(dense, ["m", "k"])
+        assert tensor.occupancy() == 1
+        assert tensor.fiber_at(0).coords() == (1,)
+        assert tensor.fiber_at(1) is None  # all-zero fiber is absent
+
+    def test_rank_count_checked(self):
+        with pytest.raises(ValueError, match="rank names"):
+            FibertreeTensor.from_dense(np.ones((2, 2)), ["m"])
+
+    def test_fiber_at_returns_m_fibers(self, rng):
+        """The unit of the pass analysis: fiber_at(p) of QK[p, m]."""
+        qk = rng.normal(size=(3, 5))
+        tensor = FibertreeTensor.from_dense(qk, ["p", "m"])
+        fiber = tensor.fiber_at(1)
+        assert fiber.coords() == tuple(range(5))
+        values = [payload for _, payload in fiber]
+        assert np.allclose(values, qk[1])
+
+    def test_swizzle_permutes_ranks(self, rng):
+        dense = rng.normal(size=(2, 3, 4))
+        tensor = FibertreeTensor.from_dense(dense, ["a", "b", "c"])
+        swizzled = tensor.swizzle(["c", "a", "b"])
+        assert swizzled.rank_names == ("c", "a", "b")
+        assert np.allclose(swizzled.to_dense(), dense.transpose(2, 0, 1))
+
+    def test_swizzle_requires_permutation(self, rng):
+        tensor = FibertreeTensor.from_dense(rng.normal(size=(2, 2)), ["a", "b"])
+        with pytest.raises(ValueError, match="permute"):
+            tensor.swizzle(["a", "z"])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(0, 2**31))
+    def test_round_trip_property(self, m, k, seed):
+        rng = np.random.default_rng(seed)
+        dense = rng.normal(size=(m, k)) * rng.integers(0, 2, size=(m, k))
+        tensor = FibertreeTensor.from_dense(dense, ["m", "k"])
+        assert np.allclose(tensor.to_dense(), dense)
+        assert tensor.occupancy() == int(np.count_nonzero(dense))
+
+
+class TestMergeComputations:
+    def test_dot_via_intersection_matches_numpy(self, rng):
+        a = rng.normal(size=8)
+        b = rng.normal(size=8)
+        a[[1, 3]] = 0.0
+        b[[3, 5]] = 0.0
+        fa = FibertreeTensor.from_dense(a, ["k"]).root
+        fb = FibertreeTensor.from_dense(b, ["k"]).root
+        assert dot_via_intersection(fa, fb) == pytest.approx(float(a @ b))
+
+    def test_intersection_culls_zero_operands(self):
+        """The ∩ merge touches only points non-zero in BOTH operands —
+        the data-space culling of Sec. II-C1."""
+        fa = Fiber("k", [(0, 2.0), (1, 3.0)])
+        fb = Fiber("k", [(1, 4.0), (2, 5.0)])
+        assert dot_via_intersection(fa, fb) == 12.0
+
+    def test_max_via_union_matches_numpy(self, rng):
+        a = np.abs(rng.normal(size=6))
+        b = np.abs(rng.normal(size=6))
+        a[2] = 0.0
+        b[4] = 0.0
+        fa = FibertreeTensor.from_dense(a, ["m"]).root
+        fb = FibertreeTensor.from_dense(b, ["m"]).root
+        merged = max_via_union(fa, fb)
+        dense = FibertreeTensor(("m",), merged, (6,)).to_dense()
+        assert np.allclose(dense, np.maximum(a, b))

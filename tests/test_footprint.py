@@ -1,0 +1,103 @@
+"""Tests for live-footprint lower bounds (Sec. III-B) — the buffer-capacity
+implications that motivate FuseMax's sequence-length independence."""
+
+import pytest
+
+from repro.analysis import count_passes, family, live_footprints
+from repro.cascades import (
+    attention_1pass,
+    attention_2pass,
+    attention_3pass,
+    cascade1_two_pass,
+    cascade2_deferred,
+)
+
+SHAPES = {"E": 64, "F": 64, "M": 4096, "P": 1024, "M0": 64, "M1": 64, "K": 512}
+
+
+def _report(builder, fam):
+    cascade = builder()
+    return live_footprints(count_passes(cascade, family(*fam)), SHAPES)
+
+
+class TestPedagogicalFootprints:
+    def test_cascade1_input_fiber_is_the_bound(self):
+        """Sec. III-B: Cascade 1's A needs a full K fiber live — but A is
+        an *input*; the intermediate Y is a scalar."""
+        report = _report(cascade1_two_pass, ("k",))
+        assert report.entries["Y"].family_elems == 1
+        # The 2 passes over the input manifest as pass count, not as an
+        # intermediate footprint.
+        assert report.sequence_dependent_tensors() == ()
+
+    def test_cascade2_all_small(self):
+        report = _report(cascade2_deferred, ("k",))
+        assert report.max_family_footprint() == 1
+
+
+class TestAttentionFootprints:
+    def test_3pass_keeps_full_fibers_of_qk_and_sn(self):
+        """Sec. V (Mapping): multi-pass cascades make QK's live footprint
+        O(M), so long sequences cannot be buffered on chip."""
+        report = _report(attention_3pass, ("m",))
+        assert report.entries["QK"].crosses_pass_boundary
+        assert report.entries["QK"].family_elems == SHAPES["M"]
+        assert report.entries["SN"].family_elems == SHAPES["M"]
+        assert set(report.sequence_dependent_tensors()) == {"QK", "SN"}
+
+    def test_3pass_total_footprint_includes_other_ranks(self):
+        report = _report(attention_3pass, ("m",))
+        assert report.entries["QK"].total_elems == SHAPES["M"] * SHAPES["P"]
+
+    def test_2pass_numerator_stays_live(self):
+        """TileFlow's limitation: SLN (the pass-1 local numerator) must
+        survive into pass 2 — footprint M1 × M0 = M."""
+        report = _report(attention_2pass, ("m1", "m0"))
+        sln = report.entries["SLN"]
+        assert sln.crosses_pass_boundary
+        assert sln.family_elems == SHAPES["M0"] * SHAPES["M1"]
+        assert sln.scales_with_sequence
+
+    def test_2pass_partition_tensors_scale_with_m1(self):
+        report = _report(attention_2pass, ("m1", "m0"))
+        assert report.entries["SLD"].family_elems == SHAPES["M1"]
+        assert report.entries["LM"].family_elems == SHAPES["M1"]
+
+    def test_1pass_footprints_sequence_independent(self):
+        """FuseMax's headline property: no tensor's live footprint grows
+        with sequence length."""
+        report = _report(attention_1pass, ("m1", "m0"))
+        assert report.sequence_dependent_tensors() == ()
+        assert report.max_family_footprint() == 1
+
+    def test_1pass_running_tensors_are_constant_size(self):
+        report = _report(attention_1pass, ("m1", "m0"))
+        for tensor in ("RM", "RD", "RNV"):
+            assert report.entries[tensor].family_elems == 1
+
+    def test_1pass_buffered_bytes_beat_3pass(self):
+        r1 = _report(attention_1pass, ("m1", "m0"))
+        r3 = _report(attention_3pass, ("m",))
+        assert r1.buffered_bytes() < r3.buffered_bytes()
+
+    def test_3pass_buffer_grows_with_m(self):
+        small = live_footprints(
+            count_passes(attention_3pass(), family("m")), {**SHAPES, "M": 1024}
+        )
+        large = live_footprints(
+            count_passes(attention_3pass(), family("m")), {**SHAPES, "M": 8192}
+        )
+        # QK and SN scale 8x; the P-sized GM/SD stay fixed, so the total
+        # ratio is just shy of 8.
+        assert large.buffered_bytes() == pytest.approx(
+            8 * small.buffered_bytes(), rel=0.01
+        )
+
+    def test_1pass_buffer_invariant_to_m(self):
+        def bytes_at(m1):
+            shapes = {**SHAPES, "M": m1 * SHAPES["M0"], "M1": m1}
+            return live_footprints(
+                count_passes(attention_1pass(), family("m1", "m0")), shapes
+            ).buffered_bytes()
+
+        assert bytes_at(16) == bytes_at(1024)

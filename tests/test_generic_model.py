@@ -1,0 +1,106 @@
+"""Tests for the generic fused-cascade evaluator and the FA1 cascade."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import count_passes, family, total_ops
+from repro.arch import fusemax_arch
+from repro.cascades import attention_1pass, attention_1pass_fa1
+from repro.functional import attention, evaluate_output
+from repro.mapping import Binding, fusemax_binding
+from repro.model import fusemax
+from repro.model.generic import evaluate_cascade
+from repro.workloads import BATCH_SIZE, BERT
+
+
+class TestFlashAttention1Cascade:
+    """FA1 vs FA2: same 1-pass class, different division counts."""
+
+    def test_numerics_match_reference(self, attention_inputs, attention_shapes):
+        out = evaluate_output(
+            attention_1pass_fa1(), attention_shapes, attention_inputs
+        )
+        expected = attention(
+            attention_inputs["Q"], attention_inputs["K"], attention_inputs["V"]
+        )
+        assert np.allclose(out, expected)
+
+    def test_one_pass_classification(self):
+        analysis = count_passes(attention_1pass_fa1(), family("m1", "m0"))
+        assert analysis.num_passes == 1
+
+    def test_fa2_does_fewer_divisions(self):
+        shapes = {"E": 64, "F": 64, "M": 65536, "P": 1024, "M0": 256, "M1": 256}
+        fa1 = total_ops(attention_1pass_fa1(), shapes).get("divide")
+        fa2 = total_ops(attention_1pass(), shapes).get("divide")
+        assert fa1 == shapes["F"] * shapes["M1"] * shapes["P"]
+        assert fa2 == shapes["F"] * shapes["P"]
+        assert fa1 // fa2 == shapes["M1"]
+
+
+class TestGenericEvaluator:
+    def test_reproduces_fusemax_model(self):
+        """+Binding is the generic engine on Cascade 5 + the fused binding
+        (up to the bespoke model's pipeline-fill constant)."""
+        shapes = BERT.attention_shapes(65536, block=256)
+        generic = evaluate_cascade(
+            attention_1pass(),
+            fusemax_binding(),
+            family("m1", "m0"),
+            fusemax_arch(),
+            shapes,
+        )
+        bespoke = fusemax().evaluate(BERT, 65536)
+        per_instance = bespoke.latency_cycles / (BATCH_SIZE * BERT.n_heads)
+        fill = 4 * fusemax_arch().array_dim
+        assert generic.latency_cycles == pytest.approx(
+            per_instance - fill, rel=1e-6
+        )
+        assert generic.busy_2d_cycles * BATCH_SIZE * BERT.n_heads == (
+            pytest.approx(bespoke.busy_2d_cycles)
+        )
+
+    def test_buffered_flag(self):
+        shapes = BERT.attention_shapes(65536, block=256)
+        generic = evaluate_cascade(
+            attention_1pass(),
+            fusemax_binding(),
+            family("m1", "m0"),
+            fusemax_arch(),
+            shapes,
+        )
+        assert generic.buffered  # the 1-pass cascade never spills
+
+    def test_evaluates_fa1_with_custom_binding(self):
+        """A new cascade needs only a binding — no bespoke model code."""
+        binding = Binding(
+            name="fa1",
+            assignment={
+                "BQK": "2d", "LM": "2d", "SLN": "2d", "SLD": "2d",
+                "SLNV": "2d",
+                "RM": "1d", "PRM": "1d", "SPD": "1d", "RD": "1d",
+                "SPNV": "1d", "RO": "1d", "AV": "1d",
+            },
+        )
+        shapes = BERT.attention_shapes(16384, block=256)
+        fa1 = evaluate_cascade(
+            attention_1pass_fa1(), binding, family("m1", "m0"),
+            fusemax_arch(), shapes,
+        )
+        fa2 = evaluate_cascade(
+            attention_1pass(), fusemax_binding(), family("m1", "m0"),
+            fusemax_arch(), shapes,
+        )
+        # FA1's per-chunk divisions load the 1D array more.
+        assert fa1.busy_1d_cycles > fa2.busy_1d_cycles
+        assert fa1.latency_cycles >= fa2.latency_cycles
+
+    def test_rejects_invalid_binding(self):
+        from repro.mapping import BindingError
+
+        bad = Binding(name="bad", assignment={"BQK": "2d"})
+        with pytest.raises(BindingError):
+            evaluate_cascade(
+                attention_1pass(), bad, family("m1", "m0"), fusemax_arch(),
+                BERT.attention_shapes(16384, block=256),
+            )

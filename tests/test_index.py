@@ -1,0 +1,121 @@
+"""Unit tests for index expressions (repro.einsum.index)."""
+
+import pytest
+
+from repro.einsum.index import (
+    Affine,
+    Filter,
+    Fixed,
+    Shifted,
+    Var,
+    resolve_symint,
+)
+
+
+class TestResolveSymint:
+    def test_literal_int_passes_through(self):
+        assert resolve_symint(7, {}) == 7
+
+    def test_symbol_resolves(self):
+        assert resolve_symint("M0", {"M0": 32}) == 32
+
+    def test_unbound_symbol_raises(self):
+        with pytest.raises(KeyError, match="M0"):
+            resolve_symint("M0", {})
+
+
+class TestVar:
+    def test_vars(self):
+        assert Var("m").vars() == ("m",)
+
+    def test_evaluate(self):
+        assert Var("m").evaluate({"m": 5}, {}) == 5
+
+    def test_no_shift(self):
+        assert Var("m").shifted_by() == 0
+
+    def test_str(self):
+        assert str(Var("m")) == "m"
+
+    def test_equality_and_hash(self):
+        assert Var("m") == Var("m")
+        assert hash(Var("m")) == hash(Var("m"))
+        assert Var("m") != Var("n")
+
+
+class TestShifted:
+    def test_vars(self):
+        assert Shifted("m1", 1).vars() == ("m1",)
+
+    def test_evaluate_applies_offset(self):
+        assert Shifted("m1", 1).evaluate({"m1": 3}, {}) == 4
+
+    def test_negative_offset(self):
+        assert Shifted("i", -1).evaluate({"i": 3}, {}) == 2
+
+    def test_shifted_by(self):
+        assert Shifted("m1", 1).shifted_by() == 1
+
+    def test_str(self):
+        assert str(Shifted("m1", 1)) == "m1+1"
+        assert str(Shifted("i", -2)) == "i-2"
+
+
+class TestAffine:
+    def test_vars_in_order(self):
+        expr = Affine((("m1", "M0"), ("m0", 1)))
+        assert expr.vars() == ("m1", "m0")
+
+    def test_evaluate_with_symbolic_coefficient(self):
+        expr = Affine((("m1", "M0"), ("m0", 1)))
+        assert expr.evaluate({"m1": 2, "m0": 3}, {"M0": 8}) == 19
+
+    def test_evaluate_with_offset(self):
+        expr = Affine((("k", 2),), offset=5)
+        assert expr.evaluate({"k": 3}, {}) == 11
+
+    def test_symbolic_offset(self):
+        expr = Affine((("k", 1),), offset="B")
+        assert expr.evaluate({"k": 1}, {"B": 10}) == 11
+
+    def test_str_mentions_coefficient(self):
+        assert "m1*M0" in str(Affine((("m1", "M0"), ("m0", 1))))
+
+
+class TestFixed:
+    def test_no_vars(self):
+        assert Fixed(0).vars() == ()
+
+    def test_literal(self):
+        assert Fixed(3).evaluate({}, {}) == 3
+
+    def test_symbolic(self):
+        assert Fixed("M1").evaluate({}, {"M1": 12}) == 12
+
+
+class TestFilter:
+    def test_vars_include_bound(self):
+        flt = Filter("k", "<=", Var("i"))
+        assert flt.vars() == ("k", "i")
+
+    @pytest.mark.parametrize(
+        "op,k,i,expected",
+        [
+            ("<", 2, 3, True),
+            ("<", 3, 3, False),
+            ("<=", 3, 3, True),
+            ("==", 3, 3, True),
+            (">=", 2, 3, False),
+            (">", 4, 3, True),
+        ],
+    )
+    def test_predicates(self, op, k, i, expected):
+        flt = Filter("k", op, Var("i"))
+        assert flt.test({"k": k, "i": i}, {}) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError, match="operator"):
+            Filter("k", "!=", Var("i"))
+
+    def test_str(self):
+        assert str(Filter("k", "<=", Var("i"))) == "k<=i"

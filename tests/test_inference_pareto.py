@@ -1,0 +1,119 @@
+"""Tests for the end-to-end inference model and the Fig. 12 design sweep."""
+
+import pytest
+
+from repro.arch import area_of, fusemax_arch
+from repro.model import (
+    ARRAY_DIMS,
+    FLATModel,
+    PARETO_SEQ_LEN,
+    UnfusedModel,
+    evaluate_inference,
+    evaluate_linear,
+    fusemax,
+    pareto_frontier,
+    sweep,
+)
+from repro.model.pareto import DesignPoint
+from repro.workloads import BERT, MODELS, XLM
+
+
+class TestLinearLayers:
+    def test_compute_bound_gemms(self):
+        """The weight GEMMs have high arithmetic intensity at batch 64:
+        near-full 2D utilization."""
+        phase = evaluate_linear(fusemax_arch(), BERT, 4096)
+        assert phase.busy_2d_cycles / phase.latency_cycles > 0.8
+
+    def test_latency_scales_with_sequence(self):
+        short = evaluate_linear(fusemax_arch(), BERT, 1024).latency_cycles
+        long = evaluate_linear(fusemax_arch(), BERT, 4096).latency_cycles
+        assert long == pytest.approx(4 * short, rel=0.05)
+
+    def test_same_for_all_architectures(self):
+        """The paper uses identical linear-layer mappings everywhere."""
+        a = evaluate_linear(fusemax_arch(), BERT, 4096).latency_cycles
+        b = evaluate_linear(FLATModel().arch, BERT, 4096).latency_cycles
+        assert a == pytest.approx(b)
+
+    def test_bigger_model_more_work(self):
+        bert = evaluate_linear(fusemax_arch(), BERT, 4096).latency_cycles
+        xlm = evaluate_linear(fusemax_arch(), XLM, 4096).latency_cycles
+        assert xlm > bert
+
+
+class TestInference:
+    def test_latency_is_sum_of_parts(self):
+        result = evaluate_inference(fusemax(), BERT, 4096)
+        assert result.latency_cycles == pytest.approx(
+            result.attention.latency_cycles + result.linear_latency_cycles
+        )
+
+    def test_energy_is_sum_of_parts(self):
+        result = evaluate_inference(fusemax(), BERT, 4096)
+        assert result.energy_pj == pytest.approx(
+            result.attention.energy_pj + result.linear_energy.total
+        )
+
+    def test_linear_dominates_short_attention_dominates_long(self):
+        short = evaluate_inference(fusemax(), BERT, 1024)
+        long = evaluate_inference(fusemax(), BERT, 2**20)
+        assert short.linear_latency_cycles > short.attention.latency_cycles
+        assert long.attention.latency_cycles > long.linear_latency_cycles
+
+    def test_e2e_speedup_compressed_vs_attention_only(self):
+        """Adding identical linear layers to both designs shrinks ratios."""
+        flat, fm = FLATModel(), fusemax()
+        attn_ratio = (
+            flat.evaluate(BERT, 16384).latency_cycles
+            / fm.evaluate(BERT, 16384).latency_cycles
+        )
+        e2e_ratio = (
+            evaluate_inference(flat, BERT, 16384).latency_cycles
+            / evaluate_inference(fm, BERT, 16384).latency_cycles
+        )
+        assert e2e_ratio < attn_ratio
+
+
+class TestParetoSweep:
+    def test_sweep_covers_all_dims(self):
+        points = sweep(BERT, seq_len=PARETO_SEQ_LEN)
+        assert [p.array_dim for p in points] == list(ARRAY_DIMS)
+
+    def test_latency_decreases_with_array_size(self):
+        points = sweep(BERT)
+        latencies = [p.latency_seconds for p in points]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_area_increases_with_array_size(self):
+        points = sweep(BERT)
+        areas = [p.area_cm2 for p in points]
+        assert areas == sorted(areas)
+
+    def test_area_range_matches_paper_axis(self):
+        """Fig. 12's x-axis spans roughly 0.1 to 10 cm^2."""
+        points = sweep(BERT)
+        assert points[0].area_cm2 < 0.5
+        assert points[-1].area_cm2 > 5.0
+
+    def test_all_points_on_frontier_for_this_family(self):
+        """Scaling a balanced design trades area for latency monotonically,
+        so every swept point is Pareto-optimal."""
+        points = sweep(BERT)
+        assert pareto_frontier(points) == sorted(points, key=lambda p: p.area_cm2)
+
+    def test_frontier_filters_dominated_points(self):
+        pts = [
+            DesignPoint("x", 1, area_cm2=1.0, latency_seconds=10.0),
+            DesignPoint("x", 2, area_cm2=2.0, latency_seconds=12.0),  # dominated
+            DesignPoint("x", 3, area_cm2=3.0, latency_seconds=5.0),
+        ]
+        frontier = pareto_frontier(pts)
+        assert [p.array_dim for p in frontier] == [1, 3]
+
+    def test_xlm_slowest_per_area(self):
+        """XLM's larger embeddings mean more work at equal area."""
+        bert = {p.array_dim: p.latency_seconds for p in sweep(BERT)}
+        xlm = {p.array_dim: p.latency_seconds for p in sweep(XLM)}
+        for dim in ARRAY_DIMS:
+            assert xlm[dim] > bert[dim]

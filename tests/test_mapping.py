@@ -1,0 +1,185 @@
+"""Tests for mappings, bindings, tiling legality, and the GEMM mapper."""
+
+import pytest
+
+from repro.analysis import count_passes, family
+from repro.arch import flat_arch, fusemax_arch
+from repro.cascades import attention_1pass, attention_3pass
+from repro.mapping import (
+    Binding,
+    BindingError,
+    GemmShape,
+    buffer_requirement,
+    flat_binding,
+    fusemax_binding,
+    fusemax_mapping,
+    fusion_groups,
+    gemm_latency_cycles,
+    plus_cascade_binding,
+    search_gemm_mapping,
+    validate_binding,
+    validated_bindings,
+)
+
+
+class TestLoopNest:
+    def test_mapping1_structure(self):
+        rnv, av = fusemax_mapping()
+        assert rnv.parallel_ranks() == ("p0", "m0")
+        assert rnv.sequential_ranks() == ("p2", "m1", "p1")
+        assert "BQK" in rnv.body and "RNV" in rnv.body
+        assert av.body == ("AV",)
+
+    def test_spatial_size_matches_pe_count(self):
+        rnv, _ = fusemax_mapping()
+        shapes = {"P0": 256, "M0": 256, "P1": 2, "P2": 2, "M1": 16}
+        assert rnv.spatial_size(shapes) == 256 * 256
+
+    def test_trip_count(self):
+        rnv, _ = fusemax_mapping()
+        shapes = {"P0": 256, "M0": 256, "P1": 2, "P2": 2, "M1": 16}
+        assert rnv.trip_count(shapes) == 2 * 16 * 2
+
+    def test_render_shows_parallel_for(self):
+        rnv, _ = fusemax_mapping()
+        text = rnv.render()
+        assert "parallel_for m0" in text
+        assert text.count("for") >= 5
+
+
+class TestBindings:
+    def test_all_three_validate(self):
+        flat, cascade, fused = validated_bindings(flat_arch(), fusemax_arch())
+        assert flat.on_array("2d") == ("QK", "AV")
+        assert "SLN" in fused.on_array("2d")
+        assert "SLN" in cascade.on_array("1d")
+
+    def test_fusemax_interleaves_match_fig4(self):
+        fused = fusemax_binding()
+        assert ("SLNV", "BQK") in fused.interleaved
+        assert ("SPNV", "RNV") in fused.interleaved
+
+    def test_softmax_on_plain_2d_rejected(self):
+        """FLAT's 2D PEs lack max: binding GM there must fail."""
+        bad = Binding(
+            name="bad",
+            assignment={**flat_binding().assignment, "GM": "2d"},
+        )
+        with pytest.raises(BindingError, match="max"):
+            validate_binding(bad, attention_3pass(), flat_arch())
+
+    def test_softmax_on_fusemax_2d_accepted(self):
+        moved = Binding(
+            name="moved",
+            assignment={**flat_binding().assignment, "GM": "2d", "SN": "2d"},
+        )
+        validate_binding(moved, attention_3pass(), fusemax_arch())
+
+    def test_division_never_on_2d(self):
+        bad = Binding(
+            name="bad",
+            assignment={**fusemax_binding().assignment, "AV": "2d"},
+        )
+        with pytest.raises(BindingError, match="divide"):
+            validate_binding(bad, attention_1pass(), fusemax_arch())
+
+    def test_unbound_einsum_rejected(self):
+        partial = Binding(name="partial", assignment={"QK": "2d"})
+        with pytest.raises(BindingError, match="unbound"):
+            validate_binding(partial, attention_3pass(), flat_arch())
+
+    def test_unknown_array_rejected(self):
+        bad = Binding(
+            name="bad",
+            assignment={**flat_binding().assignment, "QK": "3d"},
+        )
+        with pytest.raises(BindingError, match="unknown array"):
+            validate_binding(bad, attention_3pass(), flat_arch())
+
+    def test_cross_array_interleave_rejected(self):
+        bad = Binding(
+            name="bad",
+            assignment=fusemax_binding().assignment,
+            interleaved=(("BQK", "RM"),),
+        )
+        with pytest.raises(BindingError, match="spans arrays"):
+            validate_binding(bad, attention_1pass(), fusemax_arch())
+
+
+class TestFusionGroups:
+    def test_3pass_groups(self):
+        analysis = count_passes(attention_3pass(), family("m"))
+        groups = fusion_groups(analysis)
+        assert groups.can_fuse("QK", "GM")
+        assert groups.can_fuse("SN", "SD")
+        assert not groups.can_fuse("QK", "SN")
+        assert not groups.can_fuse("SN", "A")
+
+    def test_1pass_everything_fusable(self):
+        analysis = count_passes(attention_1pass(), family("m1", "m0"))
+        groups = fusion_groups(analysis)
+        labels = groups.groups[1]
+        assert "BQK" in labels and "SLNV" in labels
+        assert groups.can_fuse("BQK", "SLNV")
+
+    def test_unknown_label_raises(self):
+        analysis = count_passes(attention_3pass(), family("m"))
+        with pytest.raises(KeyError):
+            fusion_groups(analysis).group_of("NOPE")
+
+
+class TestBufferRequirement:
+    def test_3pass_outgrows_buffer(self):
+        shapes = {"E": 64, "F": 64, "M": 262144, "P": 1024}
+        analysis = count_passes(attention_3pass(), family("m"))
+        req = buffer_requirement(analysis, shapes, capacity_bytes=16 * 2**20)
+        assert not req.fits
+        assert req.crossing_bytes > req.capacity_bytes
+
+    def test_1pass_always_fits(self):
+        shapes = {"E": 64, "F": 64, "M": 2**20, "P": 1024,
+                  "M0": 256, "M1": 2**20 // 256}
+        analysis = count_passes(attention_1pass(), family("m1", "m0"))
+        req = buffer_requirement(analysis, shapes, capacity_bytes=16 * 2**20)
+        assert req.fits
+
+
+class TestGemmMapper:
+    def test_small_gemm_reads_inputs_once(self):
+        shape = GemmShape(m=256, n=256, k=64)
+        mapping = search_gemm_mapping(shape, fusemax_arch())
+        # Everything fits: traffic = A + B + Z exactly once.
+        expected = shape.k * shape.m + shape.k * shape.n + shape.m * shape.n
+        assert mapping.dram_words == expected
+
+    def test_large_gemm_traffic_exceeds_minimum(self):
+        shape = GemmShape(m=65536, n=65536, k=64)
+        mapping = search_gemm_mapping(shape, fusemax_arch())
+        minimum = shape.k * shape.m + shape.k * shape.n + shape.m * shape.n
+        assert mapping.dram_words > minimum
+
+    def test_mapping_respects_buffer(self):
+        arch = fusemax_arch()
+        shape = GemmShape(m=65536, n=65536, k=64)
+        mapping = search_gemm_mapping(shape, arch)
+        assert mapping.buffer_words * arch.word_bytes <= arch.global_buffer_bytes
+
+    def test_smaller_buffer_never_reduces_traffic(self):
+        shape = GemmShape(m=16384, n=16384, k=64)
+        full = search_gemm_mapping(shape, fusemax_arch(), buffer_fraction=1.0)
+        tiny = search_gemm_mapping(shape, fusemax_arch(), buffer_fraction=0.01)
+        assert tiny.dram_words >= full.dram_words
+
+    def test_latency_roofline(self):
+        arch = fusemax_arch()
+        shape = GemmShape(m=4096, n=4096, k=64)
+        mapping = search_gemm_mapping(shape, arch)
+        latency = gemm_latency_cycles(shape, arch, mapping)
+        assert latency >= shape.macs / arch.pe_2d
+
+    def test_traffic_per_mac(self):
+        shape = GemmShape(m=256, n=256, k=64)
+        mapping = search_gemm_mapping(shape, fusemax_arch())
+        assert mapping.traffic_per_mac(shape) == pytest.approx(
+            mapping.dram_words / shape.macs
+        )

@@ -1,0 +1,164 @@
+"""Tests for the per-configuration accelerator models."""
+
+import pytest
+
+from repro.arch import flat_arch, fusemax_arch
+from repro.model import (
+    FLATModel,
+    UnfusedModel,
+    all_attention_models,
+    fusemax,
+    plus_architecture,
+    plus_cascade,
+    spill_decision,
+)
+from repro.workloads import BERT, XLM
+
+
+class TestModelBasics:
+    def test_five_configurations(self):
+        names = [m.name for m in all_attention_models()]
+        assert names == ["Unfused", "FLAT", "+Cascade", "+Architecture", "+Binding"]
+
+    def test_invalid_stage_rejected(self):
+        from repro.model.fusemax import FuseMaxModel
+
+        with pytest.raises(ValueError):
+            FuseMaxModel("bogus")
+
+    @pytest.mark.parametrize("config", all_attention_models(),
+                             ids=lambda m: m.name)
+    def test_result_fields_sane(self, config):
+        result = config.evaluate(BERT, 4096)
+        assert result.latency_cycles > 0
+        assert 0 < result.util_2d <= 1.0
+        assert 0 < result.util_1d <= 1.0
+        assert result.dram_bytes > 0
+        assert result.energy_pj > 0
+
+    @pytest.mark.parametrize("config", all_attention_models(),
+                             ids=lambda m: m.name)
+    def test_latency_scales_with_batch(self, config):
+        half = config.evaluate(BERT, 4096, batch=32).latency_cycles
+        full = config.evaluate(BERT, 4096, batch=64).latency_cycles
+        assert full == pytest.approx(2 * half, rel=1e-6)
+
+
+class TestUnfused:
+    def test_softmax_phase_dominates(self):
+        """The softmax on 256 1D PEs is the bottleneck phase."""
+        result = UnfusedModel().evaluate(BERT, 16384)
+        assert result.busy_1d_cycles > result.busy_2d_cycles
+
+    def test_low_2d_utilization(self):
+        result = UnfusedModel().evaluate(BERT, 16384)
+        assert result.util_2d < 0.15
+
+    def test_dram_traffic_includes_intermediates(self):
+        unfused = UnfusedModel().evaluate(BERT, 4096)
+        fused = FLATModel().evaluate(BERT, 4096)
+        assert unfused.dram_bytes > fused.dram_bytes
+
+
+class TestFLAT:
+    def test_compute_bound_at_short_lengths(self):
+        result = FLATModel().evaluate(BERT, 4096)
+        assert result.util_1d == pytest.approx(1.0)
+
+    def test_memory_bound_at_long_lengths(self):
+        """Fig. 6a: FLAT's utilization drops for L >= 256K."""
+        result = FLATModel().evaluate(BERT, 262144)
+        assert result.util_1d < 0.9
+
+    def test_spill_decision_resident_at_1k(self):
+        assert spill_decision(flat_arch(), 64, 64, 1024, 1024).strategy == "resident"
+
+    def test_spill_decision_retile_at_16k(self):
+        decision = spill_decision(flat_arch(), 64, 64, 16384, 16384)
+        assert decision.strategy == "retile"
+        assert decision.extra_dram_words > 0
+
+    def test_spill_decision_spill_at_256k(self):
+        m = 262144
+        decision = spill_decision(flat_arch(), 64, 64, m, m)
+        assert decision.strategy == "spill"
+        assert decision.extra_dram_words == 5.0 * m * m
+
+    def test_spill_threshold_monotone(self):
+        """Extra traffic never decreases with sequence length."""
+        extras = [
+            spill_decision(flat_arch(), 64, 64, m, m).extra_dram_words
+            for m in (1024, 4096, 16384, 65536, 262144)
+        ]
+        assert extras == sorted(extras)
+
+    def test_1d_array_is_the_bottleneck(self):
+        result = FLATModel().evaluate(BERT, 4096)
+        assert result.busy_1d_cycles > result.busy_2d_cycles
+
+
+class TestFuseMaxConfigs:
+    def test_cascade_uses_flat_architecture(self):
+        assert plus_cascade().arch.exp_unit_1d
+        assert not fusemax().arch.exp_unit_1d
+
+    def test_cascade_slower_than_flat_at_short_lengths(self):
+        """Fig. 6b/8: the 1-pass cascade alone costs extra compute."""
+        flat = FLATModel().evaluate(BERT, 4096)
+        cascade = plus_cascade().evaluate(BERT, 4096)
+        assert cascade.latency_cycles > flat.latency_cycles
+
+    def test_cascade_beats_flat_at_long_lengths(self):
+        flat = FLATModel().evaluate(BERT, 2**20)
+        cascade = plus_cascade().evaluate(BERT, 2**20)
+        assert cascade.latency_cycles < flat.latency_cycles
+
+    def test_cascade_utilization_length_invariant(self):
+        utils = [
+            plus_cascade().evaluate(BERT, L).util_1d
+            for L in (4096, 65536, 2**20)
+        ]
+        assert max(utils) - min(utils) < 1e-6
+
+    def test_architecture_stalls_both_arrays(self):
+        """Fig. 6: without the binding, fills/drains serialize."""
+        result = plus_architecture().evaluate(BERT, 16384)
+        assert result.util_1d < 0.3
+        assert result.util_2d < 0.3
+
+    def test_binding_achieves_near_full_utilization(self):
+        result = fusemax().evaluate(BERT, 65536)
+        assert result.util_1d > 0.95
+        assert result.util_2d > 0.9
+
+    def test_binding_dram_independent_of_intermediates(self):
+        """FuseMax traffic = inputs + output only: linear in L."""
+        b4k = fusemax().evaluate(BERT, 4096).dram_bytes
+        b16k = fusemax().evaluate(BERT, 16384).dram_bytes
+        assert b16k == pytest.approx(4 * b4k, rel=1e-6)
+
+    def test_binding_never_spills(self):
+        fm = fusemax().evaluate(BERT, 2**20)
+        fl = FLATModel().evaluate(BERT, 2**20)
+        assert fm.dram_bytes < fl.dram_bytes
+
+    def test_energy_dominated_by_2d_compute(self):
+        """Sec. VI-B: >= 95% of FuseMax energy is 2D-array compute."""
+        result = fusemax().evaluate(BERT, 65536)
+        assert result.energy.fraction("compute_2d") >= 0.95
+
+    def test_xlm_lower_speedup(self):
+        """Fig. 8: XLM's larger E/F gives the baselines better 2D
+        utilization, shrinking FuseMax's advantage."""
+        def speedup(model):
+            flat = FLATModel().evaluate(model, 16384).latency_cycles
+            fm = fusemax().evaluate(model, 16384).latency_cycles
+            return flat / fm
+
+        assert speedup(XLM) < speedup(BERT)
+
+    def test_per_einsum_cycles_cover_busy_time(self):
+        result = fusemax().evaluate(BERT, 16384)
+        assert sum(result.per_einsum_2d_cycles.values()) == pytest.approx(
+            result.busy_2d_cycles
+        )

@@ -1,0 +1,118 @@
+"""Tests for operation counting — including the division-reduction result
+of Section IV-D and the 1-pass compute overhead of Section IV-E3."""
+
+import pytest
+
+from repro.analysis.opcount import EXP_MACCS, OpCounts, count_ops, total_ops
+from repro.cascades import (
+    attention_1pass,
+    attention_2pass,
+    attention_3pass,
+    cascade1_two_pass,
+    cascade2_deferred,
+)
+
+SHAPES = {"E": 64, "F": 64, "M": 1024, "P": 256, "M0": 16, "M1": 64, "K": 100}
+M, P, E, F = SHAPES["M"], SHAPES["P"], SHAPES["E"], SHAPES["F"]
+
+
+class TestOpCounts:
+    def test_addition(self):
+        total = OpCounts({"macc": 3}) + OpCounts({"macc": 4, "exp": 1})
+        assert total.get("macc") == 7
+        assert total.get("exp") == 1
+        assert total.total == 8
+
+    def test_macc_equivalents_expand_exp(self):
+        counts = OpCounts({"macc": 10, "exp": 2, "divide": 5})
+        assert counts.macc_equivalents() == 10 + 2 * EXP_MACCS
+
+    def test_get_missing_class_is_zero(self):
+        assert OpCounts({}).get("divide") == 0
+
+
+class TestGEMMCounting:
+    def test_qk_maccs(self):
+        per = count_ops(attention_3pass(), SHAPES)
+        assert per["QK"].get("macc") == E * M * P
+
+    def test_av_maccs(self):
+        per = count_ops(attention_3pass(), SHAPES)
+        assert per["AV"].get("macc") == F * M * P
+
+    def test_fused_reduction_not_double_counted(self):
+        """QK's sum reduction folds into the MACC; no separate adds."""
+        per = count_ops(attention_3pass(), SHAPES)
+        assert per["QK"].get("add") == 0
+
+
+class TestSoftmaxCounting:
+    def test_global_max_ops(self):
+        per = count_ops(attention_3pass(), SHAPES)
+        assert per["GM"].get("max") == M * P
+
+    def test_exponential_count(self):
+        per = count_ops(attention_3pass(), SHAPES)
+        assert per["SN"].get("exp") == M * P
+
+    def test_denominator_adds(self):
+        per = count_ops(attention_3pass(), SHAPES)
+        assert per["SD"].get("add") == M * P
+
+
+class TestDivisionReduction:
+    """Sec. IV-D: the reassociation reduces divisions by M/F."""
+
+    def test_3pass_divisions(self):
+        assert total_ops(attention_3pass(), SHAPES).get("divide") == M * P
+
+    def test_divopt_divisions(self):
+        assert total_ops(attention_3pass(div_opt=True), SHAPES).get("divide") == F * P
+
+    def test_reduction_factor(self):
+        plain = total_ops(attention_3pass(), SHAPES).get("divide")
+        opt = total_ops(attention_3pass(div_opt=True), SHAPES).get("divide")
+        assert plain // opt == M // F
+
+    def test_1pass_inherits_reduced_divisions(self):
+        assert total_ops(attention_1pass(), SHAPES).get("divide") == F * P
+
+    def test_2pass_divopt(self):
+        assert total_ops(attention_2pass(div_opt=True), SHAPES).get("divide") == F * P
+
+
+class TestOnePassOverhead:
+    """Sec. IV-E3: 'Note the evidently increased compute relative to the
+    3-pass cascade.'"""
+
+    def test_1pass_more_exps(self):
+        exp1 = total_ops(attention_1pass(), SHAPES).get("exp")
+        exp3 = total_ops(attention_3pass(), SHAPES).get("exp")
+        assert exp1 == exp3 + SHAPES["M1"] * P  # PRM corrections
+
+    def test_1pass_more_total_work(self):
+        t1 = total_ops(attention_1pass(), SHAPES)
+        t3 = total_ops(attention_3pass(), SHAPES)
+        assert t1.macc_equivalents() > t3.macc_equivalents()
+
+    def test_overhead_shrinks_with_larger_blocks(self):
+        """Corrections are per-M1-chunk: larger M0 means fewer chunks."""
+        small = dict(SHAPES, M0=16, M1=64)
+        large = dict(SHAPES, M0=64, M1=16)
+        t_small = total_ops(attention_1pass(), small).macc_equivalents()
+        t_large = total_ops(attention_1pass(), large).macc_equivalents()
+        assert t_large < t_small
+
+
+class TestViewsAndInits:
+    def test_views_are_free(self):
+        per = count_ops(attention_1pass(), SHAPES)
+        assert per["BK"].total == 0
+        assert per["BV"].total == 0
+
+    def test_pedagogical_counts(self):
+        per1 = count_ops(cascade1_two_pass(), {"K": 100})
+        assert per1["Y"].get("macc") == 100
+        assert per1["Z"].get("macc") == 100  # K multiplications (Einsum 6)
+        per2 = count_ops(cascade2_deferred(), {"K": 100})
+        assert per2["Z"].get("macc") == 1  # a single multiplication (Einsum 9)

@@ -1,0 +1,114 @@
+"""Unit tests for map/reduce/unary actions (repro.einsum.ops)."""
+
+import numpy as np
+import pytest
+
+from repro.einsum.ops import (
+    ADD,
+    DIV,
+    EXP,
+    MAX,
+    MAX_REDUCE,
+    MUL,
+    NEG,
+    SIGMOID,
+    SUB,
+    SUB_THEN_EXP,
+    SUM_REDUCE,
+    map_op,
+    reduce_op,
+    unary_op,
+)
+
+
+class TestMapOps:
+    def test_mul(self):
+        assert MUL(np.array([2.0, 3.0]), np.array([4.0, 5.0])).tolist() == [8, 15]
+
+    def test_add(self):
+        assert ADD(np.array([1.0]), np.array([2.0])).tolist() == [3.0]
+
+    def test_sub(self):
+        assert SUB(np.array([5.0]), np.array([2.0])).tolist() == [3.0]
+
+    def test_max_is_elementwise(self):
+        out = MAX(np.array([1.0, 9.0]), np.array([5.0, 2.0]))
+        assert out.tolist() == [5.0, 9.0]
+
+    def test_sub_then_exp(self):
+        out = SUB_THEN_EXP(np.array([1.0]), np.array([1.0]))
+        assert out.tolist() == [1.0]
+
+    def test_sub_then_exp_of_minus_inf(self):
+        out = SUB_THEN_EXP(np.array([-np.inf]), np.array([0.0]))
+        assert out.tolist() == [0.0]
+
+    def test_div(self):
+        assert DIV(np.array([6.0]), np.array([3.0])).tolist() == [2.0]
+
+    def test_div_culls_zero_divisor(self):
+        """EDGE's ÷(←) merge leaves zero where the divisor is zero."""
+        out = DIV(np.array([1.0, 2.0]), np.array([0.0, 2.0]))
+        assert out.tolist() == [0.0, 1.0]
+
+    def test_div_broadcasts(self):
+        out = DIV(np.ones((2, 3)), np.array([1.0, 2.0, 4.0]))
+        assert out.shape == (2, 3)
+        assert out[0].tolist() == [1.0, 0.5, 0.25]
+
+    def test_merge_labels(self):
+        assert MUL.merge == "intersection"
+        assert ADD.merge == "union"
+        assert DIV.merge == "right-nonzero"
+        assert SUB_THEN_EXP.merge == "pass-through"
+
+    def test_cost_classes(self):
+        assert MUL.cost_class == "macc"
+        assert MAX.cost_class == "max"
+        assert DIV.cost_class == "divide"
+        assert SUB_THEN_EXP.cost_class == "exp"
+
+
+class TestReduceOps:
+    def test_sum_reduce(self):
+        arr = np.arange(6.0).reshape(2, 3)
+        assert SUM_REDUCE.reduce(arr, axis=0).tolist() == [3.0, 5.0, 7.0]
+
+    def test_max_reduce(self):
+        arr = np.array([[1.0, 9.0], [5.0, 2.0]])
+        assert MAX_REDUCE.reduce(arr, axis=1).tolist() == [9.0, 5.0]
+
+    def test_identities(self):
+        assert SUM_REDUCE.identity == 0.0
+        assert MAX_REDUCE.identity == -np.inf
+
+
+class TestUnaryOps:
+    def test_exp(self):
+        assert EXP(np.array([0.0])).tolist() == [1.0]
+
+    def test_neg(self):
+        assert NEG(np.array([3.0])).tolist() == [-3.0]
+
+    def test_sigmoid_midpoint(self):
+        assert SIGMOID(np.array([0.0])).tolist() == [0.5]
+
+    def test_sigmoid_saturates(self):
+        assert SIGMOID(np.array([100.0]))[0] == pytest.approx(1.0)
+
+
+class TestRegistries:
+    def test_map_lookup(self):
+        assert map_op("mul") is MUL
+        assert map_op("sub-then-exp") is SUB_THEN_EXP
+
+    def test_reduce_lookup(self):
+        assert reduce_op("max") is MAX_REDUCE
+
+    def test_unary_lookup(self):
+        assert unary_op("exp") is EXP
+
+    @pytest.mark.parametrize("lookup", [map_op, reduce_op, unary_op])
+    def test_unknown_name_raises(self, lookup):
+        with pytest.raises(KeyError):
+            lookup("nope")

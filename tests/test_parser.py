@@ -1,0 +1,196 @@
+"""Tests for the Einsum text parser."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.einsum import (
+    Affine,
+    Cascade,
+    Fixed,
+    IterativeRank,
+    MAX_REDUCE,
+    Shifted,
+    Var,
+)
+from repro.einsum.ops import MAX, MUL, SUB_THEN_EXP
+from repro.einsum.parser import ParseError, parse_einsum
+from repro.einsum.tensor import Leaf, Literal, Map, Unary
+from repro.functional import attention, evaluate_output
+
+
+class TestTensorRefs:
+    def test_gemm(self):
+        e = parse_einsum("Z[m, n] = A[k, m] * B[k, n]")
+        assert e.writes_tensor() == "Z"
+        assert e.output.indices == (Var("m"), Var("n"))
+        assert e.read_tensors() == frozenset({"A", "B"})
+        assert e.reduced_vars() == ("k",)
+
+    def test_scalar_tensor(self):
+        e = parse_einsum("Y = A[k] * B[k]")
+        assert e.output.indices == ()
+
+    def test_shifted_index(self):
+        e = parse_einsum("RM[m1+1, p] = max(RM[m1, p], LM[m1, p])")
+        assert e.output.indices[0] == Shifted("m1", 1)
+        assert isinstance(e.expr, Map) and e.expr.op is MAX
+
+    def test_negative_shift(self):
+        e = parse_einsum("Z[i-1] = A[i]")
+        assert e.output.indices[0] == Shifted("i", -1)
+
+    def test_fixed_numeric_index(self):
+        e = parse_einsum("RD[0, p] = 0.0", init=True)
+        assert e.output.indices[0] == Fixed(0)
+        assert e.is_initialization
+
+    def test_fixed_symbolic_index(self):
+        e = parse_einsum("AV[f, p] = RNV[f, M1, p] / RD[M1, p]")
+        rnv = list(e.expr.refs())[0]
+        assert rnv.indices[1] == Fixed("M1")
+
+    def test_affine_index(self):
+        e = parse_einsum("BK[e, m1, m0] = K[e, m1*M0 + m0]", view=True)
+        k_ref = list(e.expr.refs())[0]
+        assert k_ref.indices[1] == Affine((("m1", "M0"), ("m0", 1)))
+        assert e.is_view
+
+    def test_filtered_index(self):
+        e = parse_einsum("S[i+1] = A[k : k <= i]")
+        a_ref = list(e.expr.refs())[0]
+        assert len(a_ref.filters) == 1
+        assert a_ref.filters[0].var == "k"
+        assert a_ref.filters[0].op == "<="
+
+
+class TestExpressions:
+    def test_precedence(self):
+        e = parse_einsum("Z[m] = A[m] + B[m] * C[m]")
+        assert e.expr.op.name == "add"
+        assert e.expr.rhs.op.name == "mul"
+
+    def test_parentheses(self):
+        e = parse_einsum("Z[m] = (A[m] + B[m]) * C[m]")
+        assert e.expr.op.name == "mul"
+
+    def test_division(self):
+        e = parse_einsum("A[m, p] = SN[m, p] / SD[p]")
+        assert e.expr.op.name == "div"
+
+    def test_exp_of_subtraction_folds_to_sub_then_exp(self):
+        e = parse_einsum("SN[m, p] = exp(QK[m, p] - GM[p])")
+        assert isinstance(e.expr, Map)
+        assert e.expr.op is SUB_THEN_EXP
+
+    def test_plain_exp_stays_unary(self):
+        e = parse_einsum("SN[m, p] = exp(QK[m, p])")
+        assert isinstance(e.expr, Unary)
+        assert e.expr.op.name == "exp"
+
+    def test_sigmoid(self):
+        e = parse_einsum("Z[m] = sigmoid(A[m])")
+        assert isinstance(e.expr, Unary)
+
+    def test_literals(self):
+        assert parse_einsum("RM[0, p] = -inf").expr == Literal(-math.inf)
+        assert parse_einsum("X = 2.5").expr == Literal(2.5)
+
+    def test_reduction_override(self):
+        e = parse_einsum("GM[p] = QK[m, p] :: max(m)")
+        assert e.reduce_action("m") is MAX_REDUCE
+
+    def test_triple_product(self):
+        e = parse_einsum("Z[p] = A[m, p] * B[m] * C[p]")
+        assert len(list(e.expr.refs())) == 3
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "Z[m] =",
+            "Z[m] = A[m] extra",
+            "Z[m] = A[m :: max(m)",
+            "= A[m]",
+            "Z[m] = A[m] :: min(m)",
+            "Z[m] = A[m",
+            "Z[m] @ A[m]",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse_einsum(bad)
+
+
+class TestParsedCascadesExecute:
+    def test_parsed_attention_matches_builder(self, rng):
+        """A 3-pass attention cascade authored entirely as text."""
+        einsums = [
+            parse_einsum("QK[m, p] = Q[e, p] * K[e, m]"),
+            parse_einsum("GM[p] = QK[m, p] :: max(m)"),
+            parse_einsum("SN[m, p] = exp(QK[m, p] - GM[p])"),
+            parse_einsum("SD[p] = SN[m, p]"),
+            parse_einsum("A[m, p] = SN[m, p] / SD[p]"),
+            parse_einsum("AV[f, p] = A[m, p] * V[f, m]"),
+        ]
+        cascade = Cascade.build(
+            "parsed-attention",
+            einsums,
+            inputs=["Q", "K", "V"],
+            rank_shapes={"e": "E", "f": "F", "m": "M", "p": "P"},
+            outputs=["AV"],
+        )
+        shapes = {"E": 4, "F": 5, "M": 8, "P": 3}
+        inputs = {
+            "Q": rng.normal(size=(4, 3)),
+            "K": rng.normal(size=(4, 8)),
+            "V": rng.normal(size=(5, 8)),
+        }
+        out = evaluate_output(cascade, shapes, inputs)
+        assert np.allclose(out, attention(inputs["Q"], inputs["K"], inputs["V"]))
+
+    def test_parsed_iterative_cascade(self, rng):
+        einsums = [
+            parse_einsum("S[0] = 0.0", init=True),
+            parse_einsum("S[i+1] = S[i] + A[i]"),
+        ]
+        cascade = Cascade.build(
+            "parsed-prefix",
+            einsums,
+            inputs=["A"],
+            rank_shapes={"i": "K"},
+            iterative=[IterativeRank("i", "K")],
+        )
+        from repro.functional import evaluate
+
+        a = rng.normal(size=6)
+        s = evaluate(cascade, {"K": 6}, {"A": a})["S"]
+        assert np.allclose(s, np.concatenate([[0.0], np.cumsum(a)]))
+
+    def test_parsed_partition_view(self, rng):
+        from repro.functional import evaluate
+
+        cascade = Cascade.build(
+            "parsed-view",
+            [parse_einsum("BK[e, m1, m0] = K[e, m1*M0 + m0]", view=True)],
+            inputs=["K"],
+            rank_shapes={"e": "E", "m1": "M1", "m0": "M0"},
+        )
+        k = rng.normal(size=(2, 12))
+        out = evaluate(cascade, {"E": 2, "M1": 3, "M0": 4}, {"K": k})["BK"]
+        assert np.allclose(out, k.reshape(2, 3, 4))
+
+    def test_parse_analysis_round_trip(self):
+        """Pass analysis works identically on parsed cascades."""
+        from repro.analysis import count_passes, family
+
+        einsums = [
+            parse_einsum("Y = A[k] * B[k]"),
+            parse_einsum("Z = Y * A[k]"),
+        ]
+        cascade = Cascade.build(
+            "parsed-cascade1", einsums, inputs=["A", "B"], rank_shapes={"k": "K"}
+        )
+        assert count_passes(cascade, family("k")).num_passes == 2

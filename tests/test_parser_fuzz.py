@@ -1,0 +1,55 @@
+"""Fuzz tests: the parser must parse or raise ParseError — never crash."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.einsum.parser import ParseError, parse_einsum
+
+_ALPHABET = "ABXYZabkmnp01 []=+-*/(),:<>"
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(alphabet=_ALPHABET, max_size=40))
+def test_parser_never_crashes(text):
+    try:
+        parse_einsum(text)
+    except ParseError:
+        pass  # rejection is the expected failure mode
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.sampled_from(["Z", "Out", "R2"]),
+    st.lists(st.sampled_from(["m", "n", "k", "p"]), min_size=0, max_size=3,
+             unique=True),
+    st.sampled_from(["A[k]", "A[k] * B[k]", "exp(A[k])", "A[k] + 1.0",
+                     "max(A[k], B[k])", "A[k] / B[k]"]),
+)
+def test_wellformed_statements_always_parse(out, ranks, rhs):
+    lhs = out if not ranks else f"{out}[{', '.join(ranks)}]"
+    einsum = parse_einsum(f"{lhs} = {rhs}")
+    assert einsum.writes_tensor() == out
+    assert len(einsum.output.indices) == len(ranks)
+
+
+class TestParserDeterminism:
+    """Parsing is pure: the same text yields structurally equal Einsums."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Z[m, n] = A[k, m] * B[k, n]",
+            "GM[p] = QK[m, p] :: max(m)",
+            "SN[m, p] = exp(QK[m, p] - GM[p])",
+            "A[m, p] = SN[m, p] / SD[p]",
+            "RM[m1+1, p] = max(RM[m1, p], LM[m1, p])",
+            "BK[e, m1, m0] = K[e, m1*M0 + m0]",
+            "S[i+1] = A[k : k <= i]",
+        ],
+    )
+    def test_determinism(self, text):
+        first = parse_einsum(text)
+        second = parse_einsum(text)
+        assert first.output == second.output
+        assert str(first.expr) == str(second.expr)
+        assert dict(first.reductions) == dict(second.reductions)

@@ -1,0 +1,100 @@
+"""Property tests for pass counting on synthetic reduce-and-revisit chains.
+
+Each stage of the chain reduces the whole K fiber and feeds the result
+back into a point-wise revisit of that fiber:
+
+    X1[k] = X0[k] - (X0[k] :: max(k))
+    X2[k] = X1[k] - (X1[k] :: max(k))
+    ...
+
+Every stage forces one more pass, so an n-stage chain is (n+1)-pass: the
+generalization behind the 3-pass softmax (which is exactly a 2-stage
+chain: max-subtract then sum-divide).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import numpy as np
+
+from repro.analysis import count_passes, family, live_footprints
+from repro.einsum import (
+    Cascade,
+    Einsum,
+    MAX_REDUCE,
+    SUB,
+    Map,
+    TensorRef,
+    ref,
+)
+from repro.functional import evaluate
+
+
+def reduction_chain(stages: int) -> Cascade:
+    """A cascade with ``stages`` reduce-then-revisit stages over rank k."""
+    einsums = []
+    current = "X0"
+    for i in range(stages):
+        reduced = f"R{i}"
+        nxt = f"X{i + 1}"
+        einsums.append(
+            Einsum(
+                output=TensorRef.of(reduced),
+                expr=ref(current, "k"),
+                reductions={"k": MAX_REDUCE},
+                name=reduced,
+            )
+        )
+        einsums.append(
+            Einsum(
+                output=TensorRef.of(nxt, "k"),
+                expr=Map(SUB, ref(current, "k"), ref(reduced)),
+                name=nxt,
+            )
+        )
+        current = nxt
+    return Cascade.build(
+        name=f"chain-{stages}",
+        einsums=einsums,
+        inputs=["X0"],
+        rank_shapes={"k": "K"},
+        outputs=[current],
+    )
+
+
+class TestReductionChains:
+    @pytest.mark.parametrize("stages", [1, 2, 3, 5, 8])
+    def test_chain_pass_count(self, stages):
+        cascade = reduction_chain(stages)
+        assert count_passes(cascade, family("k")).num_passes == stages + 1
+
+    @pytest.mark.parametrize("stages", [2, 4])
+    def test_every_intermediate_crosses(self, stages):
+        cascade = reduction_chain(stages)
+        analysis = count_passes(cascade, family("k"))
+        report = live_footprints(analysis, {"K": 128})
+        # Every X_i (i < stages) is revisited after its reduction: full
+        # fiber live.  The final X_stages is the output.
+        for i in range(1, stages):
+            assert report.entries[f"X{i}"].family_elems == 128
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=6), st.integers(0, 2**31))
+    def test_chain_numerics(self, stages, seed):
+        """Each stage subtracts the running max; after one stage the max
+        is 0, and further stages leave the tensor unchanged."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=16)
+        cascade = reduction_chain(stages)
+        tensors = evaluate(cascade, {"K": 16}, {"X0": x})
+        expected = x - x.max()
+        assert np.allclose(tensors[f"X{stages}"], expected)
+
+    def test_zero_stages_is_trivial(self):
+        cascade = Cascade.build(
+            "identity",
+            [Einsum(output=TensorRef.of("Y", "k"), expr=ref("X0", "k"), name="Y")],
+            inputs=["X0"],
+            rank_shapes={"k": "K"},
+        )
+        assert count_passes(cascade, family("k")).num_passes == 1

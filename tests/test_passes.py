@@ -1,0 +1,150 @@
+"""Tests for the pass-counting analysis (Section III) — the paper's first
+contribution.  Every worked example from the paper is checked."""
+
+import pytest
+
+from repro.analysis.passes import RankFamily, count_passes, family
+from repro.cascades import (
+    attention_1pass,
+    attention_2pass,
+    attention_3pass,
+    attention_naive,
+    cascade1_two_pass,
+    cascade2_deferred,
+    cascade3_iterative,
+    iterative_prefix_sum,
+)
+
+
+class TestRankFamily:
+    def test_single_var(self):
+        fam = family("m")
+        assert fam.outer == "m" and fam.inner == "m"
+
+    def test_partitioned(self):
+        fam = family("m1", "m0")
+        assert fam.outer == "m1" and fam.inner == "m0"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RankFamily(())
+
+    def test_str(self):
+        assert str(family("m1", "m0")) == "(m1, m0)"
+
+
+class TestPaperExamples:
+    """Pass counts from the paper, verified by the analysis."""
+
+    @pytest.mark.parametrize(
+        "builder,fam,expected",
+        [
+            (cascade1_two_pass, ("k",), 2),  # Sec. III-A
+            (cascade2_deferred, ("k",), 1),  # Sec. III-C1
+            (cascade3_iterative, ("i",), 1),  # Sec. III-C2
+            (iterative_prefix_sum, ("i",), 1),
+            (attention_naive, ("m",), 2),
+            (attention_3pass, ("m",), 3),  # Cascade 4
+            (lambda: attention_3pass(div_opt=True), ("m",), 2),  # Sec. IV-E3
+            (attention_2pass, ("m1", "m0"), 2),  # Sec. IV-E2
+            (lambda: attention_2pass(div_opt=True), ("m1", "m0"), 2),
+            (attention_1pass, ("m1", "m0"), 1),  # Cascade 5
+        ],
+        ids=[
+            "cascade1=2",
+            "cascade2=1",
+            "cascade3=1",
+            "prefix=1",
+            "naive=2",
+            "3pass=3",
+            "3pass-divopt=2",
+            "2pass=2",
+            "2pass-divopt=2",
+            "1pass=1",
+        ],
+    )
+    def test_pass_count(self, builder, fam, expected):
+        analysis = count_passes(builder(), family(*fam))
+        assert analysis.num_passes == expected
+
+
+class TestPassAssignment:
+    def test_3pass_einsum_phases(self):
+        """Cascade 4's Einsums land in the passes annotated in the paper."""
+        analysis = count_passes(attention_3pass(), family("m"))
+        assert analysis.pass_of("QK") == 1  # Pass 1
+        assert analysis.pass_of("GM") == 1
+        assert analysis.pass_of("SN") == 2  # Pass 2
+        assert analysis.pass_of("SD") == 2
+        assert analysis.pass_of("A") == 3  # Pass 3
+        assert analysis.pass_of("AV") == 3
+
+    def test_1pass_everything_in_pass_one(self):
+        analysis = count_passes(attention_1pass(), family("m1", "m0"))
+        for label in ("BQK", "LM", "SLN", "SLD", "SLNV"):
+            assert analysis.pass_of(label) == 1
+
+    def test_1pass_final_division_outside_passes(self):
+        """AV reads only the final coordinates: it does not traverse M."""
+        analysis = count_passes(attention_1pass(), family("m1", "m0"))
+        info = analysis.info["AV"]
+        assert not info.participates
+        assert info.pass_number is None
+        assert info.time > 1.0  # strictly after the single pass
+
+    def test_2pass_correction_in_pass_two(self):
+        analysis = count_passes(attention_2pass(), family("m1", "m0"))
+        assert analysis.pass_of("BQK") == 1
+        assert analysis.pass_of("SLN") == 1
+        assert analysis.pass_of("SN") == 2
+        assert analysis.pass_of("AV") == 2
+
+    def test_2pass_denominator_between_passes(self):
+        """SD is assembled from partition-granular tensors between passes."""
+        analysis = count_passes(attention_2pass(), family("m1", "m0"))
+        info = analysis.info["SD"]
+        assert not info.participates
+        assert 1.0 < info.time < 2.0
+
+    def test_views_excluded(self):
+        analysis = count_passes(attention_1pass(), family("m1", "m0"))
+        assert analysis.info["BK"].is_view
+        assert analysis.info["BK"].pass_number is None
+
+    def test_participating_labels(self):
+        analysis = count_passes(attention_3pass(), family("m"))
+        assert set(analysis.participating()) == {"QK", "GM", "SN", "SD", "A", "AV"}
+
+
+class TestOtherRankFamilies:
+    def test_3pass_is_single_pass_over_p(self):
+        """Over the query rank P, attention needs only one pass — queries
+        stream independently."""
+        analysis = count_passes(attention_3pass(), family("p"))
+        assert analysis.num_passes == 1
+
+    def test_3pass_over_embedding(self):
+        """E appears only inside QK's reduction: one pass."""
+        analysis = count_passes(attention_3pass(), family("e"))
+        assert analysis.num_passes == 1
+
+    def test_unrelated_rank_gives_zero_passes(self):
+        analysis = count_passes(cascade1_two_pass(), family("zzz"))
+        assert analysis.num_passes == 0
+
+
+class TestMappingIndependence:
+    def test_partitioning_does_not_change_3pass_count(self):
+        """Cascade 4 partitioned on M is still 3-pass: partitioning is a
+        mapping choice, and pass counts are mapping-independent."""
+        # The 2-pass cascade with its correction removed degenerates to
+        # a partitioned 3-pass; here we simply re-verify both published
+        # partitioned cascades against their un-partitioned counterparts.
+        assert count_passes(attention_3pass(), family("m")).num_passes == 3
+        assert count_passes(attention_2pass(), family("m1", "m0")).num_passes == 2
+
+    def test_analysis_is_deterministic(self):
+        a1 = count_passes(attention_1pass(), family("m1", "m0"))
+        a2 = count_passes(attention_1pass(), family("m1", "m0"))
+        assert a1.num_passes == a2.num_passes
+        assert a1.info == a2.info

@@ -1,0 +1,79 @@
+"""Tests for the Section III pedagogical cascades (Cascades 1-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cascades import (
+    cascade1_two_pass,
+    cascade2_deferred,
+    cascade3_iterative,
+    iterative_prefix_sum,
+)
+from repro.cascades.pedagogical import filtered_prefix_sum
+from repro.functional import evaluate, evaluate_output
+
+
+def _expected_z(a, b):
+    """Z = (Σ_k A_k B_k) × (Σ_k A_k) — what all three cascades compute."""
+    return float((a * b).sum() * a.sum())
+
+
+class TestCascadeEquivalence:
+    def test_cascade1(self, rng):
+        a, b = rng.normal(size=8), rng.normal(size=8)
+        out = evaluate_output(cascade1_two_pass(), {"K": 8}, {"A": a, "B": b}, "Z")
+        assert np.isclose(out, _expected_z(a, b))
+
+    def test_cascade2(self, rng):
+        a, b = rng.normal(size=8), rng.normal(size=8)
+        out = evaluate_output(cascade2_deferred(), {"K": 8}, {"A": a, "B": b}, "Z")
+        assert np.isclose(out, _expected_z(a, b))
+
+    def test_cascade3_positive_inputs(self, rng):
+        """Cascade 3's derivation divides by RY_i, so it requires the
+        partial dot products to stay non-zero; positive inputs guarantee
+        that (the paper presents it as a formal reassociation)."""
+        a = np.abs(rng.normal(size=8)) + 0.1
+        b = np.abs(rng.normal(size=8)) + 0.1
+        out = evaluate_output(cascade3_iterative(), {"K": 8}, {"A": a, "B": b}, "Z")
+        assert np.isclose(out, _expected_z(a, b))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=16), st.integers(0, 2**31))
+    def test_cascade1_equals_cascade2_for_any_size(self, k, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.normal(size=k), rng.normal(size=k)
+        z1 = evaluate_output(cascade1_two_pass(), {"K": k}, {"A": a, "B": b}, "Z")
+        z2 = evaluate_output(cascade2_deferred(), {"K": k}, {"A": a, "B": b}, "Z")
+        assert np.isclose(z1, z2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=16), st.integers(0, 2**31))
+    def test_cascade3_equals_cascade1_for_positive_inputs(self, k, seed):
+        rng = np.random.default_rng(seed)
+        a = np.abs(rng.normal(size=k)) + 0.1
+        b = np.abs(rng.normal(size=k)) + 0.1
+        z1 = evaluate_output(cascade1_two_pass(), {"K": k}, {"A": a, "B": b}, "Z")
+        z3 = evaluate_output(cascade3_iterative(), {"K": k}, {"A": a, "B": b}, "Z")
+        assert np.isclose(z1, z3)
+
+
+class TestPrefixSums:
+    def test_iterative_prefix_sum(self, rng):
+        a = rng.normal(size=10)
+        s = evaluate(iterative_prefix_sum(), {"K": 10}, {"A": a})["S"]
+        assert np.allclose(s, np.concatenate([[0.0], np.cumsum(a)]))
+
+    def test_filtered_prefix_sum_matches_iterative(self, rng):
+        """Sec. II-C3 vs II-C4: both definitions produce the same tensor;
+        the filtered form just recomputes each sum from scratch."""
+        a = rng.normal(size=7)
+        s_filtered = evaluate(filtered_prefix_sum(), {"K": 7}, {"A": a})["S"]
+        s_iterative = evaluate(iterative_prefix_sum(), {"K": 7}, {"A": a})["S"]
+        assert np.allclose(s_filtered, s_iterative)
+
+    def test_empty_prefix_is_zero(self, rng):
+        a = rng.normal(size=4)
+        s = evaluate(iterative_prefix_sum(), {"K": 4}, {"A": a})["S"]
+        assert s[0] == 0.0

@@ -1,0 +1,74 @@
+"""Tests for the standalone softmax cascades and the result metrics."""
+
+import numpy as np
+import pytest
+
+from repro.arch.energy import EnergyBreakdown
+from repro.cascades import naive_softmax, stable_softmax
+from repro.functional import evaluate_output, softmax
+from repro.model.metrics import AttentionResult
+
+
+class TestSoftmaxCascades:
+    @pytest.fixture
+    def qk(self, rng):
+        return rng.normal(size=(8, 3))
+
+    def test_naive_matches_reference(self, qk):
+        out = evaluate_output(naive_softmax(), {"M": 8, "P": 3}, {"QK": qk})
+        assert np.allclose(out, softmax(qk))
+
+    def test_stable_matches_reference(self, qk):
+        out = evaluate_output(stable_softmax(), {"M": 8, "P": 3}, {"QK": qk})
+        assert np.allclose(out, softmax(qk))
+
+    def test_stable_survives_large_inputs(self, rng):
+        qk = 500.0 * rng.normal(size=(8, 3))
+        out = evaluate_output(stable_softmax(), {"M": 8, "P": 3}, {"QK": qk})
+        assert np.all(np.isfinite(out))
+        assert np.allclose(out.sum(axis=0), 1.0)
+
+    def test_naive_overflows_on_large_inputs(self, rng):
+        qk = 500.0 * np.abs(rng.normal(size=(8, 3)))
+        with np.errstate(over="ignore", invalid="ignore"):
+            out = evaluate_output(naive_softmax(), {"M": 8, "P": 3}, {"QK": qk})
+        assert not np.all(np.isfinite(out))
+
+    def test_columns_are_distributions(self, qk):
+        out = evaluate_output(stable_softmax(), {"M": 8, "P": 3}, {"QK": qk})
+        assert np.all(out > 0)
+        assert np.allclose(out.sum(axis=0), 1.0)
+
+
+class TestAttentionResultMetrics:
+    def _result(self, latency, busy2d, busy1d):
+        return AttentionResult(
+            config="test",
+            model="BERT",
+            seq_len=1024,
+            latency_cycles=latency,
+            busy_2d_cycles=busy2d,
+            busy_1d_cycles=busy1d,
+            dram_bytes=1000.0,
+            glb_words=10.0,
+            energy=EnergyBreakdown({"compute_2d": 50.0, "dram": 50.0}),
+            per_einsum_2d_cycles={"QK": busy2d / 2, "AV": busy2d / 2},
+        )
+
+    def test_utilizations(self):
+        result = self._result(100.0, 80.0, 40.0)
+        assert result.util_2d == pytest.approx(0.8)
+        assert result.util_1d == pytest.approx(0.4)
+
+    def test_utilization_clamped_to_one(self):
+        result = self._result(100.0, 120.0, 40.0)
+        assert result.util_2d == 1.0
+
+    def test_energy_total(self):
+        assert self._result(100.0, 80.0, 40.0).energy_pj == 100.0
+
+    def test_einsum_shares(self):
+        result = self._result(100.0, 80.0, 40.0)
+        shares = result.einsum_share_of_latency()
+        assert shares["QK"] == pytest.approx(0.4)
+        assert sum(shares.values()) == pytest.approx(result.util_2d)

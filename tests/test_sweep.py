@@ -1,0 +1,65 @@
+"""Tests for the workload sweep utilities."""
+
+import pytest
+
+from repro.workloads import (
+    BATCH_SIZE,
+    BERT,
+    MODELS,
+    SEQUENCE_LENGTHS,
+    WorkloadPoint,
+    evaluation_grid,
+    work_summary,
+)
+
+
+class TestEvaluationGrid:
+    def test_grid_size(self):
+        points = list(evaluation_grid())
+        assert len(points) == len(MODELS) * len(SEQUENCE_LENGTHS)
+
+    def test_row_major_order(self):
+        points = list(evaluation_grid())
+        assert points[0].model.name == "BERT"
+        assert points[0].seq_len == 1024
+        assert points[len(SEQUENCE_LENGTHS)].model.name == "TrXL"
+
+    def test_default_batch(self):
+        assert all(p.batch == BATCH_SIZE for p in evaluation_grid())
+
+
+class TestWorkloadPoint:
+    def test_attention_instances(self):
+        point = WorkloadPoint(BERT, 4096)
+        assert point.attention_instances == 64 * 12
+
+    def test_shapes_delegate(self):
+        point = WorkloadPoint(BERT, 4096)
+        assert point.attention_shapes(block=256)["M1"] == 16
+
+    def test_attention_ops_scale_quadratically(self):
+        a = WorkloadPoint(BERT, 4096).total_attention_ops()
+        b = WorkloadPoint(BERT, 8192).total_attention_ops()
+        assert b == pytest.approx(4 * a)
+
+    def test_linear_ops_scale_linearly(self):
+        a = WorkloadPoint(BERT, 4096).total_linear_ops()
+        b = WorkloadPoint(BERT, 8192).total_linear_ops()
+        assert b == pytest.approx(2 * a)
+
+
+class TestWorkSummary:
+    def test_covers_grid(self):
+        summary = work_summary()
+        assert len(summary) == len(MODELS) * len(SEQUENCE_LENGTHS)
+
+    def test_fields(self):
+        entry = work_summary()[("BERT", 4096)]
+        assert set(entry) == {"attention_ops", "linear_ops", "instances"}
+        assert entry["instances"] == 64 * 12
+
+    def test_xlm_heaviest(self):
+        summary = work_summary(seq_lens=(65536,))
+        xlm = summary[("XLM", 65536)]["attention_ops"]
+        t5 = summary[("T5", 65536)]["attention_ops"]
+        assert xlm > t5

@@ -1,0 +1,83 @@
+"""Unit tests for tensor references and expression trees."""
+
+import pytest
+
+from repro.einsum import (
+    Affine,
+    Filter,
+    Fixed,
+    Literal,
+    MUL,
+    Map,
+    EXP,
+    Shifted,
+    TensorRef,
+    Unary,
+    Var,
+    ref,
+)
+
+
+class TestTensorRef:
+    def test_of_coerces_strings(self):
+        tr = TensorRef.of("A", "k", "m")
+        assert tr.indices == (Var("k"), Var("m"))
+
+    def test_vars_deduplicated_in_order(self):
+        tr = TensorRef.of("K", "e", Affine((("m1", "M0"), ("m0", 1))))
+        assert tr.vars() == ("e", "m1", "m0")
+
+    def test_vars_include_filter_bound(self):
+        tr = TensorRef.of("A", "k", filters=[Filter("k", "<=", Var("i"))])
+        assert tr.vars() == ("k", "i")
+
+    def test_carries(self):
+        tr = TensorRef.of("A", "k", "m")
+        assert tr.carries("k")
+        assert not tr.carries("z")
+
+    def test_fixed_does_not_carry(self):
+        tr = TensorRef.of("RNV", "f", Fixed("M1"), "p")
+        assert not tr.carries("m1")
+        assert tr.is_fixed_coordinate(1)
+        assert not tr.is_fixed_coordinate(0)
+
+    def test_iterative_offset(self):
+        tr = TensorRef.of("RM", Shifted("m1", 1), "p")
+        assert tr.iterative_offset("m1") == 1
+        assert tr.iterative_offset("p") == 0
+
+    def test_rank_count(self):
+        assert TensorRef.of("A", "k", "m", "n").rank_count() == 3
+
+    def test_str(self):
+        assert str(TensorRef.of("A", "k", "m")) == "A[k, m]"
+
+
+class TestExprTrees:
+    def test_leaf_refs(self):
+        leaf = ref("A", "k")
+        assert [r.tensor for r in leaf.refs()] == ["A"]
+
+    def test_literal_has_no_refs(self):
+        assert list(Literal(1.0).refs()) == []
+
+    def test_map_refs_left_to_right(self):
+        expr = Map(MUL, ref("A", "k"), ref("B", "k"))
+        assert [r.tensor for r in expr.refs()] == ["A", "B"]
+
+    def test_nested_map_refs(self):
+        expr = Map(MUL, Map(MUL, ref("A", "k"), ref("B", "k")), ref("C", "m"))
+        assert [r.tensor for r in expr.refs()] == ["A", "B", "C"]
+
+    def test_unary_refs(self):
+        expr = Unary(EXP, ref("QK", "m", "p"))
+        assert [r.tensor for r in expr.refs()] == ["QK"]
+
+    def test_vars_union_in_order(self):
+        expr = Map(MUL, ref("A", "k", "m"), ref("B", "k", "n"))
+        assert expr.vars() == ("k", "m", "n")
+
+    def test_str_round_trip_mentions_ops(self):
+        expr = Map(MUL, ref("A", "k"), ref("B", "k"))
+        assert "mul" in str(expr)

@@ -1,0 +1,85 @@
+"""Tests for the memory-traffic lower bounds (Sec. III-B implications)."""
+
+import pytest
+
+from repro.analysis import count_passes, family
+from repro.analysis.traffic import traffic_lower_bound
+from repro.cascades import attention_1pass, attention_3pass, cascade1_two_pass
+
+SHAPES = {"E": 64, "F": 64, "M": 65536, "P": 1024, "M0": 256, "M1": 256}
+WORD = 2
+HUGE = 1 << 60
+SMALL = 1 << 20  # 1 MB: holds the 1-pass running state, not an M fiber
+
+
+def _bound(builder, fam, buffer_bytes):
+    cascade = builder()
+    analysis = count_passes(cascade, family(*fam))
+    return traffic_lower_bound(analysis, SHAPES, buffer_bytes, WORD)
+
+
+class TestInputs:
+    def test_cascade1_reads_a_twice(self):
+        """Cascade 1 is 2-pass over A's K fiber: A streams twice."""
+        cascade = cascade1_two_pass()
+        analysis = count_passes(cascade, family("k"))
+        bound = traffic_lower_bound(analysis, {"K": 1000}, HUGE, WORD)
+        assert bound.entries["A"].read_words == 2000
+        assert bound.entries["B"].read_words == 1000
+
+    def test_3pass_attention_inputs(self):
+        bound = _bound(attention_3pass, ("m",), HUGE)
+        m, p, e, f = SHAPES["M"], SHAPES["P"], SHAPES["E"], SHAPES["F"]
+        # Q and K feed pass 1 only; V feeds pass 3 only: one stream each.
+        assert bound.entries["Q"].read_words == e * p
+        assert bound.entries["K"].read_words == e * m
+        assert bound.entries["V"].read_words == f * m
+
+    def test_1pass_attention_reads_everything_once(self):
+        bound = _bound(attention_1pass, ("m1", "m0"), SMALL)
+        for name in ("Q", "K", "V"):
+            assert bound.entries[name].read_words == bound.entries[name].size_words
+
+
+class TestIntermediates:
+    def test_big_buffer_absorbs_crossings(self):
+        bound = _bound(attention_3pass, ("m",), HUGE)
+        assert bound.buffered
+        assert bound.entries["QK"].total_words == 0
+        assert bound.entries["SN"].total_words == 0
+
+    def test_small_buffer_forces_spills(self):
+        bound = _bound(attention_3pass, ("m",), SMALL)
+        assert not bound.buffered
+        m, p = SHAPES["M"], SHAPES["P"]
+        # QK: written once, re-read by SN's pass; SN: written, re-read by A.
+        assert bound.entries["QK"].write_words == m * p
+        assert bound.entries["QK"].read_words == m * p
+        assert bound.entries["SN"].total_words == 2 * m * p
+
+    def test_output_written_once(self):
+        bound = _bound(attention_3pass, ("m",), SMALL)
+        assert bound.entries["AV"].write_words == bound.entries["AV"].size_words
+        assert bound.entries["AV"].read_words == 0
+
+    def test_1pass_traffic_independent_of_buffer(self):
+        """The FuseMax property: no buffer pressure, no spills, ever."""
+        big = _bound(attention_1pass, ("m1", "m0"), HUGE).total_words()
+        small = _bound(attention_1pass, ("m1", "m0"), SMALL).total_words()
+        assert big == small
+
+    def test_1pass_beats_3pass_under_small_buffer(self):
+        t1 = _bound(attention_1pass, ("m1", "m0"), SMALL).total_bytes(WORD)
+        t3 = _bound(attention_3pass, ("m",), SMALL).total_bytes(WORD)
+        assert t1 < t3 / 10  # intermediates dwarf the inputs at these shapes
+
+    def test_traffic_floor_scales_with_m(self):
+        cascade = attention_3pass()
+        analysis = count_passes(cascade, family("m"))
+        small = traffic_lower_bound(
+            analysis, dict(SHAPES, M=8192), SMALL, WORD
+        ).total_words()
+        large = traffic_lower_bound(
+            analysis, dict(SHAPES, M=16384), SMALL, WORD
+        ).total_words()
+        assert large > 1.9 * small

@@ -1,0 +1,97 @@
+"""Tests for workload definitions and the Fig. 1b compute breakdown."""
+
+import pytest
+
+from repro.workloads import (
+    BATCH_SIZE,
+    BERT,
+    MODELS,
+    SEQUENCE_LENGTHS,
+    T5,
+    TRXL,
+    XLM,
+    attention_crossover_length,
+    compute_breakdown,
+    seq_label,
+)
+
+
+class TestModelConfigs:
+    def test_four_models(self):
+        assert [m.name for m in MODELS] == ["BERT", "TrXL", "T5", "XLM"]
+
+    def test_bert_hyperparameters(self):
+        assert (BERT.d_model, BERT.n_heads, BERT.d_head) == (768, 12, 64)
+        assert BERT.d_ff == 4 * BERT.d_model
+
+    def test_xlm_has_larger_head_dim(self):
+        """The paper attributes XLM's different behaviour to its larger
+        embedding dimension E/F."""
+        assert XLM.d_head == 128
+        assert all(m.d_head == 64 for m in (BERT, TRXL, T5))
+
+    def test_d_attn(self):
+        assert BERT.d_attn == 768
+        assert XLM.d_attn == 2048
+
+    def test_batch_size_follows_flat(self):
+        assert BATCH_SIZE == 64
+
+    def test_sequence_sweep(self):
+        assert SEQUENCE_LENGTHS[0] == 1024
+        assert SEQUENCE_LENGTHS[-1] == 2**20
+        assert len(SEQUENCE_LENGTHS) == 6
+
+    def test_attention_shapes(self):
+        shapes = BERT.attention_shapes(4096, block=256)
+        assert shapes == {
+            "E": 64, "F": 64, "M": 4096, "P": 4096, "M0": 256, "M1": 16
+        }
+
+    def test_attention_shapes_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            BERT.attention_shapes(1000, block=256)
+
+    def test_seq_labels(self):
+        assert seq_label(1024) == "1K"
+        assert seq_label(262144) == "256K"
+        assert seq_label(2**20) == "1M"
+
+
+class TestComputeBreakdown:
+    def test_linear_dominates_short_sequences(self):
+        bd = compute_breakdown(BERT, 1024)
+        assert bd.linear > bd.attention
+
+    def test_attention_dominates_long_sequences(self):
+        bd = compute_breakdown(BERT, 2**20)
+        assert bd.attention > 0.99 * bd.total
+
+    def test_other_always_negligible(self):
+        """Fig. 1b: non-linearities never matter."""
+        for seq_len in SEQUENCE_LENGTHS:
+            bd = compute_breakdown(BERT, seq_len)
+            assert bd.other / bd.total < 0.01
+
+    def test_proportions_sum_to_one(self):
+        props = compute_breakdown(TRXL, 16384).proportions()
+        assert sum(props.values()) == pytest.approx(1.0)
+
+    def test_crossover_in_low_thousands(self):
+        """Fig. 1b's crossover for BERT sits between 1K and 16K tokens."""
+        crossover = attention_crossover_length(BERT)
+        assert 1024 < crossover < 16384
+
+    def test_attention_fraction_monotone_in_length(self):
+        fractions = [
+            compute_breakdown(BERT, L).proportions()["Attn"]
+            for L in SEQUENCE_LENGTHS
+        ]
+        assert fractions == sorted(fractions)
+
+    def test_every_model_crosses_over(self):
+        for model in MODELS:
+            short = compute_breakdown(model, 1024)
+            long = compute_breakdown(model, 2**20)
+            assert short.linear > short.attention
+            assert long.attention > long.linear
