@@ -9,7 +9,6 @@ Each benchmark regenerates one ablation:
 - block-size (M0) sweep for the 1-pass correction overhead.
 """
 
-import pytest
 
 from repro.analysis import count_passes, family, total_ops
 from repro.arch.spec import flat_arch

@@ -73,7 +73,7 @@ def main():
     print(f"passes over M: {analysis.num_passes} "
           "(vs 3 for stable softmax attention)")
     report = live_footprints(analysis, {"E": 64, "F": 64, "M": 65536, "P": 1024})
-    print(f"sequence-dependent live tensors: "
+    print("sequence-dependent live tensors: "
           f"{report.sequence_dependent_tensors() or 'none'}")
 
     # 3. Op-count comparison at a real workload point.

@@ -40,9 +40,9 @@ def main():
     shapes = BERT.attention_shapes(seq_len=4096, block=256)
     report3 = live_footprints(count_passes(three_pass, family("m")), shapes)
     report1 = live_footprints(count_passes(one_pass, family("m1", "m0")), shapes)
-    print(f"3-pass tensors needing full M fibers: "
+    print("3-pass tensors needing full M fibers: "
           f"{report3.sequence_dependent_tensors()}")
-    print(f"1-pass tensors needing full M fibers: "
+    print("1-pass tensors needing full M fibers: "
           f"{report1.sequence_dependent_tensors()} (none - the FuseMax property)")
 
     ops3 = total_ops(three_pass, shapes)

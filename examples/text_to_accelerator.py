@@ -69,7 +69,7 @@ def main():
     big = {k: big[k] for k in ("E", "F", "M", "P")}
     result = evaluate_cascade(cascade, binding, family("m"), arch, big)
     seconds = arch.seconds(result.latency_cycles)
-    print(f"\nper-(batch, head) instance at L = 64K on the cloud machine:")
+    print("\nper-(batch, head) instance at L = 64K on the cloud machine:")
     print(f"  latency  {result.latency_cycles:,.0f} cycles ({seconds*1e3:.2f} ms)")
     print(f"  util 2D  {result.util_2d:.2f}")
     print(f"  util 1D  {result.util_1d:.2f}")

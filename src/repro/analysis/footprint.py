@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 
-from ..einsum import Cascade
 from ..einsum.index import Shifted, Var
 from .passes import PassAnalysis
 

@@ -55,7 +55,7 @@ from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
 from ..einsum import Cascade, Einsum
-from ..einsum.index import Fixed, IndexExpr, Shifted, Var
+from ..einsum.index import Fixed, Shifted, Var
 from ..einsum.tensor import TensorRef
 from .dependence import DependenceGraph, build_dependence
 

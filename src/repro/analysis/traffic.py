@@ -20,7 +20,7 @@ sequence-length independent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Set, Tuple
+from typing import Dict, Mapping, Set
 
 from ..einsum import Cascade
 from ..einsum.index import Affine, Fixed, Shifted, Var

@@ -18,7 +18,7 @@ Two PE-capability details distinguish the designs being compared:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 #: Cycles per exponentiation when implemented as sequential MACCs
 #: (Taylor-series evaluation; Nilsson et al., paper Sec. V).

@@ -17,7 +17,7 @@ Rank naming convention (per head count ``H``, head dim ``E``, model dim
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Tuple
 
 from ..einsum import Cascade, Einsum, MUL, Map, TensorRef, ref
 

@@ -4,11 +4,17 @@ Commands:
 
 - ``report``            — regenerate every table and figure (text).
 - ``fig1b`` … ``fig12``, ``table1`` — one experiment.
+- ``sweep``             — run one evaluation grid through the runtime.
 - ``taxonomy``          — classify the attention cascades (Table I).
 - ``passes CASCADE``    — pass analysis of a named cascade
   (``3pass``, ``3pass-divopt``, ``2pass``, ``1pass``, ``causal``,
   ``sigmoid``).
 - ``simulate``          — run the binding pipeline simulation.
+
+Grid-backed commands accept ``--jobs N`` (parallel evaluation over
+processes), ``--cache``/``--no-cache`` (content-addressed result reuse;
+``--cache`` persists to ``--cache-dir``), and the output is identical
+for every combination.
 """
 
 from __future__ import annotations
@@ -38,8 +44,12 @@ from .experiments import (
     fig12,
     table1,
 )
+from .experiments.common import format_table
 from .experiments.report import full_report
+from .runtime import ResultCache, RunRegistry
+from .runtime import executor as _runtime
 from .simulator import PipelineConfig, compare_bindings
+from .workloads.models import MODELS, MODELS_BY_NAME, SEQUENCE_LENGTHS, seq_label
 
 _CASCADES: Dict[str, Callable] = {
     "3pass": attention_3pass,
@@ -63,14 +73,107 @@ _EXPERIMENTS = {
     "table1": table1,
 }
 
+#: Experiments whose ``main()`` runs a grid through the runtime (and so
+#: accepts ``jobs``/``cache``); the rest are cheap and stay serial.
+_GRID_EXPERIMENTS = {"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
 
-def _cmd_report(_args) -> int:
-    print(full_report())
+_SWEEP_KINDS: Dict[str, Callable] = {
+    "attention": _runtime.sweep_attention,
+    "inference": _runtime.sweep_inference,
+}
+
+
+def _make_cache(args):
+    """The cache object implied by --cache/--no-cache/--cache-dir."""
+    if not getattr(args, "cache", False):
+        return False
+    if getattr(args, "cache_dir", None):
+        return ResultCache(directory=args.cache_dir)
+    return True
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="evaluate grid points over N worker processes",
+    )
+    cache = parser.add_mutually_exclusive_group()
+    cache.add_argument(
+        "--cache", dest="cache", action="store_true", default=True,
+        help="reuse cached grid-point results (default)",
+    )
+    cache.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="recompute every grid point",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persist the result cache under DIR (implies --cache)",
+    )
+
+
+def _cmd_report(args) -> int:
+    print(full_report(jobs=args.jobs, cache=_make_cache(args)))
     return 0
 
 
 def _cmd_experiment(args) -> int:
-    _EXPERIMENTS[args.command].main()
+    module = _EXPERIMENTS[args.command]
+    if args.command in _GRID_EXPERIMENTS:
+        module.main(jobs=args.jobs, cache=_make_cache(args))
+    else:
+        module.main()
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    """Run one evaluation grid through the runtime and summarize it."""
+    models = MODELS
+    if args.models:
+        try:
+            models = tuple(MODELS_BY_NAME[name] for name in args.models.split(","))
+        except KeyError as missing:
+            print(f"unknown model {missing}; have {sorted(MODELS_BY_NAME)}",
+                  file=sys.stderr)
+            return 2
+    seq_lens = SEQUENCE_LENGTHS
+    if args.seq_lens:
+        try:
+            seq_lens = tuple(int(s) for s in args.seq_lens.split(","))
+        except ValueError:
+            print(f"invalid --seq-lens {args.seq_lens!r}: "
+                  "expected comma-separated integers", file=sys.stderr)
+            return 2
+    registry = RunRegistry(args.registry) if args.registry else None
+    sweep = _SWEEP_KINDS[args.kind]
+    try:
+        results = sweep(
+            models, seq_lens,
+            jobs=args.jobs, cache=_make_cache(args), registry=registry,
+        )
+    except ValueError as error:
+        print(f"sweep failed: {error}", file=sys.stderr)
+        return 2
+    print(format_table(
+        ["config", "model", "L", "latency (cycles)", "energy (pJ)"],
+        [
+            (config, model, seq_label(seq_len),
+             f"{r.latency_cycles:.3e}", f"{r.energy_pj:.3e}")
+            for (config, model, seq_len), r in results.items()
+        ],
+    ))
+    print(f"{len(results)} grid points ({args.kind}), jobs={args.jobs}")
+    if registry is not None:
+        record = registry.last_recorded
+        print(f"recorded run {record.run_id} "
+              f"(digest {record.result_digest}, {record.duration_s:.3f}s)")
     return 0
 
 
@@ -117,9 +220,30 @@ def main(argv=None) -> int:
         prog="repro", description="FuseMax reproduction toolkit"
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("report", help="regenerate every table and figure")
+    report = sub.add_parser("report", help="regenerate every table and figure")
+    _add_runtime_args(report)
     for name in _EXPERIMENTS:
-        sub.add_parser(name, help=f"regenerate {name}")
+        experiment = sub.add_parser(name, help=f"regenerate {name}")
+        if name in _GRID_EXPERIMENTS:
+            _add_runtime_args(experiment)
+    sweep = sub.add_parser("sweep", help="run one evaluation grid")
+    sweep.add_argument(
+        "--kind", choices=sorted(_SWEEP_KINDS), default="attention",
+        help="which grid to run (default: attention)",
+    )
+    sweep.add_argument(
+        "--models", metavar="A,B", default=None,
+        help="comma-separated model names (default: all four)",
+    )
+    sweep.add_argument(
+        "--seq-lens", metavar="L1,L2", default=None,
+        help="comma-separated sequence lengths (default: 1K..1M)",
+    )
+    sweep.add_argument(
+        "--registry", metavar="DIR", default=None,
+        help="record the run as JSON under DIR",
+    )
+    _add_runtime_args(sweep)
     sub.add_parser("taxonomy", help="Table I classification")
     passes = sub.add_parser("passes", help="pass analysis of one cascade")
     passes.add_argument("cascade", help=f"one of {sorted(_CASCADES)}")
@@ -127,10 +251,15 @@ def main(argv=None) -> int:
     simulate.add_argument("--chunks", type=int, default=32)
     args = parser.parse_args(argv)
 
+    if getattr(args, "cache_dir", None) and not getattr(args, "cache", True):
+        parser.error("--cache-dir cannot be combined with --no-cache")
+
     if args.command == "report":
         return _cmd_report(args)
     if args.command in _EXPERIMENTS:
         return _cmd_experiment(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "taxonomy":
         return _cmd_taxonomy(args)
     if args.command == "passes":

@@ -11,12 +11,11 @@ once per coordinate of the iterative rank, with shifted output indices
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .einsum import Einsum
 from .index import ShapeEnv, SymInt, resolve_symint
-from .tensor import TensorRef
 
 
 class CascadeError(ValueError):

@@ -9,9 +9,8 @@ not on the left default to a ``+(∪)`` (sum) reduction unless overridden.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+from typing import FrozenSet, Mapping, Tuple
 
-from .index import Fixed, IndexExpr
 from .ops import ReduceOp, SUM_REDUCE
 from .tensor import Expr, TensorRef
 

@@ -19,7 +19,7 @@ analysis to attribute hardware cost: a MACC, a divide, an exponentiation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

@@ -8,10 +8,10 @@ unary operations into the right-hand side of an Einsum.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Tuple, Union
 
-from .index import Filter, Fixed, IndexExpr, Shifted, Var
+from .index import Filter, Fixed, IndexExpr, Var
 from .ops import MapOp, UnaryOp
 
 

@@ -22,7 +22,7 @@ from ..arch.spec import flat_arch
 from ..cascades import attention_1pass, attention_2pass, attention_3pass
 from ..model.flat import spill_decision
 from ..simulator import PipelineConfig, compare_bindings
-from ..workloads.models import BERT, SEQUENCE_LENGTHS, seq_label
+from ..workloads.models import SEQUENCE_LENGTHS, seq_label
 from .common import format_table
 
 _SHAPES = {"E": 64, "F": 64, "M": 65536, "P": 1024, "M0": 256, "M1": 256}

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 from ..model import all_attention_models
 from ..model.metrics import AttentionResult
+from ..runtime import executor as _runtime
 from ..workloads.models import MODELS, ModelConfig, SEQUENCE_LENGTHS
 
 
@@ -24,14 +25,18 @@ def default_grid(
 def sweep_attention(
     models: Sequence[ModelConfig] = MODELS,
     seq_lens: Sequence[int] = SEQUENCE_LENGTHS,
+    *,
+    jobs: int = 1,
+    cache: object = True,
 ) -> Dict[Tuple[str, str, int], AttentionResult]:
     """Evaluate every configuration on the grid; keyed by
-    ``(config_name, model_name, seq_len)``."""
-    results: Dict[Tuple[str, str, int], AttentionResult] = {}
-    for config, model, seq_len in default_grid(models, seq_lens):
-        result = config.evaluate(model, seq_len)
-        results[(result.config, model.name, seq_len)] = result
-    return results
+    ``(config_name, model_name, seq_len)``.
+
+    Runs through :mod:`repro.runtime`: ``jobs`` fans grid points out
+    over processes and ``cache`` reuses prior results; both preserve the
+    serial path's results and ordering exactly.
+    """
+    return _runtime.sweep_attention(models, seq_lens, jobs=jobs, cache=cache)
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:

@@ -7,9 +7,9 @@ downstream plotting.
 
 from __future__ import annotations
 
+import argparse
 import csv
 import os
-import sys
 from typing import Iterable, List, Sequence
 
 from . import ablations, fig1b, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1
@@ -22,7 +22,7 @@ def _write_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence]) -> N
         writer.writerows(rows)
 
 
-def export_all(outdir: str) -> List[str]:
+def export_all(outdir: str, jobs: int = 1, cache: object = True) -> List[str]:
     """Write every experiment's rows as CSV; returns the file paths."""
     os.makedirs(outdir, exist_ok=True)
     written: List[str] = []
@@ -47,7 +47,7 @@ def export_all(outdir: str) -> List[str]:
         ["config", "model", "seq_len", "util_1d", "util_2d"],
         [
             (r.config, r.model, r.seq_len, r.util_1d, r.util_2d)
-            for r in fig6.run()
+            for r in fig6.run(jobs=jobs, cache=cache)
         ],
     )
     emit(
@@ -55,37 +55,37 @@ def export_all(outdir: str) -> List[str]:
         ["config", "seq_len"] + list(fig7.GROUPS),
         [
             [r.config, r.seq_len] + [r.shares[g] for g in fig7.GROUPS]
-            for r in fig7.run()
+            for r in fig7.run(jobs=jobs, cache=cache)
         ],
     )
     emit(
         "fig8.csv",
         ["config", "model", "seq_len", "speedup"],
-        [(r.config, r.model, r.seq_len, r.speedup) for r in fig8.run()],
+        [(r.config, r.model, r.seq_len, r.speedup) for r in fig8.run(jobs=jobs, cache=cache)],
     )
     emit(
         "fig9.csv",
         ["config", "model", "seq_len", "normalized_energy"],
         [
             (r.config, r.model, r.seq_len, r.normalized_energy)
-            for r in fig9.run()
+            for r in fig9.run(jobs=jobs, cache=cache)
         ],
     )
     emit(
         "fig10.csv",
         ["config", "model", "seq_len", "speedup"],
-        [(r.config, r.model, r.seq_len, r.speedup) for r in fig10.run()],
+        [(r.config, r.model, r.seq_len, r.speedup) for r in fig10.run(jobs=jobs, cache=cache)],
     )
     emit(
         "fig11.csv",
         ["config", "model", "seq_len", "normalized_energy"],
         [
             (r.config, r.model, r.seq_len, r.normalized_energy)
-            for r in fig11.run()
+            for r in fig11.run(jobs=jobs, cache=cache)
         ],
     )
     fig12_rows = []
-    for result in fig12.run().values():
+    for result in fig12.run(jobs=jobs, cache=cache).values():
         for point in result.points:
             fig12_rows.append(
                 (point.model, point.array_dim, point.area_cm2,
@@ -108,9 +108,18 @@ def export_all(outdir: str) -> List[str]:
 
 
 def main(argv=None) -> int:
-    args = sys.argv[1:] if argv is None else argv
-    outdir = args[0] if args else "results"
-    paths = export_all(outdir)
+    # Imported here: the CLI module imports this package's siblings.
+    from ..cli import _add_runtime_args, _make_cache
+
+    parser = argparse.ArgumentParser(
+        prog="repro-export", description="export experiment results as CSV"
+    )
+    parser.add_argument("outdir", nargs="?", default="results")
+    _add_runtime_args(parser)
+    args = parser.parse_args(argv)
+    if args.cache_dir and not args.cache:
+        parser.error("--cache-dir cannot be combined with --no-cache")
+    paths = export_all(args.outdir, jobs=args.jobs, cache=_make_cache(args))
     for path in paths:
         print(path)
     return 0

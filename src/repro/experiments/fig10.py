@@ -11,8 +11,8 @@ import statistics
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from ..model import all_attention_models, evaluate_inference
 from ..model.metrics import InferenceResult
+from ..runtime import executor as _runtime
 from ..workloads.models import MODELS, ModelConfig, SEQUENCE_LENGTHS, seq_label
 from .common import format_table
 
@@ -30,21 +30,21 @@ class InferenceSpeedupRow:
 def sweep_inference(
     models: Sequence[ModelConfig] = MODELS,
     seq_lens: Sequence[int] = SEQUENCE_LENGTHS,
+    *,
+    jobs: int = 1,
+    cache: object = True,
 ) -> Dict[Tuple[str, str, int], InferenceResult]:
-    results: Dict[Tuple[str, str, int], InferenceResult] = {}
-    for config in all_attention_models():
-        for model in models:
-            for seq_len in seq_lens:
-                result = evaluate_inference(config, model, seq_len)
-                results[(result.config, model.name, seq_len)] = result
-    return results
+    return _runtime.sweep_inference(models, seq_lens, jobs=jobs, cache=cache)
 
 
 def run(
     models: Sequence[ModelConfig] = MODELS,
     seq_lens: Sequence[int] = SEQUENCE_LENGTHS,
+    *,
+    jobs: int = 1,
+    cache: object = True,
 ) -> List[InferenceSpeedupRow]:
-    results = sweep_inference(models, seq_lens)
+    results = sweep_inference(models, seq_lens, jobs=jobs, cache=cache)
     rows = []
     for (config, model, seq_len), result in results.items():
         base = results[(BASELINE, model, seq_len)]
@@ -80,8 +80,8 @@ def render(rows: List[InferenceSpeedupRow]) -> str:
     )
 
 
-def main() -> None:
-    rows = run()
+def main(jobs: int = 1, cache: object = True) -> None:
+    rows = run(jobs=jobs, cache=cache)
     print("Figure 10 — end-to-end inference speedup over the unfused baseline")
     print(render(rows))
     print(f"FuseMax over FLAT: {fusemax_vs_flat(rows):.2f}x (paper: 5.3x)")

@@ -27,8 +27,11 @@ class InferenceEnergyRow:
 def run(
     models: Sequence[ModelConfig] = MODELS,
     seq_lens: Sequence[int] = SEQUENCE_LENGTHS,
+    *,
+    jobs: int = 1,
+    cache: object = True,
 ) -> List[InferenceEnergyRow]:
-    results = sweep_inference(models, seq_lens)
+    results = sweep_inference(models, seq_lens, jobs=jobs, cache=cache)
     rows = []
     for (config, model, seq_len), result in results.items():
         base = results[(BASELINE, model, seq_len)]
@@ -64,8 +67,8 @@ def render(rows: List[InferenceEnergyRow]) -> str:
     )
 
 
-def main() -> None:
-    rows = run()
+def main(jobs: int = 1, cache: object = True) -> None:
+    rows = run(jobs=jobs, cache=cache)
     print("Figure 11 — end-to-end inference energy relative to unfused")
     print(render(rows))
     print(f"FuseMax energy vs FLAT: {fusemax_vs_flat(rows):.2f} (paper: 0.83)")

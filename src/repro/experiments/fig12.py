@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from ..model.pareto import ARRAY_DIMS, DesignPoint, PARETO_SEQ_LEN, pareto_frontier, sweep
+from ..model.pareto import ARRAY_DIMS, DesignPoint, PARETO_SEQ_LEN, pareto_frontier
+from ..runtime import executor as _runtime
 from ..workloads.models import MODELS, ModelConfig
 from .common import format_table
 
@@ -28,10 +29,16 @@ def run(
     models: Sequence[ModelConfig] = MODELS,
     seq_len: int = PARETO_SEQ_LEN,
     dims: Sequence[int] = ARRAY_DIMS,
+    *,
+    jobs: int = 1,
+    cache: object = True,
 ) -> Dict[str, Fig12Result]:
+    points_by_key = _runtime.sweep_pareto(
+        models, seq_len, dims, jobs=jobs, cache=cache
+    )
     results = {}
     for model in models:
-        points = sweep(model, seq_len=seq_len, dims=dims)
+        points = [points_by_key[(model.name, dim)] for dim in dims]
         results[model.name] = Fig12Result(
             model=model.name,
             points=points,
@@ -59,9 +66,9 @@ def render(results: Dict[str, Fig12Result]) -> str:
     )
 
 
-def main() -> None:
+def main(jobs: int = 1, cache: object = True) -> None:
     print("Figure 12 — area vs attention latency at L = 256K")
-    print(render(run()))
+    print(render(run(jobs=jobs, cache=cache)))
 
 
 if __name__ == "__main__":

@@ -28,8 +28,11 @@ class UtilizationRow:
 def run(
     models: Sequence[ModelConfig] = MODELS,
     seq_lens: Sequence[int] = SEQUENCE_LENGTHS,
+    *,
+    jobs: int = 1,
+    cache: object = True,
 ) -> List[UtilizationRow]:
-    results = sweep_attention(models, seq_lens)
+    results = sweep_attention(models, seq_lens, jobs=jobs, cache=cache)
     return [
         UtilizationRow(
             config=r.config,
@@ -67,9 +70,9 @@ def render(rows: List[UtilizationRow]) -> str:
     )
 
 
-def main() -> None:
+def main(jobs: int = 1, cache: object = True) -> None:
     print("Figure 6 — PE array utilization")
-    print(render(run()))
+    print(render(run(jobs=jobs, cache=cache)))
 
 
 if __name__ == "__main__":

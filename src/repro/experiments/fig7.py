@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..model import FLATModel, fusemax, plus_architecture, plus_cascade
+from ..runtime import executor as _runtime
 from ..workloads.models import BERT, ModelConfig, SEQUENCE_LENGTHS, seq_label
 from .common import format_table
 
@@ -44,13 +45,20 @@ class Fig7Row:
 
 
 def run(
-    model: ModelConfig = BERT, seq_lens: Sequence[int] = SEQUENCE_LENGTHS
+    model: ModelConfig = BERT,
+    seq_lens: Sequence[int] = SEQUENCE_LENGTHS,
+    *,
+    jobs: int = 1,
+    cache: object = True,
 ) -> List[Fig7Row]:
     configs = (FLATModel(), plus_cascade(), plus_architecture(), fusemax())
+    results = _runtime.sweep_attention(
+        (model,), seq_lens, configs, jobs=jobs, cache=cache
+    )
     rows = []
     for seq_len in seq_lens:
         for config in configs:
-            result = config.evaluate(model, seq_len)
+            result = results[(config.name, model.name, seq_len)]
             shares = {group: 0.0 for group in GROUPS}
             for label, fraction in result.einsum_share_of_latency().items():
                 group = _GROUP_OF.get(label)
@@ -71,9 +79,9 @@ def render(rows: List[Fig7Row]) -> str:
     return format_table(("L", "config") + GROUPS + ("total",), table_rows)
 
 
-def main() -> None:
+def main(jobs: int = 1, cache: object = True) -> None:
     print("Figure 7 — 2D array utilization by Einsum (BERT)")
-    print(render(run()))
+    print(render(run(jobs=jobs, cache=cache)))
 
 
 if __name__ == "__main__":

@@ -28,8 +28,11 @@ class SpeedupRow:
 def run(
     models: Sequence[ModelConfig] = MODELS,
     seq_lens: Sequence[int] = SEQUENCE_LENGTHS,
+    *,
+    jobs: int = 1,
+    cache: object = True,
 ) -> List[SpeedupRow]:
-    results = sweep_attention(models, seq_lens)
+    results = sweep_attention(models, seq_lens, jobs=jobs, cache=cache)
     rows = []
     for (config, model, seq_len), result in results.items():
         base = results[(BASELINE, model, seq_len)]
@@ -74,8 +77,8 @@ def render(rows: List[SpeedupRow]) -> str:
     )
 
 
-def main() -> None:
-    rows = run()
+def main(jobs: int = 1, cache: object = True) -> None:
+    rows = run(jobs=jobs, cache=cache)
     print("Figure 8 — attention speedup over the unfused baseline")
     print(render(rows))
     for config, value in averages(rows).items():

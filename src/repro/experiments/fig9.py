@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from ..workloads.models import MODELS, ModelConfig, SEQUENCE_LENGTHS, seq_label
 from .common import format_table, sweep_attention
@@ -29,8 +29,11 @@ class EnergyRow:
 def run(
     models: Sequence[ModelConfig] = MODELS,
     seq_lens: Sequence[int] = SEQUENCE_LENGTHS,
+    *,
+    jobs: int = 1,
+    cache: object = True,
 ) -> List[EnergyRow]:
-    results = sweep_attention(models, seq_lens)
+    results = sweep_attention(models, seq_lens, jobs=jobs, cache=cache)
     rows = []
     for (config, model, seq_len), result in results.items():
         base = results[(BASELINE, model, seq_len)]
@@ -69,8 +72,8 @@ def render(rows: List[EnergyRow]) -> str:
     )
 
 
-def main() -> None:
-    rows = run()
+def main(jobs: int = 1, cache: object = True) -> None:
+    rows = run(jobs=jobs, cache=cache)
     print("Figure 9 — attention energy relative to the unfused baseline")
     print(render(rows))
     print(f"FuseMax energy vs FLAT: {fusemax_vs_flat(rows):.2f} (paper: 0.79)")

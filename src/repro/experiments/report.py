@@ -11,8 +11,13 @@ from __future__ import annotations
 from . import ablations, fig1b, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1
 
 
-def full_report() -> str:
-    """All experiment tables concatenated into one report string."""
+def full_report(jobs: int = 1, cache: object = True) -> str:
+    """All experiment tables concatenated into one report string.
+
+    ``jobs``/``cache`` thread through to the grid-backed figures via
+    :mod:`repro.runtime`; the output is byte-identical for every value
+    of both.
+    """
     sections = []
 
     sections.append("=" * 72)
@@ -25,13 +30,13 @@ def full_report() -> str:
 
     sections.append("=" * 72)
     sections.append("Figure 6 — PE array utilization")
-    sections.append(fig6.render(fig6.run()))
+    sections.append(fig6.render(fig6.run(jobs=jobs, cache=cache)))
 
     sections.append("=" * 72)
     sections.append("Figure 7 — 2D utilization by Einsum (BERT)")
-    sections.append(fig7.render(fig7.run()))
+    sections.append(fig7.render(fig7.run(jobs=jobs, cache=cache)))
 
-    rows8 = fig8.run()
+    rows8 = fig8.run(jobs=jobs, cache=cache)
     sections.append("=" * 72)
     sections.append("Figure 8 — attention speedup over unfused")
     sections.append(fig8.render(rows8))
@@ -40,7 +45,7 @@ def full_report() -> str:
         "(paper: 6.7x)"
     )
 
-    rows9 = fig9.run()
+    rows9 = fig9.run(jobs=jobs, cache=cache)
     sections.append("=" * 72)
     sections.append("Figure 9 — attention energy vs unfused")
     sections.append(fig9.render(rows9))
@@ -49,7 +54,7 @@ def full_report() -> str:
         "(paper: 0.79)"
     )
 
-    rows10 = fig10.run()
+    rows10 = fig10.run(jobs=jobs, cache=cache)
     sections.append("=" * 72)
     sections.append("Figure 10 — end-to-end speedup over unfused")
     sections.append(fig10.render(rows10))
@@ -58,7 +63,7 @@ def full_report() -> str:
         "(paper: 5.3x)"
     )
 
-    rows11 = fig11.run()
+    rows11 = fig11.run(jobs=jobs, cache=cache)
     sections.append("=" * 72)
     sections.append("Figure 11 — end-to-end energy vs unfused")
     sections.append(fig11.render(rows11))
@@ -69,7 +74,7 @@ def full_report() -> str:
 
     sections.append("=" * 72)
     sections.append("Figure 12 — area vs latency Pareto at 256K")
-    sections.append(fig12.render(fig12.run()))
+    sections.append(fig12.render(fig12.run(jobs=jobs, cache=cache)))
 
     sections.append("=" * 72)
     sections.append("Ablations")
@@ -78,8 +83,8 @@ def full_report() -> str:
     return "\n".join(sections)
 
 
-def main() -> None:
-    print(full_report())
+def main(jobs: int = 1, cache: object = True) -> None:
+    print(full_report(jobs=jobs, cache=cache))
 
 
 if __name__ == "__main__":

@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..einsum import Cascade, Einsum
-from ..einsum.index import Affine, Filter, Fixed, IndexExpr, Shifted, Var
+from ..einsum.index import Affine, Filter, Fixed, Shifted, Var
 from ..einsum.tensor import Expr, Leaf, Literal, Map, TensorRef, Unary
 
 Axes = Tuple[str, ...]
@@ -206,7 +206,7 @@ class Interpreter:
                     )
             else:
                 raise InterpreterError(
-                    f"affine output indices are not supported (tensor "
+                    "affine output indices are not supported (tensor "
                     f"{ref_.tensor})"
                 )
         return tuple(index)

@@ -10,8 +10,8 @@ the FuseMax extensions (Fig. 3c).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Mapping, Tuple
 
 from ..arch.spec import Architecture
 from ..cascades import attention_1pass, attention_3pass

@@ -9,8 +9,8 @@ nest, and parallelize the innermost M0/P0 loops across the 2D PEs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping as TMapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Mapping as TMapping, Tuple
 
 
 @dataclass(frozen=True)

@@ -25,12 +25,10 @@ from typing import Mapping, Optional
 from ..analysis.opcount import count_ops
 from ..analysis.passes import PassAnalysis, RankFamily, count_passes
 from ..analysis.traffic import traffic_lower_bound
-from ..arch.energy import DEFAULT_ENERGY, EnergyTable
 from ..arch.spec import Architecture
 from ..einsum import Cascade
 from ..mapping.binding import Binding, validate_binding
-from .metrics import AttentionResult
-from .perf import array_cycles, assemble_energy, scaled_per_einsum
+from .perf import array_cycles
 
 
 @dataclass(frozen=True)

@@ -53,6 +53,23 @@ def _scaled_arch(dim: int):
     )
 
 
+def design_point(
+    model: ModelConfig,
+    dim: int,
+    seq_len: int = PARETO_SEQ_LEN,
+    batch: int = BATCH_SIZE,
+) -> DesignPoint:
+    """Evaluate one ``dim`` × ``dim`` FuseMax design for one model."""
+    arch = _scaled_arch(dim)
+    result = fusemax(arch=arch).evaluate(model, seq_len, batch)
+    return DesignPoint(
+        model=model.name,
+        array_dim=dim,
+        area_cm2=area_of(arch).total_cm2,
+        latency_seconds=arch.seconds(result.latency_cycles),
+    )
+
+
 def sweep(
     model: ModelConfig,
     seq_len: int = PARETO_SEQ_LEN,
@@ -60,19 +77,7 @@ def sweep(
     batch: int = BATCH_SIZE,
 ) -> List[DesignPoint]:
     """Evaluate the FuseMax design across PE-array sizes for one model."""
-    points = []
-    for dim in dims:
-        arch = _scaled_arch(dim)
-        result = fusemax(arch=arch).evaluate(model, seq_len, batch)
-        points.append(
-            DesignPoint(
-                model=model.name,
-                array_dim=dim,
-                area_cm2=area_of(arch).total_cm2,
-                latency_seconds=arch.seconds(result.latency_cycles),
-            )
-        )
-    return points
+    return [design_point(model, dim, seq_len, batch) for dim in dims]
 
 
 def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:

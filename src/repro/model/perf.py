@@ -19,10 +19,10 @@ how the paper drives Timeloop (Sec. VI-A):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, Mapping
 
 from ..analysis.opcount import OpCounts, count_ops
-from ..arch.energy import DEFAULT_ENERGY, EnergyBreakdown, EnergyTable
+from ..arch.energy import EnergyBreakdown, EnergyTable
 from ..arch.spec import Architecture
 from ..einsum import Cascade
 from ..workloads.models import BATCH_SIZE, ModelConfig

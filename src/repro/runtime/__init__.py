@@ -1,0 +1,57 @@
+"""Experiment runtime: parallel execution, result caching, run records.
+
+The runtime turns the repo's serial figure drivers into a deterministic
+pipeline: grid points fan out over processes (:mod:`.executor`), results
+content-address into a two-level cache (:mod:`.cache`), and every sweep
+can leave a structured record behind (:mod:`.registry`).  Parallelism
+and caching never change results — the executor merges in submission
+order and the cache keys include the code version.
+"""
+
+from .cache import (
+    CACHE_DIR_ENV,
+    CacheStats,
+    ResultCache,
+    cache_key,
+    canonical,
+    code_version,
+    decode_result,
+    default_cache,
+    encode_result,
+    resolve_cache,
+)
+from .executor import (
+    EvalTask,
+    attention_grid,
+    evaluate_task,
+    pareto_grid,
+    run_tasks,
+    sweep_attention,
+    sweep_inference,
+    sweep_pareto,
+)
+from .registry import RunRecord, RunRegistry, result_digest
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CacheStats",
+    "EvalTask",
+    "ResultCache",
+    "RunRecord",
+    "RunRegistry",
+    "attention_grid",
+    "cache_key",
+    "canonical",
+    "code_version",
+    "decode_result",
+    "default_cache",
+    "encode_result",
+    "evaluate_task",
+    "pareto_grid",
+    "resolve_cache",
+    "result_digest",
+    "run_tasks",
+    "sweep_attention",
+    "sweep_inference",
+    "sweep_pareto",
+]

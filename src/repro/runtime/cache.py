@@ -1,0 +1,295 @@
+"""Content-addressed result cache for the experiment runtime.
+
+Every grid-point evaluation is pure: the result is fully determined by
+(configuration, model, sequence length, batch, architecture spec, code
+version).  The cache therefore keys results by a stable SHA-256 over a
+canonical JSON rendering of those inputs and stores the result twice —
+in an in-memory LRU for intra-process reuse (e.g. Figs. 6, 8, and 9 all
+share one attention sweep) and, optionally, as JSON files on disk so a
+rerun of the full sweep is nearly free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, fields, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..arch.energy import EnergyBreakdown
+from ..model.metrics import AttentionResult, InferenceResult
+from ..model.pareto import DesignPoint
+
+#: Environment variable that switches the default cache to a disk store.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file; computed once per process.
+
+    Any edit to the package invalidates previously cached results, so a
+    stale disk cache can never leak results across code changes.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        digest = hashlib.sha256()
+        root = Path(__file__).resolve().parent.parent
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def canonical(obj: Any) -> Any:
+    """A deterministic JSON-ready rendering of an evaluation input.
+
+    Handles the objects that appear in grid points: frozen dataclasses
+    (``ModelConfig``, ``Architecture``, ``EnergyTable``), plain model
+    objects (``UnfusedModel`` et al., via their ``__dict__``), and the
+    usual scalars/containers.  Dictionaries are key-sorted so the
+    rendering is independent of insertion order.
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__qualname__,
+            **{f.name: canonical(getattr(obj, f.name)) for f in fields(obj)},
+        }
+    if isinstance(obj, dict):
+        items = sorted(obj.items(), key=lambda kv: str(kv[0]))
+        return {str(k): canonical(v) for k, v in items}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "__dict__"):
+        items = sorted(vars(obj).items())
+        return {
+            "__class__": type(obj).__qualname__,
+            **{k: canonical(v) for k, v in items},
+        }
+    return repr(obj)
+
+
+def cache_key(task_fields: Dict[str, Any], version: Optional[str] = None) -> str:
+    """Stable content address of one evaluation task."""
+    payload = {
+        "__version__": code_version() if version is None else version,
+        **task_fields,
+    }
+    blob = json.dumps(canonical(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# Result codec: the three grid-point result types <-> JSON-ready dicts.
+# Floats survive the round trip exactly (json uses repr, which is
+# round-trip safe for Python floats), so cached results compare equal to
+# freshly computed ones.
+# --------------------------------------------------------------------------
+
+
+def encode_result(result: Any) -> Dict[str, Any]:
+    """Encode a grid-point result as a JSON-ready tagged dict."""
+    if isinstance(result, AttentionResult):
+        return {
+            "__type__": "AttentionResult",
+            "config": result.config,
+            "model": result.model,
+            "seq_len": result.seq_len,
+            "latency_cycles": result.latency_cycles,
+            "busy_2d_cycles": result.busy_2d_cycles,
+            "busy_1d_cycles": result.busy_1d_cycles,
+            "dram_bytes": result.dram_bytes,
+            "glb_words": result.glb_words,
+            "energy": dict(result.energy.pj),
+            "per_einsum_2d_cycles": dict(result.per_einsum_2d_cycles),
+        }
+    if isinstance(result, InferenceResult):
+        return {
+            "__type__": "InferenceResult",
+            "config": result.config,
+            "model": result.model,
+            "seq_len": result.seq_len,
+            "attention": encode_result(result.attention),
+            "linear_latency_cycles": result.linear_latency_cycles,
+            "linear_energy": dict(result.linear_energy.pj),
+        }
+    if isinstance(result, DesignPoint):
+        return {
+            "__type__": "DesignPoint",
+            "model": result.model,
+            "array_dim": result.array_dim,
+            "area_cm2": result.area_cm2,
+            "latency_seconds": result.latency_seconds,
+        }
+    raise TypeError(f"cannot encode result of type {type(result).__name__}")
+
+
+def decode_result(payload: Dict[str, Any]) -> Any:
+    """Inverse of :func:`encode_result`."""
+    kind = payload.get("__type__")
+    if kind == "AttentionResult":
+        return AttentionResult(
+            config=payload["config"],
+            model=payload["model"],
+            seq_len=payload["seq_len"],
+            latency_cycles=payload["latency_cycles"],
+            busy_2d_cycles=payload["busy_2d_cycles"],
+            busy_1d_cycles=payload["busy_1d_cycles"],
+            dram_bytes=payload["dram_bytes"],
+            glb_words=payload["glb_words"],
+            energy=EnergyBreakdown(dict(payload["energy"])),
+            per_einsum_2d_cycles=dict(payload["per_einsum_2d_cycles"]),
+        )
+    if kind == "InferenceResult":
+        return InferenceResult(
+            config=payload["config"],
+            model=payload["model"],
+            seq_len=payload["seq_len"],
+            attention=decode_result(payload["attention"]),
+            linear_latency_cycles=payload["linear_latency_cycles"],
+            linear_energy=EnergyBreakdown(dict(payload["linear_energy"])),
+        )
+    if kind == "DesignPoint":
+        return DesignPoint(
+            model=payload["model"],
+            array_dim=payload["array_dim"],
+            area_cm2=payload["area_cm2"],
+            latency_seconds=payload["latency_seconds"],
+        )
+    raise ValueError(f"cannot decode result payload tagged {kind!r}")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`ResultCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+        }
+
+
+class ResultCache:
+    """Two-level result store: in-memory LRU over an optional JSON tree.
+
+    Memory entries hold the decoded result objects themselves (no codec
+    round trip); the disk layer shards files by the first two hex digits
+    of the key and writes atomically so concurrent sweeps sharing a
+    directory never observe torn files.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[os.PathLike] = None,
+        max_memory_entries: int = 4096,
+    ) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.max_memory_entries = max_memory_entries
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Any:
+        """The cached result for ``key``, or None on a miss."""
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return self._memory[key]
+        if self.directory is not None:
+            path = self._path(key)
+            if path.is_file():
+                with open(path) as handle:
+                    payload = json.load(handle)
+                value = decode_result(payload["result"])
+                self._remember(key, value)
+                self.stats.disk_hits += 1
+                return value
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a freshly computed result under ``key``."""
+        self._remember(key, value)
+        self.stats.puts += 1
+        if self.directory is not None:
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = {"key": key, "result": encode_result(value)}
+            handle = tempfile.NamedTemporaryFile(
+                "w", dir=path.parent, suffix=".tmp", delete=False
+            )
+            try:
+                with handle:
+                    json.dump(payload, handle)
+                os.replace(handle.name, path)
+            except BaseException:
+                os.unlink(handle.name)
+                raise
+
+    def _remember(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    def clear_memory(self) -> None:
+        """Drop the LRU layer (disk entries, if any, survive)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+_DEFAULT_CACHE: Optional[ResultCache] = None
+
+
+def default_cache() -> ResultCache:
+    """The process-wide shared cache.
+
+    Memory-only unless :data:`CACHE_DIR_ENV` names a directory, in which
+    case results also persist across processes.
+    """
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = ResultCache(
+            directory=os.environ.get(CACHE_DIR_ENV) or None
+        )
+    return _DEFAULT_CACHE
+
+
+def resolve_cache(cache: Any = True) -> Optional[ResultCache]:
+    """Normalize the ``cache`` argument accepted throughout the runtime.
+
+    ``True`` selects the shared :func:`default_cache`, ``False``/``None``
+    disables caching, and a :class:`ResultCache` instance is used as-is.
+    """
+    if cache is True:
+        return default_cache()
+    if cache is False or cache is None:
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    raise TypeError(f"cache must be bool, None, or ResultCache, not {cache!r}")

@@ -1,0 +1,248 @@
+"""Parallel grid executor with deterministic, ordered merge.
+
+The evaluation grid (Figs. 6-11: 5 configurations × 4 models × 6
+sequence lengths; Fig. 12: 4 models × 6 array dims) is embarrassingly
+parallel — every point is an independent, pure analytical-model
+evaluation.  :func:`run_tasks` fans the points out over a
+``ProcessPoolExecutor`` and merges results back in submission order, so
+the output is bit-identical to the serial path regardless of ``jobs``.
+
+Cache lookups happen before dispatch: only misses reach the pool, and
+every fresh result is written back, so a warm sweep never forks at all.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..model import all_attention_models, evaluate_inference
+from ..model.pareto import ARRAY_DIMS, PARETO_SEQ_LEN, design_point
+from ..workloads.models import BATCH_SIZE, MODELS, ModelConfig, SEQUENCE_LENGTHS
+from .cache import cache_key, canonical, resolve_cache
+from .registry import RunRegistry
+
+#: Task kinds understood by :func:`evaluate_task`.
+KINDS = ("attention", "inference", "pareto")
+
+
+@dataclass(frozen=True)
+class EvalTask:
+    """One point of an evaluation grid.
+
+    ``config`` is the accelerator model object for ``attention`` and
+    ``inference`` tasks, and the integer PE-array dimension for
+    ``pareto`` tasks.  Everything a worker needs rides inside the task,
+    so tasks pickle cleanly to pool workers.
+    """
+
+    kind: str
+    config: Any
+    model: ModelConfig
+    seq_len: int
+    batch: int = BATCH_SIZE
+
+    def fingerprint(self, memo: Optional[Dict[int, Any]] = None) -> Dict[str, Any]:
+        """The cache-key fields identifying this evaluation.
+
+        ``memo`` (keyed by object id) lets a sweep canonicalize each of
+        its shared config/model objects once instead of per grid point;
+        callers must keep the objects alive while using the memo.
+        """
+        if memo is None:
+            memo = {}
+        config = memo.get(id(self.config))
+        if config is None:
+            config = memo[id(self.config)] = canonical(self.config)
+        model = memo.get(id(self.model))
+        if model is None:
+            model = memo[id(self.model)] = canonical(self.model)
+        return {
+            "kind": self.kind,
+            "config": config,
+            "model": model,
+            "seq_len": self.seq_len,
+            "batch": self.batch,
+        }
+
+
+def evaluate_task(task: EvalTask) -> Any:
+    """Evaluate one grid point (runs in pool workers and inline)."""
+    if task.kind == "attention":
+        return task.config.evaluate(task.model, task.seq_len, task.batch)
+    if task.kind == "inference":
+        return evaluate_inference(task.config, task.model, task.seq_len, task.batch)
+    if task.kind == "pareto":
+        return design_point(task.model, task.config, task.seq_len, task.batch)
+    raise ValueError(f"unknown task kind {task.kind!r}; have {KINDS}")
+
+
+def run_tasks(
+    tasks: Sequence[EvalTask],
+    jobs: int = 1,
+    cache: Any = True,
+) -> List[Any]:
+    """Evaluate ``tasks``, in order, optionally in parallel and cached.
+
+    The returned list is index-aligned with ``tasks`` and identical to
+    ``[evaluate_task(t) for t in tasks]`` for every value of ``jobs``.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    tasks = list(tasks)
+    store = resolve_cache(cache)
+    results: List[Any] = [None] * len(tasks)
+    keys: List[Optional[str]] = [None] * len(tasks)
+    pending: List[int] = []
+    memo: Dict[int, Any] = {}
+    for i, task in enumerate(tasks):
+        if store is not None:
+            keys[i] = cache_key(task.fingerprint(memo))
+            hit = store.get(keys[i])
+            if hit is not None:
+                results[i] = hit
+                continue
+        pending.append(i)
+
+    if pending:
+        todo = [tasks[i] for i in pending]
+        if jobs > 1 and len(todo) > 1:
+            workers = min(jobs, len(todo))
+            chunksize = max(1, len(todo) // (workers * 4))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                computed = list(pool.map(evaluate_task, todo, chunksize=chunksize))
+        else:
+            computed = [evaluate_task(task) for task in todo]
+        for i, value in zip(pending, computed):
+            results[i] = value
+            if store is not None:
+                store.put(keys[i], value)
+    return results
+
+
+# --------------------------------------------------------------------------
+# Grid builders and the sweep entry points the experiment drivers use.
+# --------------------------------------------------------------------------
+
+
+def attention_grid(
+    models: Sequence[ModelConfig] = MODELS,
+    seq_lens: Sequence[int] = SEQUENCE_LENGTHS,
+    configs: Optional[Sequence[Any]] = None,
+    batch: int = BATCH_SIZE,
+    kind: str = "attention",
+) -> List[EvalTask]:
+    """The (configuration, model, length) grid in presentation order."""
+    if configs is None:
+        configs = all_attention_models()
+    return [
+        EvalTask(kind, config, model, seq_len, batch)
+        for config in configs
+        for model in models
+        for seq_len in seq_lens
+    ]
+
+
+def pareto_grid(
+    models: Sequence[ModelConfig] = MODELS,
+    seq_len: int = PARETO_SEQ_LEN,
+    dims: Sequence[int] = ARRAY_DIMS,
+    batch: int = BATCH_SIZE,
+) -> List[EvalTask]:
+    """The Fig. 12 (model, array-dim) grid in presentation order."""
+    return [
+        EvalTask("pareto", dim, model, seq_len, batch)
+        for model in models
+        for dim in dims
+    ]
+
+
+def _keyed(tasks: Sequence[EvalTask], results: Sequence[Any]) -> Dict[Tuple, Any]:
+    """Results keyed by ``(config_name, model_name, seq_len)``, in task
+    order (matching the historical serial sweep exactly)."""
+    keyed: Dict[Tuple, Any] = {}
+    for task, result in zip(tasks, results):
+        keyed[(result.config, task.model.name, task.seq_len)] = result
+    return keyed
+
+
+def _sweep(
+    tasks: Sequence[EvalTask],
+    kind: str,
+    jobs: int,
+    cache: Any,
+    registry: Optional[RunRegistry],
+) -> List[Any]:
+    start = time.perf_counter()
+    store = resolve_cache(cache)
+    before = store.stats.as_dict() if store is not None else None
+    results = run_tasks(tasks, jobs=jobs, cache=store if store is not None else False)
+    if registry is not None:
+        duration = time.perf_counter() - start
+        delta = None
+        if store is not None:
+            after = store.stats.as_dict()
+            delta = {name: after[name] - before[name] for name in after}
+        registry.record(
+            kind=kind,
+            tasks=tasks,
+            results=results,
+            duration_s=duration,
+            jobs=jobs,
+            cache_stats=delta,
+        )
+    return results
+
+
+def sweep_attention(
+    models: Sequence[ModelConfig] = MODELS,
+    seq_lens: Sequence[int] = SEQUENCE_LENGTHS,
+    configs: Optional[Sequence[Any]] = None,
+    *,
+    jobs: int = 1,
+    cache: Any = True,
+    batch: int = BATCH_SIZE,
+    registry: Optional[RunRegistry] = None,
+) -> Dict[Tuple[str, str, int], Any]:
+    """Attention-kernel results over the grid, keyed by
+    ``(config_name, model_name, seq_len)``."""
+    tasks = attention_grid(models, seq_lens, configs, batch)
+    results = _sweep(tasks, "attention", jobs, cache, registry)
+    return _keyed(tasks, results)
+
+
+def sweep_inference(
+    models: Sequence[ModelConfig] = MODELS,
+    seq_lens: Sequence[int] = SEQUENCE_LENGTHS,
+    configs: Optional[Sequence[Any]] = None,
+    *,
+    jobs: int = 1,
+    cache: Any = True,
+    batch: int = BATCH_SIZE,
+    registry: Optional[RunRegistry] = None,
+) -> Dict[Tuple[str, str, int], Any]:
+    """End-to-end inference results over the grid (Figs. 10-11)."""
+    tasks = attention_grid(models, seq_lens, configs, batch, kind="inference")
+    results = _sweep(tasks, "inference", jobs, cache, registry)
+    return _keyed(tasks, results)
+
+
+def sweep_pareto(
+    models: Sequence[ModelConfig] = MODELS,
+    seq_len: int = PARETO_SEQ_LEN,
+    dims: Sequence[int] = ARRAY_DIMS,
+    *,
+    jobs: int = 1,
+    cache: Any = True,
+    batch: int = BATCH_SIZE,
+    registry: Optional[RunRegistry] = None,
+) -> Dict[Tuple[str, int], Any]:
+    """Fig. 12 design points keyed by ``(model_name, array_dim)``."""
+    tasks = pareto_grid(models, seq_len, dims, batch)
+    results = _sweep(tasks, "pareto", jobs, cache, registry)
+    return {
+        (task.model.name, task.config): result
+        for task, result in zip(tasks, results)
+    }

@@ -1,0 +1,135 @@
+"""Run registry: structured JSON records of every sweep.
+
+Each recorded run captures what was asked (grid, jobs), how it went
+(duration, cache hit/miss deltas), and a digest of what came out — enough
+to compare two runs for drift without storing every result, and the
+foundation for regression tracking across code versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from .cache import canonical, code_version, encode_result
+
+
+def result_digest(results: Sequence[Any]) -> str:
+    """Order-sensitive digest of a sweep's results."""
+    blob = json.dumps(
+        [encode_result(r) for r in results], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass
+class RunRecord:
+    """One recorded sweep."""
+
+    run_id: str
+    kind: str
+    created_at: float
+    duration_s: float
+    jobs: int
+    code_version: str
+    grid: Dict[str, Any]
+    n_results: int
+    result_digest: str
+    cache_stats: Optional[Dict[str, int]] = field(default=None)
+
+    def matches(self, other: "RunRecord") -> bool:
+        """True when both runs produced identical results."""
+        return self.result_digest == other.result_digest
+
+    def to_json(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "RunRecord":
+        return cls(**payload)
+
+
+def _grid_summary(tasks: Sequence[Any]) -> Dict[str, Any]:
+    """Compact description of a task grid for the run record."""
+    configs: List[str] = []
+    models: List[str] = []
+    seq_lens: List[int] = []
+    for task in tasks:
+        name = task.config if isinstance(task.config, (str, int)) else task.config.name
+        if name not in configs:
+            configs.append(name)
+        if task.model.name not in models:
+            models.append(task.model.name)
+        if task.seq_len not in seq_lens:
+            seq_lens.append(task.seq_len)
+    return {
+        "configs": configs,
+        "models": models,
+        "seq_lens": seq_lens,
+        "n_points": len(tasks),
+    }
+
+
+class RunRegistry:
+    """Directory of ``run-*.json`` records, one per sweep."""
+
+    def __init__(self, directory: os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: The record written by this instance's most recent
+        #: :meth:`record` call — unlike :meth:`latest`, never another
+        #: process's run.
+        self.last_recorded: Optional[RunRecord] = None
+
+    def _path(self, run_id: str) -> Path:
+        return self.directory / f"run-{run_id}.json"
+
+    def record(
+        self,
+        kind: str,
+        tasks: Sequence[Any],
+        results: Sequence[Any],
+        duration_s: float,
+        jobs: int,
+        cache_stats: Optional[Dict[str, int]] = None,
+    ) -> RunRecord:
+        """Persist one completed sweep and return its record."""
+        digest = result_digest(results)
+        # Nanosecond timestamp ids are unique across concurrent writers
+        # and keep list_runs()'s lexicographic order chronological.
+        run_id = f"{time.time_ns():019d}-{digest[:8]}"
+        entry = RunRecord(
+            run_id=run_id,
+            kind=kind,
+            created_at=time.time(),
+            duration_s=duration_s,
+            jobs=jobs,
+            code_version=code_version(),
+            grid=canonical(_grid_summary(tasks)),
+            n_results=len(results),
+            result_digest=digest,
+            cache_stats=cache_stats,
+        )
+        with open(self._path(run_id), "w") as handle:
+            json.dump(entry.to_json(), handle, indent=2, sort_keys=True)
+        self.last_recorded = entry
+        return entry
+
+    def list_runs(self) -> List[str]:
+        """All recorded run ids, oldest first."""
+        return sorted(
+            path.stem[len("run-"):] for path in self.directory.glob("run-*.json")
+        )
+
+    def load(self, run_id: str) -> RunRecord:
+        with open(self._path(run_id)) as handle:
+            return RunRecord.from_json(json.load(handle))
+
+    def latest(self) -> Optional[RunRecord]:
+        runs = self.list_runs()
+        return self.load(runs[-1]) if runs else None

@@ -20,8 +20,8 @@ the paper's waterfall (Fig. 4) reasons.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
 
 
 @dataclass

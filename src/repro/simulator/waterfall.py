@@ -13,9 +13,9 @@ Intended for notebooks/terminals; the examples use it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence
 
-from .engine import SimResult, Simulator, Task
+from .engine import SimResult, Task
 
 
 @dataclass(frozen=True)
@@ -45,7 +45,8 @@ def render_waterfall(
     reads naturally for pipelines.
     """
     if label_of is None:
-        label_of = lambda name: name[0]
+        def label_of(name):
+            return name[0]
     makespan = max(result.makespan, 1)
     scale = max(1, -(-makespan // width))  # cycles per character cell
     lanes: Dict[str, List[str]] = {}

@@ -1,9 +1,7 @@
 """Tests for the ablation experiment driver."""
 
-import pytest
 
 from repro.experiments import ablations
-from repro.workloads import SEQUENCE_LENGTHS
 
 
 class TestDivisionReductionAblation:

@@ -5,7 +5,6 @@ shapes and values rather than a fixed instance.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cascades import attention_1pass, attention_2pass, attention_3pass

@@ -4,11 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.simulator.dataflow import (
-    TileResult,
-    expected_compute_cycles,
-    simulate_tile,
-)
+from repro.simulator.dataflow import expected_compute_cycles, simulate_tile
 from repro.simulator.systolic import bqk_tile_timing
 
 

@@ -63,7 +63,7 @@ class TestWaterfall:
 
     def test_glyphs_from_task_names(self, sim):
         tasks, result = sim
-        lanes = {l.resource: l.text for l in render_waterfall(tasks, result)}
+        lanes = {lane.resource: lane.text for lane in render_waterfall(tasks, result)}
         assert "B" in lanes["2d"]  # BQK tiles
         assert "R" in lanes["1d"]  # RM / RD / RNV updates
 

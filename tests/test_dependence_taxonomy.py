@@ -1,6 +1,5 @@
 """Tests for the dependence graph and the Table I taxonomy."""
 
-import pytest
 
 from repro.analysis.dependence import build_dependence
 from repro.analysis.taxonomy import (

@@ -2,12 +2,11 @@
 
 import pytest
 
-from repro.arch import area_of, fusemax_arch
+from repro.arch import fusemax_arch
 from repro.model import (
     ARRAY_DIMS,
     FLATModel,
     PARETO_SEQ_LEN,
-    UnfusedModel,
     evaluate_inference,
     evaluate_linear,
     fusemax,
@@ -15,7 +14,7 @@ from repro.model import (
     sweep,
 )
 from repro.model.pareto import DesignPoint
-from repro.workloads import BERT, MODELS, XLM
+from repro.workloads import BERT, XLM
 
 
 class TestLinearLayers:

@@ -15,7 +15,6 @@ from repro.mapping import (
     fusemax_mapping,
     fusion_groups,
     gemm_latency_cycles,
-    plus_cascade_binding,
     search_gemm_mapping,
     validate_binding,
     validated_bindings,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch import flat_arch, fusemax_arch
+from repro.arch import flat_arch
 from repro.model import (
     FLATModel,
     UnfusedModel,

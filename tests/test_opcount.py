@@ -1,7 +1,6 @@
 """Tests for operation counting — including the division-reduction result
 of Section IV-D and the 1-pass compute overhead of Section IV-E3."""
 
-import pytest
 
 from repro.analysis.opcount import EXP_MACCS, OpCounts, count_ops, total_ops
 from repro.cascades import (

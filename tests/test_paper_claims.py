@@ -7,7 +7,6 @@ paper even though the substrate is an independent analytical model.
 
 import statistics
 
-import pytest
 
 from repro.model import FLATModel, UnfusedModel, evaluate_inference, fusemax
 from repro.workloads import MODELS, SEQUENCE_LENGTHS

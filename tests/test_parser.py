@@ -14,9 +14,9 @@ from repro.einsum import (
     Shifted,
     Var,
 )
-from repro.einsum.ops import MAX, MUL, SUB_THEN_EXP
+from repro.einsum.ops import MAX, SUB_THEN_EXP
 from repro.einsum.parser import ParseError, parse_einsum
-from repro.einsum.tensor import Leaf, Literal, Map, Unary
+from repro.einsum.tensor import Literal, Map, Unary
 from repro.functional import attention, evaluate_output
 
 

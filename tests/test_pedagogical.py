@@ -1,7 +1,6 @@
 """Tests for the Section III pedagogical cascades (Cascades 1-3)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cascades import (

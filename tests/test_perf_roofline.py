@@ -4,11 +4,11 @@ the transformer linear-layer cascade."""
 import pytest
 
 from repro.analysis import count_passes, count_ops, family
-from repro.arch import flat_arch, fusemax_arch
+from repro.arch import fusemax_arch
 from repro.cascades import attention_3pass
 from repro.cascades.transformer import encoder_layer_einsums, linear_layers
 from repro.model import FLATModel, fusemax
-from repro.model.perf import ArrayWork, array_cycles, make_workload
+from repro.model.perf import array_cycles, make_workload
 from repro.model.roofline import machine_balance_point, roofline_point
 from repro.workloads import BERT
 
@@ -88,6 +88,6 @@ class TestTransformerCascade:
         assert total_macs == inventory
 
     def test_inventory_scales_with_ffn(self):
-        small = sum(l.macs_per_token for l in linear_layers(768, 12, 64, 1024))
-        large = sum(l.macs_per_token for l in linear_layers(768, 12, 64, 4096))
+        small = sum(layer.macs_per_token for layer in linear_layers(768, 12, 64, 1024))
+        large = sum(layer.macs_per_token for layer in linear_layers(768, 12, 64, 4096))
         assert large > small

@@ -1,0 +1,219 @@
+"""Tests for the runtime subsystem: executor, cache, and registry."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import full_report
+from repro.model import UnfusedModel, fusemax
+from repro.runtime import (
+    EvalTask,
+    ResultCache,
+    RunRegistry,
+    attention_grid,
+    cache_key,
+    decode_result,
+    encode_result,
+    evaluate_task,
+    pareto_grid,
+    resolve_cache,
+    result_digest,
+    run_tasks,
+    sweep_attention,
+    sweep_inference,
+    sweep_pareto,
+)
+from repro.workloads import BERT, MODELS, SEQUENCE_LENGTHS, T5
+
+SHORT = (1024, 65536)
+
+
+class TestParallelEqualsSerial:
+    def test_attention_full_grid(self):
+        serial = sweep_attention(cache=False)
+        parallel = sweep_attention(cache=False, jobs=4)
+        assert list(serial) == list(parallel)  # same keys, same order
+        assert serial == parallel  # same values, bit-identical fields
+
+    def test_inference_full_grid(self):
+        assert sweep_inference(cache=False) == sweep_inference(cache=False, jobs=4)
+
+    def test_pareto_full_grid(self):
+        assert sweep_pareto(cache=False) == sweep_pareto(cache=False, jobs=4)
+
+    def test_full_report_byte_identical(self):
+        assert full_report(jobs=1) == full_report(jobs=4)
+
+    def test_run_tasks_preserves_order(self):
+        tasks = attention_grid((BERT, T5), SHORT)
+        serial = run_tasks(tasks, cache=False)
+        parallel = run_tasks(tasks, jobs=3, cache=False)
+        assert serial == parallel
+        assert [r.config for r in serial] == [t.config.name for t in tasks]
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            run_tasks(attention_grid((BERT,), SHORT), jobs=0)
+
+
+class TestGrids:
+    def test_attention_grid_shape(self):
+        assert len(attention_grid()) == 5 * len(MODELS) * len(SEQUENCE_LENGTHS)
+
+    def test_pareto_grid_shape(self):
+        assert len(pareto_grid()) == len(MODELS) * 6
+
+    def test_unknown_kind_rejected(self):
+        task = EvalTask("nope", UnfusedModel(), BERT, 1024)
+        with pytest.raises(ValueError):
+            evaluate_task(task)
+
+
+class TestCacheKey:
+    def test_stable_across_equal_inputs(self):
+        a = EvalTask("attention", UnfusedModel(), BERT, 1024)
+        b = EvalTask("attention", UnfusedModel(), BERT, 1024)
+        assert cache_key(a.fingerprint()) == cache_key(b.fingerprint())
+
+    def test_distinguishes_grid_points(self):
+        base = EvalTask("attention", UnfusedModel(), BERT, 1024)
+        others = [
+            EvalTask("inference", UnfusedModel(), BERT, 1024),
+            EvalTask("attention", fusemax(), BERT, 1024),
+            EvalTask("attention", UnfusedModel(), T5, 1024),
+            EvalTask("attention", UnfusedModel(), BERT, 4096),
+            EvalTask("attention", UnfusedModel(), BERT, 1024, batch=1),
+        ]
+        keys = {cache_key(t.fingerprint()) for t in [base] + others}
+        assert len(keys) == len(others) + 1
+
+    def test_code_version_invalidates(self):
+        task = EvalTask("attention", UnfusedModel(), BERT, 1024)
+        assert cache_key(task.fingerprint(), version="a") != cache_key(
+            task.fingerprint(), version="b"
+        )
+
+
+class TestResultCache:
+    def test_memory_hit_after_miss(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        sweep_attention((BERT,), SHORT, cache=cache)
+        stats = cache.stats.as_dict()
+        assert stats == {
+            "memory_hits": 0, "disk_hits": 0, "misses": 10, "puts": 10,
+        }
+        again = sweep_attention((BERT,), SHORT, cache=cache)
+        assert cache.stats.memory_hits == 10
+        assert again == sweep_attention((BERT,), SHORT, cache=False)
+
+    def test_disk_round_trip(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        first = sweep_attention((BERT,), SHORT, cache=cache)
+        fresh = ResultCache(directory=tmp_path)  # cold memory, warm disk
+        second = sweep_attention((BERT,), SHORT, cache=fresh)
+        assert fresh.stats.disk_hits == 10 and fresh.stats.misses == 0
+        assert first == second
+
+    def test_memory_only_when_no_directory(self):
+        cache = ResultCache()
+        sweep_pareto((BERT,), dims=(16, 32), cache=cache)
+        sweep_pareto((BERT,), dims=(16, 32), cache=cache)
+        assert cache.stats.memory_hits == 2
+
+    def test_invalidation_on_different_key(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        task = EvalTask("attention", UnfusedModel(), BERT, 1024)
+        old_key = cache_key(task.fingerprint(), version="old-code")
+        new_key = cache_key(task.fingerprint(), version="new-code")
+        cache.put(old_key, evaluate_task(task))
+        assert cache.get(old_key) is not None
+        assert cache.get(new_key) is None  # code change == miss
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_memory_entries=4)
+        sweep_attention((BERT,), SHORT, cache=cache)  # 10 puts through a 4-slot LRU
+        assert len(cache) == 4
+
+    def test_resolve_cache_contract(self):
+        assert resolve_cache(False) is None
+        assert resolve_cache(None) is None
+        assert resolve_cache(True) is resolve_cache(True)  # shared default
+        own = ResultCache()
+        assert resolve_cache(own) is own
+        with pytest.raises(TypeError):
+            resolve_cache("yes")
+
+
+class TestCodec:
+    @pytest.mark.parametrize("kind,config", [
+        ("attention", UnfusedModel()),
+        ("inference", fusemax()),
+        ("pareto", 64),
+    ])
+    def test_round_trip_exact(self, kind, config):
+        result = evaluate_task(EvalTask(kind, config, BERT, 4096))
+        payload = json.loads(json.dumps(encode_result(result)))
+        assert decode_result(payload) == result
+
+    def test_unknown_payload_rejected(self):
+        with pytest.raises(ValueError):
+            decode_result({"__type__": "Mystery"})
+        with pytest.raises(TypeError):
+            encode_result(object())
+
+
+class TestRegistry:
+    def test_round_trip(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        results = sweep_attention((BERT,), SHORT, cache=False, registry=registry)
+        record = registry.latest()
+        assert record is not None
+        loaded = registry.load(record.run_id)
+        assert loaded == record
+        assert loaded.kind == "attention"
+        assert loaded.n_results == len(results) == 10
+        assert loaded.jobs == 1
+        assert loaded.grid["models"] == ["BERT"]
+        assert loaded.result_digest == result_digest(list(results.values()))
+
+    def test_runs_accumulate_and_match(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        sweep_attention((BERT,), SHORT, cache=False, registry=registry)
+        sweep_attention((BERT,), SHORT, cache=False, jobs=2, registry=registry)
+        first, second = (registry.load(r) for r in registry.list_runs())
+        assert first.matches(second)  # parallel run drifts nowhere
+
+    def test_cache_stats_recorded(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        cache = ResultCache()
+        sweep_attention((BERT,), SHORT, cache=cache, registry=registry)
+        sweep_attention((BERT,), SHORT, cache=cache, registry=registry)
+        warm = registry.load(registry.list_runs()[-1])
+        assert warm.cache_stats["memory_hits"] == 10
+        assert warm.cache_stats["misses"] == 0
+
+
+class TestCLI:
+    def test_sweep_smoke(self, capsys, tmp_path):
+        from repro.cli import main
+
+        assert main([
+            "sweep", "--kind", "attention", "--models", "BERT",
+            "--seq-lens", "1024,4096", "--jobs", "2",
+            "--registry", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "10 grid points" in out
+        assert "recorded run" in out
+
+    def test_sweep_unknown_model(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--models", "GPT"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_report_no_cache(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig6", "--no-cache"]) == 0
+        assert "util 1D" in capsys.readouterr().out

@@ -1,6 +1,5 @@
 """Unit tests for tensor references and expression trees."""
 
-import pytest
 
 from repro.einsum import (
     Affine,

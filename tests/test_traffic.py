@@ -1,6 +1,5 @@
 """Tests for the memory-traffic lower bounds (Sec. III-B implications)."""
 
-import pytest
 
 from repro.analysis import count_passes, family
 from repro.analysis.traffic import traffic_lower_bound
