@@ -31,3 +31,16 @@ def test_bench_interpreter_3pass(benchmark, inputs):
 def test_bench_interpreter_1pass(benchmark, inputs):
     out = benchmark(evaluate_output, attention_1pass(), SHAPES, inputs)
     assert np.allclose(out, attention(inputs["Q"], inputs["K"], inputs["V"]))
+
+
+def test_bench_interpreter_1pass_long(benchmark, inputs):
+    """Many M1 chunks: exercises the per-Einsum plan hoisted out of the
+    iterative loop (the win grows with chunk count)."""
+    shapes = dict(SHAPES, M=2048, M1=64)
+    rng = np.random.default_rng(11)
+    long_inputs = dict(inputs, K=rng.normal(size=(16, 2048)),
+                       V=rng.normal(size=(16, 2048)))
+    out = benchmark(evaluate_output, attention_1pass(), shapes, long_inputs)
+    assert np.allclose(
+        out, attention(long_inputs["Q"], long_inputs["K"], long_inputs["V"])
+    )

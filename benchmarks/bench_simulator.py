@@ -1,0 +1,218 @@
+"""Benchmark: the event-driven scheduler vs per-cycle simulation.
+
+Run directly for the speedup gates this PR's simulator core exists for:
+
+    PYTHONPATH=src python benchmarks/bench_simulator.py
+
+or through pytest-benchmark like the other bench modules:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_simulator.py
+
+Three cores are compared on the Fig. 4/5 task graphs at ``--chunks``:
+
+- ``event`` — the event-driven scheduler (the default core);
+- ``cycle`` — today's cycle-accurate oracle (frontier-based refill),
+  whose results must be bit-identical to ``event``;
+- ``baseline`` — an exact replica of the pre-frontier seed engine
+  (full task-list rescan per cycle), the code this PR replaced.  It is
+  far too slow to finish at long sequence lengths, so it runs under a
+  wall-clock budget and the reported speedup is a *lower bound*:
+  remaining cycles are charged at the observed early-cycle rate, which
+  undercounts because the rescan's skip-prefix grows as tasks finish.
+
+``--min-speedup X`` gates event-vs-baseline on the tile-serial graph
+(0 disables); ``--long-budget S`` gates the ``--long-chunks``
+interleaved + tile-serial points on the event core.
+"""
+
+import argparse
+import time
+from typing import Dict, List, Set
+
+from repro.simulator import PipelineConfig, Simulator, build_tasks
+
+
+def seed_engine_run(tasks, mode, slots, budget_s, max_cycles):
+    """The seed's Simulator.run, verbatim except for the wall-clock stop.
+
+    Always simulates at least 1024 cycles so rate extrapolation has a
+    sample.  Returns (cycles_simulated, elapsed_s, finished).
+    """
+    slots = slots if mode == "interleaved" else 1
+    remaining: Dict[str, int] = {t.name: t.duration for t in tasks}
+    done: Set[str] = {t.name for t in tasks if t.duration == 0}
+    resources = sorted({t.resource for t in tasks})
+    per_resource: Dict[str, List] = {r: [] for r in resources}
+    for task in tasks:
+        per_resource[task.resource].append(task)
+    active: Dict[str, List[str]] = {r: [] for r in resources}
+    rr_offset: Dict[str, int] = {r: 0 for r in resources}
+    cycle = 0
+    start = time.perf_counter()
+    while len(done) < len(tasks):
+        if cycle >= max_cycles:
+            raise RuntimeError("baseline exceeded max_cycles")
+        if cycle and cycle % 1024 == 0 and time.perf_counter() - start > budget_s:
+            break
+        completed_this_cycle: List[str] = []
+        for resource in resources:
+            slots_free = slots - len(active[resource])
+            if slots_free > 0:
+                for task in per_resource[resource]:
+                    if slots_free == 0:
+                        break
+                    if (
+                        task.name not in done
+                        and task.name not in active[resource]
+                        and all(d in done for d in task.deps)
+                    ):
+                        active[resource].append(task.name)
+                        slots_free -= 1
+            if not active[resource]:
+                continue
+            index = rr_offset[resource] % len(active[resource])
+            name = active[resource][index]
+            rr_offset[resource] += 1
+            remaining[name] -= 1
+            if remaining[name] == 0:
+                active[resource].remove(name)
+                completed_this_cycle.append(name)
+        done.update(completed_this_cycle)
+        cycle += 1
+    return cycle, time.perf_counter() - start, len(done) == len(tasks)
+
+
+def _best_of(fn, reps=3):
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _graph(chunks, array_dim, serial):
+    config = PipelineConfig(chunks=chunks, array_dim=array_dim,
+                            pe_1d=array_dim)
+    tasks = build_tasks(config, serial=serial)
+    budget = sum(task.duration for task in tasks) + 1
+    mode = "serial" if serial else "interleaved"
+    return tasks, mode, budget
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chunks", type=int, default=1024, metavar="N",
+                        help="M1 chunk count of the gated point (default 1024)")
+    parser.add_argument("--array-dim", type=int, default=1024, metavar="D",
+                        help="PE-array dimension (default 1024)")
+    parser.add_argument(
+        "--min-speedup", type=float, default=50.0, metavar="X",
+        help="fail unless event beats the seed baseline by X on the "
+             "tile-serial graph (lower bound; 0 disables; default 50)",
+    )
+    parser.add_argument(
+        "--baseline-budget", type=float, default=3.0, metavar="S",
+        help="wall-clock seconds granted to the seed baseline (default 3)",
+    )
+    parser.add_argument("--long-chunks", type=int, default=8192, metavar="N",
+                        help="chunk count of the long-sequence gate")
+    parser.add_argument(
+        "--long-budget", type=float, default=10.0, metavar="S",
+        help="fail if a long-sequence event run exceeds S seconds "
+             "(0 disables; default 10)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"Fig. 4/5 graphs at {args.chunks} chunks, "
+          f"{args.array_dim}x{args.array_dim} array "
+          f"(sequence length {args.chunks * args.array_dim}):")
+    gated_speedup = None
+    for serial in (True, False):
+        tasks, mode, budget = _graph(args.chunks, args.array_dim, serial)
+        binding = "tile-serial" if serial else "interleaved"
+
+        event_s, event = _best_of(
+            lambda: Simulator(tasks, mode=mode, engine="event").run(budget)
+        )
+        cycle_s, cycle = _best_of(
+            lambda: Simulator(tasks, mode=mode, engine="cycle").run(budget),
+            reps=1,
+        )
+        assert event == cycle, f"{binding}: engines diverged"
+
+        simulated, elapsed, finished = seed_engine_run(
+            tasks, mode, 2, args.baseline_budget, budget
+        )
+        baseline_s = elapsed
+        bound = "="
+        if not finished:
+            baseline_s = elapsed * (event.makespan / simulated)
+            bound = ">="
+        speedup = baseline_s / event_s
+        if serial:
+            gated_speedup = speedup
+        print(f"  {binding:12s} makespan={event.makespan:>9,}  "
+              f"event={event_s * 1e3:7.1f} ms  "
+              f"cycle-oracle={cycle_s * 1e3:8.1f} ms "
+              f"({cycle_s / event_s:5.1f}x)  "
+              f"seed-baseline{bound}{baseline_s:7.1f} s "
+              f"({speedup:,.0f}x{'+' if bound == '>=' else ''})")
+
+    if args.min_speedup:
+        assert gated_speedup >= args.min_speedup, (
+            f"event core only {gated_speedup:.1f}x faster than the seed "
+            f"baseline at {args.chunks} chunks (gate: {args.min_speedup:g}x)"
+        )
+        print(f"speedup gate: {gated_speedup:,.0f}x >= {args.min_speedup:g}x ok")
+
+    print(f"\nlong-sequence points at {args.long_chunks} chunks "
+          f"(event core, default 256x256 array):")
+    for binding, serial in (("interleaved", False), ("tile-serial", True)):
+        tasks, mode, budget = _graph(args.long_chunks, 256, serial)
+        start = time.perf_counter()
+        result = Simulator(tasks, mode=mode, engine="event").run(budget)
+        took = time.perf_counter() - start
+        print(f"  {binding:12s} makespan={result.makespan:>10,}  "
+              f"{took:5.2f} s  util2d={result.utilization('2d'):.3f}")
+        if args.long_budget:
+            assert took <= args.long_budget, (
+                f"{binding} at {args.long_chunks} chunks took {took:.1f}s "
+                f"(gate: {args.long_budget:g}s)"
+            )
+    if args.long_budget:
+        print(f"long-sequence gate: <= {args.long_budget:g} s ok")
+
+
+# ---- pytest-benchmark entry points (parity with the other bench modules) ----
+
+
+def test_bench_event_interleaved_1024(benchmark):
+    tasks, mode, budget = _graph(1024, 1024, serial=False)
+    result = benchmark(
+        lambda: Simulator(tasks, mode=mode, engine="event").run(budget)
+    )
+    assert result.utilization("2d") > 0.9
+
+
+def test_bench_event_tile_serial_1024(benchmark):
+    tasks, mode, budget = _graph(1024, 1024, serial=True)
+    result = benchmark(
+        lambda: Simulator(tasks, mode=mode, engine="event").run(budget)
+    )
+    assert result.makespan > 1_000_000
+
+
+def test_bench_cycle_oracle_128(benchmark):
+    """The oracle stays in benchmarks at a size it can afford."""
+    tasks, mode, budget = _graph(128, 256, serial=False)
+    event = Simulator(tasks, mode=mode, engine="event").run(budget)
+    result = benchmark(
+        lambda: Simulator(tasks, mode=mode, engine="cycle").run(budget)
+    )
+    assert result == event
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,10 @@ Commands:
 - ``passes CASCADE``    — pass analysis of a named cascade
   (``3pass``, ``3pass-divopt``, ``2pass``, ``1pass``, ``causal``,
   ``sigmoid``).
-- ``simulate``          — run the binding pipeline simulation.
+- ``simulate``          — run the binding pipeline simulation
+  (``--engine event|cycle``), or ``--sweep`` to scan chunk counts ×
+  bindings × array dims and emit utilization vs sequence length
+  (``--format table|csv|json``).
 
 Grid-backed commands accept ``--jobs N`` (parallel evaluation over
 processes), ``--cache``/``--no-cache`` (content-addressed result reuse;
@@ -48,7 +51,15 @@ from .experiments.common import format_table
 from .experiments.report import full_report
 from .runtime import ResultCache, RunRegistry
 from .runtime import executor as _runtime
-from .simulator import PipelineConfig, compare_bindings
+from .simulator import (
+    DEFAULT_SWEEP_ARRAY_DIMS,
+    DEFAULT_SWEEP_CHUNKS,
+    PipelineConfig,
+    compare_bindings,
+    sweep_csv,
+    sweep_json,
+    sweep_table,
+)
 from .workloads.models import MODELS, MODELS_BY_NAME, SEQUENCE_LENGTHS, seq_label
 
 _CASCADES: Dict[str, Callable] = {
@@ -207,11 +218,65 @@ def _cmd_passes(args) -> int:
     return 0
 
 
+def _parse_int_list(text: str, flag: str):
+    """Comma-separated ints, or None after a one-line stderr message."""
+    try:
+        return tuple(int(item) for item in text.split(","))
+    except ValueError:
+        print(f"invalid {flag} {text!r}: expected comma-separated integers",
+              file=sys.stderr)
+        return None
+
+
 def _cmd_simulate(args) -> int:
-    config = PipelineConfig(chunks=args.chunks)
-    for name, r in compare_bindings(config).items():
+    if args.sweep:
+        return _cmd_simulate_sweep(args)
+    config = PipelineConfig(
+        chunks=args.chunks, array_dim=args.array_dim, pe_1d=args.array_dim
+    )
+    for name, r in compare_bindings(config, engine=args.engine).items():
         print(f"{name:12s} makespan={r.makespan:7d} "
               f"util2d={r.util_2d:.3f} util1d={r.util_1d:.3f}")
+    return 0
+
+
+def _cmd_simulate_sweep(args) -> int:
+    """The long-sequence binding sweep through the parallel runtime."""
+    if args.engine != "event":
+        print("--sweep always runs the event-driven core (the cycle "
+              "oracle cannot reach the long-sequence points); --engine "
+              "applies to the one-shot comparison only", file=sys.stderr)
+        return 2
+    chunks = DEFAULT_SWEEP_CHUNKS
+    if args.chunks_list:
+        chunks = _parse_int_list(args.chunks_list, "--chunks-list")
+        if chunks is None:
+            return 2
+    array_dims = DEFAULT_SWEEP_ARRAY_DIMS
+    if args.arrays:
+        array_dims = _parse_int_list(args.arrays, "--arrays")
+        if array_dims is None:
+            return 2
+    registry = RunRegistry(args.registry) if args.registry else None
+    results = _runtime.sweep_bindings(
+        chunks, array_dims=array_dims,
+        jobs=args.jobs, cache=_make_cache(args), registry=registry,
+    )
+    render = {"table": sweep_table, "csv": sweep_csv, "json": sweep_json}
+    payload = render[args.format](results)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload)
+            if not payload.endswith("\n"):
+                handle.write("\n")
+        print(f"{len(results)} binding points -> {args.output} "
+              f"({args.format}, jobs={args.jobs})")
+    else:
+        print(payload, end="" if payload.endswith("\n") else "\n")
+    if registry is not None:
+        record = registry.last_recorded
+        print(f"recorded run {record.run_id} "
+              f"(digest {record.result_digest}, {record.duration_s:.3f}s)")
     return 0
 
 
@@ -247,8 +312,47 @@ def main(argv=None) -> int:
     sub.add_parser("taxonomy", help="Table I classification")
     passes = sub.add_parser("passes", help="pass analysis of one cascade")
     passes.add_argument("cascade", help=f"one of {sorted(_CASCADES)}")
-    simulate = sub.add_parser("simulate", help="binding pipeline simulation")
-    simulate.add_argument("--chunks", type=int, default=32)
+    simulate = sub.add_parser(
+        "simulate", help="binding pipeline simulation / long-sequence sweep"
+    )
+    simulate.add_argument("--chunks", type=int, default=32,
+                          help="M1 chunk count for the one-shot comparison")
+    simulate.add_argument(
+        "--array-dim", type=int, default=256, metavar="D",
+        help="PE-array dimension (1D array sized to match; default 256)",
+    )
+    simulate.add_argument(
+        "--engine", choices=("event", "cycle"), default="event",
+        help="scheduler core for the one-shot comparison: event-driven "
+             "(default) or the cycle-accurate oracle — results are "
+             "identical (--sweep always uses the event core)",
+    )
+    simulate.add_argument(
+        "--sweep", action="store_true",
+        help="scan chunk counts x bindings x array dims through the "
+             "parallel runtime and emit a utilization-vs-length table",
+    )
+    simulate.add_argument(
+        "--chunks-list", metavar="N1,N2", default=None,
+        help="sweep chunk counts (default: 16..8192 in powers of two)",
+    )
+    simulate.add_argument(
+        "--arrays", metavar="D1,D2", default=None,
+        help="sweep PE-array dimensions (default: 128,256)",
+    )
+    simulate.add_argument(
+        "--format", choices=("table", "csv", "json"), default="table",
+        help="sweep output format (default: table)",
+    )
+    simulate.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the sweep to FILE instead of stdout",
+    )
+    simulate.add_argument(
+        "--registry", metavar="DIR", default=None,
+        help="record the sweep as JSON under DIR",
+    )
+    _add_runtime_args(simulate)
     args = parser.parse_args(argv)
 
     if getattr(args, "cache_dir", None) and not getattr(args, "cache", True):

@@ -18,7 +18,16 @@ exactly the same attention output as Cascade 4.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Container,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -89,9 +98,13 @@ class Interpreter:
             tail = [
                 e for e in self.cascade.extended() if var not in e.iteration_vars()
             ]
+            # The per-Einsum schedule (identity lookup, output axes,
+            # reduce actions) depends only on which variables are bound,
+            # not their values — hoist it out of the chunk loop.
+            plans = [(e, _EinsumPlan(self, e, (var,))) for e in body]
             for i in range(extent):
-                for einsum in body:
-                    self._execute(einsum, bound={var: i})
+                for einsum, plan in plans:
+                    self._execute(einsum, bound={var: i}, plan=plan)
             for einsum in tail:
                 self._execute(einsum, bound={})
         else:
@@ -148,12 +161,19 @@ class Interpreter:
 
     # -- execution -----------------------------------------------------------
 
-    def _execute(self, einsum: Einsum, bound: Mapping[str, int]) -> None:
-        identity_for = self._identity_lookup(einsum)
+    def _execute(
+        self,
+        einsum: Einsum,
+        bound: Mapping[str, int],
+        plan: Optional["_EinsumPlan"] = None,
+    ) -> None:
+        if plan is None:
+            plan = _EinsumPlan(self, einsum, bound)
+        identity_for = plan.identity_for
         arr, axes = self._eval(einsum.expr, bound, identity_for)
-        out_axes = self._free_axes(einsum.output, bound)
+        out_axes = plan.out_axes
         for var in [a for a in axes if a not in out_axes]:
-            op = einsum.reduce_action(var)
+            op = plan.reduce_op(var)
             axis = axes.index(var)
             arr = op.reduce(np.asarray(arr), axis=axis)
             axes = axes[:axis] + axes[axis + 1 :]
@@ -179,7 +199,7 @@ class Interpreter:
 
         return identity
 
-    def _free_axes(self, ref_: TensorRef, bound: Mapping[str, int]) -> Axes:
+    def _free_axes(self, ref_: TensorRef, bound: Container[str]) -> Axes:
         axes: List[str] = []
         for ix in ref_.indices:
             for var in ix.vars():
@@ -375,6 +395,33 @@ class Interpreter:
             env[free_var] = coord
             values[coord] = flt.bound.evaluate(env, self.shapes)
         return values
+
+
+class _EinsumPlan:
+    """Loop-invariant evaluation schedule for one Einsum.
+
+    Everything here depends on the Einsum's structure and on *which*
+    variables are bound — never on their values — so the iterative
+    interpreter builds one plan per body Einsum instead of recomputing
+    reduce identities, output axes, and reduce actions for every chunk.
+    """
+
+    __slots__ = ("identity_for", "out_axes", "_einsum", "_reduce_ops")
+
+    def __init__(
+        self, interp: Interpreter, einsum: Einsum, bound: Container[str]
+    ) -> None:
+        self._einsum = einsum
+        self.identity_for = interp._identity_lookup(einsum)
+        self.out_axes = interp._free_axes(einsum.output, bound)
+        self._reduce_ops: Dict[str, object] = {}
+
+    def reduce_op(self, var: str):
+        """The reduce action for ``var``, resolved once."""
+        op = self._reduce_ops.get(var)
+        if op is None:
+            op = self._reduce_ops[var] = self._einsum.reduce_action(var)
+        return op
 
 
 def evaluate(

@@ -23,10 +23,12 @@ from .cache import (
 from .executor import (
     EvalTask,
     attention_grid,
+    binding_grid,
     evaluate_task,
     pareto_grid,
     run_tasks,
     sweep_attention,
+    sweep_bindings,
     sweep_inference,
     sweep_pareto,
 )
@@ -40,6 +42,7 @@ __all__ = [
     "RunRecord",
     "RunRegistry",
     "attention_grid",
+    "binding_grid",
     "cache_key",
     "canonical",
     "code_version",
@@ -52,6 +55,7 @@ __all__ = [
     "result_digest",
     "run_tasks",
     "sweep_attention",
+    "sweep_bindings",
     "sweep_inference",
     "sweep_pareto",
 ]

@@ -23,6 +23,11 @@ from typing import Any, Dict, Optional
 from ..arch.energy import EnergyBreakdown
 from ..model.metrics import AttentionResult, InferenceResult
 from ..model.pareto import DesignPoint
+from ..simulator.sweep import (
+    BindingResult,
+    decode_binding_result,
+    encode_binding_result,
+)
 
 #: Environment variable that switches the default cache to a disk store.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -129,6 +134,8 @@ def encode_result(result: Any) -> Dict[str, Any]:
             "area_cm2": result.area_cm2,
             "latency_seconds": result.latency_seconds,
         }
+    if isinstance(result, BindingResult):
+        return encode_binding_result(result)
     raise TypeError(f"cannot encode result of type {type(result).__name__}")
 
 
@@ -164,6 +171,8 @@ def decode_result(payload: Dict[str, Any]) -> Any:
             area_cm2=payload["area_cm2"],
             latency_seconds=payload["latency_seconds"],
         )
+    if kind == "BindingResult":
+        return decode_binding_result(payload)
     raise ValueError(f"cannot decode result payload tagged {kind!r}")
 
 

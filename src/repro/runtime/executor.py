@@ -20,12 +20,19 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..model import all_attention_models, evaluate_inference
 from ..model.pareto import ARRAY_DIMS, PARETO_SEQ_LEN, design_point
+from ..simulator.pipeline import BINDINGS
+from ..simulator.sweep import (
+    DEFAULT_SWEEP_ARRAY_DIMS,
+    DEFAULT_SWEEP_CHUNKS,
+    BindingPoint,
+    evaluate_binding_point,
+)
 from ..workloads.models import BATCH_SIZE, MODELS, ModelConfig, SEQUENCE_LENGTHS
 from .cache import cache_key, canonical, resolve_cache
 from .registry import RunRegistry
 
 #: Task kinds understood by :func:`evaluate_task`.
-KINDS = ("attention", "inference", "pareto")
+KINDS = ("attention", "inference", "pareto", "binding")
 
 
 @dataclass(frozen=True)
@@ -40,7 +47,7 @@ class EvalTask:
 
     kind: str
     config: Any
-    model: ModelConfig
+    model: Optional[ModelConfig]
     seq_len: int
     batch: int = BATCH_SIZE
 
@@ -76,6 +83,8 @@ def evaluate_task(task: EvalTask) -> Any:
         return evaluate_inference(task.config, task.model, task.seq_len, task.batch)
     if task.kind == "pareto":
         return design_point(task.model, task.config, task.seq_len, task.batch)
+    if task.kind == "binding":
+        return evaluate_binding_point(task.config)
     raise ValueError(f"unknown task kind {task.kind!r}; have {KINDS}")
 
 
@@ -227,6 +236,48 @@ def sweep_inference(
     tasks = attention_grid(models, seq_lens, configs, batch, kind="inference")
     results = _sweep(tasks, "inference", jobs, cache, registry)
     return _keyed(tasks, results)
+
+
+def binding_grid(
+    chunks: Sequence[int] = DEFAULT_SWEEP_CHUNKS,
+    bindings: Sequence[str] = BINDINGS,
+    array_dims: Sequence[int] = DEFAULT_SWEEP_ARRAY_DIMS,
+    embedding: int = 64,
+) -> List[EvalTask]:
+    """The (array dim, binding, chunk count) simulation grid, in
+    presentation order: utilization-vs-length curves per binding."""
+    tasks: List[EvalTask] = []
+    for dim in array_dims:
+        for binding in bindings:
+            for count in chunks:
+                point = BindingPoint(binding, count, array_dim=dim, embedding=embedding)
+                tasks.append(EvalTask("binding", point, None, point.chunks * dim))
+    return tasks
+
+
+def sweep_bindings(
+    chunks: Sequence[int] = DEFAULT_SWEEP_CHUNKS,
+    bindings: Sequence[str] = BINDINGS,
+    array_dims: Sequence[int] = DEFAULT_SWEEP_ARRAY_DIMS,
+    *,
+    embedding: int = 64,
+    jobs: int = 1,
+    cache: Any = True,
+    registry: Optional[RunRegistry] = None,
+) -> Dict[Tuple[str, int, int], Any]:
+    """Binding-simulation results over the long-sequence grid, keyed by
+    ``(binding, chunks, array_dim)``.
+
+    Each point runs the event-driven scheduler on the Fig. 4/5 task
+    graph at its chunk count; points fan out over processes and reuse
+    the content-addressed cache exactly like the figure grids.
+    """
+    tasks = binding_grid(chunks, bindings, array_dims, embedding)
+    results = _sweep(tasks, "binding", jobs, cache, registry)
+    return {
+        (task.config.binding, task.config.chunks, task.config.array_dim): result
+        for task, result in zip(tasks, results)
+    }
 
 
 def sweep_pareto(

@@ -63,7 +63,8 @@ def _grid_summary(tasks: Sequence[Any]) -> Dict[str, Any]:
         name = task.config if isinstance(task.config, (str, int)) else task.config.name
         if name not in configs:
             configs.append(name)
-        if task.model.name not in models:
+        # Simulation tasks (kind "binding") carry no workload model.
+        if task.model is not None and task.model.name not in models:
             models.append(task.model.name)
         if task.seq_len not in seq_lens:
             seq_lens.append(task.seq_len)

@@ -1,17 +1,44 @@
-"""Cycle-granular simulation of spatial-array bindings."""
+"""Cycle-granular simulation of spatial-array bindings.
+
+Two interchangeable scheduling cores back every simulation: the
+event-driven scheduler (:mod:`.events`, the default) and the
+cycle-accurate oracle it is differentially tested against
+(``Simulator(..., engine="cycle")``).  On top sit the Fig. 4/5 binding
+pipeline (:mod:`.pipeline`) and long-sequence binding sweeps
+(:mod:`.sweep`).
+"""
 
 from .dataflow import TileResult, expected_compute_cycles, simulate_tile
 from .engine import SimResult, Simulator, Task
+from .events import run_event_driven
 from .pipeline import (
+    BINDINGS,
     PipelineConfig,
     PipelineReport,
+    binding_sim,
     build_tasks,
     compare_bindings,
     simulate_binding,
 )
+from .sweep import (
+    DEFAULT_SWEEP_ARRAY_DIMS,
+    DEFAULT_SWEEP_CHUNKS,
+    BindingPoint,
+    BindingResult,
+    evaluate_binding_point,
+    sweep_csv,
+    sweep_json,
+    sweep_table,
+)
 from .systolic import TileTiming, bqk_tile_timing, exp_tile_timing
+from .waterfall import binding_waterfall, waterfall_text
 
 __all__ = [
+    "BINDINGS",
+    "BindingPoint",
+    "BindingResult",
+    "DEFAULT_SWEEP_ARRAY_DIMS",
+    "DEFAULT_SWEEP_CHUNKS",
     "PipelineConfig",
     "PipelineReport",
     "SimResult",
@@ -19,11 +46,19 @@ __all__ = [
     "Task",
     "TileResult",
     "TileTiming",
+    "binding_sim",
+    "binding_waterfall",
     "bqk_tile_timing",
     "build_tasks",
     "compare_bindings",
+    "evaluate_binding_point",
     "exp_tile_timing",
     "expected_compute_cycles",
+    "run_event_driven",
     "simulate_binding",
     "simulate_tile",
+    "sweep_csv",
+    "sweep_json",
+    "sweep_table",
+    "waterfall_text",
 ]

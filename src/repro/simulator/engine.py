@@ -16,11 +16,21 @@ Two issue disciplines are supported, matching the paper's two bindings:
 The simulator is deliberately tile-granular (a task's duration is the
 cycles its Einsum occupies the array), which is the granularity at which
 the paper's waterfall (Fig. 4) reasons.
+
+Two interchangeable cores execute the schedule:
+
+- ``engine="event"`` (default) — the event-driven scheduler in
+  :mod:`.events`, which jumps straight from completion to completion in
+  O(tasks) steps; this is what makes long-sequence sweeps tractable.
+- ``engine="cycle"`` — the original cycle-by-cycle loop below, kept as
+  the differential oracle: both cores produce bit-identical
+  :class:`SimResult` values on every task graph.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Dict, List, Mapping, Sequence, Set, Tuple
 
 
@@ -52,17 +62,53 @@ class SimResult:
         return self.busy_cycles.get(resource, 0) / self.makespan
 
 
+def _dependency_frontier(tasks: Sequence[Task], resources: Sequence[str]):
+    """The readiness state both scheduling cores start from.
+
+    Both engines' bit-identical guarantee rests on these semantics, so
+    they are built in exactly one place: zero-duration tasks are done at
+    t=0 unconditionally (finish 0); every positive-duration task gets an
+    outstanding count of its *unique* not-yet-done deps plus a seat in
+    the dependents fan-out of each, and — when already ready — a seat in
+    its resource's ready heap, keyed by program order (the original
+    full-list rescan's priority).
+
+    Returns ``(done, finish, order, dependents, outstanding, ready)``.
+    """
+    done: Set[str] = {t.name for t in tasks if t.duration == 0}
+    finish: Dict[str, int] = {name: 0 for name in done}
+    order: Dict[str, int] = {t.name: i for i, t in enumerate(tasks)}
+    dependents: Dict[str, List[str]] = {}
+    outstanding: Dict[str, int] = {}
+    ready: Dict[str, List[Tuple[int, str]]] = {r: [] for r in resources}
+    for task in tasks:
+        if task.duration == 0:
+            continue
+        waiting = {d for d in task.deps if d not in done}
+        outstanding[task.name] = len(waiting)
+        for dep in waiting:
+            dependents.setdefault(dep, []).append(task.name)
+        if not waiting:
+            heappush(ready[task.resource], (order[task.name], task.name))
+    return done, finish, order, dependents, outstanding, ready
+
+
 class Simulator:
-    """Executes a task graph cycle by cycle."""
+    """Executes a task graph on one of the two interchangeable cores."""
 
     def __init__(
         self,
         tasks: Sequence[Task],
         mode: str = "interleaved",
         slots: int = 2,
+        engine: str = "event",
     ) -> None:
         if mode not in ("serial", "interleaved"):
             raise ValueError(f"unknown issue mode {mode!r}")
+        if engine not in ("event", "cycle"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
         names = [t.name for t in tasks]
         if len(set(names)) != len(names):
             raise ValueError("duplicate task names")
@@ -74,18 +120,34 @@ class Simulator:
         self.tasks = list(tasks)
         self.mode = mode
         self.slots = slots if mode == "interleaved" else 1
+        self.engine = engine
 
     def run(self, max_cycles: int = 10_000_000) -> SimResult:
         """Simulate to completion; returns makespan and busy counts."""
+        if self.engine == "event":
+            from .events import run_event_driven
+
+            return run_event_driven(self.tasks, self.slots, max_cycles)
+        return self._run_cycles(max_cycles)
+
+    def _run_cycles(self, max_cycles: int) -> SimResult:
+        """The cycle-accurate oracle: one Python iteration per cycle.
+
+        Slot refill is driven by a per-resource ready frontier (a heap of
+        tasks whose outstanding dependency count hit zero, keyed by
+        program order — the original full-list rescan's priority), so one
+        run costs O(makespan + tasks·log tasks) rather than
+        O(tasks·cycles).  Scheduling decisions are unchanged.
+        """
         remaining: Dict[str, int] = {t.name: t.duration for t in self.tasks}
-        done: Set[str] = {t.name for t in self.tasks if t.duration == 0}
-        finish: Dict[str, int] = {name: 0 for name in done}
         busy: Dict[str, int] = {}
         resources = sorted({t.resource for t in self.tasks})
-        # Tasks listed per resource in program order (issue priority).
-        per_resource: Dict[str, List[Task]] = {r: [] for r in resources}
-        for task in self.tasks:
-            per_resource[task.resource].append(task)
+        resource_of = {t.name: t.resource for t in self.tasks}
+        # Tasks enter their resource's ready heap exactly once, when
+        # their last outstanding dep completes.
+        done, finish, order, dependents, outstanding, ready = (
+            _dependency_frontier(self.tasks, resources)
+        )
 
         active: Dict[str, List[str]] = {r: [] for r in resources}
         rr_offset: Dict[str, int] = {r: 0 for r in resources}
@@ -94,34 +156,40 @@ class Simulator:
             if cycle >= max_cycles:
                 raise RuntimeError("simulation exceeded max_cycles (deadlock?)")
             completed_this_cycle: List[str] = []
+            progressed = False
             for resource in resources:
                 # Refill the active set with ready tasks, in program order.
-                slots_free = self.slots - len(active[resource])
-                if slots_free > 0:
-                    for task in per_resource[resource]:
-                        if slots_free == 0:
-                            break
-                        if (
-                            task.name not in done
-                            and task.name not in active[resource]
-                            and all(d in done for d in task.deps)
-                        ):
-                            active[resource].append(task.name)
-                            slots_free -= 1
-                if not active[resource]:
+                acts = active[resource]
+                heap = ready[resource]
+                while len(acts) < self.slots and heap:
+                    acts.append(heappop(heap)[1])
+                if not acts:
                     continue
+                progressed = True
                 # Round-robin one issue slot per cycle among active tasks.
-                index = rr_offset[resource] % len(active[resource])
-                name = active[resource][index]
+                index = rr_offset[resource] % len(acts)
+                name = acts[index]
                 rr_offset[resource] += 1
                 remaining[name] -= 1
                 busy[resource] = busy.get(resource, 0) + 1
                 if remaining[name] == 0:
-                    active[resource].remove(name)
+                    acts.pop(index)
                     completed_this_cycle.append(name)
                     finish[name] = cycle + 1
+            if not progressed:
+                # Nothing active and nothing ready anywhere: unfinished
+                # tasks wait on deps that can never complete.
+                raise RuntimeError("simulation exceeded max_cycles (deadlock?)")
             # Completions become visible to dependents on the next cycle:
             # no same-cycle forwarding across resources.
-            done.update(completed_this_cycle)
+            for name in completed_this_cycle:
+                done.add(name)
+                for dependent in dependents.get(name, ()):
+                    outstanding[dependent] -= 1
+                    if outstanding[dependent] == 0:
+                        heappush(
+                            ready[resource_of[dependent]],
+                            (order[dependent], dependent),
+                        )
             cycle += 1
         return SimResult(makespan=cycle, busy_cycles=busy, finish_times=finish)

@@ -1,0 +1,179 @@
+"""Event-driven scheduler: the cycle engine's results without the cycles.
+
+The cycle-accurate engine (:mod:`.engine`) costs O(makespan) Python
+iterations per run — fine for the default 32-chunk Fig. 4/5 graph,
+hopeless for long-sequence regimes where M1 reaches the thousands and
+makespans the millions.  This module computes the *same schedule* in
+O(tasks) events by advancing time directly to the next task completion.
+
+Why a closed form exists
+------------------------
+
+Between task completions, nothing about a resource changes: completions
+are the only way a slot frees, and dependency satisfaction (which admits
+new tasks) happens only when a task completes.  So each resource's
+active set is constant between events, and the engine's deterministic
+round-robin can be integrated over the whole gap at once.  With ``k``
+co-active tasks, a rotation counter ``rr`` (total issue cycles so far on
+the resource), and an elapsed window of ``delta`` cycles, the task at
+list position ``j`` is served exactly
+
+    ``delta // k  +  (1 if (j - rr) % k < delta % k else 0)``
+
+cycles — the ceil/floor split of the engine's per-cycle rotation — and a
+task needing ``R`` more cycles completes at absolute time
+
+    ``sync + (j - rr) % k + (R - 1) * k + 1``
+
+where ``sync`` is the window's start.  The minimum of that expression
+over all active tasks on all resources is the next event.  Because a
+resource issues at most one task-cycle per cycle, exactly one task
+completes per resource per event time, which keeps list positions and
+the rotation counter exactly in step with the cycle engine.
+
+Completions at time ``T`` become visible to dependents at ``T`` (the
+engine's "next cycle after the finishing cycle"), so ready tasks join
+their resource's pending heap and are activated — in program order, the
+engine's refill scan order — before the next event is computed.
+
+The result is **bit-identical** to ``Simulator(..., engine="cycle")`` on
+every task graph: same makespan, same per-resource busy cycles, same
+per-task finish times.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence
+
+from .engine import SimResult, Task, _dependency_frontier
+
+#: Error text shared with the cycle engine so callers can match either.
+_DEADLOCK = "simulation exceeded max_cycles (deadlock?)"
+
+
+def run_event_driven(
+    tasks: Sequence[Task], slots: int, max_cycles: int
+) -> SimResult:
+    """Schedule ``tasks`` event by event; see the module docstring.
+
+    ``slots`` is the effective issue width (1 for the serial discipline).
+    Raises :class:`RuntimeError` exactly when the cycle engine would:
+    on dependency deadlock, or when the makespan exceeds ``max_cycles``.
+    """
+    resource_of: Dict[str, str] = {t.name: t.resource for t in tasks}
+    duration: Dict[str, int] = {t.name: t.duration for t in tasks}
+    resources = sorted({t.resource for t in tasks})
+    # Readiness semantics are shared with the cycle engine verbatim —
+    # the bit-identical guarantee starts here.
+    done, finish, order, dependents, outstanding, pending = (
+        _dependency_frontier(tasks, resources)
+    )
+    total_nonzero = len(tasks) - len(done)
+
+    # Per-resource schedule state.  ``active`` holds [name, remaining]
+    # pairs in the engine's list order; ``rr`` is the engine's rotation
+    # counter; ``sync`` the time up to which progress has been applied.
+    active: Dict[str, List[List]] = {r: [] for r in resources}
+    rr: Dict[str, int] = {r: 0 for r in resources}
+    sync: Dict[str, int] = {r: 0 for r in resources}
+    next_done: Dict[str, Optional[int]] = {r: None for r in resources}
+    busy: Dict[str, int] = {}
+
+    def advance(resource: str, now: int) -> Optional[str]:
+        """Apply ``now - sync`` round-robin cycles; return any completion."""
+        acts = active[resource]
+        delta = now - sync[resource]
+        sync[resource] = now
+        if not acts or delta == 0:
+            return None
+        rr[resource] += delta
+        busy[resource] = busy.get(resource, 0) + delta
+        k = len(acts)
+        if k == 1:  # fast path: serial mode / lone active task
+            entry = acts[0]
+            entry[1] -= delta
+            if entry[1] == 0:
+                return acts.pop()[0]
+            return None
+        quotient, extra = divmod(delta, k)
+        base = rr[resource] - delta
+        completed: Optional[int] = None
+        for j, entry in enumerate(acts):
+            served = quotient + (1 if (j - base) % k < extra else 0)
+            if served:
+                entry[1] -= served
+                if entry[1] == 0:
+                    completed = j
+        if completed is None:
+            return None
+        return acts.pop(completed)[0]
+
+    def refill(resource: str) -> None:
+        """Engine's refill scan: ready tasks join in program order."""
+        heap = pending[resource]
+        acts = active[resource]
+        while len(acts) < slots and heap:
+            _, name = heappop(heap)
+            acts.append([name, duration[name]])
+
+    def completion_time(resource: str) -> Optional[int]:
+        acts = active[resource]
+        if not acts:
+            return None
+        k = len(acts)
+        start = sync[resource]
+        if k == 1:  # fast path: next completion is simply the remainder
+            return start + acts[0][1]
+        base = rr[resource]
+        best: Optional[int] = None
+        for j, (_, remaining) in enumerate(acts):
+            when = start + (j - base) % k + (remaining - 1) * k + 1
+            if best is None or when < best:
+                best = when
+        return best
+
+    for resource in resources:
+        refill(resource)
+        next_done[resource] = completion_time(resource)
+
+    now = 0
+    completed_count = 0
+    while completed_count < total_nonzero:
+        # One scan finds both the next event time and who completes at
+        # it; the handful of resources makes a heap counterproductive.
+        now = -1
+        for when in next_done.values():
+            if when is not None and (now < 0 or when < now):
+                now = when
+        if now < 0 or now > max_cycles:
+            raise RuntimeError(_DEADLOCK)
+        touched = {r for r in resources if next_done[r] == now}
+        finished: List[str] = []
+        for resource in touched:
+            name = advance(resource, now)
+            if name is None:  # pragma: no cover - violated scheduling math
+                raise RuntimeError(f"lost completion on {resource} at {now}")
+            finish[name] = now
+            finished.append(name)
+        completed_count += len(finished)
+        # All same-time completions become visible together, then newly
+        # ready tasks enter their resource's pending heap (engine: the
+        # end-of-cycle done.update followed by next cycle's refill).
+        for name in finished:
+            for dependent in dependents.get(name, ()):
+                outstanding[dependent] -= 1
+                if outstanding[dependent] == 0:
+                    resource = resource_of[dependent]
+                    heappush(
+                        pending[resource], (order[dependent], dependent)
+                    )
+                    touched.add(resource)
+        for resource in touched:
+            leak = advance(resource, now)  # arrival-only resources catch up
+            if leak is not None:  # pragma: no cover - violated math
+                raise RuntimeError(f"lost completion on {resource} at {now}")
+            refill(resource)
+            next_done[resource] = completion_time(resource)
+
+    return SimResult(makespan=now, busy_cycles=busy, finish_times=finish)

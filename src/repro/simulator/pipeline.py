@@ -23,6 +23,9 @@ from typing import Dict, List, Tuple
 from .engine import SimResult, Simulator, Task
 from .systolic import bqk_tile_timing
 
+#: The two bindings of Fig. 4/5, in presentation order.
+BINDINGS: Tuple[str, ...] = ("tile-serial", "interleaved")
+
 #: Cycles per exponentiation implemented as sequential MACCs.
 _EXP_MACCS = 6
 
@@ -43,6 +46,11 @@ class PipelineConfig:
     @property
     def p0(self) -> int:
         return self.array_dim
+
+    @property
+    def seq_len(self) -> int:
+        """The simulated sequence length M = M1 · M0 (chunks × columns)."""
+        return self.chunks * self.array_dim
 
     def one_d_cycles(self, ops_per_element: float) -> int:
         """1D-array cycles for a per-chunk vector op over P0 elements."""
@@ -125,14 +133,35 @@ class PipelineReport:
     util_1d: float
 
 
-def simulate_binding(config: PipelineConfig, binding: str) -> PipelineReport:
-    """Simulate one binding (``"tile-serial"`` or ``"interleaved"``)."""
-    if binding not in ("tile-serial", "interleaved"):
+def binding_sim(
+    config: PipelineConfig, binding: str, engine: str = "event"
+) -> Tuple[List[Task], SimResult]:
+    """Build and run one binding's task graph; returns (tasks, result).
+
+    The cycle budget is ``sum of durations + 1``: some resource issues
+    every cycle of a valid schedule, so the makespan can never exceed the
+    total work — a deterministic bound that scales with the graph instead
+    of a fixed ceiling that long-sequence sweeps would trip over.
+    """
+    if binding not in BINDINGS:
         raise ValueError(f"unknown binding {binding!r}")
     serial = binding == "tile-serial"
     tasks = build_tasks(config, serial=serial)
-    sim = Simulator(tasks, mode="serial" if serial else "interleaved", slots=2)
-    result: SimResult = sim.run()
+    sim = Simulator(
+        tasks,
+        mode="serial" if serial else "interleaved",
+        slots=2,
+        engine=engine,
+    )
+    budget = sum(task.duration for task in tasks) + 1
+    return tasks, sim.run(max_cycles=budget)
+
+
+def simulate_binding(
+    config: PipelineConfig, binding: str, engine: str = "event"
+) -> PipelineReport:
+    """Simulate one binding (``"tile-serial"`` or ``"interleaved"``)."""
+    _, result = binding_sim(config, binding, engine=engine)
     return PipelineReport(
         binding=binding,
         makespan=result.makespan,
@@ -141,9 +170,11 @@ def simulate_binding(config: PipelineConfig, binding: str) -> PipelineReport:
     )
 
 
-def compare_bindings(config: PipelineConfig = PipelineConfig()) -> Dict[str, PipelineReport]:
+def compare_bindings(
+    config: PipelineConfig = PipelineConfig(), engine: str = "event"
+) -> Dict[str, PipelineReport]:
     """Fig. 4/5's claim in one call: serial stalls, interleaving saturates."""
     return {
-        binding: simulate_binding(config, binding)
-        for binding in ("tile-serial", "interleaved")
+        binding: simulate_binding(config, binding, engine=engine)
+        for binding in BINDINGS
     }

@@ -1,0 +1,173 @@
+"""Binding sweeps over the sequence-length axis (the long-M1 regime).
+
+The paper's pipelining argument is about *steady state*: the interleaved
+binding amortizes fill/drain over an ever-longer stream of M1 chunks,
+while tile-serial pays it per tile.  With the event-driven scheduler one
+simulation costs O(tasks), so the chunk axis opens up to the hundreds of
+thousands of tokens the paper targets (chunks ∈ {16 … 8192} at M0 = 256
+columns is M up to ~2M).  This module defines the sweep's grid points
+and result rows; the parallel/cached execution lives in
+:func:`repro.runtime.executor.sweep_bindings`, and
+``repro simulate --sweep`` drives it from the CLI.
+
+Each point is pure and cheap to describe — (binding, chunks, array dim,
+embedding) — so it flows through the PR-1 runtime unchanged: points fan
+out over processes, results content-address into the cache, and a rerun
+of a grown grid only computes the new points.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Mapping, Optional, Tuple
+
+from .pipeline import BINDINGS, PipelineConfig, binding_sim
+
+#: Chunk counts (M1) of the default sweep: 16 → 8192 in powers of two,
+#: i.e. sequence lengths 4K → 2M at the default 256-column array.
+DEFAULT_SWEEP_CHUNKS: Tuple[int, ...] = (
+    16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+)
+
+#: PE-array dimensions of the default sweep.
+DEFAULT_SWEEP_ARRAY_DIMS: Tuple[int, ...] = (128, 256)
+
+#: Keys of one binding sweep result, in CSV column order.
+SWEEP_FIELDS: Tuple[str, ...] = (
+    "binding",
+    "chunks",
+    "array_dim",
+    "seq_len",
+    "makespan",
+    "busy_2d",
+    "busy_1d",
+    "util_2d",
+    "util_1d",
+)
+
+
+@dataclass(frozen=True)
+class BindingPoint:
+    """One grid point of a binding sweep (pickles cleanly to workers).
+
+    The 1D array is sized to the 2D array's edge (``pe_1d = array_dim``)
+    unless overridden, matching the paper's FuseMax floorplan.
+    """
+
+    binding: str
+    chunks: int
+    array_dim: int = 256
+    embedding: int = 64
+    pe_1d: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.binding not in BINDINGS:
+            raise ValueError(f"unknown binding {self.binding!r}")
+        if self.chunks < 1:
+            raise ValueError(f"chunks must be >= 1, got {self.chunks}")
+
+    @property
+    def name(self) -> str:
+        """Display label (used by run-registry grid summaries)."""
+        return f"{self.binding}@{self.array_dim}"
+
+    def config(self) -> PipelineConfig:
+        return PipelineConfig(
+            chunks=self.chunks,
+            embedding=self.embedding,
+            array_dim=self.array_dim,
+            pe_1d=self.pe_1d if self.pe_1d is not None else self.array_dim,
+        )
+
+
+@dataclass(frozen=True)
+class BindingResult:
+    """Utilization-vs-length row measured by one binding simulation."""
+
+    binding: str
+    chunks: int
+    array_dim: int
+    seq_len: int
+    makespan: int
+    busy_2d: int
+    busy_1d: int
+    util_2d: float
+    util_1d: float
+
+    def row(self) -> Tuple:
+        """The result as a tuple in :data:`SWEEP_FIELDS` order."""
+        return tuple(getattr(self, field) for field in SWEEP_FIELDS)
+
+
+assert SWEEP_FIELDS == tuple(f.name for f in fields(BindingResult))
+
+
+def evaluate_binding_point(point: BindingPoint) -> BindingResult:
+    """Simulate one grid point on the event-driven core."""
+    config = point.config()
+    _, result = binding_sim(config, point.binding)
+    makespan = result.makespan
+    return BindingResult(
+        binding=point.binding,
+        chunks=point.chunks,
+        array_dim=point.array_dim,
+        seq_len=config.seq_len,
+        makespan=makespan,
+        busy_2d=result.busy_cycles.get("2d", 0),
+        busy_1d=result.busy_cycles.get("1d", 0),
+        util_2d=result.utilization("2d"),
+        util_1d=result.utilization("1d"),
+    )
+
+
+# --------------------------------------------------------------------------
+# Emitters: the sweep as CSV / JSON / aligned text.
+# --------------------------------------------------------------------------
+
+SweepResults = Mapping[Tuple[str, int, int], BindingResult]
+
+
+def sweep_csv(results: SweepResults) -> str:
+    """The sweep as CSV with a :data:`SWEEP_FIELDS` header row."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(SWEEP_FIELDS)
+    for result in results.values():
+        writer.writerow(result.row())
+    return buffer.getvalue()
+
+
+def sweep_json(results: SweepResults) -> str:
+    """The sweep as a JSON array of row objects."""
+    return json.dumps([asdict(r) for r in results.values()], indent=2)
+
+
+def sweep_table(results: SweepResults) -> str:
+    """The sweep as an aligned text table (the CLI's default view)."""
+    rows = [SWEEP_FIELDS] + [
+        tuple(
+            f"{v:.3f}" if isinstance(v, float) else str(v)
+            for v in result.row()
+        )
+        for result in results.values()
+    ]
+    widths = [max(len(row[i]) for row in rows) for i in range(len(SWEEP_FIELDS))]
+    return "\n".join(
+        "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        for row in rows
+    )
+
+
+def encode_binding_result(result: BindingResult) -> Dict:
+    """JSON-ready payload for the runtime's result cache."""
+    return {"__type__": "BindingResult", **asdict(result)}
+
+
+def decode_binding_result(payload: Mapping) -> BindingResult:
+    """Inverse of :func:`encode_binding_result`."""
+    return BindingResult(
+        **{field: payload[field] for field in SWEEP_FIELDS}
+    )

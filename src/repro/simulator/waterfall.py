@@ -73,3 +73,12 @@ def waterfall_text(
     lines.append(f"{'':>{name_width}}  ({cycles_per_cell} cycles per cell, "
                  f"makespan {result.makespan})")
     return "\n".join(lines)
+
+
+def binding_waterfall(config, binding: str, width: int = 72,
+                      engine: str = "event") -> str:
+    """Simulate one binding and render its waterfall in one call."""
+    from .pipeline import binding_sim
+
+    tasks, result = binding_sim(config, binding, engine=engine)
+    return waterfall_text(tasks, result, width)

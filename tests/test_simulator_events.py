@@ -1,0 +1,324 @@
+"""Differential tests: event-driven scheduler vs the cycle-accurate oracle.
+
+The event engine's contract is *bit-identical* ``SimResult`` values on
+every task graph — same makespan, same per-resource busy cycles, same
+per-task finish times.  These tests check it on randomized task graphs
+(property style), on hand-built edge cases, on the Fig. 4/5 pipeline
+graphs, and through the binding-sweep runtime path.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.runtime import (
+    ResultCache,
+    RunRegistry,
+    decode_result,
+    encode_result,
+    sweep_bindings,
+)
+from repro.simulator import (
+    BindingPoint,
+    BindingResult,
+    PipelineConfig,
+    Simulator,
+    Task,
+    binding_sim,
+    compare_bindings,
+    evaluate_binding_point,
+    simulate_binding,
+    sweep_csv,
+    sweep_json,
+    sweep_table,
+)
+
+
+def both(tasks, mode="interleaved", slots=2, max_cycles=10_000_000):
+    """Run both engines; assert equality; return the shared result."""
+    cycle = Simulator(tasks, mode=mode, slots=slots, engine="cycle").run(
+        max_cycles=max_cycles
+    )
+    event = Simulator(tasks, mode=mode, slots=slots, engine="event").run(
+        max_cycles=max_cycles
+    )
+    assert event == cycle
+    assert dict(event.busy_cycles) == dict(cycle.busy_cycles)
+    assert dict(event.finish_times) == dict(cycle.finish_times)
+    return event
+
+
+def random_graph(rng, max_tasks=40, allow_zero=True):
+    """A random dependency DAG (deps point at earlier tasks only)."""
+    n = rng.randint(1, max_tasks)
+    resources = [f"r{i}" for i in range(rng.randint(1, 3))]
+    tasks = []
+    for i in range(n):
+        duration = rng.randint(0, 6) if allow_zero else rng.randint(1, 6)
+        n_deps = rng.randint(0, min(3, i))
+        # Duplicates are deliberate: dep lists need not be unique.
+        deps = tuple(f"t{rng.randint(0, i - 1)}" for _ in range(n_deps))
+        tasks.append(Task(f"t{i}", rng.choice(resources), duration, deps))
+    return tasks
+
+
+class TestDifferentialRandom:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_random_graphs_interleaved(self, seed):
+        rng = random.Random(seed)
+        tasks = random_graph(rng, allow_zero=seed % 2 == 0)
+        both(tasks, mode="interleaved", slots=rng.randint(1, 4))
+
+    @pytest.mark.parametrize("seed", range(60, 100))
+    def test_random_graphs_serial(self, seed):
+        rng = random.Random(seed)
+        tasks = random_graph(rng, allow_zero=seed % 2 == 0)
+        both(tasks, mode="serial")
+
+    @pytest.mark.parametrize("seed", range(100, 120))
+    def test_wide_graphs_many_slots(self, seed):
+        """More ready tasks than slots: the pending frontier is exercised."""
+        rng = random.Random(seed)
+        tasks = [
+            Task(f"t{i}", "r0", rng.randint(1, 9)) for i in range(30)
+        ]
+        both(tasks, slots=rng.randint(2, 5))
+
+
+class TestDifferentialEdgeCases:
+    def test_empty_graph(self):
+        result = both([])
+        assert result.makespan == 0
+        assert dict(result.busy_cycles) == {}
+
+    def test_single_zero_duration_task(self):
+        result = both([Task("a", "r", 0)])
+        assert result.makespan == 0
+        assert result.finish_times["a"] == 0
+
+    def test_zero_duration_chain_feeds_dependents(self):
+        tasks = [
+            Task("a", "r", 0),
+            Task("b", "r", 3, deps=("a",)),
+            Task("c", "r", 0, deps=("b",)),
+            Task("d", "r", 2, deps=("c",)),
+        ]
+        result = both(tasks)
+        assert result.finish_times["a"] == 0
+        # Zero-duration tasks complete at t=0 unconditionally (both
+        # engines), so d never waits for b.
+        assert result.finish_times["c"] == 0
+
+    def test_single_resource_saturates(self):
+        tasks = [Task(f"t{i}", "r", 5) for i in range(6)]
+        result = both(tasks)
+        assert result.makespan == 30
+        assert result.utilization("r") == 1.0
+
+    def test_duplicate_deps_tolerated(self):
+        tasks = [Task("a", "r", 2), Task("b", "r", 2, deps=("a", "a", "a"))]
+        assert both(tasks).makespan == 4
+
+    def test_interleave_rotation_matches(self):
+        """Unequal durations: the ceil/floor rotation split must agree."""
+        tasks = [Task("a", "r", 7), Task("b", "r", 3), Task("c", "r", 5)]
+        for slots in (1, 2, 3, 4):
+            both(tasks, slots=slots)
+
+    def test_cross_resource_pipeline(self):
+        tasks = [Task("a", "x", 4), Task("b", "y", 4, deps=("a",)),
+                 Task("c", "x", 4, deps=("a",)), Task("d", "y", 4, deps=("b", "c"))]
+        both(tasks)
+
+    def test_deadlock_raises_in_both_engines(self):
+        tasks = [Task("a", "r", 1, deps=("b",)), Task("b", "r", 1, deps=("a",))]
+        for engine in ("event", "cycle"):
+            sim = Simulator(tasks, engine=engine)
+            with pytest.raises(RuntimeError, match="max_cycles"):
+                sim.run(max_cycles=100)
+
+    def test_max_cycles_exceeded_raises_in_both_engines(self):
+        tasks = [Task("a", "r", 50)]
+        for engine in ("event", "cycle"):
+            sim = Simulator([*tasks], engine=engine)
+            with pytest.raises(RuntimeError, match="max_cycles"):
+                sim.run(max_cycles=10)
+
+    def test_makespan_exactly_at_max_cycles_succeeds(self):
+        for engine in ("event", "cycle"):
+            result = Simulator([Task("a", "r", 10)], engine=engine).run(
+                max_cycles=10
+            )
+            assert result.makespan == 10
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            Simulator([Task("a", "r", 1)], engine="quantum")
+
+    def test_invalid_slots_rejected(self):
+        with pytest.raises(ValueError, match="slots"):
+            Simulator([Task("a", "r", 1)], slots=0)
+
+
+class TestDifferentialPipeline:
+    @pytest.mark.parametrize("chunks", (1, 2, 7, 32))
+    @pytest.mark.parametrize("binding", ("tile-serial", "interleaved"))
+    def test_fig45_graphs_identical(self, chunks, binding):
+        config = PipelineConfig(chunks=chunks)
+        event = simulate_binding(config, binding, engine="event")
+        cycle = simulate_binding(config, binding, engine="cycle")
+        assert event == cycle
+
+    def test_small_array_identical(self):
+        config = PipelineConfig(chunks=5, array_dim=32, pe_1d=32)
+        for binding in ("tile-serial", "interleaved"):
+            tasks, event = binding_sim(config, binding, engine="event")
+            _, cycle = binding_sim(config, binding, engine="cycle")
+            assert event == cycle
+            assert len(event.finish_times) == len(tasks)
+
+    def test_compare_bindings_engine_parity(self):
+        config = PipelineConfig(chunks=12)
+        assert compare_bindings(config, engine="event") == compare_bindings(
+            config, engine="cycle"
+        )
+
+    def test_long_sequence_point_runs(self):
+        """The regime the cycle engine cannot reach: 2048 chunks."""
+        report = simulate_binding(PipelineConfig(chunks=2048), "interleaved")
+        assert report.util_2d > 0.95
+        assert report.util_1d > 0.95
+
+
+class TestBindingSweep:
+    GRID = dict(chunks=(16, 64), array_dims=(128,))
+
+    def test_point_evaluation_matches_direct_simulation(self):
+        point = BindingPoint("interleaved", 16, array_dim=128)
+        result = evaluate_binding_point(point)
+        report = simulate_binding(point.config(), "interleaved")
+        assert result.makespan == report.makespan
+        assert result.util_2d == report.util_2d
+        assert result.seq_len == 16 * 128
+
+    def test_invalid_point_rejected(self):
+        with pytest.raises(ValueError, match="binding"):
+            BindingPoint("magic", 16)
+        with pytest.raises(ValueError, match="chunks"):
+            BindingPoint("interleaved", 0)
+
+    def test_sweep_keys_and_monotone_utilization(self):
+        results = sweep_bindings(**self.GRID, cache=False)
+        assert set(results) == {
+            (binding, chunks, 128)
+            for binding in ("tile-serial", "interleaved")
+            for chunks in (16, 64)
+        }
+        # Steady state: interleaved utilization grows with length while
+        # tile-serial stays pinned by per-tile fill/drain.
+        inter = [results[("interleaved", n, 128)].util_2d for n in (16, 64)]
+        serial = [results[("tile-serial", n, 128)].util_2d for n in (16, 64)]
+        assert inter[1] > inter[0]
+        assert abs(serial[1] - serial[0]) < 0.01
+
+    def test_sweep_parallel_and_cached_identical(self, tmp_path):
+        baseline = sweep_bindings(**self.GRID, cache=False)
+        parallel = sweep_bindings(**self.GRID, jobs=2, cache=False)
+        assert parallel == baseline
+        disk = ResultCache(directory=tmp_path / "cache")
+        populated = sweep_bindings(**self.GRID, cache=disk)
+        fresh = ResultCache(directory=tmp_path / "cache")
+        warm = sweep_bindings(**self.GRID, cache=fresh)
+        assert populated == baseline and warm == baseline
+        assert fresh.stats.disk_hits == len(baseline)
+
+    def test_sweep_records_run(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        sweep_bindings(**self.GRID, cache=False, registry=registry)
+        record = registry.last_recorded
+        assert record.kind == "binding"
+        assert record.n_results == 4
+        assert "tile-serial@128" in record.grid["configs"]
+
+    def test_binding_result_cache_codec_roundtrip(self):
+        result = evaluate_binding_point(BindingPoint("tile-serial", 16))
+        payload = json.loads(json.dumps(encode_result(result)))
+        assert decode_result(payload) == result
+
+    def test_emitters(self):
+        results = sweep_bindings(**self.GRID, cache=False)
+        csv_text = sweep_csv(results)
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("binding,chunks,array_dim,seq_len")
+        assert len(lines) == 1 + len(results)
+        rows = json.loads(sweep_json(results))
+        assert len(rows) == len(results)
+        assert {row["binding"] for row in rows} == {
+            "tile-serial", "interleaved"
+        }
+        table = sweep_table(results)
+        assert "util_2d" in table.splitlines()[0]
+
+    def test_binding_result_fields_consistent(self):
+        result = evaluate_binding_point(BindingPoint("interleaved", 16))
+        assert isinstance(result, BindingResult)
+        assert result.util_2d == pytest.approx(
+            result.busy_2d / result.makespan
+        )
+
+
+class TestSweepCLI:
+    def test_simulate_engines_print_identical_output(self, capsys):
+        from repro.cli import main
+
+        assert main(["simulate", "--chunks", "6", "--engine", "event"]) == 0
+        event_out = capsys.readouterr().out
+        assert main(["simulate", "--chunks", "6", "--engine", "cycle"]) == 0
+        assert capsys.readouterr().out == event_out
+
+    def test_simulate_sweep_csv(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "simulate", "--sweep", "--chunks-list", "16,32",
+            "--arrays", "128", "--format", "csv", "--no-cache",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("binding,chunks,array_dim")
+        assert len(out.strip().splitlines()) == 5
+
+    def test_simulate_sweep_output_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "sweep.json"
+        code = main([
+            "simulate", "--sweep", "--chunks-list", "16",
+            "--arrays", "128", "--format", "json",
+            "--output", str(target), "--no-cache",
+        ])
+        assert code == 0
+        assert "sweep.json" in capsys.readouterr().out
+        rows = json.loads(target.read_text())
+        assert len(rows) == 2
+
+    def test_simulate_sweep_bad_chunks_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["simulate", "--sweep", "--chunks-list", "16,banana"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_simulate_sweep_bad_arrays(self, capsys):
+        from repro.cli import main
+
+        assert main(["simulate", "--sweep", "--arrays", "x"]) == 2
+        assert "--arrays" in capsys.readouterr().err
+
+    def test_simulate_sweep_rejects_cycle_engine(self, capsys):
+        from repro.cli import main
+
+        code = main(["simulate", "--sweep", "--engine", "cycle",
+                     "--chunks-list", "16"])
+        assert code == 2
+        assert "event-driven core" in capsys.readouterr().err
