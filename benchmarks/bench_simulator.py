@@ -22,14 +22,34 @@ Three cores are compared on the Fig. 4/5 task graphs at ``--chunks``:
 
 ``--min-speedup X`` gates event-vs-baseline on the tile-serial graph
 (0 disables); ``--long-budget S`` gates the ``--long-chunks``
-interleaved + tile-serial points on the event core.
+interleaved + tile-serial points on the event core; and
+``--scenario-budget S`` gates a full B×H = 64×16 BERT-Base merged
+scenario schedule (~150k tasks).
+
+Every randomized task graph in this module is generated from the
+explicit ``--seed`` (one fixed default), so the gates measure the same
+graphs on every run — an unlucky draw can never flake a speedup or
+budget assertion, and a reported regression always reproduces.
 """
 
 import argparse
+import random
 import time
 from typing import Dict, List, Set
 
-from repro.simulator import PipelineConfig, Simulator, build_tasks
+from repro.simulator import (
+    PipelineConfig,
+    Simulator,
+    Task,
+    build_scenario_tasks,
+    build_tasks,
+)
+from repro.workloads import BERT
+from repro.workloads.scenario import scenario_from_model
+
+#: Default RNG seed for every randomized graph below.  Fixed so the
+#: benchmark gates are deterministic; override with --seed to explore.
+DEFAULT_SEED = 20240722
 
 
 def seed_engine_run(tasks, mode, slots, budget_s, max_cycles):
@@ -101,6 +121,35 @@ def _graph(chunks, array_dim, serial):
     return tasks, mode, budget
 
 
+def random_graph(rng, n_tasks=2000, n_resources=4):
+    """A seeded random dependency DAG (deps point at earlier tasks)."""
+    resources = [f"r{i}" for i in range(n_resources)]
+    tasks = []
+    for i in range(n_tasks):
+        deps = tuple(
+            f"t{rng.randint(0, i - 1)}"
+            for _ in range(rng.randint(0, min(3, i)))
+        )
+        tasks.append(
+            Task(f"t{i}", rng.choice(resources), rng.randint(1, 8), deps)
+        )
+    return tasks
+
+
+def _scenario_graph():
+    """The acceptance scenario: B×H = 64×16 BERT-Base, merged.
+
+    Returns (scenario, tasks, mode, budget) with the issue mode derived
+    from the scenario's binding, exactly as
+    :func:`repro.simulator.pipeline.scenario_sim` maps it — the graph is
+    prebuilt here so the timed region is scheduling only.
+    """
+    scenario = scenario_from_model(BERT, 4096, batch=64, heads=16)
+    tasks = build_scenario_tasks(scenario)
+    mode = "serial" if scenario.binding == "tile-serial" else "interleaved"
+    return scenario, tasks, mode, sum(t.duration for t in tasks) + 1
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--chunks", type=int, default=1024, metavar="N",
@@ -122,6 +171,20 @@ def main(argv=None):
         "--long-budget", type=float, default=10.0, metavar="S",
         help="fail if a long-sequence event run exceeds S seconds "
              "(0 disables; default 10)",
+    )
+    parser.add_argument(
+        "--scenario-budget", type=float, default=30.0, metavar="S",
+        help="fail if the 64x16 BERT merged-scenario schedule exceeds "
+             "S seconds on the event core (0 disables; default 30)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, metavar="S",
+        help="RNG seed for the randomized differential graphs "
+             f"(default {DEFAULT_SEED}; fixed so gates cannot flake)",
+    )
+    parser.add_argument(
+        "--random-graphs", type=int, default=8, metavar="R",
+        help="number of seeded random graphs in the differential check",
     )
     args = parser.parse_args(argv)
 
@@ -184,6 +247,36 @@ def main(argv=None):
     if args.long_budget:
         print(f"long-sequence gate: <= {args.long_budget:g} s ok")
 
+    rng = random.Random(args.seed)
+    print(f"\nseeded randomized differential (seed {args.seed}, "
+          f"{args.random_graphs} graphs):")
+    for index in range(args.random_graphs):
+        tasks = random_graph(rng)
+        mode = rng.choice(("serial", "interleaved"))
+        slots = rng.randint(2, 4)
+        budget = sum(t.duration for t in tasks) + 1
+        event = Simulator(tasks, mode=mode, slots=slots,
+                          engine="event").run(budget)
+        cycle = Simulator(tasks, mode=mode, slots=slots,
+                          engine="cycle").run(budget)
+        assert event == cycle, f"graph {index}: engines diverged"
+    print(f"  {args.random_graphs} graphs: event == cycle ok")
+
+    if args.scenario_budget:
+        scenario, tasks, mode, budget = _scenario_graph()
+        start = time.perf_counter()
+        result = Simulator(tasks, mode=mode, slots=scenario.slots,
+                           engine="event").run(budget)
+        took = time.perf_counter() - start
+        print(f"\nmerged scenario {scenario.name}: {len(tasks):,} tasks, "
+              f"makespan={result.makespan:,}, "
+              f"util2d={result.utilization('2d'):.3f}  {took:5.2f} s")
+        assert took <= args.scenario_budget, (
+            f"merged scenario took {took:.1f}s "
+            f"(gate: {args.scenario_budget:g}s)"
+        )
+        print(f"scenario gate: <= {args.scenario_budget:g} s ok")
+
 
 # ---- pytest-benchmark entry points (parity with the other bench modules) ----
 
@@ -212,6 +305,28 @@ def test_bench_cycle_oracle_128(benchmark):
         lambda: Simulator(tasks, mode=mode, engine="cycle").run(budget)
     )
     assert result == event
+
+
+def test_bench_merged_scenario_64x16(benchmark):
+    """The acceptance scenario: 1024 instances in one schedule."""
+    scenario, tasks, mode, budget = _scenario_graph()
+    result = benchmark(
+        lambda: Simulator(
+            tasks, mode=mode, slots=scenario.slots, engine="event"
+        ).run(budget)
+    )
+    assert result.utilization("2d") > 0.9
+
+
+def test_bench_seeded_random_graph_event(benchmark):
+    """Event core on the seeded random DAG (deterministic by design)."""
+    tasks = random_graph(random.Random(DEFAULT_SEED))
+    budget = sum(t.duration for t in tasks) + 1
+    result = benchmark(
+        lambda: Simulator(tasks, mode="interleaved", slots=3,
+                          engine="event").run(budget)
+    )
+    assert result.makespan > 0
 
 
 if __name__ == "__main__":

@@ -10,9 +10,15 @@ Commands:
   (``3pass``, ``3pass-divopt``, ``2pass``, ``1pass``, ``causal``,
   ``sigmoid``).
 - ``simulate``          — run the binding pipeline simulation
-  (``--engine event|cycle``), or ``--sweep`` to scan chunk counts ×
-  bindings × array dims and emit utilization vs sequence length
-  (``--format table|csv|json``).
+  (``--engine event|cycle``), ``--sweep`` to scan chunk counts ×
+  bindings × array dims × 1D lanes × embeddings and emit utilization
+  vs sequence length (``--format table|csv|json``), or ``--scenario``
+  to schedule N (batch, head) instances contending for the shared
+  arrays in one merged graph (``--model/--batch/--heads`` or
+  ``--instances``, plus ``--decode-instances`` for a decode mix).
+- ``crosscheck``        — simulate every seed scenario and diff its
+  per-array utilization against the analytical models, flagging
+  divergence beyond ``--tolerance``.
 
 Grid-backed commands accept ``--jobs N`` (parallel evaluation over
 processes), ``--cache``/``--no-cache`` (content-addressed result reuse;
@@ -37,6 +43,7 @@ from .cascades import (
 )
 from .experiments import (
     ablations,
+    crosscheck as _crosscheck,
     fig1b,
     fig6,
     fig7,
@@ -56,11 +63,22 @@ from .simulator import (
     DEFAULT_SWEEP_CHUNKS,
     PipelineConfig,
     compare_bindings,
+    evaluate_scenario_point,
+    scenario_csv,
+    scenario_json,
+    scenario_table,
     sweep_csv,
     sweep_json,
     sweep_table,
 )
-from .workloads.models import MODELS, MODELS_BY_NAME, SEQUENCE_LENGTHS, seq_label
+from .workloads.models import (
+    BATCH_SIZE,
+    MODELS,
+    MODELS_BY_NAME,
+    SEQUENCE_LENGTHS,
+    seq_label,
+)
+from .workloads.scenario import BINDINGS, attention_scenario, scenario_from_model
 
 _CASCADES: Dict[str, Callable] = {
     "3pass": attention_3pass,
@@ -107,6 +125,13 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -219,21 +244,128 @@ def _cmd_passes(args) -> int:
 
 
 def _parse_int_list(text: str, flag: str):
-    """Comma-separated ints, or None after a one-line stderr message."""
+    """Comma-separated positive ints, or None after a one-line stderr
+    message (every sweep axis — chunks, array dims, lanes, embeddings —
+    is a physical count)."""
     try:
-        return tuple(int(item) for item in text.split(","))
+        values = tuple(int(item) for item in text.split(","))
     except ValueError:
         print(f"invalid {flag} {text!r}: expected comma-separated integers",
               file=sys.stderr)
         return None
+    if any(value < 1 for value in values):
+        print(f"invalid {flag} {text!r}: values must be >= 1",
+              file=sys.stderr)
+        return None
+    return values
+
+
+def _emit_rows(args, fmt: str, payload: str, count: int, noun: str,
+               registry) -> None:
+    """Shared tail of the sweep/scenario commands: write or print the
+    rendered rows, then report the recorded run, if any."""
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload)
+            if not payload.endswith("\n"):
+                handle.write("\n")
+        print(f"{count} {noun} -> {args.output} "
+              f"({fmt}, jobs={args.jobs})")
+    else:
+        print(payload, end="" if payload.endswith("\n") else "\n")
+    if registry is not None:
+        record = registry.last_recorded
+        print(f"recorded run {record.run_id} "
+              f"(digest {record.result_digest}, {record.duration_s:.3f}s)")
+
+
+def _simulate_flag_errors(args):
+    """Misused mode-specific simulate flags (silently ignoring a flag
+    the user passed would hand back wrong numbers without warning)."""
+    errors = []
+    if args.sweep and args.scenario:
+        errors.append("--sweep and --scenario are mutually exclusive")
+    scenario_only = (
+        ("--model", args.model is not None),
+        ("--batch", args.batch is not None),
+        ("--heads", args.heads is not None),
+        ("--instances", args.instances is not None),
+        ("--pe1d", args.pe1d is not None),
+        ("--slots", args.slots is not None),
+        ("--decode-instances", args.decode_instances != 0),
+        ("--decode-chunks", args.decode_chunks is not None),
+        ("--binding", args.binding != "both"),
+    )
+    sweep_only = (
+        ("--chunks-list", args.chunks_list is not None),
+        ("--arrays", args.arrays is not None),
+        ("--pe1d-list", args.pe1d_list is not None),
+        ("--embeddings", args.embeddings is not None),
+    )
+    if args.sweep:
+        # The sweep axes replace the one-shot/scenario shape flags.
+        errors.extend(
+            f"{flag} does not apply to --sweep (use {alt})"
+            for flag, alt, given in (
+                ("--chunks", "--chunks-list", args.chunks is not None),
+                ("--array-dim", "--arrays", args.array_dim is not None),
+            )
+            if given
+        )
+    if not args.scenario:
+        errors.extend(
+            f"{flag} requires --scenario" for flag, given in scenario_only if given
+        )
+    if not args.sweep:
+        errors.extend(
+            f"{flag} requires --sweep" for flag, given in sweep_only if given
+        )
+    if not args.sweep and not args.scenario:
+        # The one-shot comparison prints a fixed two-line summary and
+        # never touches the runtime.
+        errors.extend(
+            f"{flag} requires --sweep or --scenario"
+            for flag, given in (("--format", args.format is not None),
+                                ("--output", args.output is not None),
+                                ("--registry", args.registry is not None),
+                                ("--jobs", args.jobs != 1),
+                                ("--cache-dir", args.cache_dir is not None))
+            if given
+        )
+    if args.model is not None and args.instances is not None:
+        errors.append(
+            "--instances and --model are mutually exclusive (--model "
+            "derives the instance count from --batch/--heads)"
+        )
+    if args.decode_chunks is not None and not args.decode_instances:
+        errors.append("--decode-chunks requires --decode-instances")
+    if args.scenario and args.model is None:
+        errors.extend(
+            f"{flag} requires --model (use --instances for an explicit count)"
+            for flag, given in (("--batch", args.batch is not None),
+                                ("--heads", args.heads is not None))
+            if given
+        )
+    if args.scenario and args.binding == "tile-serial" and args.slots is not None:
+        # The serial discipline issues one task per resource; slots only
+        # parameterize the interleaved round-robin.
+        errors.append("--slots applies to the interleaved binding only")
+    return errors
 
 
 def _cmd_simulate(args) -> int:
+    errors = _simulate_flag_errors(args)
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        return 2
     if args.sweep:
         return _cmd_simulate_sweep(args)
-    config = PipelineConfig(
-        chunks=args.chunks, array_dim=args.array_dim, pe_1d=args.array_dim
-    )
+    if args.scenario:
+        return _cmd_simulate_scenario(args)
+    chunks = 32 if args.chunks is None else args.chunks
+    array_dim = 256 if args.array_dim is None else args.array_dim
+    config = PipelineConfig(chunks=chunks, array_dim=array_dim, pe_1d=array_dim)
     for name, r in compare_bindings(config, engine=args.engine).items():
         print(f"{name:12s} makespan={r.makespan:7d} "
               f"util2d={r.util_2d:.3f} util1d={r.util_1d:.3f}")
@@ -257,26 +389,113 @@ def _cmd_simulate_sweep(args) -> int:
         array_dims = _parse_int_list(args.arrays, "--arrays")
         if array_dims is None:
             return 2
+    embeddings = (64,)
+    if args.embeddings:
+        embeddings = _parse_int_list(args.embeddings, "--embeddings")
+        if embeddings is None:
+            return 2
+    pe_1d_dims = (None,)
+    if args.pe1d_list:
+        pe_1d_dims = _parse_int_list(args.pe1d_list, "--pe1d-list")
+        if pe_1d_dims is None:
+            return 2
     registry = RunRegistry(args.registry) if args.registry else None
     results = _runtime.sweep_bindings(
         chunks, array_dims=array_dims,
+        embeddings=embeddings, pe_1d_dims=pe_1d_dims,
         jobs=args.jobs, cache=_make_cache(args), registry=registry,
     )
     render = {"table": sweep_table, "csv": sweep_csv, "json": sweep_json}
-    payload = render[args.format](results)
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(payload)
-            if not payload.endswith("\n"):
-                handle.write("\n")
-        print(f"{len(results)} binding points -> {args.output} "
-              f"({args.format}, jobs={args.jobs})")
+    fmt = args.format or "table"
+    _emit_rows(args, fmt, render[fmt](results), len(results),
+               "binding points", registry)
+    return 0
+
+
+def _build_scenarios(args):
+    """The scenario list implied by the simulate --scenario flags, or
+    None after a one-line stderr message.  Flag conflicts are rejected
+    earlier, in :func:`_simulate_flag_errors`."""
+    bindings = BINDINGS if args.binding == "both" else (args.binding,)
+    batch = BATCH_SIZE if args.batch is None else args.batch
+    slots = 2 if args.slots is None else args.slots
+    chunks = 32 if args.chunks is None else args.chunks
+    array_dim = 256 if args.array_dim is None else args.array_dim
+    scenarios = []
+    for binding in bindings:
+        if args.model:
+            try:
+                model = MODELS_BY_NAME[args.model]
+            except KeyError:
+                print(f"unknown model {args.model!r}; "
+                      f"have {sorted(MODELS_BY_NAME)}", file=sys.stderr)
+                return None
+            scenarios.append(scenario_from_model(
+                model, chunks * array_dim,
+                batch=batch, heads=args.heads, binding=binding,
+                array_dim=array_dim, pe_1d=args.pe1d, slots=slots,
+                decode_instances=args.decode_instances,
+                decode_chunks=args.decode_chunks,
+            ))
+        else:
+            instances = 4 if args.instances is None else args.instances
+            scenarios.append(attention_scenario(
+                instances, chunks, binding=binding,
+                array_dim=array_dim, pe_1d=args.pe1d, slots=slots,
+                decode_instances=args.decode_instances,
+                decode_chunks=args.decode_chunks,
+            ))
+    return scenarios
+
+
+def _cmd_simulate_scenario(args) -> int:
+    """Merged multi-(batch, head) schedules through the runtime."""
+    scenarios = _build_scenarios(args)
+    if scenarios is None:
+        return 2
+    registry = None
+    if args.engine == "cycle":
+        # The differential path runs the oracle directly — serial and
+        # uncached, so a cached event result can never masquerade as a
+        # cycle run.  Reject runtime flags rather than ignore them.
+        refused = [
+            flag
+            for flag, given in (("--registry", bool(args.registry)),
+                                ("--jobs", args.jobs != 1),
+                                ("--cache-dir", bool(args.cache_dir)))
+            if given
+        ]
+        if refused:
+            print(f"{', '.join(refused)} applies to runtime-backed runs "
+                  "only; the cycle oracle path is serial and uncached",
+                  file=sys.stderr)
+            return 2
+        results = {
+            s: evaluate_scenario_point(s, engine="cycle") for s in scenarios
+        }
     else:
-        print(payload, end="" if payload.endswith("\n") else "\n")
-    if registry is not None:
-        record = registry.last_recorded
-        print(f"recorded run {record.run_id} "
-              f"(digest {record.result_digest}, {record.duration_s:.3f}s)")
+        registry = RunRegistry(args.registry) if args.registry else None
+        results = _runtime.sweep_scenarios(
+            scenarios, jobs=args.jobs, cache=_make_cache(args),
+            registry=registry,
+        )
+    render = {"table": scenario_table, "csv": scenario_csv,
+              "json": scenario_json}
+    fmt = args.format or "table"
+    _emit_rows(args, fmt, render[fmt](results), len(results),
+               "scenario schedules", registry)
+    return 0
+
+
+def _cmd_crosscheck(args) -> int:
+    """Simulated vs analytical utilization over the seed scenarios."""
+    report = _crosscheck.crosscheck(
+        tolerance=args.tolerance, jobs=args.jobs, cache=_make_cache(args),
+    )
+    print("Scenario cross-check: simulated vs analytical utilization")
+    print(_crosscheck.render(report))
+    if args.strict and not report.ok:
+        return 1
     return 0
 
 
@@ -315,10 +534,13 @@ def main(argv=None) -> int:
     simulate = sub.add_parser(
         "simulate", help="binding pipeline simulation / long-sequence sweep"
     )
-    simulate.add_argument("--chunks", type=int, default=32,
-                          help="M1 chunk count for the one-shot comparison")
     simulate.add_argument(
-        "--array-dim", type=int, default=256, metavar="D",
+        "--chunks", type=_positive_int, default=None, metavar="N",
+        help="M1 chunk count for the one-shot comparison or per "
+             "scenario prefill instance (default 32)",
+    )
+    simulate.add_argument(
+        "--array-dim", type=_positive_int, default=None, metavar="D",
         help="PE-array dimension (1D array sized to match; default 256)",
     )
     simulate.add_argument(
@@ -341,8 +563,60 @@ def main(argv=None) -> int:
         help="sweep PE-array dimensions (default: 128,256)",
     )
     simulate.add_argument(
-        "--format", choices=("table", "csv", "json"), default="table",
-        help="sweep output format (default: table)",
+        "--pe1d-list", metavar="P1,P2", default=None,
+        help="sweep 1D-array lane counts independently of the 2D edge "
+             "(default: matched to each array dim)",
+    )
+    simulate.add_argument(
+        "--embeddings", metavar="E1,E2", default=None,
+        help="sweep embedding depths E (default: 64)",
+    )
+    simulate.add_argument(
+        "--scenario", action="store_true",
+        help="schedule N (batch, head) instances contending for the "
+             "shared arrays in one merged graph",
+    )
+    simulate.add_argument(
+        "--model", metavar="NAME", default=None,
+        help="derive the scenario from a workload model "
+             "(BERT/TrXL/T5/XLM; instances = batch x heads)",
+    )
+    simulate.add_argument(
+        "--batch", type=_positive_int, default=None, metavar="B",
+        help=f"scenario batch size with --model (default {BATCH_SIZE})",
+    )
+    simulate.add_argument(
+        "--heads", type=_positive_int, default=None, metavar="H",
+        help="override the model's head count with --model",
+    )
+    simulate.add_argument(
+        "--instances", type=_positive_int, default=None, metavar="N",
+        help="explicit (batch, head) instance count (default 4; "
+             "mutually exclusive with --model)",
+    )
+    simulate.add_argument(
+        "--pe1d", type=_positive_int, default=None, metavar="P",
+        help="scenario 1D-array lanes (default: matched to --array-dim)",
+    )
+    simulate.add_argument(
+        "--slots", type=_positive_int, default=None, metavar="K",
+        help="interleaved issue slots instances contend for (default 2)",
+    )
+    simulate.add_argument(
+        "--decode-instances", type=_nonnegative_int, default=0, metavar="N",
+        help="add N decode-step instances to the scenario",
+    )
+    simulate.add_argument(
+        "--decode-chunks", type=_positive_int, default=None, metavar="C",
+        help="KV-cache chunks per decode instance (default: --chunks)",
+    )
+    simulate.add_argument(
+        "--binding", choices=("both",) + BINDINGS, default="both",
+        help="scenario binding(s) to schedule (default: both)",
+    )
+    simulate.add_argument(
+        "--format", choices=("table", "csv", "json"), default=None,
+        help="sweep/scenario output format (default: table)",
     )
     simulate.add_argument(
         "--output", metavar="FILE", default=None,
@@ -353,6 +627,21 @@ def main(argv=None) -> int:
         help="record the sweep as JSON under DIR",
     )
     _add_runtime_args(simulate)
+    check = sub.add_parser(
+        "crosscheck",
+        help="simulated vs analytical utilization over the seed scenarios",
+    )
+    check.add_argument(
+        "--tolerance", type=float, default=_crosscheck.DEFAULT_TOLERANCE,
+        metavar="T",
+        help="flag |simulated - analytical| utilization beyond T "
+             f"(default {_crosscheck.DEFAULT_TOLERANCE})",
+    )
+    check.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when any comparison diverges",
+    )
+    _add_runtime_args(check)
     args = parser.parse_args(argv)
 
     if getattr(args, "cache_dir", None) and not getattr(args, "cache", True):
@@ -370,6 +659,8 @@ def main(argv=None) -> int:
         return _cmd_passes(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "crosscheck":
+        return _cmd_crosscheck(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

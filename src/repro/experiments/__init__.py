@@ -7,6 +7,7 @@ everything.
 
 from . import (
     ablations,
+    crosscheck,
     fig1b,
     fig6,
     fig7,
@@ -21,6 +22,7 @@ from . import (
 
 __all__ = [
     "ablations",
+    "crosscheck",
     "fig1b",
     "fig6",
     "fig7",

@@ -1,0 +1,170 @@
+"""Analytical ↔ simulator cross-validation over scenario schedules.
+
+The repo carries two independent accounts of how ``B × H`` attention
+instances share the 2D/1D arrays: the event-driven simulator *schedules*
+each scenario's merged task graph, and the analytical scenario models
+(:mod:`repro.model.scenario`) *bound* the same schedule in closed form.
+Both integrate one per-chunk work function, so they must agree — the
+interleaved binding and multi-instance tile-serial schedules to within
+warm-up effects, and the lone tile-serial instance exactly (the
+serial-chain interval is derived from the same dependency graph).
+
+This report runs every seed scenario through both layers, tabulates
+simulated vs. analytical per-array utilization, and flags any row whose
+divergence exceeds the tolerance.  A flagged row means one of the
+layers' assumptions broke — the cross-check that neither the models nor
+the simulator can provide alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Tuple
+
+from ..model.scenario import analytical_scenario
+from ..runtime import executor as _runtime
+from ..workloads.models import BERT
+from ..workloads.scenario import (
+    BINDINGS,
+    Scenario,
+    attention_scenario,
+    scenario_from_model,
+)
+from .common import format_table
+
+#: Maximum |simulated - analytical| utilization accepted without a flag.
+DEFAULT_TOLERANCE = 0.05
+
+#: Arrays compared per scenario (the io resource only exists under the
+#: tile-serial binding, so the shared rows are the two PE arrays).
+CHECKED_ARRAYS: Tuple[str, ...] = ("2d", "1d")
+
+
+def seed_scenarios() -> Tuple[Scenario, ...]:
+    """The default cross-check grid: both bindings at several
+    multiprogramming levels, a prefill+decode mix, and a model-derived
+    ``B × H`` scenario."""
+    scenarios = []
+    for binding in BINDINGS:
+        for instances in (1, 4, 16):
+            scenarios.append(
+                attention_scenario(instances, 64, binding=binding)
+            )
+        scenarios.append(
+            attention_scenario(
+                4, 64, binding=binding,
+                decode_instances=4, decode_chunks=128,
+            )
+        )
+        scenarios.append(
+            scenario_from_model(BERT, 4096, batch=4, binding=binding)
+        )
+    return tuple(scenarios)
+
+
+@dataclass(frozen=True)
+class CrosscheckRow:
+    """One (scenario, array) comparison."""
+
+    scenario: str
+    binding: str
+    instances: int
+    array: str
+    sim_util: float
+    model_util: float
+    model_kind: str
+    tolerance: float
+
+    @property
+    def delta(self) -> float:
+        return self.sim_util - self.model_util
+
+    @property
+    def within(self) -> bool:
+        return abs(self.delta) <= self.tolerance
+
+    @property
+    def status(self) -> str:
+        return "ok" if self.within else "DIVERGED"
+
+
+@dataclass(frozen=True)
+class CrosscheckReport:
+    """Every comparison of one cross-check run."""
+
+    tolerance: float
+    rows: Tuple[CrosscheckRow, ...]
+
+    @property
+    def flagged(self) -> Tuple[CrosscheckRow, ...]:
+        return tuple(row for row in self.rows if not row.within)
+
+    @property
+    def ok(self) -> bool:
+        return not self.flagged
+
+
+def crosscheck(
+    scenarios: Optional[Sequence[Scenario]] = None,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    jobs: int = 1,
+    cache: Any = True,
+    registry: Any = None,
+) -> CrosscheckReport:
+    """Simulate each scenario through the runtime and diff its per-array
+    utilization against the analytical estimate."""
+    if scenarios is None:
+        scenarios = seed_scenarios()
+    simulated = _runtime.sweep_scenarios(
+        scenarios, jobs=jobs, cache=cache, registry=registry
+    )
+    rows = []
+    for scenario in scenarios:
+        sim = simulated[scenario]
+        model = analytical_scenario(scenario)
+        for array in CHECKED_ARRAYS:
+            rows.append(
+                CrosscheckRow(
+                    scenario=scenario.name,
+                    binding=scenario.binding,
+                    instances=scenario.instances,
+                    array=array,
+                    sim_util=sim.utilization(array),
+                    model_util=model.utilization(array),
+                    model_kind=model.kind,
+                    tolerance=tolerance,
+                )
+            )
+    return CrosscheckReport(tolerance=tolerance, rows=tuple(rows))
+
+
+def render(report: CrosscheckReport) -> str:
+    """The report as a text table plus a one-line verdict."""
+    table = format_table(
+        ["scenario", "binding", "N", "array", "sim util", "model util",
+         "model", "delta", "status"],
+        [
+            (row.scenario, row.binding, row.instances, row.array,
+             f"{row.sim_util:.4f}", f"{row.model_util:.4f}",
+             row.model_kind, f"{row.delta:+.4f}", row.status)
+            for row in report.rows
+        ],
+    )
+    verdict = (
+        f"all {len(report.rows)} comparisons within ±{report.tolerance:g}"
+        if report.ok
+        else f"{len(report.flagged)}/{len(report.rows)} comparisons "
+             f"diverge beyond ±{report.tolerance:g}"
+    )
+    return f"{table}\n{verdict}"
+
+
+def run(**kwargs) -> CrosscheckReport:
+    """Structured rows (the experiment-driver convention)."""
+    return crosscheck(**kwargs)
+
+
+def main(jobs: int = 1, cache: Any = True) -> None:
+    print("Scenario cross-check: simulated vs analytical utilization")
+    print(render(crosscheck(jobs=jobs, cache=cache)))

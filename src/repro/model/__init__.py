@@ -2,11 +2,19 @@
 
 from .decode import DecodeStep, decode_attention, machine_balance
 from .flat import FLATModel, SpillDecision, spill_decision
-from .fusemax import FuseMaxModel, fusemax, plus_architecture, plus_cascade
+from .fusemax import (
+    STAGE_FOR_BINDING,
+    FuseMaxModel,
+    fusemax,
+    plus_architecture,
+    plus_cascade,
+    scenario_model_for,
+)
 from .generic import GenericEvaluation, evaluate_cascade
 from .inference import LinearPhase, evaluate_inference, evaluate_linear
 from .metrics import AttentionResult, InferenceResult
 from .pareto import ARRAY_DIMS, DesignPoint, PARETO_SEQ_LEN, pareto_frontier, sweep
+from .scenario import ScenarioEstimate, analytical_scenario, scenario_work
 from .unfused import UnfusedModel
 
 
@@ -32,9 +40,12 @@ __all__ = [
     "InferenceResult",
     "LinearPhase",
     "PARETO_SEQ_LEN",
+    "STAGE_FOR_BINDING",
+    "ScenarioEstimate",
     "SpillDecision",
     "UnfusedModel",
     "all_attention_models",
+    "analytical_scenario",
     "decode_attention",
     "evaluate_cascade",
     "evaluate_inference",
@@ -44,6 +55,8 @@ __all__ = [
     "pareto_frontier",
     "plus_architecture",
     "plus_cascade",
+    "scenario_model_for",
+    "scenario_work",
     "spill_decision",
     "sweep",
 ]

@@ -1,0 +1,139 @@
+"""Analytical scenario models: per-array utilization without simulating.
+
+The simulator schedules a :class:`~repro.workloads.scenario.Scenario`'s
+merged multi-instance task graph; this module predicts the same
+schedule's shape *analytically*, integrating the per-chunk work totals
+the graphs are built from (:func:`repro.simulator.pipeline.chunk_work`)
+instead of replaying them.  Because both layers read one work function,
+any divergence between a simulated and an analytical utilization is a
+modeling statement, not an accounting bug — exactly what the
+cross-check report (:mod:`repro.experiments.crosscheck`) tabulates.
+
+Two estimate kinds cover the binding space:
+
+- ``overlap-bound`` — the perfect-overlap bound: the makespan of any
+  valid schedule is at least the busiest resource's total work, so per
+  -array utilization is at most ``work_r / max_r(work)``.  The
+  interleaved binding approaches this bound from below (warm-up only);
+  a *multi-instance* tile-serial schedule approaches it too, because
+  independent instances fill each other's stalls until the serialized
+  array-edge (``io``) resource saturates.
+- ``serial-chain`` — the closed-form steady-state chunk interval of a
+  *single* tile-serial instance, where the per-chunk dependency chain
+  (fill → BQK → drain → max/renorm chain) is exposed and both arrays
+  stall.  This is the analytical form of the paper's Fig. 4 argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from ..arch.spec import EXP_AS_MACCS
+from ..simulator.pipeline import chunk_work, instance_config
+from ..workloads.scenario import Scenario
+
+#: Resources of a scenario schedule, in reporting order.
+ARRAYS: Tuple[str, ...] = ("2d", "1d", "io")
+
+
+@dataclass(frozen=True)
+class ScenarioEstimate:
+    """Analytical latency + per-array utilization of one scenario."""
+
+    scenario: str
+    binding: str
+    instances: int
+    kind: str  # "overlap-bound" | "serial-chain"
+    latency_cycles: int
+    busy: Mapping[str, int]
+
+    def utilization(self, resource: str) -> float:
+        if not self.latency_cycles:
+            return 0.0
+        return self.busy.get(resource, 0) / self.latency_cycles
+
+    @property
+    def util_2d(self) -> float:
+        return self.utilization("2d")
+
+    @property
+    def util_1d(self) -> float:
+        return self.utilization("1d")
+
+
+def scenario_work(scenario: Scenario) -> Mapping[str, int]:
+    """Total busy cycles per resource across every instance — the exact
+    sums the merged task graph's durations add up to."""
+    serial = scenario.binding == "tile-serial"
+    busy = {resource: 0 for resource in ARRAYS}
+    for phase in scenario.phases:
+        config = instance_config(scenario, phase.chunks)
+        work = chunk_work(config, serial=serial, kind=phase.kind)
+        cycles = phase.instances * phase.chunks
+        busy["2d"] += cycles * work.cycles_2d
+        busy["1d"] += cycles * work.cycles_1d
+        busy["io"] += cycles * work.cycles_io
+    return busy
+
+
+def serial_chunk_interval(scenario: Scenario) -> int:
+    """Steady-state cycles between consecutive chunks of one tile-serial
+    prefill instance running alone.
+
+    Derived by walking the per-chunk dependency chain of
+    :func:`repro.simulator.pipeline.build_tasks` (serial mode, one issue
+    slot per resource): fill and BQK and drain serialize, the 1D max
+    chain (LM, RM) follows the drain, then the exponentiation path
+    (SLN → SLNV → RNV) races the denominator path (SLD/PRM → RD) and
+    the longer one gates the next chunk's fill.
+    """
+    config = instance_config(
+        scenario,
+        max(p.chunks for p in scenario.phases if p.kind == "prefill"),
+    )
+    e = config.embedding
+    c1 = config.one_d_cycles(1)
+    c6 = config.one_d_cycles(EXP_AS_MACCS)
+    c2 = config.one_d_cycles(2)
+    cv = config.one_d_cycles(2 * e)
+    fill = drain = config.array_dim
+    numerator_path = EXP_AS_MACCS + e  # SLN then SLNV on the 2D array
+    denominator_path = max(EXP_AS_MACCS, c6) + c1 + c2  # SLN|PRM, SLD, RD
+    return (
+        fill + e + drain + 2 * c1
+        + max(numerator_path, denominator_path) + cv
+    )
+
+
+def analytical_scenario(scenario: Scenario) -> ScenarioEstimate:
+    """The analytical counterpart of one simulated scenario.
+
+    Replaces the models' bare ``B × H`` latency scale factor: instead of
+    multiplying a single-instance latency by the instance count, the
+    estimate reasons about the *shared* arrays directly — total work per
+    resource, bounded below by the busiest one (``overlap-bound``), or
+    the explicit per-chunk serialization chain when a lone tile-serial
+    instance leaves nothing to overlap with (``serial-chain``).
+    """
+    busy = scenario_work(scenario)
+    lone_serial = (
+        scenario.binding == "tile-serial"
+        and scenario.instances == 1
+        and all(p.kind == "prefill" for p in scenario.phases)
+    )
+    if lone_serial:
+        chunks = sum(p.chunks for p in scenario.phases)
+        latency = chunks * serial_chunk_interval(scenario)
+        kind = "serial-chain"
+    else:
+        latency = max(busy.values())
+        kind = "overlap-bound"
+    return ScenarioEstimate(
+        scenario=scenario.name,
+        binding=scenario.binding,
+        instances=scenario.instances,
+        kind=kind,
+        latency_cycles=latency,
+        busy=busy,
+    )

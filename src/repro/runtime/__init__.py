@@ -27,10 +27,12 @@ from .executor import (
     evaluate_task,
     pareto_grid,
     run_tasks,
+    scenario_grid,
     sweep_attention,
     sweep_bindings,
     sweep_inference,
     sweep_pareto,
+    sweep_scenarios,
 )
 from .registry import RunRecord, RunRegistry, result_digest
 
@@ -54,8 +56,10 @@ __all__ = [
     "resolve_cache",
     "result_digest",
     "run_tasks",
+    "scenario_grid",
     "sweep_attention",
     "sweep_bindings",
     "sweep_inference",
     "sweep_pareto",
+    "sweep_scenarios",
 ]

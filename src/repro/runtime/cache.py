@@ -25,8 +25,11 @@ from ..model.metrics import AttentionResult, InferenceResult
 from ..model.pareto import DesignPoint
 from ..simulator.sweep import (
     BindingResult,
+    ScenarioResult,
     decode_binding_result,
+    decode_scenario_result,
     encode_binding_result,
+    encode_scenario_result,
 )
 
 #: Environment variable that switches the default cache to a disk store.
@@ -136,6 +139,8 @@ def encode_result(result: Any) -> Dict[str, Any]:
         }
     if isinstance(result, BindingResult):
         return encode_binding_result(result)
+    if isinstance(result, ScenarioResult):
+        return encode_scenario_result(result)
     raise TypeError(f"cannot encode result of type {type(result).__name__}")
 
 
@@ -173,6 +178,8 @@ def decode_result(payload: Dict[str, Any]) -> Any:
         )
     if kind == "BindingResult":
         return decode_binding_result(payload)
+    if kind == "ScenarioResult":
+        return decode_scenario_result(payload)
     raise ValueError(f"cannot decode result payload tagged {kind!r}")
 
 

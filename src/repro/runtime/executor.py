@@ -26,13 +26,15 @@ from ..simulator.sweep import (
     DEFAULT_SWEEP_CHUNKS,
     BindingPoint,
     evaluate_binding_point,
+    evaluate_scenario_point,
 )
 from ..workloads.models import BATCH_SIZE, MODELS, ModelConfig, SEQUENCE_LENGTHS
+from ..workloads.scenario import Scenario
 from .cache import cache_key, canonical, resolve_cache
 from .registry import RunRegistry
 
 #: Task kinds understood by :func:`evaluate_task`.
-KINDS = ("attention", "inference", "pareto", "binding")
+KINDS = ("attention", "inference", "pareto", "binding", "scenario")
 
 
 @dataclass(frozen=True)
@@ -85,6 +87,8 @@ def evaluate_task(task: EvalTask) -> Any:
         return design_point(task.model, task.config, task.seq_len, task.batch)
     if task.kind == "binding":
         return evaluate_binding_point(task.config)
+    if task.kind == "scenario":
+        return evaluate_scenario_point(task.config)
     raise ValueError(f"unknown task kind {task.kind!r}; have {KINDS}")
 
 
@@ -242,17 +246,41 @@ def binding_grid(
     chunks: Sequence[int] = DEFAULT_SWEEP_CHUNKS,
     bindings: Sequence[str] = BINDINGS,
     array_dims: Sequence[int] = DEFAULT_SWEEP_ARRAY_DIMS,
-    embedding: int = 64,
+    embeddings: Sequence[int] = (64,),
+    pe_1d_dims: Sequence[Optional[int]] = (None,),
 ) -> List[EvalTask]:
-    """The (array dim, binding, chunk count) simulation grid, in
-    presentation order: utilization-vs-length curves per binding."""
+    """The (array dim, 1D lanes, embedding, binding, chunk count)
+    simulation grid, in presentation order: utilization-vs-length curves
+    per binding.
+
+    ``pe_1d_dims`` sweeps the 1D array independently of the 2D edge
+    (``None`` keeps the paper's matched floorplan); ``embeddings``
+    sweeps the per-tile reduction depth E.  Points that resolve to the
+    same configuration (``None`` alongside an explicit matched lane
+    count) are emitted once, so every computed row survives the keyed
+    merge in :func:`sweep_bindings`.
+    """
     tasks: List[EvalTask] = []
+    seen = set()
     for dim in array_dims:
-        for binding in bindings:
-            for count in chunks:
-                point = BindingPoint(binding, count, array_dim=dim, embedding=embedding)
-                tasks.append(EvalTask("binding", point, None, point.chunks * dim))
+        for pe_1d in pe_1d_dims:
+            for embedding in embeddings:
+                for binding in bindings:
+                    for count in chunks:
+                        point = BindingPoint(
+                            binding, count, array_dim=dim, embedding=embedding, pe_1d=pe_1d
+                        )
+                        key = _binding_key(point)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        tasks.append(EvalTask("binding", point, None, point.chunks * dim))
     return tasks
+
+
+def _binding_key(point: BindingPoint) -> Tuple[str, int, int, int, int]:
+    """Key of one binding-sweep result row."""
+    return (point.binding, point.chunks, point.array_dim, point.resolved_pe_1d, point.embedding)
 
 
 def sweep_bindings(
@@ -260,24 +288,55 @@ def sweep_bindings(
     bindings: Sequence[str] = BINDINGS,
     array_dims: Sequence[int] = DEFAULT_SWEEP_ARRAY_DIMS,
     *,
-    embedding: int = 64,
+    embeddings: Sequence[int] = (64,),
+    pe_1d_dims: Sequence[Optional[int]] = (None,),
     jobs: int = 1,
     cache: Any = True,
     registry: Optional[RunRegistry] = None,
-) -> Dict[Tuple[str, int, int], Any]:
+) -> Dict[Tuple[str, int, int, int, int], Any]:
     """Binding-simulation results over the long-sequence grid, keyed by
-    ``(binding, chunks, array_dim)``.
+    ``(binding, chunks, array_dim, pe_1d, embedding)``.
 
     Each point runs the event-driven scheduler on the Fig. 4/5 task
     graph at its chunk count; points fan out over processes and reuse
-    the content-addressed cache exactly like the figure grids.
+    the content-addressed cache exactly like the figure grids.  The
+    ``array_dims``, ``pe_1d_dims``, and ``embeddings`` axes sweep
+    independently.
     """
-    tasks = binding_grid(chunks, bindings, array_dims, embedding)
+    tasks = binding_grid(chunks, bindings, array_dims, embeddings, pe_1d_dims)
     results = _sweep(tasks, "binding", jobs, cache, registry)
-    return {
-        (task.config.binding, task.config.chunks, task.config.array_dim): result
-        for task, result in zip(tasks, results)
-    }
+    return {_binding_key(task.config): result for task, result in zip(tasks, results)}
+
+
+def scenario_grid(scenarios: Sequence[Scenario]) -> List[EvalTask]:
+    """One runtime task per scenario (kind ``"scenario"``).
+
+    The whole :class:`Scenario` rides in ``config``, so the cache key
+    covers every field — instances, phase mix, binding, array dims."""
+    return [EvalTask("scenario", scenario, None, scenario.seq_len) for scenario in scenarios]
+
+
+def sweep_scenarios(
+    scenarios: Sequence[Scenario],
+    *,
+    jobs: int = 1,
+    cache: Any = True,
+    registry: Optional[RunRegistry] = None,
+) -> Dict[Scenario, Any]:
+    """Merged-schedule simulation of each scenario, keyed by the
+    :class:`Scenario` itself.
+
+    The full (frozen, hashable) spec is the key because nothing less
+    identifies a scenario: names are free-form, and two scenarios named
+    alike may still differ in array dims, slots, or phase mix — keying
+    on the object means no computed result can ever be silently
+    shadowed.  Each point schedules one scenario's full multi-(batch,
+    head) task graph on the event-driven core; points fan out over
+    processes and content-address into the cache like every other
+    grid."""
+    tasks = scenario_grid(scenarios)
+    results = _sweep(tasks, "scenario", jobs, cache, registry)
+    return {task.config: result for task, result in zip(tasks, results)}
 
 
 def sweep_pareto(

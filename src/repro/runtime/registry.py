@@ -60,7 +60,15 @@ def _grid_summary(tasks: Sequence[Any]) -> Dict[str, Any]:
     models: List[str] = []
     seq_lens: List[int] = []
     for task in tasks:
-        name = task.config if isinstance(task.config, (str, int)) else task.config.name
+        if isinstance(task.config, (str, int)):
+            name = task.config
+        elif hasattr(task.config, "describe"):
+            # Scenario names are free-form and may collide across
+            # different specs; the one-line description is the full
+            # identity, keeping drift records attributable.
+            name = task.config.describe()
+        else:
+            name = task.config.name
         if name not in configs:
             configs.append(name)
         # Simulation tasks (kind "binding") carry no workload model.

@@ -13,19 +13,31 @@ from .engine import SimResult, Simulator, Task
 from .events import run_event_driven
 from .pipeline import (
     BINDINGS,
+    ChunkWork,
     PipelineConfig,
     PipelineReport,
     binding_sim,
+    build_decode_tasks,
+    build_scenario_tasks,
     build_tasks,
+    chunk_work,
     compare_bindings,
+    scenario_sim,
     simulate_binding,
 )
 from .sweep import (
     DEFAULT_SWEEP_ARRAY_DIMS,
     DEFAULT_SWEEP_CHUNKS,
+    SCENARIO_FIELDS,
+    SWEEP_FIELDS,
     BindingPoint,
     BindingResult,
+    ScenarioResult,
     evaluate_binding_point,
+    evaluate_scenario_point,
+    scenario_csv,
+    scenario_json,
+    scenario_table,
     sweep_csv,
     sweep_json,
     sweep_table,
@@ -37,10 +49,14 @@ __all__ = [
     "BINDINGS",
     "BindingPoint",
     "BindingResult",
+    "ChunkWork",
     "DEFAULT_SWEEP_ARRAY_DIMS",
     "DEFAULT_SWEEP_CHUNKS",
     "PipelineConfig",
     "PipelineReport",
+    "SCENARIO_FIELDS",
+    "SWEEP_FIELDS",
+    "ScenarioResult",
     "SimResult",
     "Simulator",
     "Task",
@@ -49,12 +65,20 @@ __all__ = [
     "binding_sim",
     "binding_waterfall",
     "bqk_tile_timing",
+    "build_decode_tasks",
+    "build_scenario_tasks",
     "build_tasks",
+    "chunk_work",
     "compare_bindings",
     "evaluate_binding_point",
+    "evaluate_scenario_point",
     "exp_tile_timing",
     "expected_compute_cycles",
     "run_event_driven",
+    "scenario_csv",
+    "scenario_json",
+    "scenario_sim",
+    "scenario_table",
     "simulate_binding",
     "simulate_tile",
     "sweep_csv",

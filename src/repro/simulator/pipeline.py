@@ -13,6 +13,15 @@ Task durations are the cycles each tile occupies its array (per the
 analytical model), so the simulator independently validates the claim that
 the interleaved binding drives both arrays to ~100% utilization while the
 tile-serial binding stalls both.
+
+Beyond the single-instance graphs, :func:`build_scenario_tasks` merges
+the graphs of every instance of a :class:`~repro.workloads.scenario
+.Scenario` — N ``(batch, head)`` prefill instances plus optional decode
+steps — into one schedule in which all instances contend for the shared
+2D/1D arrays through the binding's issue slots.  The per-chunk work
+totals the graphs are built from are exposed as :func:`chunk_work` so
+the analytical models (:mod:`repro.model.scenario`) derive their bounds
+from exactly the durations the simulator schedules.
 """
 
 from __future__ import annotations
@@ -20,14 +29,28 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from ..arch.spec import EXP_AS_MACCS
+from ..workloads.scenario import BINDINGS, Scenario
 from .engine import SimResult, Simulator, Task
 from .systolic import bqk_tile_timing
 
-#: The two bindings of Fig. 4/5, in presentation order.
-BINDINGS: Tuple[str, ...] = ("tile-serial", "interleaved")
+__all__ = [
+    "BINDINGS",
+    "ChunkWork",
+    "PipelineConfig",
+    "PipelineReport",
+    "binding_sim",
+    "build_decode_tasks",
+    "build_scenario_tasks",
+    "build_tasks",
+    "chunk_work",
+    "compare_bindings",
+    "scenario_sim",
+    "simulate_binding",
+]
 
 #: Cycles per exponentiation implemented as sequential MACCs.
-_EXP_MACCS = 6
+_EXP_MACCS = EXP_AS_MACCS
 
 
 @dataclass(frozen=True)
@@ -57,8 +80,14 @@ class PipelineConfig:
         return max(1, round(ops_per_element * self.p0 / self.pe_1d))
 
 
-def build_tasks(config: PipelineConfig, serial: bool) -> List[Task]:
-    """The tile-granular task graph for ``config.chunks`` M1 chunks."""
+def build_tasks(
+    config: PipelineConfig, serial: bool, prefix: str = ""
+) -> List[Task]:
+    """The tile-granular task graph for ``config.chunks`` M1 chunks.
+
+    ``prefix`` namespaces task names so several instances' graphs can be
+    merged into one schedule (:func:`build_scenario_tasks`).
+    """
     e = config.embedding
     tasks: List[Task] = []
     timing = bqk_tile_timing(config.array_dim, e)
@@ -66,7 +95,7 @@ def build_tasks(config: PipelineConfig, serial: bool) -> List[Task]:
         prev = i - 1
 
         def dep(name: str, chunk: int = prev) -> Tuple[str, ...]:
-            return (f"{name}[{chunk}]",) if chunk >= 0 else ()
+            return (f"{prefix}{name}[{chunk}]",) if chunk >= 0 else ()
 
         bqk_deps: Tuple[str, ...] = ()
         if serial:
@@ -75,51 +104,178 @@ def build_tasks(config: PipelineConfig, serial: bool) -> List[Task]:
             # tile waits for the previous chunk's state to be consumed.
             fill_deps: Tuple[str, ...] = ()
             if prev >= 0:
-                fill_deps = (f"RNV[{prev}]", f"RD[{prev}]")
-            tasks.append(Task(f"FILL[{i}]", "io", timing.fill, fill_deps))
-            bqk_deps = (f"FILL[{i}]",)
-        tasks.append(Task(f"BQK[{i}]", "2d", e, bqk_deps))
-        lm_dep: Tuple[str, ...] = (f"BQK[{i}]",)
+                fill_deps = (f"{prefix}RNV[{prev}]", f"{prefix}RD[{prev}]")
+            tasks.append(Task(f"{prefix}FILL[{i}]", "io", timing.fill, fill_deps))
+            bqk_deps = (f"{prefix}FILL[{i}]",)
+        tasks.append(Task(f"{prefix}BQK[{i}]", "2d", e, bqk_deps))
+        lm_dep: Tuple[str, ...] = (f"{prefix}BQK[{i}]",)
         if serial:
             # Non-overlapped drain of the finished tile before the 1D
             # array sees the local maxima.
-            tasks.append(Task(f"DRAIN[{i}]", "io", timing.drain, lm_dep))
-            lm_dep = (f"DRAIN[{i}]",)
+            tasks.append(Task(f"{prefix}DRAIN[{i}]", "io", timing.drain, lm_dep))
+            lm_dep = (f"{prefix}DRAIN[{i}]",)
         # LM: spatial max over the drain network, charged to the 1D array.
-        tasks.append(Task(f"LM[{i}]", "1d", config.one_d_cycles(1), lm_dep))
+        tasks.append(Task(f"{prefix}LM[{i}]", "1d", config.one_d_cycles(1), lm_dep))
         tasks.append(
             Task(
-                f"RM[{i}]",
+                f"{prefix}RM[{i}]",
                 "1d",
                 config.one_d_cycles(1),
-                (f"LM[{i}]",) + dep("RM"),
+                (f"{prefix}LM[{i}]",) + dep("RM"),
             )
         )
         tasks.append(
-            Task(f"SLN[{i}]", "2d", _EXP_MACCS, (f"BQK[{i}]", f"RM[{i}]"))
+            Task(
+                f"{prefix}SLN[{i}]",
+                "2d",
+                _EXP_MACCS,
+                (f"{prefix}BQK[{i}]", f"{prefix}RM[{i}]"),
+            )
         )
-        tasks.append(Task(f"SLD[{i}]", "1d", config.one_d_cycles(1), (f"SLN[{i}]",)))
-        tasks.append(Task(f"SLNV[{i}]", "2d", e, (f"SLN[{i}]",)))
         tasks.append(
-            Task(f"PRM[{i}]", "1d", config.one_d_cycles(_EXP_MACCS), dep("RM", i - 1) + (f"RM[{i}]",))
+            Task(f"{prefix}SLD[{i}]", "1d", config.one_d_cycles(1),
+                 (f"{prefix}SLN[{i}]",))
+        )
+        tasks.append(Task(f"{prefix}SLNV[{i}]", "2d", e, (f"{prefix}SLN[{i}]",)))
+        tasks.append(
+            Task(
+                f"{prefix}PRM[{i}]",
+                "1d",
+                config.one_d_cycles(_EXP_MACCS),
+                dep("RM", i - 1) + (f"{prefix}RM[{i}]",),
+            )
         )
         tasks.append(
             Task(
-                f"RD[{i}]",
+                f"{prefix}RD[{i}]",
                 "1d",
                 config.one_d_cycles(2),
-                (f"SLD[{i}]", f"PRM[{i}]") + dep("RD"),
+                (f"{prefix}SLD[{i}]", f"{prefix}PRM[{i}]") + dep("RD"),
             )
         )
         # SPNV + RNV: 2 ops (multiply by PRM, add SLNV) per value element.
         tasks.append(
             Task(
-                f"RNV[{i}]",
+                f"{prefix}RNV[{i}]",
                 "1d",
                 config.one_d_cycles(2 * e),
-                (f"SLNV[{i}]", f"PRM[{i}]") + dep("RNV"),
+                (f"{prefix}SLNV[{i}]", f"{prefix}PRM[{i}]") + dep("RNV"),
             )
         )
+    return tasks
+
+
+def build_decode_tasks(config: PipelineConfig, prefix: str = "") -> List[Task]:
+    """The task graph of one decode step over a ``config.chunks``-chunk
+    KV cache (paper footnote 1; :mod:`repro.model.decode`).
+
+    One query (P = 1) attends M0 keys per chunk: a QK tile and an AV
+    tile on the 2D array bracket the running-softmax update on the 1D
+    array.  KV-cache DRAM traffic — the real decode bottleneck — is not
+    a compute resource here; decode instances model the *array-side*
+    contention a decode stream adds to a shared schedule.
+    """
+    e = config.embedding
+    tasks: List[Task] = []
+    for i in range(config.chunks):
+        prev_state = (f"{prefix}DSM[{i - 1}]",) if i else ()
+        prev_acc = (f"{prefix}DAC[{i - 1}]",) if i else ()
+        tasks.append(Task(f"{prefix}DQK[{i}]", "2d", e))
+        # Running softmax state (max + normalizer) over the chunk's scores.
+        tasks.append(
+            Task(
+                f"{prefix}DSM[{i}]",
+                "1d",
+                config.one_d_cycles(1),
+                (f"{prefix}DQK[{i}]",) + prev_state,
+            )
+        )
+        tasks.append(
+            Task(f"{prefix}DAV[{i}]", "2d", e, (f"{prefix}DSM[{i}]",))
+        )
+        # Rescale-and-accumulate of the running output (2 ops/element).
+        tasks.append(
+            Task(
+                f"{prefix}DAC[{i}]",
+                "1d",
+                config.one_d_cycles(2),
+                (f"{prefix}DAV[{i}]",) + prev_acc,
+            )
+        )
+    return tasks
+
+
+@dataclass(frozen=True)
+class ChunkWork:
+    """Per-chunk busy cycles by resource — the durations one chunk's
+    tasks contribute to the schedule, summed per array.
+
+    This is the single source the analytical scenario models integrate
+    over (:mod:`repro.model.scenario`): graph builders above and bounds
+    below can never disagree about the work.
+    """
+
+    cycles_2d: int
+    cycles_1d: int
+    cycles_io: int
+
+
+def chunk_work(config: PipelineConfig, serial: bool, kind: str = "prefill") -> ChunkWork:
+    """Summed task durations of one chunk of a ``kind`` instance."""
+    e = config.embedding
+    if kind == "decode":
+        return ChunkWork(
+            cycles_2d=2 * e,
+            cycles_1d=config.one_d_cycles(1) + config.one_d_cycles(2),
+            cycles_io=0,
+        )
+    if kind != "prefill":
+        raise ValueError(f"unknown instance kind {kind!r}")
+    timing = bqk_tile_timing(config.array_dim, e)
+    return ChunkWork(
+        cycles_2d=2 * e + _EXP_MACCS,
+        cycles_1d=(
+            3 * config.one_d_cycles(1)
+            + config.one_d_cycles(_EXP_MACCS)
+            + config.one_d_cycles(2)
+            + config.one_d_cycles(2 * e)
+        ),
+        cycles_io=(timing.fill + timing.drain) if serial else 0,
+    )
+
+
+def instance_config(scenario: Scenario, chunks: int) -> PipelineConfig:
+    """The :class:`PipelineConfig` of one instance of ``scenario``."""
+    return PipelineConfig(
+        chunks=chunks,
+        embedding=scenario.embedding,
+        array_dim=scenario.array_dim,
+        pe_1d=scenario.resolved_pe_1d,
+    )
+
+
+def build_scenario_tasks(scenario: Scenario) -> List[Task]:
+    """The merged task graph of every instance of ``scenario``.
+
+    Each instance's graph is namespaced ``i<n>:`` and carries no
+    cross-instance dependencies — contention is purely through the
+    shared ``2d``/``1d`` (and, tile-serial, ``io``) resources and the
+    binding's issue slots.  Instances are emitted in phase order, so the
+    engines' program-order tie-break admits earlier instances first when
+    several are ready at once.
+    """
+    serial = scenario.binding == "tile-serial"
+    tasks: List[Task] = []
+    index = 0
+    for phase in scenario.phases:
+        config = instance_config(scenario, phase.chunks)
+        for _ in range(phase.instances):
+            prefix = f"i{index}:"
+            if phase.kind == "decode":
+                tasks.extend(build_decode_tasks(config, prefix))
+            else:
+                tasks.extend(build_tasks(config, serial=serial, prefix=prefix))
+            index += 1
     return tasks
 
 
@@ -133,28 +289,40 @@ class PipelineReport:
     util_1d: float
 
 
+def _run(tasks: List[Task], scenario_like_serial: bool, slots: int,
+         engine: str) -> SimResult:
+    """Schedule ``tasks`` under the binding's issue discipline."""
+    sim = Simulator(
+        tasks,
+        mode="serial" if scenario_like_serial else "interleaved",
+        slots=slots,
+        engine=engine,
+    )
+    # The cycle budget is ``sum of durations + 1``: some resource issues
+    # every cycle of a valid schedule, so the makespan can never exceed
+    # the total work — a deterministic bound that scales with the graph.
+    budget = sum(task.duration for task in tasks) + 1
+    return sim.run(max_cycles=budget)
+
+
 def binding_sim(
     config: PipelineConfig, binding: str, engine: str = "event"
 ) -> Tuple[List[Task], SimResult]:
-    """Build and run one binding's task graph; returns (tasks, result).
-
-    The cycle budget is ``sum of durations + 1``: some resource issues
-    every cycle of a valid schedule, so the makespan can never exceed the
-    total work — a deterministic bound that scales with the graph instead
-    of a fixed ceiling that long-sequence sweeps would trip over.
-    """
+    """Build and run one binding's task graph; returns (tasks, result)."""
     if binding not in BINDINGS:
         raise ValueError(f"unknown binding {binding!r}")
     serial = binding == "tile-serial"
     tasks = build_tasks(config, serial=serial)
-    sim = Simulator(
-        tasks,
-        mode="serial" if serial else "interleaved",
-        slots=2,
-        engine=engine,
-    )
-    budget = sum(task.duration for task in tasks) + 1
-    return tasks, sim.run(max_cycles=budget)
+    return tasks, _run(tasks, serial, slots=2, engine=engine)
+
+
+def scenario_sim(
+    scenario: Scenario, engine: str = "event"
+) -> Tuple[List[Task], SimResult]:
+    """Build and run ``scenario``'s merged graph; returns (tasks, result)."""
+    tasks = build_scenario_tasks(scenario)
+    serial = scenario.binding == "tile-serial"
+    return tasks, _run(tasks, serial, slots=scenario.slots, engine=engine)
 
 
 def simulate_binding(

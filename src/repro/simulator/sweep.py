@@ -11,9 +11,17 @@ and result rows; the parallel/cached execution lives in
 ``repro simulate --sweep`` drives it from the CLI.
 
 Each point is pure and cheap to describe — (binding, chunks, array dim,
-embedding) — so it flows through the PR-1 runtime unchanged: points fan
-out over processes, results content-address into the cache, and a rerun
-of a grown grid only computes the new points.
+1D lanes, embedding) — so it flows through the PR-1 runtime unchanged:
+points fan out over processes, results content-address into the cache,
+and a rerun of a grown grid only computes the new points.  The 2D array
+dimension, the 1D lane count, and the embedding depth sweep as
+*independent* axes: ``pe_1d`` decouples the vector array from the
+paper's matched floorplan, and ``embedding`` scans the arithmetic
+intensity of each tile.
+
+Scenario evaluations (:class:`~repro.workloads.scenario.Scenario`
+merged multi-instance schedules) produce :class:`ScenarioResult` rows
+through the same machinery under task kind ``"scenario"``.
 """
 
 from __future__ import annotations
@@ -22,9 +30,10 @@ import csv
 import io
 import json
 from dataclasses import asdict, dataclass, fields
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from .pipeline import BINDINGS, PipelineConfig, binding_sim
+from ..workloads.scenario import Scenario
+from .pipeline import BINDINGS, PipelineConfig, binding_sim, scenario_sim
 
 #: Chunk counts (M1) of the default sweep: 16 → 8192 in powers of two,
 #: i.e. sequence lengths 4K → 2M at the default 256-column array.
@@ -40,6 +49,8 @@ SWEEP_FIELDS: Tuple[str, ...] = (
     "binding",
     "chunks",
     "array_dim",
+    "pe_1d",
+    "embedding",
     "seq_len",
     "makespan",
     "busy_2d",
@@ -71,15 +82,28 @@ class BindingPoint:
 
     @property
     def name(self) -> str:
-        """Display label (used by run-registry grid summaries)."""
+        """Short display label."""
         return f"{self.binding}@{self.array_dim}"
+
+    @property
+    def resolved_pe_1d(self) -> int:
+        return self.pe_1d if self.pe_1d is not None else self.array_dim
+
+    def describe(self) -> str:
+        """Full config label for run-registry grid summaries: every
+        swept axis except the chunk count (recorded as seq_lens), so
+        points differing in lanes or embedding stay attributable."""
+        return (
+            f"{self.binding}@{self.array_dim}+{self.resolved_pe_1d}"
+            f"-E{self.embedding}"
+        )
 
     def config(self) -> PipelineConfig:
         return PipelineConfig(
             chunks=self.chunks,
             embedding=self.embedding,
             array_dim=self.array_dim,
-            pe_1d=self.pe_1d if self.pe_1d is not None else self.array_dim,
+            pe_1d=self.resolved_pe_1d,
         )
 
 
@@ -90,6 +114,8 @@ class BindingResult:
     binding: str
     chunks: int
     array_dim: int
+    pe_1d: int
+    embedding: int
     seq_len: int
     makespan: int
     busy_2d: int
@@ -114,6 +140,8 @@ def evaluate_binding_point(point: BindingPoint) -> BindingResult:
         binding=point.binding,
         chunks=point.chunks,
         array_dim=point.array_dim,
+        pe_1d=point.resolved_pe_1d,
+        embedding=point.embedding,
         seq_len=config.seq_len,
         makespan=makespan,
         busy_2d=result.busy_cycles.get("2d", 0),
@@ -124,20 +152,130 @@ def evaluate_binding_point(point: BindingPoint) -> BindingResult:
 
 
 # --------------------------------------------------------------------------
-# Emitters: the sweep as CSV / JSON / aligned text.
+# Scenario evaluation: one merged multi-instance schedule per point.
 # --------------------------------------------------------------------------
 
-SweepResults = Mapping[Tuple[str, int, int], BindingResult]
+#: Keys of one scenario result, in CSV column order.  Every axis a
+#: scenario can vary on (array dims, lanes, embedding, slots) is a
+#: column, so rows from same-named scenarios stay attributable.
+SCENARIO_FIELDS: Tuple[str, ...] = (
+    "scenario",
+    "binding",
+    "instances",
+    "array_dim",
+    "pe_1d",
+    "embedding",
+    "slots",
+    "seq_len",
+    "n_tasks",
+    "makespan",
+    "busy_2d",
+    "busy_1d",
+    "busy_io",
+    "util_2d",
+    "util_1d",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Measured schedule of one scenario's merged multi-instance graph.
+
+    ``busy_io`` counts fill/drain cycles on the array-edge resource
+    (tile-serial graphs only; 0 under the interleaved binding, which
+    hides them behind compute).
+    """
+
+    scenario: str
+    binding: str
+    instances: int
+    array_dim: int
+    pe_1d: int
+    embedding: int
+    slots: int
+    seq_len: int
+    n_tasks: int
+    makespan: int
+    busy_2d: int
+    busy_1d: int
+    busy_io: int
+    util_2d: float
+    util_1d: float
+
+    @property
+    def util_io(self) -> float:
+        return self.busy_io / self.makespan if self.makespan else 0.0
+
+    def utilization(self, resource: str) -> float:
+        busy = {"2d": self.busy_2d, "1d": self.busy_1d, "io": self.busy_io}
+        return busy[resource] / self.makespan if self.makespan else 0.0
+
+    def row(self) -> Tuple:
+        """The result as a tuple in :data:`SCENARIO_FIELDS` order."""
+        return tuple(getattr(self, field) for field in SCENARIO_FIELDS)
+
+
+assert SCENARIO_FIELDS == tuple(f.name for f in fields(ScenarioResult))
+
+
+def evaluate_scenario_point(
+    scenario: Scenario, engine: str = "event"
+) -> ScenarioResult:
+    """Schedule one scenario's merged graph and measure utilizations."""
+    tasks, result = scenario_sim(scenario, engine=engine)
+    return ScenarioResult(
+        scenario=scenario.name,
+        binding=scenario.binding,
+        instances=scenario.instances,
+        array_dim=scenario.array_dim,
+        pe_1d=scenario.resolved_pe_1d,
+        embedding=scenario.embedding,
+        slots=scenario.slots,
+        seq_len=scenario.seq_len,
+        n_tasks=len(tasks),
+        makespan=result.makespan,
+        busy_2d=result.busy_cycles.get("2d", 0),
+        busy_1d=result.busy_cycles.get("1d", 0),
+        busy_io=result.busy_cycles.get("io", 0),
+        util_2d=result.utilization("2d"),
+        util_1d=result.utilization("1d"),
+    )
+
+
+# --------------------------------------------------------------------------
+# Emitters: sweep/scenario rows as CSV / JSON / aligned text.
+# --------------------------------------------------------------------------
+
+SweepResults = Mapping[Tuple, BindingResult]
+ScenarioResults = Mapping[Tuple, ScenarioResult]
+
+
+def _rows_csv(fields_: Sequence[str], rows: Sequence[Tuple]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(fields_)
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def _rows_table(fields_: Sequence[str], rows: Sequence[Tuple]) -> str:
+    text_rows: List[Tuple[str, ...]] = [tuple(fields_)] + [
+        tuple(
+            f"{v:.3f}" if isinstance(v, float) else str(v) for v in row
+        )
+        for row in rows
+    ]
+    widths = [max(len(row[i]) for row in text_rows) for i in range(len(fields_))]
+    return "\n".join(
+        "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        for row in text_rows
+    )
 
 
 def sweep_csv(results: SweepResults) -> str:
     """The sweep as CSV with a :data:`SWEEP_FIELDS` header row."""
-    buffer = io.StringIO()
-    writer = csv.writer(buffer, lineterminator="\n")
-    writer.writerow(SWEEP_FIELDS)
-    for result in results.values():
-        writer.writerow(result.row())
-    return buffer.getvalue()
+    return _rows_csv(SWEEP_FIELDS, [r.row() for r in results.values()])
 
 
 def sweep_json(results: SweepResults) -> str:
@@ -147,18 +285,22 @@ def sweep_json(results: SweepResults) -> str:
 
 def sweep_table(results: SweepResults) -> str:
     """The sweep as an aligned text table (the CLI's default view)."""
-    rows = [SWEEP_FIELDS] + [
-        tuple(
-            f"{v:.3f}" if isinstance(v, float) else str(v)
-            for v in result.row()
-        )
-        for result in results.values()
-    ]
-    widths = [max(len(row[i]) for row in rows) for i in range(len(SWEEP_FIELDS))]
-    return "\n".join(
-        "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
-        for row in rows
-    )
+    return _rows_table(SWEEP_FIELDS, [r.row() for r in results.values()])
+
+
+def scenario_csv(results: ScenarioResults) -> str:
+    """Scenario results as CSV with a :data:`SCENARIO_FIELDS` header."""
+    return _rows_csv(SCENARIO_FIELDS, [r.row() for r in results.values()])
+
+
+def scenario_json(results: ScenarioResults) -> str:
+    """Scenario results as a JSON array of row objects."""
+    return json.dumps([asdict(r) for r in results.values()], indent=2)
+
+
+def scenario_table(results: ScenarioResults) -> str:
+    """Scenario results as an aligned text table."""
+    return _rows_table(SCENARIO_FIELDS, [r.row() for r in results.values()])
 
 
 def encode_binding_result(result: BindingResult) -> Dict:
@@ -170,4 +312,16 @@ def decode_binding_result(payload: Mapping) -> BindingResult:
     """Inverse of :func:`encode_binding_result`."""
     return BindingResult(
         **{field: payload[field] for field in SWEEP_FIELDS}
+    )
+
+
+def encode_scenario_result(result: ScenarioResult) -> Dict:
+    """JSON-ready payload for the runtime's result cache."""
+    return {"__type__": "ScenarioResult", **asdict(result)}
+
+
+def decode_scenario_result(payload: Mapping) -> ScenarioResult:
+    """Inverse of :func:`encode_scenario_result`."""
+    return ScenarioResult(
+        **{field: payload[field] for field in SCENARIO_FIELDS}
     )

@@ -8,6 +8,14 @@ from .compute import (
     linear_ops,
     other_ops,
 )
+from .scenario import (
+    BINDINGS,
+    PHASE_KINDS,
+    Phase,
+    Scenario,
+    attention_scenario,
+    scenario_from_model,
+)
 from .sweep import WorkloadPoint, evaluation_grid, work_summary
 from .models import (
     BATCH_SIZE,
@@ -25,15 +33,21 @@ from .models import (
 __all__ = [
     "BATCH_SIZE",
     "BERT",
+    "BINDINGS",
     "ComputeBreakdown",
     "MODELS",
     "MODELS_BY_NAME",
     "ModelConfig",
+    "PHASE_KINDS",
+    "Phase",
     "SEQUENCE_LENGTHS",
+    "Scenario",
     "T5",
     "TRXL",
     "WorkloadPoint",
     "XLM",
+    "attention_scenario",
+    "scenario_from_model",
     "attention_crossover_length",
     "attention_ops",
     "compute_breakdown",

@@ -1,0 +1,247 @@
+"""Scenario IR: multi-(batch, head) attention workloads over one machine.
+
+The analytical models evaluate a single ``(batch, head)`` attention
+instance and scale by ``B × H``; the binding simulator schedules a single
+instance's task graph.  Neither answers the paper's real question — how
+``B × H`` instances *contend* for the shared 2D/1D arrays — and without a
+common description the two layers cannot check each other.
+
+A :class:`Scenario` is that common description: a declarative spec of N
+``(batch, head)`` attention instances (grouped into prefill and optional
+decode :class:`Phase` entries) bound to one PE-array configuration under
+one binding.  Every layer consumes it:
+
+- the simulator replicates the per-instance binding graph N ways with
+  shared-slot contention (:func:`repro.simulator.pipeline
+  .build_scenario_tasks`) and schedules the merged graph;
+- the analytical models derive per-array utilization bounds from the
+  same per-chunk work totals (:mod:`repro.model.scenario`), replacing
+  the bare ``B × H`` latency scale with an explicit overlap bound;
+- the runtime caches scenario evaluations content-addressed on every
+  field (task kind ``"scenario"``), and ``repro simulate --scenario`` /
+  ``repro crosscheck`` drive both layers and diff them.
+
+This module is deliberately dependency-light (workloads only): the
+simulator and model layers import it, never the other way around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from .models import BATCH_SIZE, ModelConfig
+
+#: The two bindings of Fig. 4/5, in presentation order.  Defined here —
+#: the bottom of the layer stack — so the workload, simulator, model,
+#: and runtime layers all validate against one tuple.
+BINDINGS: Tuple[str, ...] = ("tile-serial", "interleaved")
+
+#: Phase kinds a scenario may mix.
+PHASE_KINDS: Tuple[str, ...] = ("prefill", "decode")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One homogeneous group of attention instances.
+
+    ``instances`` counts independent ``(batch, head)`` slices.  For a
+    ``prefill`` phase ``chunks`` is the per-instance M1 chunk count (the
+    sequence length in units of the array dimension); for a ``decode``
+    phase it is the KV-cache context length in the same units.
+    """
+
+    kind: str
+    instances: int
+    chunks: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in PHASE_KINDS:
+            raise ValueError(
+                f"unknown phase kind {self.kind!r}; have {PHASE_KINDS}"
+            )
+        if self.instances < 1:
+            raise ValueError(f"phase instances must be >= 1, got {self.instances}")
+        if self.chunks < 1:
+            raise ValueError(f"phase chunks must be >= 1, got {self.chunks}")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """N (batch, head) attention instances over one array configuration.
+
+    The spec is declarative and complete: two scenarios with equal
+    fields describe the same schedule, and any field difference must
+    change the runtime cache key (tested in ``tests/test_runtime.py``).
+
+    Attributes:
+        name: Identifier used in reports and run-registry summaries.
+        phases: Instance groups; at least one.
+        binding: ``"tile-serial"`` or ``"interleaved"`` (Fig. 4/5).
+        embedding: E (= F), the per-head embedding dimension.
+        array_dim: 2D PE-array dimension (also M0 and P0).
+        pe_1d: 1D-array lanes; defaults to ``array_dim`` (the paper's
+            floorplan) when None.
+        slots: issue slots per resource under the interleaved binding
+            (the ``A|B`` round-robin width instances contend for).
+            Tile-serial schedules issue one task per resource, so the
+            field is normalized to 1 under that binding — two
+            tile-serial specs differing only in requested slots are the
+            same scenario (same schedule, same cache key).
+        model: optional name of the workload model this scenario was
+            derived from (set by :func:`scenario_from_model`).
+    """
+
+    name: str
+    phases: Tuple[Phase, ...]
+    binding: str = "interleaved"
+    embedding: int = 64
+    array_dim: int = 256
+    pe_1d: Optional[int] = None
+    slots: int = 2
+    model: Optional[str] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("scenario needs at least one phase")
+        if self.binding not in BINDINGS:
+            raise ValueError(f"unknown binding {self.binding!r}; have {BINDINGS}")
+        if self.embedding < 1:
+            raise ValueError(f"embedding must be >= 1, got {self.embedding}")
+        if self.array_dim < 1:
+            raise ValueError(f"array_dim must be >= 1, got {self.array_dim}")
+        if self.pe_1d is not None and self.pe_1d < 1:
+            raise ValueError(f"pe_1d must be >= 1, got {self.pe_1d}")
+        if self.slots < 1:
+            raise ValueError(f"slots must be >= 1, got {self.slots}")
+        if self.binding == "tile-serial":
+            # One task issues per resource under the serial discipline;
+            # normalizing keeps equality and cache keys truthful.
+            object.__setattr__(self, "slots", 1)
+
+    @property
+    def instances(self) -> int:
+        """Total (batch, head) instances across all phases."""
+        return sum(phase.instances for phase in self.phases)
+
+    @property
+    def resolved_pe_1d(self) -> int:
+        return self.pe_1d if self.pe_1d is not None else self.array_dim
+
+    @property
+    def seq_len(self) -> int:
+        """Per-instance sequence length of the longest prefill phase
+        (0 for decode-only scenarios); used for grid summaries."""
+        chunks = [p.chunks for p in self.phases if p.kind == "prefill"]
+        return max(chunks, default=0) * self.array_dim
+
+    def with_binding(self, binding: str) -> "Scenario":
+        """The same workload under the other binding."""
+        return replace(self, binding=binding)
+
+    def describe(self) -> str:
+        """One-line summary for CLI output."""
+        parts = ", ".join(
+            f"{p.instances}x{p.kind}[{p.chunks} chunks]" for p in self.phases
+        )
+        return (
+            f"{self.name}: {parts} on {self.array_dim}x{self.array_dim}+"
+            f"{self.resolved_pe_1d} ({self.binding}, E={self.embedding})"
+        )
+
+
+def _append_decode(
+    phases: list,
+    name: str,
+    decode_instances: int,
+    decode_chunks: Optional[int],
+    default_chunks: int,
+) -> str:
+    """Append the optional decode phase both builders share; returns the
+    (possibly suffixed) scenario name so phase mix and label stay in
+    sync between constructors."""
+    if decode_instances:
+        phases.append(
+            Phase(
+                "decode",
+                decode_instances,
+                default_chunks if decode_chunks is None else decode_chunks,
+            )
+        )
+        name += f"+dec{decode_instances}"
+    return name
+
+
+def attention_scenario(
+    instances: int,
+    chunks: int,
+    *,
+    binding: str = "interleaved",
+    embedding: int = 64,
+    array_dim: int = 256,
+    pe_1d: Optional[int] = None,
+    slots: int = 2,
+    decode_instances: int = 0,
+    decode_chunks: Optional[int] = None,
+    name: Optional[str] = None,
+) -> Scenario:
+    """A scenario of ``instances`` identical prefill attention instances,
+    optionally sharing the arrays with ``decode_instances`` decode steps."""
+    phases = [Phase("prefill", instances, chunks)]
+    auto_name = _append_decode(
+        phases, f"attn-{instances}x{chunks}", decode_instances, decode_chunks,
+        chunks,
+    )
+    return Scenario(
+        name=auto_name if name is None else name,
+        phases=tuple(phases),
+        binding=binding,
+        embedding=embedding,
+        array_dim=array_dim,
+        pe_1d=pe_1d,
+        slots=slots,
+    )
+
+
+def scenario_from_model(
+    model: ModelConfig,
+    seq_len: int,
+    batch: int = BATCH_SIZE,
+    *,
+    heads: Optional[int] = None,
+    binding: str = "interleaved",
+    array_dim: int = 256,
+    pe_1d: Optional[int] = None,
+    slots: int = 2,
+    decode_instances: int = 0,
+    decode_chunks: Optional[int] = None,
+) -> Scenario:
+    """The ``B × H`` scenario of one workload model at ``seq_len``.
+
+    ``heads`` overrides the model's head count (e.g. to study array
+    pressure at other multiprogramming levels); the embedding dimension
+    always follows the model's ``d_head``.
+    """
+    if seq_len % array_dim:
+        raise ValueError(
+            f"sequence length {seq_len} not divisible by array dim {array_dim}"
+        )
+    n_heads = model.n_heads if heads is None else heads
+    if batch < 1 or n_heads < 1:
+        raise ValueError(f"batch and heads must be >= 1, got {batch}x{n_heads}")
+    chunks = seq_len // array_dim
+    phases = [Phase("prefill", batch * n_heads, chunks)]
+    name = _append_decode(
+        phases, f"{model.name}-B{batch}xH{n_heads}-L{seq_len}",
+        decode_instances, decode_chunks, chunks,
+    )
+    return Scenario(
+        name=name,
+        phases=tuple(phases),
+        binding=binding,
+        embedding=model.d_head,
+        array_dim=array_dim,
+        pe_1d=pe_1d,
+        slots=slots,
+        model=model.name,
+    )

@@ -1,5 +1,6 @@
 """Tests for the runtime subsystem: executor, cache, and registry."""
 
+import dataclasses
 import json
 
 import pytest
@@ -19,11 +20,13 @@ from repro.runtime import (
     resolve_cache,
     result_digest,
     run_tasks,
+    scenario_grid,
     sweep_attention,
     sweep_inference,
     sweep_pareto,
 )
 from repro.workloads import BERT, MODELS, SEQUENCE_LENGTHS, T5
+from repro.workloads.scenario import Phase, Scenario, attention_scenario
 
 SHORT = (1024, 65536)
 
@@ -94,6 +97,70 @@ class TestCacheKey:
         )
 
 
+class TestScenarioCacheKey:
+    """Cache-key completeness: every Scenario field is load-bearing."""
+
+    BASE = Scenario(
+        name="base",
+        phases=(Phase("prefill", 4, 16), Phase("decode", 2, 8)),
+        binding="interleaved",
+        embedding=64,
+        array_dim=256,
+        pe_1d=None,
+        slots=2,
+        model=None,
+    )
+
+    @staticmethod
+    def _key(scenario):
+        (task,) = scenario_grid([scenario])
+        return cache_key(task.fingerprint(), version="pinned")
+
+    def _assert_changed(self, mutated):
+        assert self._key(mutated) != self._key(self.BASE)
+
+    def test_every_field_mutation_changes_key(self):
+        """Walk the dataclass fields so a future field can't silently
+        escape the fingerprint."""
+        mutations = {
+            "name": "other",
+            "phases": (Phase("prefill", 4, 16),),
+            "binding": "tile-serial",
+            "embedding": 32,
+            "array_dim": 128,
+            "pe_1d": 128,
+            "slots": 3,
+            "model": "BERT",
+        }
+        declared = {f.name for f in dataclasses.fields(Scenario)}
+        assert set(mutations) == declared, "new Scenario field without a cache-key mutation test"
+        for field, value in mutations.items():
+            self._assert_changed(dataclasses.replace(self.BASE, **{field: value}))
+
+    def test_phase_mix_changes_key(self):
+        more_instances = dataclasses.replace(
+            self.BASE,
+            phases=(Phase("prefill", 5, 16), Phase("decode", 2, 8)),
+        )
+        longer = dataclasses.replace(
+            self.BASE,
+            phases=(Phase("prefill", 4, 32), Phase("decode", 2, 8)),
+        )
+        swapped_kind = dataclasses.replace(
+            self.BASE,
+            phases=(Phase("decode", 4, 16), Phase("prefill", 2, 8)),
+        )
+        keys = {self._key(s) for s in (self.BASE, more_instances, longer, swapped_kind)}
+        assert len(keys) == 4
+
+    def test_equal_scenarios_share_key(self):
+        twin = Scenario(
+            name="base",
+            phases=(Phase("prefill", 4, 16), Phase("decode", 2, 8)),
+        )
+        assert self._key(twin) == self._key(self.BASE)
+
+
 class TestResultCache:
     def test_memory_hit_after_miss(self, tmp_path):
         cache = ResultCache(directory=tmp_path)
@@ -152,6 +219,12 @@ class TestCodec:
     ])
     def test_round_trip_exact(self, kind, config):
         result = evaluate_task(EvalTask(kind, config, BERT, 4096))
+        payload = json.loads(json.dumps(encode_result(result)))
+        assert decode_result(payload) == result
+
+    def test_scenario_round_trip_exact(self):
+        (task,) = scenario_grid([attention_scenario(2, 4, array_dim=64)])
+        result = evaluate_task(task)
         payload = json.loads(json.dumps(encode_result(result)))
         assert decode_result(payload) == result
 

@@ -12,27 +12,63 @@ import random
 
 import pytest
 
+from repro.model.scenario import analytical_scenario
 from repro.runtime import (
     ResultCache,
     RunRegistry,
     decode_result,
     encode_result,
     sweep_bindings,
+    sweep_scenarios,
 )
 from repro.simulator import (
     BindingPoint,
     BindingResult,
     PipelineConfig,
+    ScenarioResult,
     Simulator,
     Task,
     binding_sim,
+    build_decode_tasks,
+    build_scenario_tasks,
+    build_tasks,
+    chunk_work,
     compare_bindings,
     evaluate_binding_point,
+    evaluate_scenario_point,
+    scenario_csv,
+    scenario_json,
+    scenario_sim,
+    scenario_table,
     simulate_binding,
     sweep_csv,
     sweep_json,
     sweep_table,
 )
+from repro.workloads import BERT
+from repro.workloads.scenario import (
+    Phase,
+    Scenario,
+    attention_scenario,
+    scenario_from_model,
+)
+
+
+def random_scenario(rng) -> Scenario:
+    """A random multi-instance scenario for merged-graph fuzzing."""
+    phases = [Phase("prefill", rng.randint(1, 4), rng.randint(1, 5))]
+    if rng.random() < 0.5:
+        phases.append(Phase("decode", rng.randint(1, 3), rng.randint(1, 6)))
+    array_dim = rng.choice((16, 32, 64))
+    return Scenario(
+        name=f"fuzz-{rng.randint(0, 10**6)}",
+        phases=tuple(phases),
+        binding=rng.choice(("tile-serial", "interleaved")),
+        embedding=rng.choice((8, 16, 64)),
+        array_dim=array_dim,
+        pe_1d=rng.choice((None, array_dim // 2, 2 * array_dim)),
+        slots=rng.randint(2, 4),
+    )
 
 
 def both(tasks, mode="interleaved", slots=2, max_cycles=10_000_000):
@@ -211,16 +247,56 @@ class TestBindingSweep:
     def test_sweep_keys_and_monotone_utilization(self):
         results = sweep_bindings(**self.GRID, cache=False)
         assert set(results) == {
-            (binding, chunks, 128)
+            (binding, chunks, 128, 128, 64)
             for binding in ("tile-serial", "interleaved")
             for chunks in (16, 64)
         }
         # Steady state: interleaved utilization grows with length while
         # tile-serial stays pinned by per-tile fill/drain.
-        inter = [results[("interleaved", n, 128)].util_2d for n in (16, 64)]
-        serial = [results[("tile-serial", n, 128)].util_2d for n in (16, 64)]
+        inter = [results[("interleaved", n, 128, 128, 64)].util_2d
+                 for n in (16, 64)]
+        serial = [results[("tile-serial", n, 128, 128, 64)].util_2d
+                  for n in (16, 64)]
         assert inter[1] > inter[0]
         assert abs(serial[1] - serial[0]) < 0.01
+
+    def test_embedding_and_pe1d_sweep_independently(self):
+        results = sweep_bindings(
+            chunks=(16,), array_dims=(128,),
+            embeddings=(32, 64), pe_1d_dims=(64, None), cache=False,
+        )
+        assert set(results) == {
+            ("tile-serial", 16, 128, pe_1d, e)
+            for pe_1d in (64, 128) for e in (32, 64)
+        } | {
+            ("interleaved", 16, 128, pe_1d, e)
+            for pe_1d in (64, 128) for e in (32, 64)
+        }
+        # Halving the 1D lanes doubles per-chunk 1D work: the narrow
+        # array must not be faster.
+        narrow = results[("interleaved", 16, 128, 64, 64)]
+        matched = results[("interleaved", 16, 128, 128, 64)]
+        assert narrow.busy_1d > matched.busy_1d
+        assert narrow.makespan >= matched.makespan
+        # The new columns ride through the row/codec path.
+        assert narrow.pe_1d == 64 and narrow.embedding == 64
+        payload = json.loads(json.dumps(encode_result(narrow)))
+        assert decode_result(payload) == narrow
+
+    def test_pe1d_none_and_matched_value_collapse_once(self):
+        """None resolves to the matched floorplan: listing both must not
+        compute twice or drop rows from the keyed merge."""
+        from repro.runtime import binding_grid
+
+        tasks = binding_grid(
+            chunks=(16,), array_dims=(128,), pe_1d_dims=(None, 128)
+        )
+        assert len(tasks) == 2  # one per binding, not four
+        results = sweep_bindings(
+            chunks=(16,), array_dims=(128,), pe_1d_dims=(None, 128),
+            cache=False,
+        )
+        assert len(results) == 2
 
     def test_sweep_parallel_and_cached_identical(self, tmp_path):
         baseline = sweep_bindings(**self.GRID, cache=False)
@@ -239,7 +315,19 @@ class TestBindingSweep:
         record = registry.last_recorded
         assert record.kind == "binding"
         assert record.n_results == 4
-        assert "tile-serial@128" in record.grid["configs"]
+        assert "tile-serial@128+128-E64" in record.grid["configs"]
+
+    def test_run_record_distinguishes_lane_and_embedding_axes(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        sweep_bindings(
+            chunks=(16,), array_dims=(128,), bindings=("interleaved",),
+            pe_1d_dims=(64, 128), embeddings=(32,),
+            cache=False, registry=registry,
+        )
+        configs = registry.last_recorded.grid["configs"]
+        assert set(configs) == {
+            "interleaved@128+64-E32", "interleaved@128+128-E32"
+        }
 
     def test_binding_result_cache_codec_roundtrip(self):
         result = evaluate_binding_point(BindingPoint("tile-serial", 16))
@@ -250,7 +338,9 @@ class TestBindingSweep:
         results = sweep_bindings(**self.GRID, cache=False)
         csv_text = sweep_csv(results)
         lines = csv_text.strip().splitlines()
-        assert lines[0].startswith("binding,chunks,array_dim,seq_len")
+        assert lines[0].startswith(
+            "binding,chunks,array_dim,pe_1d,embedding,seq_len"
+        )
         assert len(lines) == 1 + len(results)
         rows = json.loads(sweep_json(results))
         assert len(rows) == len(results)
@@ -266,6 +356,255 @@ class TestBindingSweep:
         assert result.util_2d == pytest.approx(
             result.busy_2d / result.makespan
         )
+
+
+class TestScenarioGraphs:
+    """Merged multi-(batch, head) graphs: structure + engine parity."""
+
+    @pytest.mark.parametrize("seed", range(120, 150))
+    def test_merged_graph_engines_identical(self, seed):
+        """The differential fuzz, extended to scenario merged graphs."""
+        rng = random.Random(seed)
+        scenario = random_scenario(rng)
+        tasks = build_scenario_tasks(scenario)
+        serial = scenario.binding == "tile-serial"
+        both(
+            tasks,
+            mode="serial" if serial else "interleaved",
+            slots=scenario.slots,
+            max_cycles=sum(t.duration for t in tasks) + 1,
+        )
+
+    def test_scenario_sim_engine_parity(self):
+        scenario = attention_scenario(3, 4, array_dim=32)
+        _, event = scenario_sim(scenario, engine="event")
+        _, cycle = scenario_sim(scenario, engine="cycle")
+        assert event == cycle
+
+    def test_single_instance_matches_binding_graph(self):
+        """A one-instance scenario is the Fig. 4/5 graph, renamed."""
+        scenario = attention_scenario(1, 8, binding="tile-serial")
+        config = PipelineConfig(chunks=8)
+        merged = build_scenario_tasks(scenario)
+        single = build_tasks(config, serial=True)
+        assert [t.name for t in merged] == [f"i0:{t.name}" for t in single]
+        assert [(t.resource, t.duration) for t in merged] == [
+            (t.resource, t.duration) for t in single
+        ]
+        _, sim = scenario_sim(scenario)
+        _, ref = binding_sim(config, "tile-serial")
+        assert sim.makespan == ref.makespan
+        assert dict(sim.busy_cycles) == dict(ref.busy_cycles)
+
+    def test_instances_share_arrays_not_dependencies(self):
+        tasks = build_scenario_tasks(attention_scenario(3, 2))
+        names = {t.name for t in tasks}
+        for task in tasks:
+            prefix = task.name.split(":")[0]
+            for dep in task.deps:
+                assert dep in names
+                assert dep.split(":")[0] == prefix  # no cross-instance deps
+        assert {t.name.split(":")[0] for t in tasks} == {"i0", "i1", "i2"}
+
+    def test_decode_graph_shape(self):
+        config = PipelineConfig(chunks=3, array_dim=32, pe_1d=32)
+        tasks = build_decode_tasks(config, prefix="d:")
+        assert len(tasks) == 4 * 3
+        assert {t.resource for t in tasks} == {"2d", "1d"}
+        # The running state chains serially; QK tiles are independent.
+        by_name = {t.name: t for t in tasks}
+        assert by_name["d:DSM[1]"].deps == ("d:DQK[1]", "d:DSM[0]")
+        assert by_name["d:DQK[2]"].deps == ()
+
+    def test_chunk_work_matches_built_graph(self):
+        """The analytical work function and the graph builder agree."""
+        config = PipelineConfig(chunks=5, array_dim=64, pe_1d=32, embedding=16)
+        for serial in (True, False):
+            tasks = build_tasks(config, serial=serial)
+            work = chunk_work(config, serial=serial)
+            by_resource = {"2d": 0, "1d": 0, "io": 0}
+            for task in tasks:
+                by_resource[task.resource] += task.duration
+            assert by_resource["2d"] == config.chunks * work.cycles_2d
+            assert by_resource["1d"] == config.chunks * work.cycles_1d
+            assert by_resource["io"] == config.chunks * work.cycles_io
+        decode = build_decode_tasks(config)
+        decode_work = chunk_work(config, serial=False, kind="decode")
+        assert sum(t.duration for t in decode if t.resource == "2d") == (
+            config.chunks * decode_work.cycles_2d
+        )
+        assert sum(t.duration for t in decode if t.resource == "1d") == (
+            config.chunks * decode_work.cycles_1d
+        )
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError, match="phase"):
+            Scenario(name="empty", phases=())
+        with pytest.raises(ValueError, match="binding"):
+            attention_scenario(1, 4, binding="magic")
+        with pytest.raises(ValueError, match="kind"):
+            Phase("train", 1, 4)
+        with pytest.raises(ValueError, match="divisible"):
+            scenario_from_model(BERT, 1000)
+
+
+class TestScenarioCrossValidation:
+    """Simulated schedules vs the analytical utilization estimates."""
+
+    def test_lone_tile_serial_matches_serial_chain_exactly(self):
+        """The closed-form chunk interval is the simulated schedule."""
+        scenario = attention_scenario(1, 64, binding="tile-serial")
+        sim = evaluate_scenario_point(scenario)
+        model = analytical_scenario(scenario)
+        assert model.kind == "serial-chain"
+        assert model.latency_cycles == sim.makespan
+
+    @pytest.mark.parametrize("binding", ("tile-serial", "interleaved"))
+    def test_multi_instance_approaches_overlap_bound(self, binding):
+        scenario = attention_scenario(8, 32, binding=binding)
+        sim = evaluate_scenario_point(scenario)
+        model = analytical_scenario(scenario)
+        assert model.kind == "overlap-bound"
+        # The bound is a true lower bound on latency...
+        assert sim.makespan >= model.latency_cycles
+        # ...approached within warm-up effects.
+        for array in ("2d", "1d"):
+            assert sim.utilization(array) <= model.utilization(array) + 1e-9
+            assert sim.utilization(array) == pytest.approx(
+                model.utilization(array), abs=0.02
+            )
+
+    def test_batching_hides_tile_serial_stalls(self):
+        """Multi-instance contention is a modeled effect, not a scale
+        factor: more tile-serial instances lift shared-array utilization
+        until the serialized array edge saturates."""
+        lone = evaluate_scenario_point(
+            attention_scenario(1, 32, binding="tile-serial")
+        )
+        packed = evaluate_scenario_point(
+            attention_scenario(8, 32, binding="tile-serial")
+        )
+        assert packed.util_2d > lone.util_2d * 1.3
+        assert packed.util_io > 0.95  # fills/drains become the bottleneck
+
+    def test_decode_mix_adds_2d_pressure(self):
+        base = evaluate_scenario_point(attention_scenario(4, 32))
+        mixed = evaluate_scenario_point(
+            attention_scenario(4, 32, decode_instances=4, decode_chunks=64)
+        )
+        assert mixed.instances == 8
+        assert mixed.busy_2d > base.busy_2d
+        model = analytical_scenario(
+            attention_scenario(4, 32, decode_instances=4, decode_chunks=64)
+        )
+        assert mixed.util_2d == pytest.approx(model.util_2d, abs=0.05)
+
+    def test_crosscheck_report_all_seed_configs(self):
+        from repro.experiments.crosscheck import crosscheck, render
+
+        report = crosscheck(cache=False)
+        assert report.ok, render(report)
+        bindings = {row.binding for row in report.rows}
+        assert bindings == {"tile-serial", "interleaved"}
+        assert "within" in render(report)
+
+    def test_crosscheck_flags_divergence(self):
+        from repro.experiments.crosscheck import crosscheck, render
+
+        report = crosscheck(
+            [attention_scenario(4, 16)], tolerance=1e-6, cache=False
+        )
+        assert not report.ok
+        assert "DIVERGED" in render(report)
+
+
+class TestScenarioSweep:
+    """The runtime path: kind "scenario" through cache/pool/registry."""
+
+    SCENARIOS = (
+        attention_scenario(2, 8, binding="tile-serial"),
+        attention_scenario(2, 8, binding="interleaved"),
+    )
+
+    def test_sweep_matches_direct_evaluation(self):
+        results = sweep_scenarios(self.SCENARIOS, cache=False)
+        assert set(results) == set(self.SCENARIOS)
+        for scenario in self.SCENARIOS:
+            direct = evaluate_scenario_point(scenario)
+            assert results[scenario] == direct
+
+    def test_same_name_different_spec_both_kept(self):
+        """Keys are the full Scenario spec: a shared display name can't
+        shadow a computed result or cross-wire the crosscheck."""
+        from repro.experiments.crosscheck import crosscheck
+
+        small = attention_scenario(4, 16, array_dim=64, binding="tile-serial")
+        large = attention_scenario(4, 16, array_dim=128, binding="tile-serial")
+        assert small.name == large.name  # the collision under test
+        results = sweep_scenarios([small, large], cache=False)
+        assert len(results) == 2
+        assert results[small].makespan != results[large].makespan
+        report = crosscheck([small, large], cache=False)
+        assert len(report.rows) == 4
+        # Each simulation diffs its own estimate: the two scenarios'
+        # rows carry distinct measured and modeled utilizations.
+        small_2d, large_2d = (
+            row for row in report.rows if row.array == "2d"
+        )
+        assert small_2d.sim_util != large_2d.sim_util
+        assert small_2d.model_util != large_2d.model_util
+
+    def test_sweep_parallel_and_cached_identical(self, tmp_path):
+        baseline = sweep_scenarios(self.SCENARIOS, cache=False)
+        parallel = sweep_scenarios(self.SCENARIOS, jobs=2, cache=False)
+        assert parallel == baseline
+        disk = ResultCache(directory=tmp_path / "cache")
+        populated = sweep_scenarios(self.SCENARIOS, cache=disk)
+        fresh = ResultCache(directory=tmp_path / "cache")
+        warm = sweep_scenarios(self.SCENARIOS, cache=fresh)
+        assert populated == baseline and warm == baseline
+        assert fresh.stats.disk_hits == len(baseline)
+
+    def test_sweep_records_run(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        sweep_scenarios(self.SCENARIOS, cache=False, registry=registry)
+        record = registry.last_recorded
+        assert record.kind == "scenario"
+        assert record.n_results == 2
+        # Configs are recorded as full describe() strings, so two
+        # same-named scenarios with different specs stay attributable.
+        assert all(c.startswith("attn-2x8:") for c in record.grid["configs"])
+        assert len(record.grid["configs"]) == 2
+
+    def test_run_record_distinguishes_same_named_specs(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        pair = [
+            attention_scenario(2, 8, array_dim=64),
+            attention_scenario(2, 8, array_dim=128),
+        ]
+        sweep_scenarios(pair, cache=False, registry=registry)
+        configs = registry.last_recorded.grid["configs"]
+        assert len(configs) == 2
+        assert any("64x64" in c for c in configs)
+        assert any("128x128" in c for c in configs)
+
+    def test_scenario_result_cache_codec_roundtrip(self):
+        result = evaluate_scenario_point(self.SCENARIOS[0])
+        assert isinstance(result, ScenarioResult)
+        payload = json.loads(json.dumps(encode_result(result)))
+        assert decode_result(payload) == result
+
+    def test_scenario_emitters(self):
+        results = sweep_scenarios(self.SCENARIOS, cache=False)
+        csv_text = scenario_csv(results)
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("scenario,binding,instances")
+        assert len(lines) == 1 + len(results)
+        rows = json.loads(scenario_json(results))
+        assert {row["binding"] for row in rows} == {
+            "tile-serial", "interleaved"
+        }
+        assert "util_2d" in scenario_table(results).splitlines()[0]
 
 
 class TestSweepCLI:
@@ -315,6 +654,14 @@ class TestSweepCLI:
         assert main(["simulate", "--sweep", "--arrays", "x"]) == 2
         assert "--arrays" in capsys.readouterr().err
 
+    def test_simulate_sweep_nonpositive_axis_values(self, capsys):
+        from repro.cli import main
+
+        assert main(["simulate", "--sweep", "--pe1d-list", "0"]) == 2
+        assert "must be >= 1" in capsys.readouterr().err
+        assert main(["simulate", "--sweep", "--embeddings", "-64"]) == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
     def test_simulate_sweep_rejects_cycle_engine(self, capsys):
         from repro.cli import main
 
@@ -322,3 +669,120 @@ class TestSweepCLI:
                      "--chunks-list", "16"])
         assert code == 2
         assert "event-driven core" in capsys.readouterr().err
+
+    def test_simulate_sweep_new_axes(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "simulate", "--sweep", "--chunks-list", "16",
+            "--arrays", "128", "--pe1d-list", "64,128",
+            "--embeddings", "32", "--format", "csv", "--no-cache",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 1 + 4  # 2 pe1d x 2 bindings
+        assert ",64,32," in out and ",128,32," in out
+
+    def test_simulate_scenario_engines_identical(self, capsys):
+        from repro.cli import main
+
+        base = ["simulate", "--scenario", "--instances", "2",
+                "--chunks", "4", "--array-dim", "32", "--no-cache"]
+        assert main(base + ["--engine", "event"]) == 0
+        event_out = capsys.readouterr().out
+        assert main(base + ["--engine", "cycle"]) == 0
+        assert capsys.readouterr().out == event_out
+        assert "interleaved" in event_out and "tile-serial" in event_out
+
+    def test_simulate_scenario_from_model(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "simulate", "--scenario", "--model", "BERT", "--batch", "2",
+            "--heads", "2", "--chunks", "4", "--binding", "interleaved",
+            "--format", "json", "--no-cache",
+        ])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        assert rows[0]["instances"] == 4
+        assert rows[0]["scenario"] == "BERT-B2xH2-L1024"
+
+    def test_simulate_scenario_rejects_model_plus_instances(self, capsys):
+        from repro.cli import main
+
+        code = main(["simulate", "--scenario", "--model", "BERT",
+                     "--instances", "4"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_simulate_scenario_unknown_model(self, capsys):
+        from repro.cli import main
+
+        assert main(["simulate", "--scenario", "--model", "GPT"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_simulate_scenario_cycle_rejects_runtime_flags(
+        self, capsys, tmp_path
+    ):
+        from repro.cli import main
+
+        code = main(["simulate", "--scenario", "--instances", "2",
+                     "--chunks", "4", "--engine", "cycle",
+                     "--registry", str(tmp_path)])
+        assert code == 2
+        assert "runtime-backed" in capsys.readouterr().err
+        code = main(["simulate", "--scenario", "--instances", "2",
+                     "--chunks", "4", "--engine", "cycle", "--jobs", "8"])
+        assert code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_simulate_scenario_negative_decode_instances(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exit_info:
+            main(["simulate", "--scenario", "--instances", "2",
+                  "--decode-instances", "-2"])
+        assert exit_info.value.code == 2
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_mode_specific_flags_rejected_outside_their_mode(self, capsys):
+        from repro.cli import main
+
+        assert main(["simulate", "--pe1d", "128"]) == 2
+        assert "requires --scenario" in capsys.readouterr().err
+        assert main(["simulate", "--embeddings", "32"]) == 2
+        assert "requires --sweep" in capsys.readouterr().err
+        assert main(["simulate", "--scenario", "--instances", "2",
+                     "--decode-chunks", "8"]) == 2
+        assert "requires --decode-instances" in capsys.readouterr().err
+        assert main(["simulate", "--scenario", "--batch", "8"]) == 2
+        assert "requires --model" in capsys.readouterr().err
+        assert main(["simulate", "--scenario", "--instances", "2",
+                     "--binding", "tile-serial", "--slots", "4"]) == 2
+        assert "interleaved binding only" in capsys.readouterr().err
+        assert main(["simulate", "--sweep", "--chunks-list", "16",
+                     "--array-dim", "512"]) == 2
+        assert "use --arrays" in capsys.readouterr().err
+        assert main(["simulate", "--sweep", "--chunks", "16"]) == 2
+        assert "use --chunks-list" in capsys.readouterr().err
+        assert main(["simulate", "--format", "csv"]) == 2
+        assert "requires --sweep or --scenario" in capsys.readouterr().err
+        assert main(["simulate", "--output", "x.csv"]) == 2
+        assert "--output requires" in capsys.readouterr().err
+        assert main(["simulate", "--jobs", "8"]) == 2
+        assert "--jobs requires" in capsys.readouterr().err
+
+    def test_crosscheck_cli(self, capsys):
+        from repro.cli import main
+
+        assert main(["crosscheck", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "within" in out and "DIVERGED" not in out
+
+    def test_crosscheck_strict_flags_divergence(self, capsys):
+        from repro.cli import main
+
+        assert main(["crosscheck", "--tolerance", "0.000001",
+                     "--strict", "--no-cache"]) == 1
+        assert "DIVERGED" in capsys.readouterr().out
