@@ -4,7 +4,8 @@
 2. Run the mapping-independent analyses: pass counts, live footprints,
    operation counts (Sections III-IV).
 3. Validate the cascades numerically with the functional interpreter.
-4. Model the accelerators (unfused, FLAT, FuseMax) on one workload point.
+4. Model the accelerators (unfused, FLAT, FuseMax) on one workload point
+   through the typed evaluation API (repro.api Session).
 
 Run:  python examples/quickstart.py
 """
@@ -12,9 +13,9 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro.analysis import count_passes, family, live_footprints, total_ops
+from repro.api import ExperimentRequest, Session
 from repro.cascades import attention_1pass, attention_3pass
 from repro.functional import attention, evaluate_output
-from repro.model import FLATModel, UnfusedModel, fusemax
 from repro.workloads import BERT
 
 
@@ -65,13 +66,22 @@ def main():
               f"{np.allclose(out, expected)}")
 
     section("4. Accelerator models (BERT, L = 64K, batch 64)")
+    # One typed request through the Session façade evaluates every
+    # configuration of the figure grid on this point, cached + recorded.
+    session = Session()
+    result = session.run(ExperimentRequest(
+        name="sweep", kind="attention", models=("BERT",), seq_lens=(65536,),
+    ))
     print(f"{'config':>14} {'latency (Mcyc)':>15} {'util 2D':>8} "
           f"{'util 1D':>8} {'energy (mJ)':>12}")
-    for config in (UnfusedModel(), FLATModel(), fusemax()):
-        r = config.evaluate(BERT, 65536)
+    for r in result.payload.values():
         print(f"{r.config:>14} {r.latency_cycles / 1e6:>15.1f} "
               f"{r.util_2d:>8.2f} {r.util_1d:>8.2f} "
               f"{r.energy_pj / 1e9:>12.2f}")
+    prov = result.provenance
+    print(f"(api {session.version}, code {prov.code_version}, "
+          f"{prov.cache_misses} evaluated / {prov.cache_hits} cached, "
+          f"{prov.wall_time_s:.2f}s)")
 
 
 if __name__ == "__main__":

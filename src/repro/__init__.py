@@ -19,7 +19,29 @@ attention accelerators.  This package provides:
   workloads and the drivers regenerating every evaluation figure.
 """
 
-__version__ = "1.0.0"
+def _package_version() -> str:
+    """The installed distribution's version, or — when the package runs
+    uninstalled from a source tree (``PYTHONPATH=src``) — the version
+    read from the adjacent ``pyproject.toml``, so the pin lives in
+    exactly one place."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+        return version("fusemax-repro")
+    except PackageNotFoundError:
+        import re
+        from pathlib import Path
+
+        pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+        try:
+            match = re.search(
+                r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.M
+            )
+        except OSError:
+            match = None
+        return match.group(1) if match else "0+unknown"
+
+
+__version__ = _package_version()
 
 __all__ = [
     "analysis",

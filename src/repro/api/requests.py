@@ -1,0 +1,449 @@
+"""Typed request specs: what to evaluate, declared as frozen dataclasses.
+
+Each request class describes one evaluation the reproduction can run —
+a figure/report regeneration, an evaluation-grid sweep, a long-sequence
+binding sweep, a merged multi-instance scenario schedule, a scenario
+*grid* over models × batch × heads × decode-instances, or the
+simulated-vs-analytical crosscheck.  Requests are:
+
+- **declarative** — fields name workload axes, never execution knobs
+  (``jobs``/``cache``/``registry`` belong to the
+  :class:`~repro.api.session.Session` that runs the request);
+- **validated** — :meth:`Request.validate` collects every rule
+  violation at once (the rules formerly sprawled across the CLI's
+  cross-flag checks) and raises :class:`RequestValidationError`;
+- **content-addressed** — :meth:`Request.signature` digests every field
+  through the runtime's canonical encoding, and a field-walk test
+  asserts no field can silently escape it.
+
+The CLI, the experiment drivers, and the examples all build these
+requests and hand them to a ``Session``; nothing else reaches the
+runtime directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import List, Optional, Tuple
+
+from ..simulator.sweep import (
+    DEFAULT_SWEEP_ARRAY_DIMS,
+    DEFAULT_SWEEP_CHUNKS,
+    ScenarioGridCell,
+)
+from ..workloads.models import BATCH_SIZE, MODELS_BY_NAME
+from ..workloads.scenario import (
+    BINDINGS,
+    Scenario,
+    attention_scenario,
+    scenario_from_model,
+)
+
+#: Engines a simulation request may name.  ``"cycle"`` selects the
+#: cycle-accurate oracle — always serial and uncached, so a cached event
+#: result can never masquerade as a differential run.
+ENGINES: Tuple[str, ...] = ("event", "cycle")
+
+#: Figure/table experiments a :class:`ExperimentRequest` can name, plus
+#: the two composite names: ``report`` (everything) and ``sweep`` (one
+#: evaluation grid with explicit axes).
+EXPERIMENT_NAMES: Tuple[str, ...] = (
+    "report", "sweep", "ablations", "fig1b", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "fig11", "fig12", "table1",
+)
+
+#: Evaluation-grid kinds of the ``sweep`` experiment.
+GRID_KINDS: Tuple[str, ...] = ("attention", "inference")
+
+
+class RequestValidationError(ValueError):
+    """One or more request fields break the request's rules.
+
+    ``errors`` lists every violation (not just the first), mirroring the
+    old CLI behaviour of reporting all misused flags at once.
+    """
+
+    def __init__(self, errors: List[str]) -> None:
+        self.errors = tuple(errors)
+        super().__init__("; ".join(self.errors))
+
+
+def _positive(errors: List[str], name: str, value: Optional[int]) -> None:
+    if value is not None and value < 1:
+        errors.append(f"{name} must be >= 1, got {value}")
+
+
+def _positive_axis(errors: List[str], name: str, values: Tuple) -> None:
+    if not values:
+        errors.append(f"{name} must name at least one value")
+    elif any(v is not None and v < 1 for v in values):
+        errors.append(f"{name} values must be >= 1, got {list(values)}")
+
+
+def _known_models(errors: List[str], names: Tuple[str, ...]) -> None:
+    for name in names:
+        if name not in MODELS_BY_NAME:
+            errors.append(
+                f"unknown model {name!r}; have {sorted(MODELS_BY_NAME)}"
+            )
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base request: validation protocol + content signature."""
+
+    #: Request kind tag (mirrors the runtime task-kind vocabulary).
+    KIND = "request"
+
+    def rule_violations(self) -> List[str]:
+        """Every rule this request breaks (empty when valid)."""
+        return []
+
+    def validate(self) -> None:
+        """Raise :class:`RequestValidationError` unless the spec is
+        coherent; collects *all* violations before raising."""
+        errors = self.rule_violations()
+        if errors:
+            raise RequestValidationError(errors)
+
+    def signature(self) -> str:
+        """Stable content address over the request kind and every field.
+
+        This is the request-level analogue of the runtime's task
+        fingerprint: equal requests share a signature, and any field
+        mutation must change it (enforced by a field-walk test)."""
+        from ..runtime.cache import cache_key
+
+        payload = {"__request__": self.KIND}
+        for field_ in fields(self):
+            payload[field_.name] = getattr(self, field_.name)
+        return cache_key(payload, version="request")
+
+
+@dataclass(frozen=True)
+class ExperimentRequest(Request):
+    """Regenerate a figure/table, the full report, or one evaluation grid.
+
+    ``name`` selects the experiment (:data:`EXPERIMENT_NAMES`); the grid
+    axes (``kind``, ``models``, ``seq_lens``) apply only to
+    ``name="sweep"``, where ``None`` means the figure defaults (all four
+    models, 1K…1M).
+    """
+
+    KIND = "experiment"
+
+    name: str = "report"
+    kind: Optional[str] = None
+    models: Optional[Tuple[str, ...]] = None
+    seq_lens: Optional[Tuple[int, ...]] = None
+
+    def rule_violations(self) -> List[str]:
+        errors: List[str] = []
+        if self.name not in EXPERIMENT_NAMES:
+            errors.append(
+                f"unknown experiment {self.name!r}; have {EXPERIMENT_NAMES}"
+            )
+        if self.kind is not None and self.kind not in GRID_KINDS:
+            errors.append(f"unknown sweep kind {self.kind!r}; have {GRID_KINDS}")
+        if self.name != "sweep":
+            errors.extend(
+                f"{field_} applies to the 'sweep' experiment only"
+                for field_, given in (
+                    ("kind", self.kind is not None),
+                    ("models", self.models is not None),
+                    ("seq_lens", self.seq_lens is not None),
+                )
+                if given
+            )
+        if self.models is not None:
+            _known_models(errors, self.models)
+        if self.seq_lens is not None:
+            _positive_axis(errors, "seq_lens", self.seq_lens)
+        return errors
+
+    @property
+    def resolved_kind(self) -> str:
+        return "attention" if self.kind is None else self.kind
+
+
+@dataclass(frozen=True)
+class BindingSweepRequest(Request):
+    """Long-sequence binding simulation over independent axes.
+
+    The grid is chunks × bindings × array dims × 1D lanes × embeddings
+    (one :class:`~repro.simulator.sweep.BindingResult` row per distinct
+    point); a single-point request with ``engine="cycle"`` is the
+    differential one-shot the CLI's ``repro simulate`` comparison runs.
+    """
+
+    KIND = "binding"
+
+    chunks: Tuple[int, ...] = DEFAULT_SWEEP_CHUNKS
+    bindings: Tuple[str, ...] = BINDINGS
+    array_dims: Tuple[int, ...] = DEFAULT_SWEEP_ARRAY_DIMS
+    embeddings: Tuple[int, ...] = (64,)
+    pe_1d_dims: Tuple[Optional[int], ...] = (None,)
+    engine: str = "event"
+
+    def rule_violations(self) -> List[str]:
+        errors: List[str] = []
+        _positive_axis(errors, "chunks", self.chunks)
+        _positive_axis(errors, "array_dims", self.array_dims)
+        _positive_axis(errors, "embeddings", self.embeddings)
+        _positive_axis(errors, "pe_1d_dims", self.pe_1d_dims)
+        if not self.bindings:
+            errors.append("bindings must name at least one binding")
+        errors.extend(
+            f"unknown binding {binding!r}; have {BINDINGS}"
+            for binding in self.bindings
+            if binding not in BINDINGS
+        )
+        if self.engine not in ENGINES:
+            errors.append(f"unknown engine {self.engine!r}; have {ENGINES}")
+        return errors
+
+
+@dataclass(frozen=True)
+class ScenarioRequest(Request):
+    """Merged multi-(batch, head) schedules, one per requested binding.
+
+    Either ``scenarios`` lists explicit :class:`Scenario` specs, or the
+    shape fields derive them: ``model`` (with ``batch``/``heads``) builds
+    the ``B × H`` scenario of a workload model, ``instances`` an explicit
+    count — mutually exclusive, exactly as the CLI flags were.  ``None``
+    fields take the CLI's historical defaults at build time, so the
+    request records what was *asked*, not what was defaulted.
+    """
+
+    KIND = "scenario"
+
+    model: Optional[str] = None
+    batch: Optional[int] = None
+    heads: Optional[int] = None
+    instances: Optional[int] = None
+    chunks: Optional[int] = None
+    array_dim: Optional[int] = None
+    pe_1d: Optional[int] = None
+    slots: Optional[int] = None
+    decode_instances: int = 0
+    decode_chunks: Optional[int] = None
+    binding: str = "both"
+    engine: str = "event"
+    scenarios: Optional[Tuple[Scenario, ...]] = None
+
+    def rule_violations(self) -> List[str]:
+        errors: List[str] = []
+        spec_fields = (
+            ("model", self.model is not None),
+            ("batch", self.batch is not None),
+            ("heads", self.heads is not None),
+            ("instances", self.instances is not None),
+            ("chunks", self.chunks is not None),
+            ("array_dim", self.array_dim is not None),
+            ("pe_1d", self.pe_1d is not None),
+            ("slots", self.slots is not None),
+            ("decode_instances", self.decode_instances != 0),
+            ("decode_chunks", self.decode_chunks is not None),
+            ("binding", self.binding != "both"),
+        )
+        if self.scenarios is not None:
+            errors.extend(
+                f"scenarios is mutually exclusive with {field_}"
+                for field_, given in spec_fields
+                if given
+            )
+            if not self.scenarios:
+                errors.append("scenarios must name at least one scenario")
+        if self.model is not None and self.instances is not None:
+            errors.append(
+                "instances and model are mutually exclusive (model "
+                "derives the instance count from batch/heads)"
+            )
+        if self.model is None:
+            errors.extend(
+                f"{field_} requires model (use instances for an explicit count)"
+                for field_, given in (("batch", self.batch is not None),
+                                      ("heads", self.heads is not None))
+                if given
+            )
+        elif self.model not in MODELS_BY_NAME:
+            errors.append(
+                f"unknown model {self.model!r}; have {sorted(MODELS_BY_NAME)}"
+            )
+        if self.decode_chunks is not None and not self.decode_instances:
+            errors.append("decode_chunks requires decode_instances")
+        if self.binding not in ("both",) + BINDINGS:
+            errors.append(
+                f"unknown binding {self.binding!r}; have "
+                f"{('both',) + BINDINGS}"
+            )
+        if self.binding == "tile-serial" and self.slots is not None:
+            # The serial discipline issues one task per resource; slots
+            # only parameterize the interleaved round-robin.
+            errors.append("slots applies to the interleaved binding only")
+        if self.engine not in ENGINES:
+            errors.append(f"unknown engine {self.engine!r}; have {ENGINES}")
+        for name in ("batch", "heads", "instances", "chunks", "array_dim",
+                     "pe_1d", "slots", "decode_chunks"):
+            _positive(errors, name, getattr(self, name))
+        if self.decode_instances < 0:
+            errors.append(
+                f"decode_instances must be >= 0, got {self.decode_instances}"
+            )
+        return errors
+
+    def build_scenarios(self) -> Tuple[Scenario, ...]:
+        """The scenario list this request describes (one per binding),
+        with the CLI's historical defaults filled in."""
+        if self.scenarios is not None:
+            return self.scenarios
+        bindings = BINDINGS if self.binding == "both" else (self.binding,)
+        batch = BATCH_SIZE if self.batch is None else self.batch
+        slots = 2 if self.slots is None else self.slots
+        chunks = 32 if self.chunks is None else self.chunks
+        array_dim = 256 if self.array_dim is None else self.array_dim
+        built = []
+        for binding in bindings:
+            if self.model is not None:
+                built.append(scenario_from_model(
+                    MODELS_BY_NAME[self.model], chunks * array_dim,
+                    batch=batch, heads=self.heads, binding=binding,
+                    array_dim=array_dim, pe_1d=self.pe_1d, slots=slots,
+                    decode_instances=self.decode_instances,
+                    decode_chunks=self.decode_chunks,
+                ))
+            else:
+                instances = 4 if self.instances is None else self.instances
+                built.append(attention_scenario(
+                    instances, chunks, binding=binding,
+                    array_dim=array_dim, pe_1d=self.pe_1d, slots=slots,
+                    decode_instances=self.decode_instances,
+                    decode_chunks=self.decode_chunks,
+                ))
+        return tuple(built)
+
+
+@dataclass(frozen=True)
+class ScenarioGridRequest(Request):
+    """A first-class sweep over models × batch × heads × decode-instances.
+
+    Every combination of the four axes (× bindings) becomes one cached
+    grid cell — a full merged-schedule simulation joined with its
+    analytical estimate.  ``heads`` axis entries may be ``None`` (use
+    each model's own head count).  ``extra_scenarios`` appends explicit
+    heterogeneous cells — e.g.
+    :func:`repro.workloads.scenario.heterogeneous_scenario` mixes with
+    per-instance unequal chunk counts — that no (model, batch, heads)
+    coordinate can express.
+    """
+
+    KIND = "scenario_grid"
+
+    models: Tuple[str, ...] = ("BERT",)
+    batches: Tuple[int, ...] = (1,)
+    heads: Tuple[Optional[int], ...] = (None,)
+    decode_instances: Tuple[int, ...] = (0,)
+    chunks: int = 32
+    decode_chunks: Optional[int] = None
+    bindings: Tuple[str, ...] = ("interleaved",)
+    array_dim: int = 256
+    pe_1d: Optional[int] = None
+    slots: Optional[int] = None
+    extra_scenarios: Tuple[Scenario, ...] = ()
+
+    def rule_violations(self) -> List[str]:
+        errors: List[str] = []
+        if not self.models and not self.extra_scenarios:
+            errors.append("grid needs at least one model or extra scenario")
+        if self.models:
+            _known_models(errors, self.models)
+            _positive_axis(errors, "batches", self.batches)
+            _positive_axis(errors, "heads", self.heads)
+            if not self.decode_instances:
+                errors.append("decode_instances must name at least one count")
+            elif any(d < 0 for d in self.decode_instances):
+                errors.append(
+                    "decode_instances values must be >= 0, got "
+                    f"{list(self.decode_instances)}"
+                )
+            if not self.bindings:
+                errors.append("bindings must name at least one binding")
+            errors.extend(
+                f"unknown binding {binding!r}; have {BINDINGS}"
+                for binding in self.bindings
+                if binding not in BINDINGS
+            )
+        if set(self.bindings) == {"tile-serial"} and self.slots is not None:
+            errors.append("slots applies to the interleaved binding only")
+        if self.decode_chunks is not None and not any(self.decode_instances):
+            errors.append("decode_chunks requires a nonzero decode_instances")
+        for name in ("chunks", "array_dim", "pe_1d", "slots", "decode_chunks"):
+            _positive(errors, name, getattr(self, name))
+        return errors
+
+    def cells(self) -> Tuple[ScenarioGridCell, ...]:
+        """Every cell of the grid, in axis order (models outermost,
+        bindings innermost), then the heterogeneous extras."""
+        slots = 2 if self.slots is None else self.slots
+        built = []
+        for name in self.models:
+            model = MODELS_BY_NAME[name]
+            for batch in self.batches:
+                for heads in self.heads:
+                    for decode in self.decode_instances:
+                        for binding in self.bindings:
+                            scenario = scenario_from_model(
+                                model, self.chunks * self.array_dim,
+                                batch=batch, heads=heads, binding=binding,
+                                array_dim=self.array_dim, pe_1d=self.pe_1d,
+                                slots=slots, decode_instances=decode,
+                                decode_chunks=self.decode_chunks,
+                            )
+                            built.append(ScenarioGridCell(
+                                scenario=scenario, model=name, batch=batch,
+                                heads=(model.n_heads if heads is None
+                                       else heads),
+                                decode=decode,
+                            ))
+        built.extend(
+            ScenarioGridCell(
+                scenario=scenario, model=scenario.model, batch=None,
+                heads=None,
+                decode=sum(p.instances for p in scenario.phases
+                           if p.kind == "decode"),
+            )
+            for scenario in self.extra_scenarios
+        )
+        return tuple(built)
+
+
+@dataclass(frozen=True)
+class CrosscheckRequest(Request):
+    """Simulated vs analytical utilization over scenario schedules.
+
+    ``scenarios=None`` runs the seed grid of
+    :func:`repro.experiments.crosscheck.seed_scenarios`.
+    """
+
+    KIND = "crosscheck"
+
+    tolerance: float = 0.05
+    scenarios: Optional[Tuple[Scenario, ...]] = None
+
+    def rule_violations(self) -> List[str]:
+        errors: List[str] = []
+        if self.tolerance < 0:
+            errors.append(f"tolerance must be >= 0, got {self.tolerance}")
+        if self.scenarios is not None and not self.scenarios:
+            errors.append("scenarios must name at least one scenario")
+        return errors
+
+
+#: Every request class the Session dispatches, in documentation order.
+REQUEST_TYPES: Tuple[type, ...] = (
+    ExperimentRequest,
+    BindingSweepRequest,
+    ScenarioRequest,
+    ScenarioGridRequest,
+    CrosscheckRequest,
+)

@@ -1,0 +1,366 @@
+"""The Session façade: one executor/cache/registry behind every request.
+
+A :class:`Session` owns the execution policy — worker count, result
+cache, run registry — and exposes exactly two ways to evaluate:
+
+- :meth:`Session.run` — one request, one :class:`Result`;
+- :meth:`Session.submit` / :meth:`Session.gather` — batch heterogeneous
+  requests, pool every lowerable grid point into a *single* pass through
+  the parallel runtime, and hand back one ``Result`` per request.
+
+Every ``Result`` wraps its payload in a :class:`Provenance` envelope:
+cache hit/miss deltas, the code version that computed it, wall time, and
+the registry run id/digest when the session records runs.  Parallelism
+and caching never change payloads — the same guarantee the runtime makes
+for grid points holds for whole requests.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from .. import __version__
+from ..runtime import RunRegistry, run_tasks
+from ..runtime import executor as _runtime
+from ..runtime.cache import ResultCache, code_version, resolve_cache
+from ..simulator.sweep import evaluate_binding_point, evaluate_scenario_point
+from ..workloads.models import MODELS, MODELS_BY_NAME, SEQUENCE_LENGTHS
+from .requests import (
+    BindingSweepRequest,
+    CrosscheckRequest,
+    ExperimentRequest,
+    Request,
+    ScenarioGridRequest,
+    ScenarioRequest,
+)
+
+#: Experiments whose drivers run a grid through the runtime (and so
+#: accept ``jobs``/``cache``); the rest are cheap and stay serial.
+GRID_EXPERIMENTS = ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12")
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """How a payload came to be: enough to audit or reproduce it."""
+
+    kind: str
+    code_version: str
+    wall_time_s: float
+    jobs: int
+    cached: bool
+    cache_hits: Optional[int] = None
+    cache_misses: Optional[int] = None
+    run_id: Optional[str] = None
+    result_digest: Optional[str] = None
+    recorded_duration_s: Optional[float] = None
+    batched: bool = False
+
+
+@dataclass(frozen=True)
+class Result:
+    """Uniform response envelope: the request, its payload, provenance."""
+
+    request: Request
+    payload: Any
+    provenance: Provenance
+
+
+def _binding_tasks(request: BindingSweepRequest) -> List[Any]:
+    """The runtime tasks of one binding sweep — always derived through
+    :func:`repro.runtime.executor.binding_grid` so every path (event,
+    cycle oracle, pooled gather) shares one grid order and dedup."""
+    return _runtime.binding_grid(
+        request.chunks, request.bindings, request.array_dims,
+        request.embeddings, request.pe_1d_dims,
+    )
+
+
+def _point_key(point: Any) -> tuple:
+    """The documented result key of :func:`sweep_bindings` rows."""
+    return (point.binding, point.chunks, point.array_dim,
+            point.resolved_pe_1d, point.embedding)
+
+
+def _experiment_modules() -> Dict[str, Any]:
+    """Name → experiment driver module (imported lazily: the experiment
+    drivers themselves build requests through this package)."""
+    from ..experiments import (
+        ablations, fig1b, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
+        table1,
+    )
+
+    return {
+        "ablations": ablations, "fig1b": fig1b, "fig6": fig6, "fig7": fig7,
+        "fig8": fig8, "fig9": fig9, "fig10": fig10, "fig11": fig11,
+        "fig12": fig12, "table1": table1,
+    }
+
+
+class Session:
+    """Evaluation façade owning the executor, cache, and registry.
+
+    ``cache`` accepts the runtime vocabulary (``True`` for the shared
+    process cache, ``False`` for none, or a
+    :class:`~repro.runtime.cache.ResultCache`); ``cache_dir`` persists
+    results under a directory (implies caching).  ``registry`` is a
+    directory path or :class:`~repro.runtime.registry.RunRegistry`;
+    when set, every runtime-backed request leaves a structured run
+    record and its id/digest surface in the result's provenance.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Any = True,
+        cache_dir: Optional[Union[str, Path]] = None,
+        registry: Optional[Union[str, Path, RunRegistry]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if cache_dir is not None:
+            if cache is False or cache is None:
+                raise ValueError("cache_dir cannot be combined with cache=False")
+            cache = ResultCache(directory=cache_dir)
+        self.jobs = jobs
+        self._store = resolve_cache(cache)
+        self.registry = (
+            registry if isinstance(registry, (RunRegistry, type(None)))
+            else RunRegistry(registry)
+        )
+        self._pending: List[Request] = []
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def version(self) -> str:
+        """The package version serving this session (from the installed
+        distribution metadata; see ``repro --version``)."""
+        return __version__
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        """The session's result cache (None when caching is off)."""
+        return self._store
+
+    def _cache_arg(self) -> Any:
+        """The session cache in the runtime's argument vocabulary."""
+        return self._store if self._store is not None else False
+
+    # -- single-request execution ------------------------------------------
+
+    def run(self, request: Request) -> Result:
+        """Validate and evaluate one request."""
+        request.validate()
+        start = time.perf_counter()
+        before = self._store.stats.as_dict() if self._store is not None else None
+        record_before = self.registry.last_recorded if self.registry else None
+        payload = self._dispatch(request)
+        return Result(
+            request=request,
+            payload=payload,
+            provenance=self._provenance(
+                request, start, before, record_before
+            ),
+        )
+
+    def _provenance(
+        self, request, start, before, record_before, batched: bool = False
+    ) -> Provenance:
+        hits = misses = None
+        if before is not None:
+            after = self._store.stats.as_dict()
+            hits = (after["memory_hits"] + after["disk_hits"]
+                    - before["memory_hits"] - before["disk_hits"])
+            misses = after["misses"] - before["misses"]
+        record = self.registry.last_recorded if self.registry else None
+        if record is record_before:
+            record = None  # this request recorded nothing new
+        return Provenance(
+            kind=request.KIND,
+            code_version=code_version(),
+            wall_time_s=time.perf_counter() - start,
+            jobs=self.jobs,
+            cached=self._store is not None,
+            cache_hits=hits,
+            cache_misses=misses,
+            run_id=record.run_id if record else None,
+            result_digest=record.result_digest if record else None,
+            recorded_duration_s=record.duration_s if record else None,
+            batched=batched,
+        )
+
+    def _dispatch(self, request: Request) -> Any:
+        if isinstance(request, ExperimentRequest):
+            return self._run_experiment(request)
+        if isinstance(request, BindingSweepRequest):
+            return self._run_binding_sweep(request)
+        if isinstance(request, ScenarioRequest):
+            return self._run_scenario(request)
+        if isinstance(request, ScenarioGridRequest):
+            return _runtime.sweep_scenario_grid(
+                request.cells(), jobs=self.jobs, cache=self._cache_arg(),
+                registry=self.registry,
+            )
+        if isinstance(request, CrosscheckRequest):
+            from ..experiments.crosscheck import crosscheck
+
+            return crosscheck(
+                request.scenarios, tolerance=request.tolerance,
+                jobs=self.jobs, cache=self._cache_arg(),
+                registry=self.registry,
+            )
+        raise TypeError(f"unknown request type {type(request).__name__}")
+
+    def _run_experiment(self, request: ExperimentRequest) -> Any:
+        if request.name == "report":
+            from ..experiments.report import full_report
+
+            return full_report(jobs=self.jobs, cache=self._cache_arg())
+        if request.name == "sweep":
+            sweep = {
+                "attention": _runtime.sweep_attention,
+                "inference": _runtime.sweep_inference,
+            }[request.resolved_kind]
+            models = MODELS if request.models is None else tuple(
+                MODELS_BY_NAME[name] for name in request.models
+            )
+            seq_lens = (
+                SEQUENCE_LENGTHS if request.seq_lens is None
+                else request.seq_lens
+            )
+            return sweep(
+                models, seq_lens, jobs=self.jobs, cache=self._cache_arg(),
+                registry=self.registry,
+            )
+        # Figure/table drivers print their tables; the captured text is
+        # the payload, so the CLI adapter stays byte-identical to the
+        # drivers' historical stdout.
+        module = _experiment_modules()[request.name]
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            if request.name in GRID_EXPERIMENTS:
+                module.main(jobs=self.jobs, cache=self._cache_arg())
+            else:
+                module.main()
+        return buffer.getvalue()
+
+    def _run_binding_sweep(self, request: BindingSweepRequest) -> Dict:
+        if request.engine == "cycle":
+            # Differential oracle runs stay serial and uncached, so a
+            # cached event result can never masquerade as a cycle run.
+            return {
+                _point_key(task.config): evaluate_binding_point(
+                    task.config, engine="cycle"
+                )
+                for task in _binding_tasks(request)
+            }
+        return _runtime.sweep_bindings(
+            request.chunks, request.bindings, request.array_dims,
+            embeddings=request.embeddings, pe_1d_dims=request.pe_1d_dims,
+            jobs=self.jobs, cache=self._cache_arg(), registry=self.registry,
+        )
+
+    def _run_scenario(self, request: ScenarioRequest) -> Dict:
+        scenarios = request.build_scenarios()
+        if request.engine == "cycle":
+            return {
+                s: evaluate_scenario_point(s, engine="cycle")
+                for s in scenarios
+            }
+        return _runtime.sweep_scenarios(
+            scenarios, jobs=self.jobs, cache=self._cache_arg(),
+            registry=self.registry,
+        )
+
+    # -- batched heterogeneous execution -----------------------------------
+
+    def submit(self, request: Request) -> int:
+        """Queue a request for :meth:`gather`; returns its index."""
+        request.validate()
+        self._pending.append(request)
+        return len(self._pending) - 1
+
+    def _lower(
+        self, request: Request
+    ) -> Optional[Tuple[List[Any], Callable[[List[Any]], Any]]]:
+        """(tasks, assemble) for requests that decompose into runtime
+        tasks, or None for the ones that must run whole."""
+        if isinstance(request, BindingSweepRequest) and request.engine == "event":
+            tasks = _binding_tasks(request)
+            points = [task.config for task in tasks]
+
+            def assemble_bindings(results: List[Any]) -> Dict:
+                return {
+                    _point_key(p): r for p, r in zip(points, results)
+                }
+
+            return tasks, assemble_bindings
+        if isinstance(request, ScenarioRequest) and request.engine == "event":
+            scenarios = request.build_scenarios()
+            tasks = _runtime.scenario_grid(scenarios)
+
+            def assemble_scenarios(results: List[Any]) -> Dict:
+                return dict(zip(scenarios, results))
+
+            return tasks, assemble_scenarios
+        if isinstance(request, ScenarioGridRequest):
+            return _runtime.scenario_grid_tasks(request.cells()), list
+        return None
+
+    def gather(self) -> List[Result]:
+        """Evaluate every submitted request and clear the queue.
+
+        All lowerable requests' grid points pool into **one** pass
+        through the parallel runtime — a heterogeneous mix of binding
+        points, scenario schedules, and grid cells fans out over the
+        same workers and shares the cache.  Non-lowerable requests
+        (experiments, crosschecks, cycle-oracle runs) evaluate after the
+        pooled batch, in submission order.  Batched provenance reports
+        the pooled pass's wall time and cache deltas on every pooled
+        result.
+        """
+        pending, self._pending = self._pending, []
+        lowered = [self._lower(request) for request in pending]
+        pooled = [
+            (i, tasks, assemble)
+            for i, entry in enumerate(lowered)
+            if entry is not None
+            for tasks, assemble in [entry]
+        ]
+        results: List[Optional[Result]] = [None] * len(pending)
+        if pooled:
+            start = time.perf_counter()
+            before = (
+                self._store.stats.as_dict() if self._store is not None else None
+            )
+            record_before = (
+                self.registry.last_recorded if self.registry else None
+            )
+            all_tasks = [task for _, tasks, _ in pooled for task in tasks]
+            flat = run_tasks(all_tasks, jobs=self.jobs, cache=self._cache_arg())
+            if self.registry is not None:
+                self.registry.record(
+                    kind="batch", tasks=all_tasks, results=flat,
+                    duration_s=time.perf_counter() - start, jobs=self.jobs,
+                )
+            offset = 0
+            for i, tasks, assemble in pooled:
+                slice_ = flat[offset:offset + len(tasks)]
+                offset += len(tasks)
+                results[i] = Result(
+                    request=pending[i],
+                    payload=assemble(slice_),
+                    provenance=self._provenance(
+                        pending[i], start, before, record_before,
+                        batched=True,
+                    ),
+                )
+        for i, request in enumerate(pending):
+            if results[i] is None:
+                results[i] = self.run(request)
+        return list(results)

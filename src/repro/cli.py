@@ -1,10 +1,18 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every evaluation command is a thin adapter over :mod:`repro.api`:
+parse flags → build a typed request → ``Session.run`` → format the
+payload.  The request's ``validate()`` owns the cross-field rules; the
+CLI only checks which flags belong to which *mode* (something the typed
+API makes unrepresentable).
+
 Commands:
 
 - ``report``            — regenerate every table and figure (text).
 - ``fig1b`` … ``fig12``, ``table1`` — one experiment.
-- ``sweep``             — run one evaluation grid through the runtime.
+- ``sweep``             — run one evaluation grid through the runtime,
+  or ``--grid`` for a scenario grid over models × batch × heads ×
+  decode-instances (``ScenarioGridRequest``).
 - ``taxonomy``          — classify the attention cascades (Table I).
 - ``passes CASCADE``    — pass analysis of a named cascade
   (``3pass``, ``3pass-divopt``, ``2pass``, ``1pass``, ``causal``,
@@ -32,8 +40,20 @@ import argparse
 import sys
 from typing import Callable, Dict
 
+from . import __version__
 from .analysis import count_passes, live_footprints
 from .analysis.taxonomy import attention_rank_family, build_taxonomy
+from .api import (
+    GRID_EXPERIMENTS,
+    GRID_KINDS,
+    BindingSweepRequest,
+    CrosscheckRequest,
+    ExperimentRequest,
+    RequestValidationError,
+    ScenarioGridRequest,
+    ScenarioRequest,
+    Session,
+)
 from .cascades import (
     attention_1pass,
     attention_2pass,
@@ -41,29 +61,13 @@ from .cascades import (
     causal_attention,
     sigmoid_attention,
 )
-from .experiments import (
-    ablations,
-    crosscheck as _crosscheck,
-    fig1b,
-    fig6,
-    fig7,
-    fig8,
-    fig9,
-    fig10,
-    fig11,
-    fig12,
-    table1,
-)
+from .experiments import crosscheck as _crosscheck
 from .experiments.common import format_table
-from .experiments.report import full_report
-from .runtime import ResultCache, RunRegistry
-from .runtime import executor as _runtime
+from .runtime import ResultCache
 from .simulator import (
-    DEFAULT_SWEEP_ARRAY_DIMS,
-    DEFAULT_SWEEP_CHUNKS,
-    PipelineConfig,
-    compare_bindings,
-    evaluate_scenario_point,
+    grid_csv,
+    grid_json,
+    grid_table,
     scenario_csv,
     scenario_json,
     scenario_table,
@@ -71,14 +75,8 @@ from .simulator import (
     sweep_json,
     sweep_table,
 )
-from .workloads.models import (
-    BATCH_SIZE,
-    MODELS,
-    MODELS_BY_NAME,
-    SEQUENCE_LENGTHS,
-    seq_label,
-)
-from .workloads.scenario import BINDINGS, attention_scenario, scenario_from_model
+from .workloads.models import BATCH_SIZE, seq_label
+from .workloads.scenario import BINDINGS
 
 _CASCADES: Dict[str, Callable] = {
     "3pass": attention_3pass,
@@ -89,27 +87,13 @@ _CASCADES: Dict[str, Callable] = {
     "sigmoid": sigmoid_attention,
 }
 
-_EXPERIMENTS = {
-    "ablations": ablations,
-    "fig1b": fig1b,
-    "fig6": fig6,
-    "fig7": fig7,
-    "fig8": fig8,
-    "fig9": fig9,
-    "fig10": fig10,
-    "fig11": fig11,
-    "fig12": fig12,
-    "table1": table1,
-}
-
-#: Experiments whose ``main()`` runs a grid through the runtime (and so
-#: accepts ``jobs``/``cache``); the rest are cheap and stay serial.
-_GRID_EXPERIMENTS = {"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
-
-_SWEEP_KINDS: Dict[str, Callable] = {
-    "attention": _runtime.sweep_attention,
-    "inference": _runtime.sweep_inference,
-}
+#: Experiment subcommand names (one subparser each); the grid-backed
+#: subset accepting --jobs/--cache and the evaluation-grid kinds come
+#: from ``repro.api`` so parser and Session can never disagree.
+_EXPERIMENTS = (
+    "ablations", "fig1b", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "table1",
+)
 
 
 def _make_cache(args):
@@ -119,6 +103,26 @@ def _make_cache(args):
     if getattr(args, "cache_dir", None):
         return ResultCache(directory=args.cache_dir)
     return True
+
+
+def _session(args) -> Session:
+    """The Session implied by the runtime flags of one invocation."""
+    return Session(
+        jobs=getattr(args, "jobs", 1),
+        cache=_make_cache(args),
+        registry=getattr(args, "registry", None) or None,
+    )
+
+
+def _run_validated(session: Session, request):
+    """``session.run`` with validation errors printed one per line (the
+    CLI's historical error style); returns None on rejection."""
+    try:
+        return session.run(request)
+    except RequestValidationError as error:
+        for message in error.errors:
+            print(message, file=sys.stderr)
+        return None
 
 
 def _positive_int(text: str) -> int:
@@ -156,30 +160,57 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_report(args) -> int:
-    print(full_report(jobs=args.jobs, cache=_make_cache(args)))
+    result = _session(args).run(ExperimentRequest(name="report"))
+    print(result.payload)
     return 0
 
 
 def _cmd_experiment(args) -> int:
-    module = _EXPERIMENTS[args.command]
-    if args.command in _GRID_EXPERIMENTS:
-        module.main(jobs=args.jobs, cache=_make_cache(args))
-    else:
-        module.main()
+    result = _session(args).run(ExperimentRequest(name=args.command))
+    # The payload is the driver's captured stdout, newline included.
+    print(result.payload, end="")
     return 0
+
+
+def _sweep_grid_flag_errors(args):
+    """Flags assigned to the wrong sweep mode (the typed requests make
+    these combinations unrepresentable; the CLI still reports them)."""
+    grid_only = (
+        ("--batches", args.batches is not None),
+        ("--heads-list", args.heads_list is not None),
+        ("--decode-list", args.decode_list is not None),
+        ("--chunks", args.chunks is not None),
+        ("--decode-chunks", args.decode_chunks is not None),
+        ("--binding", args.binding is not None),
+        ("--array-dim", args.array_dim is not None),
+        ("--pe1d", args.pe1d is not None),
+        ("--slots", args.slots is not None),
+        ("--format", args.format is not None),
+        ("--output", args.output is not None),
+    )
+    if args.grid:
+        return [
+            f"{flag} does not apply to --grid"
+            for flag, given in (("--kind", args.kind is not None),
+                                ("--seq-lens", args.seq_lens is not None))
+            if given
+        ]
+    return [f"{flag} requires --grid" for flag, given in grid_only if given]
 
 
 def _cmd_sweep(args) -> int:
     """Run one evaluation grid through the runtime and summarize it."""
-    models = MODELS
+    errors = _sweep_grid_flag_errors(args)
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        return 2
+    if args.grid:
+        return _cmd_sweep_grid(args)
+    models = None
     if args.models:
-        try:
-            models = tuple(MODELS_BY_NAME[name] for name in args.models.split(","))
-        except KeyError as missing:
-            print(f"unknown model {missing}; have {sorted(MODELS_BY_NAME)}",
-                  file=sys.stderr)
-            return 2
-    seq_lens = SEQUENCE_LENGTHS
+        models = tuple(args.models.split(","))
+    seq_lens = None
     if args.seq_lens:
         try:
             seq_lens = tuple(int(s) for s in args.seq_lens.split(","))
@@ -187,16 +218,19 @@ def _cmd_sweep(args) -> int:
             print(f"invalid --seq-lens {args.seq_lens!r}: "
                   "expected comma-separated integers", file=sys.stderr)
             return 2
-    registry = RunRegistry(args.registry) if args.registry else None
-    sweep = _SWEEP_KINDS[args.kind]
+    session = _session(args)
+    request = ExperimentRequest(
+        name="sweep", kind=args.kind, models=models, seq_lens=seq_lens,
+    )
     try:
-        results = sweep(
-            models, seq_lens,
-            jobs=args.jobs, cache=_make_cache(args), registry=registry,
-        )
+        result = _run_validated(session, request)
     except ValueError as error:
         print(f"sweep failed: {error}", file=sys.stderr)
         return 2
+    if result is None:
+        return 2
+    results = result.payload
+    kind = request.resolved_kind
     print(format_table(
         ["config", "model", "L", "latency (cycles)", "energy (pJ)"],
         [
@@ -205,11 +239,58 @@ def _cmd_sweep(args) -> int:
             for (config, model, seq_len), r in results.items()
         ],
     ))
-    print(f"{len(results)} grid points ({args.kind}), jobs={args.jobs}")
-    if registry is not None:
-        record = registry.last_recorded
-        print(f"recorded run {record.run_id} "
-              f"(digest {record.result_digest}, {record.duration_s:.3f}s)")
+    print(f"{len(results)} grid points ({kind}), jobs={args.jobs}")
+    _report_recorded(result.provenance)
+    return 0
+
+
+def _cmd_sweep_grid(args) -> int:
+    """The scenario grid: models x batches x heads x decode-instances."""
+    axes = {}
+    for field, flag, text, minimum in (
+        ("batches", "--batches", args.batches, 1),
+        ("heads", "--heads-list", args.heads_list, 1),
+        ("decode_instances", "--decode-list", args.decode_list, 0),
+    ):
+        if text is not None:
+            values = _parse_int_list(text, flag, minimum)
+            if values is None:
+                return 2
+            axes[field] = values
+    if args.models:
+        axes["models"] = tuple(args.models.split(","))
+    if args.binding is not None:
+        axes["bindings"] = (
+            BINDINGS if args.binding == "both" else (args.binding,)
+        )
+    for field, value in (
+        ("chunks", args.chunks), ("decode_chunks", args.decode_chunks),
+        ("array_dim", args.array_dim), ("pe_1d", args.pe1d),
+        ("slots", args.slots),
+    ):
+        if value is not None:
+            axes[field] = value
+    result = _run_validated(_session(args), ScenarioGridRequest(**axes))
+    if result is None:
+        return 2
+    cells = result.payload
+    render = {"table": grid_table, "csv": grid_csv, "json": grid_json}
+    fmt = args.format or "table"
+    payload = render[fmt](cells)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload)
+            if not payload.endswith("\n"):
+                handle.write("\n")
+        print(f"{len(cells)} grid cells -> {args.output} "
+              f"({fmt}, jobs={args.jobs})")
+    else:
+        print(payload, end="" if payload.endswith("\n") else "\n")
+    summary = f"{len(cells)} grid cells (scenario_grid), jobs={args.jobs}"
+    if result.provenance.cache_hits is not None:
+        summary += f", cache hits {result.provenance.cache_hits}/{len(cells)}"
+    print(summary)
+    _report_recorded(result.provenance)
     return 0
 
 
@@ -243,25 +324,33 @@ def _cmd_passes(args) -> int:
     return 0
 
 
-def _parse_int_list(text: str, flag: str):
-    """Comma-separated positive ints, or None after a one-line stderr
-    message (every sweep axis — chunks, array dims, lanes, embeddings —
-    is a physical count)."""
+def _parse_int_list(text: str, flag: str, minimum: int = 1):
+    """Comma-separated ints bounded below by ``minimum``, or None after
+    a one-line stderr message (every sweep axis — chunks, array dims,
+    lanes, embeddings, decode counts — is a physical count)."""
     try:
         values = tuple(int(item) for item in text.split(","))
     except ValueError:
         print(f"invalid {flag} {text!r}: expected comma-separated integers",
               file=sys.stderr)
         return None
-    if any(value < 1 for value in values):
-        print(f"invalid {flag} {text!r}: values must be >= 1",
+    if any(value < minimum for value in values):
+        print(f"invalid {flag} {text!r}: values must be >= {minimum}",
               file=sys.stderr)
         return None
     return values
 
 
+def _report_recorded(provenance) -> None:
+    """The ``recorded run`` trailer, when the session recorded one."""
+    if provenance.run_id is not None:
+        print(f"recorded run {provenance.run_id} "
+              f"(digest {provenance.result_digest}, "
+              f"{provenance.recorded_duration_s:.3f}s)")
+
+
 def _emit_rows(args, fmt: str, payload: str, count: int, noun: str,
-               registry) -> None:
+               provenance) -> None:
     """Shared tail of the sweep/scenario commands: write or print the
     rendered rows, then report the recorded run, if any."""
     if args.output:
@@ -273,15 +362,18 @@ def _emit_rows(args, fmt: str, payload: str, count: int, noun: str,
               f"({fmt}, jobs={args.jobs})")
     else:
         print(payload, end="" if payload.endswith("\n") else "\n")
-    if registry is not None:
-        record = registry.last_recorded
-        print(f"recorded run {record.run_id} "
-              f"(digest {record.result_digest}, {record.duration_s:.3f}s)")
+    _report_recorded(provenance)
 
 
 def _simulate_flag_errors(args):
-    """Misused mode-specific simulate flags (silently ignoring a flag
-    the user passed would hand back wrong numbers without warning)."""
+    """Simulate flags assigned to the wrong mode (silently ignoring a
+    flag the user passed would hand back wrong numbers without warning).
+
+    Only *mode routing* lives here — which flags belong to the one-shot
+    comparison, ``--sweep``, and ``--scenario``.  The cross-field rules
+    (model vs instances, decode-chunks, slots, unknown models/bindings)
+    moved into the typed requests' ``validate()``.
+    """
     errors = []
     if args.sweep and args.scenario:
         errors.append("--sweep and --scenario are mutually exclusive")
@@ -322,7 +414,7 @@ def _simulate_flag_errors(args):
         )
     if not args.sweep and not args.scenario:
         # The one-shot comparison prints a fixed two-line summary and
-        # never touches the runtime.
+        # never touches the runtime knobs.
         errors.extend(
             f"{flag} requires --sweep or --scenario"
             for flag, given in (("--format", args.format is not None),
@@ -332,24 +424,6 @@ def _simulate_flag_errors(args):
                                 ("--cache-dir", args.cache_dir is not None))
             if given
         )
-    if args.model is not None and args.instances is not None:
-        errors.append(
-            "--instances and --model are mutually exclusive (--model "
-            "derives the instance count from --batch/--heads)"
-        )
-    if args.decode_chunks is not None and not args.decode_instances:
-        errors.append("--decode-chunks requires --decode-instances")
-    if args.scenario and args.model is None:
-        errors.extend(
-            f"{flag} requires --model (use --instances for an explicit count)"
-            for flag, given in (("--batch", args.batch is not None),
-                                ("--heads", args.heads is not None))
-            if given
-        )
-    if args.scenario and args.binding == "tile-serial" and args.slots is not None:
-        # The serial discipline issues one task per resource; slots only
-        # parameterize the interleaved round-robin.
-        errors.append("--slots applies to the interleaved binding only")
     return errors
 
 
@@ -365,8 +439,12 @@ def _cmd_simulate(args) -> int:
         return _cmd_simulate_scenario(args)
     chunks = 32 if args.chunks is None else args.chunks
     array_dim = 256 if args.array_dim is None else args.array_dim
-    config = PipelineConfig(chunks=chunks, array_dim=array_dim, pe_1d=array_dim)
-    for name, r in compare_bindings(config, engine=args.engine).items():
+    result = _run_validated(_session(args), BindingSweepRequest(
+        chunks=(chunks,), array_dims=(array_dim,), engine=args.engine,
+    ))
+    if result is None:
+        return 2
+    for (name, _, _, _, _), r in result.payload.items():
         print(f"{name:12s} makespan={r.makespan:7d} "
               f"util2d={r.util_2d:.3f} util1d={r.util_1d:.3f}")
     return 0
@@ -379,81 +457,30 @@ def _cmd_simulate_sweep(args) -> int:
               "oracle cannot reach the long-sequence points); --engine "
               "applies to the one-shot comparison only", file=sys.stderr)
         return 2
-    chunks = DEFAULT_SWEEP_CHUNKS
-    if args.chunks_list:
-        chunks = _parse_int_list(args.chunks_list, "--chunks-list")
-        if chunks is None:
-            return 2
-    array_dims = DEFAULT_SWEEP_ARRAY_DIMS
-    if args.arrays:
-        array_dims = _parse_int_list(args.arrays, "--arrays")
-        if array_dims is None:
-            return 2
-    embeddings = (64,)
-    if args.embeddings:
-        embeddings = _parse_int_list(args.embeddings, "--embeddings")
-        if embeddings is None:
-            return 2
-    pe_1d_dims = (None,)
-    if args.pe1d_list:
-        pe_1d_dims = _parse_int_list(args.pe1d_list, "--pe1d-list")
-        if pe_1d_dims is None:
-            return 2
-    registry = RunRegistry(args.registry) if args.registry else None
-    results = _runtime.sweep_bindings(
-        chunks, array_dims=array_dims,
-        embeddings=embeddings, pe_1d_dims=pe_1d_dims,
-        jobs=args.jobs, cache=_make_cache(args), registry=registry,
-    )
+    axes = {}
+    for field, flag, text in (
+        ("chunks", "--chunks-list", args.chunks_list),
+        ("array_dims", "--arrays", args.arrays),
+        ("embeddings", "--embeddings", args.embeddings),
+        ("pe_1d_dims", "--pe1d-list", args.pe1d_list),
+    ):
+        if text:
+            values = _parse_int_list(text, flag)
+            if values is None:
+                return 2
+            axes[field] = values
+    result = _run_validated(_session(args), BindingSweepRequest(**axes))
+    if result is None:
+        return 2
     render = {"table": sweep_table, "csv": sweep_csv, "json": sweep_json}
     fmt = args.format or "table"
-    _emit_rows(args, fmt, render[fmt](results), len(results),
-               "binding points", registry)
+    _emit_rows(args, fmt, render[fmt](result.payload), len(result.payload),
+               "binding points", result.provenance)
     return 0
-
-
-def _build_scenarios(args):
-    """The scenario list implied by the simulate --scenario flags, or
-    None after a one-line stderr message.  Flag conflicts are rejected
-    earlier, in :func:`_simulate_flag_errors`."""
-    bindings = BINDINGS if args.binding == "both" else (args.binding,)
-    batch = BATCH_SIZE if args.batch is None else args.batch
-    slots = 2 if args.slots is None else args.slots
-    chunks = 32 if args.chunks is None else args.chunks
-    array_dim = 256 if args.array_dim is None else args.array_dim
-    scenarios = []
-    for binding in bindings:
-        if args.model:
-            try:
-                model = MODELS_BY_NAME[args.model]
-            except KeyError:
-                print(f"unknown model {args.model!r}; "
-                      f"have {sorted(MODELS_BY_NAME)}", file=sys.stderr)
-                return None
-            scenarios.append(scenario_from_model(
-                model, chunks * array_dim,
-                batch=batch, heads=args.heads, binding=binding,
-                array_dim=array_dim, pe_1d=args.pe1d, slots=slots,
-                decode_instances=args.decode_instances,
-                decode_chunks=args.decode_chunks,
-            ))
-        else:
-            instances = 4 if args.instances is None else args.instances
-            scenarios.append(attention_scenario(
-                instances, chunks, binding=binding,
-                array_dim=array_dim, pe_1d=args.pe1d, slots=slots,
-                decode_instances=args.decode_instances,
-                decode_chunks=args.decode_chunks,
-            ))
-    return scenarios
 
 
 def _cmd_simulate_scenario(args) -> int:
     """Merged multi-(batch, head) schedules through the runtime."""
-    scenarios = _build_scenarios(args)
-    if scenarios is None:
-        return 2
-    registry = None
     if args.engine == "cycle":
         # The differential path runs the oracle directly — serial and
         # uncached, so a cached event result can never masquerade as a
@@ -470,28 +497,28 @@ def _cmd_simulate_scenario(args) -> int:
                   "only; the cycle oracle path is serial and uncached",
                   file=sys.stderr)
             return 2
-        results = {
-            s: evaluate_scenario_point(s, engine="cycle") for s in scenarios
-        }
-    else:
-        registry = RunRegistry(args.registry) if args.registry else None
-        results = _runtime.sweep_scenarios(
-            scenarios, jobs=args.jobs, cache=_make_cache(args),
-            registry=registry,
-        )
+    result = _run_validated(_session(args), ScenarioRequest(
+        model=args.model, batch=args.batch, heads=args.heads,
+        instances=args.instances, chunks=args.chunks,
+        array_dim=args.array_dim, pe_1d=args.pe1d, slots=args.slots,
+        decode_instances=args.decode_instances,
+        decode_chunks=args.decode_chunks, binding=args.binding,
+        engine=args.engine,
+    ))
+    if result is None:
+        return 2
     render = {"table": scenario_table, "csv": scenario_csv,
               "json": scenario_json}
     fmt = args.format or "table"
-    _emit_rows(args, fmt, render[fmt](results), len(results),
-               "scenario schedules", registry)
+    _emit_rows(args, fmt, render[fmt](result.payload), len(result.payload),
+               "scenario schedules", result.provenance)
     return 0
 
 
 def _cmd_crosscheck(args) -> int:
     """Simulated vs analytical utilization over the seed scenarios."""
-    report = _crosscheck.crosscheck(
-        tolerance=args.tolerance, jobs=args.jobs, cache=_make_cache(args),
-    )
+    result = _session(args).run(CrosscheckRequest(tolerance=args.tolerance))
+    report = result.payload
     print("Scenario cross-check: simulated vs analytical utilization")
     print(_crosscheck.render(report))
     if args.strict and not report.ok:
@@ -503,25 +530,83 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="FuseMax reproduction toolkit"
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}",
+        help="print the package version (from distribution metadata)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     report = sub.add_parser("report", help="regenerate every table and figure")
     _add_runtime_args(report)
     for name in _EXPERIMENTS:
         experiment = sub.add_parser(name, help=f"regenerate {name}")
-        if name in _GRID_EXPERIMENTS:
+        if name in GRID_EXPERIMENTS:
             _add_runtime_args(experiment)
-    sweep = sub.add_parser("sweep", help="run one evaluation grid")
+    sweep = sub.add_parser(
+        "sweep", help="run one evaluation grid (or --grid scenario grid)"
+    )
     sweep.add_argument(
-        "--kind", choices=sorted(_SWEEP_KINDS), default="attention",
-        help="which grid to run (default: attention)",
+        "--kind", choices=sorted(GRID_KINDS), default=None,
+        help="which evaluation grid to run (default: attention)",
     )
     sweep.add_argument(
         "--models", metavar="A,B", default=None,
-        help="comma-separated model names (default: all four)",
+        help="comma-separated model names (default: all four; "
+             "--grid default: BERT)",
     )
     sweep.add_argument(
         "--seq-lens", metavar="L1,L2", default=None,
         help="comma-separated sequence lengths (default: 1K..1M)",
+    )
+    sweep.add_argument(
+        "--grid", action="store_true",
+        help="run a scenario grid over models x batches x heads x "
+             "decode-instances (each cell one merged schedule + its "
+             "analytical estimate, cached per cell)",
+    )
+    sweep.add_argument(
+        "--batches", metavar="B1,B2", default=None,
+        help="grid batch sizes (default: 1)",
+    )
+    sweep.add_argument(
+        "--heads-list", metavar="H1,H2", default=None,
+        help="grid head counts (default: each model's own)",
+    )
+    sweep.add_argument(
+        "--decode-list", metavar="D0,D1", default=None,
+        help="grid decode-instance counts (default: 0)",
+    )
+    sweep.add_argument(
+        "--chunks", type=_positive_int, default=None, metavar="N",
+        help="per-instance prefill chunk count of every grid cell "
+             "(default 32)",
+    )
+    sweep.add_argument(
+        "--decode-chunks", type=_positive_int, default=None, metavar="C",
+        help="KV-cache chunks per decode instance (default: --chunks)",
+    )
+    sweep.add_argument(
+        "--binding", choices=("both",) + BINDINGS, default=None,
+        help="grid binding(s) to schedule (default: interleaved)",
+    )
+    sweep.add_argument(
+        "--array-dim", type=_positive_int, default=None, metavar="D",
+        help="grid PE-array dimension (default 256)",
+    )
+    sweep.add_argument(
+        "--pe1d", type=_positive_int, default=None, metavar="P",
+        help="grid 1D-array lanes (default: matched to --array-dim)",
+    )
+    sweep.add_argument(
+        "--slots", type=_positive_int, default=None, metavar="K",
+        help="interleaved issue slots per resource (default 2)",
+    )
+    sweep.add_argument(
+        "--format", choices=("table", "csv", "json"), default=None,
+        help="grid output format (default: table)",
+    )
+    sweep.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the grid to FILE instead of stdout",
     )
     sweep.add_argument(
         "--registry", metavar="DIR", default=None,

@@ -7,7 +7,12 @@ from typing import Dict, Iterable, Sequence, Tuple
 from ..model import all_attention_models
 from ..model.metrics import AttentionResult
 from ..runtime import executor as _runtime
-from ..workloads.models import MODELS, ModelConfig, SEQUENCE_LENGTHS
+from ..workloads.models import (
+    MODELS,
+    MODELS_BY_NAME,
+    ModelConfig,
+    SEQUENCE_LENGTHS,
+)
 
 
 def default_grid(
@@ -32,10 +37,24 @@ def sweep_attention(
     """Evaluate every configuration on the grid; keyed by
     ``(config_name, model_name, seq_len)``.
 
-    Runs through :mod:`repro.runtime`: ``jobs`` fans grid points out
-    over processes and ``cache`` reuses prior results; both preserve the
-    serial path's results and ordering exactly.
+    Runs through the :mod:`repro.api` Session (a typed
+    ``ExperimentRequest``): ``jobs`` fans grid points out over
+    processes and ``cache`` reuses prior results; both preserve the
+    serial path's results and ordering exactly.  Unregistered
+    ``ModelConfig`` objects (nothing in-repo) fall back to the runtime
+    directly, since requests name models rather than carry them.
     """
+    if all(MODELS_BY_NAME.get(m.name) is m for m in models):
+        # Imported lazily: the Session dispatches experiment requests
+        # back into this package.
+        from ..api import ExperimentRequest, Session
+
+        request = ExperimentRequest(
+            name="sweep", kind="attention",
+            models=tuple(m.name for m in models),
+            seq_lens=tuple(seq_lens),
+        )
+        return Session(jobs=jobs, cache=cache).run(request).payload
     return _runtime.sweep_attention(models, seq_lens, jobs=jobs, cache=cache)
 
 

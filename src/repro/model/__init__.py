@@ -14,7 +14,12 @@ from .generic import GenericEvaluation, evaluate_cascade
 from .inference import LinearPhase, evaluate_inference, evaluate_linear
 from .metrics import AttentionResult, InferenceResult
 from .pareto import ARRAY_DIMS, DesignPoint, PARETO_SEQ_LEN, pareto_frontier, sweep
-from .scenario import ScenarioEstimate, analytical_scenario, scenario_work
+from .scenario import (
+    ScenarioEstimate,
+    analytical_scenario,
+    evaluate_grid_cell,
+    scenario_work,
+)
 from .unfused import UnfusedModel
 
 
@@ -48,6 +53,7 @@ __all__ = [
     "analytical_scenario",
     "decode_attention",
     "evaluate_cascade",
+    "evaluate_grid_cell",
     "evaluate_inference",
     "machine_balance",
     "evaluate_linear",

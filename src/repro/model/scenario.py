@@ -137,3 +137,29 @@ def analytical_scenario(scenario: Scenario) -> ScenarioEstimate:
         latency_cycles=latency,
         busy=busy,
     )
+
+
+def evaluate_grid_cell(cell: "ScenarioGridCell") -> "ScenarioGridResult":
+    """Evaluate one scenario-grid cell: simulate the merged schedule and
+    join the closed-form analytical estimate of the same scenario.
+
+    This is the worker function behind the runtime's ``"scenario_grid"``
+    task kind — it lives here (not in the simulator) because it is the
+    one place both accounts of a scenario meet, so every grid doubles as
+    a crosscheck-at-scale.  Pure and picklable: everything it needs rides
+    in the frozen ``cell``.
+    """
+    from ..simulator.sweep import ScenarioGridResult, evaluate_scenario_point
+
+    sim = evaluate_scenario_point(cell.scenario)
+    estimate = analytical_scenario(cell.scenario)
+    return ScenarioGridResult(
+        model=cell.model,
+        batch=cell.batch,
+        heads=cell.heads,
+        decode=cell.decode,
+        sim=sim,
+        estimate=estimate.kind,
+        est_util_2d=estimate.util_2d,
+        est_util_1d=estimate.util_1d,
+    )

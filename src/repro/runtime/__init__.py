@@ -28,10 +28,12 @@ from .executor import (
     pareto_grid,
     run_tasks,
     scenario_grid,
+    scenario_grid_tasks,
     sweep_attention,
     sweep_bindings,
     sweep_inference,
     sweep_pareto,
+    sweep_scenario_grid,
     sweep_scenarios,
 )
 from .registry import RunRecord, RunRegistry, result_digest
@@ -57,9 +59,11 @@ __all__ = [
     "result_digest",
     "run_tasks",
     "scenario_grid",
+    "scenario_grid_tasks",
     "sweep_attention",
     "sweep_bindings",
     "sweep_inference",
     "sweep_pareto",
+    "sweep_scenario_grid",
     "sweep_scenarios",
 ]

@@ -25,10 +25,13 @@ from ..model.metrics import AttentionResult, InferenceResult
 from ..model.pareto import DesignPoint
 from ..simulator.sweep import (
     BindingResult,
+    ScenarioGridResult,
     ScenarioResult,
     decode_binding_result,
+    decode_scenario_grid_result,
     decode_scenario_result,
     encode_binding_result,
+    encode_scenario_grid_result,
     encode_scenario_result,
 )
 
@@ -141,6 +144,8 @@ def encode_result(result: Any) -> Dict[str, Any]:
         return encode_binding_result(result)
     if isinstance(result, ScenarioResult):
         return encode_scenario_result(result)
+    if isinstance(result, ScenarioGridResult):
+        return encode_scenario_grid_result(result)
     raise TypeError(f"cannot encode result of type {type(result).__name__}")
 
 
@@ -180,6 +185,8 @@ def decode_result(payload: Dict[str, Any]) -> Any:
         return decode_binding_result(payload)
     if kind == "ScenarioResult":
         return decode_scenario_result(payload)
+    if kind == "ScenarioGridResult":
+        return decode_scenario_grid_result(payload)
     raise ValueError(f"cannot decode result payload tagged {kind!r}")
 
 

@@ -20,11 +20,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..model import all_attention_models, evaluate_inference
 from ..model.pareto import ARRAY_DIMS, PARETO_SEQ_LEN, design_point
+from ..model.scenario import evaluate_grid_cell
 from ..simulator.pipeline import BINDINGS
 from ..simulator.sweep import (
     DEFAULT_SWEEP_ARRAY_DIMS,
     DEFAULT_SWEEP_CHUNKS,
     BindingPoint,
+    ScenarioGridCell,
     evaluate_binding_point,
     evaluate_scenario_point,
 )
@@ -34,7 +36,7 @@ from .cache import cache_key, canonical, resolve_cache
 from .registry import RunRegistry
 
 #: Task kinds understood by :func:`evaluate_task`.
-KINDS = ("attention", "inference", "pareto", "binding", "scenario")
+KINDS = ("attention", "inference", "pareto", "binding", "scenario", "scenario_grid")
 
 
 @dataclass(frozen=True)
@@ -89,6 +91,8 @@ def evaluate_task(task: EvalTask) -> Any:
         return evaluate_binding_point(task.config)
     if task.kind == "scenario":
         return evaluate_scenario_point(task.config)
+    if task.kind == "scenario_grid":
+        return evaluate_grid_cell(task.config)
     raise ValueError(f"unknown task kind {task.kind!r}; have {KINDS}")
 
 
@@ -337,6 +341,38 @@ def sweep_scenarios(
     tasks = scenario_grid(scenarios)
     results = _sweep(tasks, "scenario", jobs, cache, registry)
     return {task.config: result for task, result in zip(tasks, results)}
+
+
+def scenario_grid_tasks(cells: Sequence[ScenarioGridCell]) -> List[EvalTask]:
+    """One runtime task per grid cell (kind ``"scenario_grid"``).
+
+    The whole :class:`ScenarioGridCell` rides in ``config``, so the
+    cache key covers the scenario *and* its grid coordinates: two cells
+    that schedule the same scenario under different coordinates stay
+    distinct cache entries, and a relabel can never shadow a row."""
+    return [
+        EvalTask("scenario_grid", cell, None, cell.scenario.seq_len)
+        for cell in cells
+    ]
+
+
+def sweep_scenario_grid(
+    cells: Sequence[ScenarioGridCell],
+    *,
+    jobs: int = 1,
+    cache: Any = True,
+    registry: Optional[RunRegistry] = None,
+) -> List[Any]:
+    """Evaluate a scenario grid cell-by-cell through the runtime.
+
+    Returns :class:`~repro.simulator.sweep.ScenarioGridResult` rows
+    index-aligned with ``cells`` (the cell itself is the identity, so no
+    keyed merge can shadow a row).  Each cell schedules its merged
+    multi-instance graph on the event core and joins the analytical
+    estimate; cells fan out over processes and content-address into the
+    cache under the ``"scenario_grid"`` task kind."""
+    tasks = scenario_grid_tasks(cells)
+    return _sweep(tasks, "scenario_grid", jobs, cache, registry)
 
 
 def sweep_pareto(

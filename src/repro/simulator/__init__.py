@@ -29,12 +29,18 @@ from .sweep import (
     DEFAULT_SWEEP_ARRAY_DIMS,
     DEFAULT_SWEEP_CHUNKS,
     SCENARIO_FIELDS,
+    SCENARIO_GRID_FIELDS,
     SWEEP_FIELDS,
     BindingPoint,
     BindingResult,
+    ScenarioGridCell,
+    ScenarioGridResult,
     ScenarioResult,
     evaluate_binding_point,
     evaluate_scenario_point,
+    grid_csv,
+    grid_json,
+    grid_table,
     scenario_csv,
     scenario_json,
     scenario_table,
@@ -55,7 +61,10 @@ __all__ = [
     "PipelineConfig",
     "PipelineReport",
     "SCENARIO_FIELDS",
+    "SCENARIO_GRID_FIELDS",
     "SWEEP_FIELDS",
+    "ScenarioGridCell",
+    "ScenarioGridResult",
     "ScenarioResult",
     "SimResult",
     "Simulator",
@@ -73,6 +82,9 @@ __all__ = [
     "evaluate_binding_point",
     "evaluate_scenario_point",
     "exp_tile_timing",
+    "grid_csv",
+    "grid_json",
+    "grid_table",
     "expected_compute_cycles",
     "run_event_driven",
     "scenario_csv",

@@ -131,10 +131,13 @@ class BindingResult:
 assert SWEEP_FIELDS == tuple(f.name for f in fields(BindingResult))
 
 
-def evaluate_binding_point(point: BindingPoint) -> BindingResult:
-    """Simulate one grid point on the event-driven core."""
+def evaluate_binding_point(
+    point: BindingPoint, engine: str = "event"
+) -> BindingResult:
+    """Simulate one grid point (event-driven core unless a differential
+    run explicitly asks for the cycle oracle)."""
     config = point.config()
-    _, result = binding_sim(config, point.binding)
+    _, result = binding_sim(config, point.binding, engine=engine)
     makespan = result.makespan
     return BindingResult(
         binding=point.binding,
@@ -243,6 +246,78 @@ def evaluate_scenario_point(
 
 
 # --------------------------------------------------------------------------
+# Scenario grids: (model, batch, heads, decode) cells over the runtime.
+# --------------------------------------------------------------------------
+
+#: Grid coordinates identifying one cell, in CSV column order.  ``model``
+#: is the workload-model axis (None for heterogeneous extra cells that
+#: carry their identity in the scenario name); ``heads`` is None when a
+#: cell uses the model's own head count.
+GRID_COORD_FIELDS: Tuple[str, ...] = ("model", "batch", "heads", "decode")
+
+#: Analytical columns joined onto every cell (the closed-form estimate of
+#: :func:`repro.model.scenario.analytical_scenario`), so a grid doubles
+#: as a crosscheck-at-scale.
+GRID_ESTIMATE_FIELDS: Tuple[str, ...] = ("estimate", "est_util_2d", "est_util_1d")
+
+#: Columns of one scenario-grid row: coordinates, then the full measured
+#: scenario row, then the analytical estimate.
+SCENARIO_GRID_FIELDS: Tuple[str, ...] = (
+    GRID_COORD_FIELDS + SCENARIO_FIELDS + GRID_ESTIMATE_FIELDS
+)
+
+
+@dataclass(frozen=True)
+class ScenarioGridCell:
+    """One cell of a scenario grid: a scenario plus its grid coordinates.
+
+    The coordinates ride alongside the scenario (rather than being
+    re-derived from it) so heterogeneous cells — explicit scenarios with
+    per-instance unequal chunk counts — key and render exactly like the
+    model-derived ones.  The whole cell is the runtime cache identity
+    (task kind ``"scenario_grid"``).
+    """
+
+    scenario: Scenario
+    model: Optional[str] = None
+    batch: Optional[int] = None
+    heads: Optional[int] = None
+    decode: int = 0
+
+    def describe(self) -> str:
+        """Full cell label for run-registry grid summaries."""
+        coords = ",".join(
+            f"{name}={getattr(self, name)}" for name in GRID_COORD_FIELDS
+        )
+        return f"[{coords}] {self.scenario.describe()}"
+
+
+@dataclass(frozen=True)
+class ScenarioGridResult:
+    """One evaluated grid cell: the measured schedule joined with the
+    closed-form analytical estimate of the same scenario."""
+
+    model: Optional[str]
+    batch: Optional[int]
+    heads: Optional[int]
+    decode: int
+    sim: ScenarioResult
+    estimate: str
+    est_util_2d: float
+    est_util_1d: float
+
+    def row(self) -> Tuple:
+        """The cell as a tuple in :data:`SCENARIO_GRID_FIELDS` order."""
+        coords = tuple(getattr(self, name) for name in GRID_COORD_FIELDS)
+        tail = tuple(getattr(self, name) for name in GRID_ESTIMATE_FIELDS)
+        return coords + self.sim.row() + tail
+
+    def as_dict(self) -> Dict:
+        """JSON-ready row object (flat, in column order)."""
+        return dict(zip(SCENARIO_GRID_FIELDS, self.row()))
+
+
+# --------------------------------------------------------------------------
 # Emitters: sweep/scenario rows as CSV / JSON / aligned text.
 # --------------------------------------------------------------------------
 
@@ -303,6 +378,33 @@ def scenario_table(results: ScenarioResults) -> str:
     return _rows_table(SCENARIO_FIELDS, [r.row() for r in results.values()])
 
 
+GridResults = Sequence[ScenarioGridResult]
+
+
+def _grid_rows(results: GridResults) -> List[Tuple]:
+    """Grid rows with absent coordinates rendered as ``-`` (the JSON
+    emitter keeps them as nulls via :meth:`ScenarioGridResult.as_dict`)."""
+    return [
+        tuple("-" if value is None else value for value in r.row())
+        for r in results
+    ]
+
+
+def grid_csv(results: GridResults) -> str:
+    """The grid as CSV with a :data:`SCENARIO_GRID_FIELDS` header row."""
+    return _rows_csv(SCENARIO_GRID_FIELDS, _grid_rows(results))
+
+
+def grid_json(results: GridResults) -> str:
+    """The grid as a JSON array of row objects."""
+    return json.dumps([r.as_dict() for r in results], indent=2)
+
+
+def grid_table(results: GridResults) -> str:
+    """The grid as an aligned text table (the CLI's default view)."""
+    return _rows_table(SCENARIO_GRID_FIELDS, _grid_rows(results))
+
+
 def encode_binding_result(result: BindingResult) -> Dict:
     """JSON-ready payload for the runtime's result cache."""
     return {"__type__": "BindingResult", **asdict(result)}
@@ -324,4 +426,33 @@ def decode_scenario_result(payload: Mapping) -> ScenarioResult:
     """Inverse of :func:`encode_scenario_result`."""
     return ScenarioResult(
         **{field: payload[field] for field in SCENARIO_FIELDS}
+    )
+
+
+def encode_scenario_grid_result(result: ScenarioGridResult) -> Dict:
+    """JSON-ready payload for the runtime's result cache."""
+    return {
+        "__type__": "ScenarioGridResult",
+        "model": result.model,
+        "batch": result.batch,
+        "heads": result.heads,
+        "decode": result.decode,
+        "sim": encode_scenario_result(result.sim),
+        "estimate": result.estimate,
+        "est_util_2d": result.est_util_2d,
+        "est_util_1d": result.est_util_1d,
+    }
+
+
+def decode_scenario_grid_result(payload: Mapping) -> ScenarioGridResult:
+    """Inverse of :func:`encode_scenario_grid_result`."""
+    return ScenarioGridResult(
+        model=payload["model"],
+        batch=payload["batch"],
+        heads=payload["heads"],
+        decode=payload["decode"],
+        sim=decode_scenario_result(payload["sim"]),
+        estimate=payload["estimate"],
+        est_util_2d=payload["est_util_2d"],
+        est_util_1d=payload["est_util_1d"],
     )

@@ -14,6 +14,7 @@ from .scenario import (
     Phase,
     Scenario,
     attention_scenario,
+    heterogeneous_scenario,
     scenario_from_model,
 )
 from .sweep import WorkloadPoint, evaluation_grid, work_summary
@@ -47,6 +48,7 @@ __all__ = [
     "WorkloadPoint",
     "XLM",
     "attention_scenario",
+    "heterogeneous_scenario",
     "scenario_from_model",
     "attention_crossover_length",
     "attention_ops",

@@ -28,7 +28,7 @@ simulator and model layers import it, never the other way around.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from .models import BATCH_SIZE, ModelConfig
 
@@ -191,6 +191,48 @@ def attention_scenario(
     auto_name = _append_decode(
         phases, f"attn-{instances}x{chunks}", decode_instances, decode_chunks,
         chunks,
+    )
+    return Scenario(
+        name=auto_name if name is None else name,
+        phases=tuple(phases),
+        binding=binding,
+        embedding=embedding,
+        array_dim=array_dim,
+        pe_1d=pe_1d,
+        slots=slots,
+    )
+
+
+def heterogeneous_scenario(
+    chunk_counts: Sequence[int],
+    *,
+    binding: str = "interleaved",
+    embedding: int = 64,
+    array_dim: int = 256,
+    pe_1d: Optional[int] = None,
+    slots: int = 2,
+    decode_instances: int = 0,
+    decode_chunks: Optional[int] = None,
+    name: Optional[str] = None,
+) -> Scenario:
+    """A scenario of prefill instances with *unequal* chunk counts.
+
+    ``chunk_counts`` lists one entry per instance (e.g. ``(16, 16, 64)``
+    is two 16-chunk requests sharing the arrays with one 64-chunk
+    request).  Instances with equal counts are grouped into one
+    :class:`Phase`, in order of first appearance, so equal mixes produce
+    equal scenarios regardless of listing order only when the counts
+    first appear in the same order — the phase tuple is the identity.
+    """
+    if not chunk_counts:
+        raise ValueError("heterogeneous scenario needs at least one instance")
+    groups: dict = {}
+    for count in chunk_counts:
+        groups[count] = groups.get(count, 0) + 1
+    phases = [Phase("prefill", n, count) for count, n in groups.items()]
+    auto_name = "het-" + "+".join(f"{n}x{c}" for c, n in groups.items())
+    auto_name = _append_decode(
+        phases, auto_name, decode_instances, decode_chunks, max(groups),
     )
     return Scenario(
         name=auto_name if name is None else name,

@@ -1,0 +1,373 @@
+"""The unified typed evaluation API: requests, validation, Session.
+
+Covers the three contracts of ``repro.api``:
+
+- **validation** — every cross-field rule that used to live in the
+  CLI's ``_simulate_flag_errors`` sprawl now raises from
+  ``Request.validate()`` (plus the rules new request kinds add);
+- **signature completeness** — a field walk over every request class
+  asserts each declared field participates in the request's content
+  signature, so no new field can silently escape caching/identity;
+- **Session semantics** — payload equivalence with the runtime paths,
+  provenance (cache deltas, registry run ids), cycle-oracle parity,
+  and submit/gather pooling heterogeneous requests into one pass.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import __version__
+from repro.api import (
+    BindingSweepRequest,
+    CrosscheckRequest,
+    ExperimentRequest,
+    REQUEST_TYPES,
+    RequestValidationError,
+    ScenarioGridRequest,
+    ScenarioRequest,
+    Session,
+)
+from repro.runtime import ResultCache, RunRegistry
+from repro.runtime import executor as _runtime
+from repro.runtime.cache import code_version
+from repro.simulator import evaluate_scenario_point
+from repro.workloads import BERT
+from repro.workloads.scenario import attention_scenario, heterogeneous_scenario
+
+
+def violations(request):
+    with pytest.raises(RequestValidationError) as err:
+        request.validate()
+    return list(err.value.errors)
+
+
+class TestScenarioRequestValidation:
+    """The rules ported from the CLI's ``_simulate_flag_errors``."""
+
+    def test_valid_defaults(self):
+        ScenarioRequest().validate()  # does not raise
+
+    def test_model_and_instances_mutually_exclusive(self):
+        errors = violations(ScenarioRequest(model="BERT", instances=4))
+        assert any("mutually exclusive" in e for e in errors)
+
+    def test_batch_and_heads_require_model(self):
+        errors = violations(ScenarioRequest(batch=2, heads=4))
+        assert sum("requires model" in e for e in errors) == 2
+
+    def test_decode_chunks_requires_decode_instances(self):
+        errors = violations(ScenarioRequest(decode_chunks=8))
+        assert "decode_chunks requires decode_instances" in errors
+
+    def test_slots_apply_to_interleaved_only(self):
+        errors = violations(ScenarioRequest(binding="tile-serial", slots=4))
+        assert "slots applies to the interleaved binding only" in errors
+        ScenarioRequest(binding="interleaved", slots=4).validate()
+
+    def test_unknown_model_and_binding_and_engine(self):
+        errors = violations(
+            ScenarioRequest(model="GPT", binding="spiral", engine="magic")
+        )
+        assert any("unknown model 'GPT'" in e for e in errors)
+        assert any("unknown binding 'spiral'" in e for e in errors)
+        assert any("unknown engine 'magic'" in e for e in errors)
+
+    def test_explicit_scenarios_exclusive_with_spec_fields(self):
+        scenarios = (attention_scenario(2, 4),)
+        errors = violations(
+            ScenarioRequest(scenarios=scenarios, model="BERT", batch=2)
+        )
+        assert sum("scenarios is mutually exclusive" in e for e in errors) == 2
+        ScenarioRequest(scenarios=scenarios).validate()
+
+    def test_all_violations_reported_at_once(self):
+        errors = violations(ScenarioRequest(
+            model="GPT", instances=0, decode_chunks=8, engine="magic",
+        ))
+        assert len(errors) >= 4
+
+    def test_positivity(self):
+        errors = violations(ScenarioRequest(instances=0, chunks=-1))
+        assert any("instances must be >= 1" in e for e in errors)
+        assert any("chunks must be >= 1" in e for e in errors)
+        assert any(
+            "decode_instances must be >= 0" in e
+            for e in violations(ScenarioRequest(decode_instances=-1))
+        )
+
+    def test_build_scenarios_matches_cli_defaults(self):
+        built = ScenarioRequest().build_scenarios()
+        assert len(built) == 2  # both bindings
+        assert {s.binding for s in built} == {"tile-serial", "interleaved"}
+        assert all(s.instances == 4 and s.seq_len == 32 * 256 for s in built)
+        (one,) = ScenarioRequest(
+            model="BERT", batch=2, binding="interleaved", chunks=4,
+        ).build_scenarios()
+        assert one.instances == 2 * BERT.n_heads
+        assert one.model == "BERT"
+
+
+class TestOtherRequestValidation:
+    def test_experiment_names(self):
+        ExperimentRequest(name="fig6").validate()
+        assert any(
+            "unknown experiment" in e
+            for e in violations(ExperimentRequest(name="fig99"))
+        )
+
+    def test_experiment_grid_fields_require_sweep(self):
+        errors = violations(ExperimentRequest(
+            name="fig6", kind="attention", models=("BERT",), seq_lens=(1024,),
+        ))
+        assert sum("applies to the 'sweep' experiment only" in e
+                   for e in errors) == 3
+        ExperimentRequest(name="sweep", kind="inference",
+                          models=("BERT",), seq_lens=(1024,)).validate()
+
+    def test_experiment_unknown_model_and_kind(self):
+        errors = violations(ExperimentRequest(name="sweep", kind="pareto",
+                                              models=("GPT",)))
+        assert any("unknown sweep kind" in e for e in errors)
+        assert any("unknown model 'GPT'" in e for e in errors)
+
+    def test_binding_sweep_axes(self):
+        BindingSweepRequest().validate()
+        errors = violations(BindingSweepRequest(
+            chunks=(), array_dims=(0,), bindings=("spiral",), engine="x",
+        ))
+        assert any("chunks must name at least one value" in e for e in errors)
+        assert any("array_dims values must be >= 1" in e for e in errors)
+        assert any("unknown binding 'spiral'" in e for e in errors)
+        assert any("unknown engine 'x'" in e for e in errors)
+
+    def test_grid_request_rules(self):
+        ScenarioGridRequest().validate()
+        errors = violations(ScenarioGridRequest(
+            models=("GPT",), batches=(), decode_instances=(-1,),
+            bindings=("tile-serial",), slots=2,
+        ))
+        assert any("unknown model 'GPT'" in e for e in errors)
+        assert any("batches must name at least one value" in e for e in errors)
+        assert any("decode_instances values must be >= 0" in e for e in errors)
+        assert "slots applies to the interleaved binding only" in errors
+        assert any(
+            "decode_chunks requires a nonzero decode_instances" in e
+            for e in violations(ScenarioGridRequest(decode_chunks=4))
+        )
+        assert any(
+            "at least one model or extra scenario" in e
+            for e in violations(ScenarioGridRequest(models=()))
+        )
+        # Extras alone are a valid (purely heterogeneous) grid.
+        ScenarioGridRequest(
+            models=(), extra_scenarios=(attention_scenario(1, 4),),
+        ).validate()
+
+    def test_crosscheck_rules(self):
+        CrosscheckRequest().validate()
+        assert any(
+            "tolerance must be >= 0" in e
+            for e in violations(CrosscheckRequest(tolerance=-0.1))
+        )
+        assert any(
+            "at least one scenario" in e
+            for e in violations(CrosscheckRequest(scenarios=()))
+        )
+
+
+#: A mutated value per field of every request class.  The walk below
+#: asserts the maps stay exhaustive, so a future field cannot ship
+#: without declaring how it perturbs the signature.
+SIGNATURE_MUTATIONS = {
+    ExperimentRequest: {
+        "name": "fig6",
+        "kind": "inference",
+        "models": ("T5",),
+        "seq_lens": (4096,),
+    },
+    BindingSweepRequest: {
+        "chunks": (8,),
+        "bindings": ("interleaved",),
+        "array_dims": (64,),
+        "embeddings": (32,),
+        "pe_1d_dims": (128,),
+        "engine": "cycle",
+    },
+    ScenarioRequest: {
+        "model": "BERT",
+        "batch": 2,
+        "heads": 2,
+        "instances": 8,
+        "chunks": 16,
+        "array_dim": 128,
+        "pe_1d": 64,
+        "slots": 3,
+        "decode_instances": 1,
+        "decode_chunks": 4,
+        "binding": "interleaved",
+        "engine": "cycle",
+        "scenarios": (attention_scenario(1, 4),),
+    },
+    ScenarioGridRequest: {
+        "models": ("T5",),
+        "batches": (2,),
+        "heads": (2,),
+        "decode_instances": (1,),
+        "chunks": 8,
+        "decode_chunks": 4,
+        "bindings": ("tile-serial",),
+        "array_dim": 128,
+        "pe_1d": 64,
+        "slots": 3,
+        "extra_scenarios": (attention_scenario(1, 4),),
+    },
+    CrosscheckRequest: {
+        "tolerance": 0.1,
+        "scenarios": (attention_scenario(1, 4),),
+    },
+}
+
+
+class TestSignatureCompleteness:
+    """Field walk: every request field participates in the signature."""
+
+    @pytest.mark.parametrize("cls", REQUEST_TYPES)
+    def test_every_field_mutation_changes_signature(self, cls):
+        mutations = SIGNATURE_MUTATIONS[cls]
+        declared = {f.name for f in dataclasses.fields(cls)}
+        assert set(mutations) == declared, (
+            f"new {cls.__name__} field without a signature mutation entry"
+        )
+        base = cls()
+        for field, value in mutations.items():
+            mutated = dataclasses.replace(base, **{field: value})
+            assert mutated.signature() != base.signature(), field
+
+    def test_kinds_distinguish_requests(self):
+        kinds = {cls.KIND for cls in REQUEST_TYPES}
+        assert len(kinds) == len(REQUEST_TYPES)
+
+    def test_equal_requests_share_signature(self):
+        a = ScenarioRequest(model="BERT", batch=2)
+        b = ScenarioRequest(model="BERT", batch=2)
+        assert a.signature() == b.signature()
+
+
+class TestSession:
+    def test_version_matches_package(self):
+        assert Session().version == __version__
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            Session(jobs=0)
+        with pytest.raises(ValueError):
+            Session(cache=False, cache_dir="/tmp/x")
+
+    def test_run_validates_first(self):
+        with pytest.raises(RequestValidationError):
+            Session().run(ScenarioRequest(model="BERT", instances=4))
+
+    def test_scenario_payload_matches_runtime(self):
+        request = ScenarioRequest(instances=2, chunks=4, array_dim=64)
+        payload = Session(cache=False).run(request).payload
+        expected = _runtime.sweep_scenarios(
+            request.build_scenarios(), cache=False
+        )
+        assert payload == expected
+
+    def test_cycle_engine_matches_event(self):
+        event = Session(cache=False).run(
+            ScenarioRequest(instances=2, chunks=4, array_dim=64)
+        )
+        cycle = Session(cache=False).run(
+            ScenarioRequest(instances=2, chunks=4, array_dim=64,
+                            engine="cycle")
+        )
+        assert event.payload == cycle.payload
+        one_event = Session(cache=False).run(BindingSweepRequest(
+            chunks=(4,), array_dims=(64,)))
+        one_cycle = Session(cache=False).run(BindingSweepRequest(
+            chunks=(4,), array_dims=(64,), engine="cycle"))
+        assert one_event.payload == one_cycle.payload
+
+    def test_provenance_cache_and_registry(self, tmp_path):
+        session = Session(
+            cache=ResultCache(), registry=tmp_path / "runs",
+        )
+        request = ScenarioRequest(instances=2, chunks=4, array_dim=64)
+        cold = session.run(request)
+        assert cold.provenance.kind == "scenario"
+        assert cold.provenance.code_version == code_version()
+        assert cold.provenance.cache_misses == 2
+        assert cold.provenance.cache_hits == 0
+        assert cold.provenance.run_id is not None
+        warm = session.run(request)
+        assert warm.provenance.cache_hits == 2
+        assert warm.provenance.cache_misses == 0
+        assert warm.payload == cold.payload
+        registry = RunRegistry(tmp_path / "runs")
+        assert len(registry.list_runs()) == 2
+
+    def test_experiment_text_payload(self):
+        result = Session().run(ExperimentRequest(name="table1"))
+        assert "FlashAttention" in result.payload
+
+    def test_grid_cells_cached_per_cell(self, tmp_path):
+        request = ScenarioGridRequest(
+            models=("BERT",), batches=(1, 2), heads=(2,),
+            chunks=4, array_dim=64,
+        )
+        cache = ResultCache(directory=tmp_path)
+        first = Session(cache=cache).run(request)
+        assert first.provenance.cache_misses == 2
+        # A grown grid only computes the new cells.
+        grown = Session(cache=cache).run(dataclasses.replace(
+            request, batches=(1, 2, 4),
+        ))
+        assert grown.provenance.cache_hits == 2
+        assert grown.provenance.cache_misses == 1
+        assert [c.sim for c in grown.payload[:2]] == [
+            c.sim for c in first.payload
+        ]
+
+    def test_grid_heterogeneous_cells(self):
+        het = heterogeneous_scenario((4, 4, 8), array_dim=64)
+        assert [p.chunks for p in het.phases] == [4, 8]
+        assert het.phases[0].instances == 2
+        result = Session(cache=False).run(ScenarioGridRequest(
+            models=(), extra_scenarios=(het,),
+        ))
+        (cell,) = result.payload
+        assert cell.model is None and cell.batch is None
+        assert cell.sim == evaluate_scenario_point(het)
+        assert cell.estimate == "overlap-bound"
+        assert 0 < cell.est_util_2d <= 1
+
+    def test_submit_gather_matches_individual_runs(self, tmp_path):
+        requests = [
+            BindingSweepRequest(chunks=(4, 8), array_dims=(64,)),
+            ScenarioRequest(instances=2, chunks=4, array_dim=64),
+            ScenarioGridRequest(models=("BERT",), batches=(1,), heads=(2,),
+                                chunks=4, array_dim=64),
+            CrosscheckRequest(
+                scenarios=(attention_scenario(2, 4, array_dim=64),)
+            ),
+        ]
+        batched = Session(jobs=2, cache=ResultCache(),
+                          registry=tmp_path / "runs")
+        for request in requests:
+            batched.submit(request)
+        gathered = batched.gather()
+        assert batched._pending == []
+        single = Session(cache=False)
+        for request, result in zip(requests, gathered):
+            assert result.request is request
+            assert result.payload == single.run(request).payload
+        # The lowerable prefix pooled into one recorded batch run; the
+        # crosscheck ran whole afterwards and recorded its own sweep.
+        assert gathered[0].provenance.batched
+        assert not gathered[3].provenance.batched
+        registry = RunRegistry(tmp_path / "runs")
+        kinds = [registry.load(r).kind for r in registry.list_runs()]
+        assert "batch" in kinds

@@ -40,3 +40,72 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out == f"repro {__version__}\n"
+
+
+class TestSimulateModeErrors:
+    """Flag-to-mode routing stays in the CLI (the typed requests make
+    these combinations unrepresentable); cross-field rules now surface
+    from ``Request.validate()`` through the same stderr path."""
+
+    def test_sweep_and_scenario_exclusive(self, capsys):
+        assert main(["simulate", "--sweep", "--scenario"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_scenario_flags_require_scenario(self, capsys):
+        assert main(["simulate", "--model", "BERT"]) == 2
+        assert "--model requires --scenario" in capsys.readouterr().err
+
+    def test_sweep_flags_require_sweep(self, capsys):
+        assert main(["simulate", "--chunks-list", "16"]) == 2
+        assert "--chunks-list requires --sweep" in capsys.readouterr().err
+
+    def test_one_shot_rejects_runtime_flags(self, capsys):
+        assert main(["simulate", "--jobs", "4"]) == 2
+        assert "--jobs requires --sweep or --scenario" in capsys.readouterr().err
+
+    def test_sweep_rejects_one_shot_shape_flags(self, capsys):
+        assert main(["simulate", "--sweep", "--chunks", "4"]) == 2
+        assert "use --chunks-list" in capsys.readouterr().err
+
+    def test_validation_errors_reach_stderr(self, capsys):
+        assert main([
+            "simulate", "--scenario", "--model", "BERT", "--instances", "4",
+        ]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_scenario_unknown_model(self, capsys):
+        assert main(["simulate", "--scenario", "--model", "GPT"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+
+class TestSweepGrid:
+    def test_grid_smoke(self, capsys, tmp_path):
+        assert main([
+            "sweep", "--grid", "--models", "BERT", "--batches", "1,2",
+            "--heads-list", "2", "--chunks", "4", "--array-dim", "64",
+            "--jobs", "2", "--registry", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 grid cells (scenario_grid)" in out
+        assert "est_util_2d" in out
+        assert "recorded run" in out
+
+    def test_grid_flags_require_grid(self, capsys):
+        assert main(["sweep", "--batches", "1,2"]) == 2
+        assert "--batches requires --grid" in capsys.readouterr().err
+
+    def test_grid_rejects_eval_sweep_flags(self, capsys):
+        assert main(["sweep", "--grid", "--kind", "attention"]) == 2
+        assert "--kind does not apply to --grid" in capsys.readouterr().err
+
+    def test_grid_unknown_model(self, capsys):
+        assert main(["sweep", "--grid", "--models", "GPT"]) == 2
+        assert "unknown model" in capsys.readouterr().err

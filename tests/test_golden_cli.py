@@ -1,0 +1,70 @@
+"""Golden-output lock: the Session-backed CLI is byte-identical to the
+pre-redesign front doors.
+
+The files under ``tests/golden/`` were captured from the CLI *before*
+the ``repro.api`` redesign (PR 4).  Every historical invocation — the
+one-shot binding comparison, ``simulate --sweep``/``--scenario`` in all
+formats, both engines, the evaluation sweep, fig6, and crosscheck —
+must keep producing exactly those bytes through the new request/Session
+path.  ``repro report`` is locked by hash (the full text is ~34 KB).
+
+If an intentional output change lands, regenerate the goldens in the
+same commit and say why in its message.
+"""
+
+import hashlib
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN = Path(__file__).parent / "golden"
+
+CASES = [
+    (["simulate", "--chunks", "4"], "simulate-oneshot.txt"),
+    (["simulate", "--chunks", "8", "--engine", "cycle"],
+     "simulate-oneshot-cycle.txt"),
+    (["simulate", "--sweep", "--chunks-list", "16,32", "--arrays", "64",
+      "--format", "csv"], "simulate-sweep.csv"),
+    (["simulate", "--sweep", "--chunks-list", "16", "--arrays", "64",
+      "--pe1d-list", "32,64", "--embeddings", "32", "--format", "json"],
+     "simulate-sweep.json"),
+    (["simulate", "--sweep", "--chunks-list", "16,32", "--arrays", "64"],
+     "simulate-sweep.txt"),
+    (["simulate", "--scenario", "--instances", "3", "--chunks", "8",
+      "--array-dim", "64", "--format", "csv"], "simulate-scenario.csv"),
+    (["simulate", "--scenario", "--instances", "2", "--chunks", "4",
+      "--array-dim", "64", "--format", "json"], "simulate-scenario.json"),
+    (["simulate", "--scenario", "--model", "BERT", "--batch", "2",
+      "--heads", "2", "--chunks", "4", "--array-dim", "64",
+      "--decode-instances", "2", "--decode-chunks", "8"],
+     "simulate-scenario-model.txt"),
+    (["simulate", "--scenario", "--instances", "2", "--chunks", "6",
+      "--array-dim", "64", "--binding", "tile-serial", "--engine", "cycle"],
+     "simulate-scenario-cycle.txt"),
+    (["sweep", "--kind", "attention", "--models", "BERT,T5",
+      "--seq-lens", "1024,65536"], "sweep-attention.txt"),
+    (["sweep", "--kind", "inference", "--models", "BERT",
+      "--seq-lens", "1024"], "sweep-inference.txt"),
+    (["crosscheck"], "crosscheck.txt"),
+    (["fig6"], "fig6.txt"),
+]
+
+
+@pytest.mark.parametrize(
+    "argv,golden", CASES, ids=[golden for _, golden in CASES]
+)
+def test_cli_output_is_byte_identical(capsys, argv, golden):
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    assert captured.err == ""
+    assert captured.out == (GOLDEN / golden).read_text()
+
+
+def test_report_hash_is_byte_identical():
+    from repro.api import ExperimentRequest, Session
+
+    text = Session().run(ExperimentRequest(name="report")).payload
+    digest = hashlib.sha256(text.encode()).hexdigest()
+    assert digest == (GOLDEN / "report.sha256").read_text().strip()

@@ -228,6 +228,22 @@ class TestCodec:
         payload = json.loads(json.dumps(encode_result(result)))
         assert decode_result(payload) == result
 
+    def test_scenario_grid_round_trip_exact(self):
+        from repro.runtime import scenario_grid_tasks
+        from repro.simulator import ScenarioGridCell
+
+        cell = ScenarioGridCell(
+            scenario=attention_scenario(2, 4, array_dim=64),
+            model="BERT",
+            batch=2,
+            heads=1,
+            decode=0,
+        )
+        (task,) = scenario_grid_tasks([cell])
+        result = evaluate_task(task)
+        payload = json.loads(json.dumps(encode_result(result)))
+        assert decode_result(payload) == result
+
     def test_unknown_payload_rejected(self):
         with pytest.raises(ValueError):
             decode_result({"__type__": "Mystery"})

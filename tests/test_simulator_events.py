@@ -753,11 +753,13 @@ class TestSweepCLI:
         assert "requires --scenario" in capsys.readouterr().err
         assert main(["simulate", "--embeddings", "32"]) == 2
         assert "requires --sweep" in capsys.readouterr().err
+        # Cross-field rules now surface from the typed requests'
+        # validate() (field vocabulary, not flag vocabulary).
         assert main(["simulate", "--scenario", "--instances", "2",
                      "--decode-chunks", "8"]) == 2
-        assert "requires --decode-instances" in capsys.readouterr().err
+        assert "requires decode_instances" in capsys.readouterr().err
         assert main(["simulate", "--scenario", "--batch", "8"]) == 2
-        assert "requires --model" in capsys.readouterr().err
+        assert "requires model" in capsys.readouterr().err
         assert main(["simulate", "--scenario", "--instances", "2",
                      "--binding", "tile-serial", "--slots", "4"]) == 2
         assert "interleaved binding only" in capsys.readouterr().err
