@@ -22,9 +22,11 @@ Three cores are compared on the Fig. 4/5 task graphs at ``--chunks``:
 
 ``--min-speedup X`` gates event-vs-baseline on the tile-serial graph
 (0 disables); ``--long-budget S`` gates the ``--long-chunks``
-interleaved + tile-serial points on the event core; and
-``--scenario-budget S`` gates a full B×H = 64×16 BERT-Base merged
-scenario schedule (~150k tasks).
+interleaved + tile-serial points on the event core; ``--scenario-budget
+S`` gates a full B×H = 64×16 BERT-Base merged scenario schedule (~150k
+tasks); and ``--contended-budget S`` gates the same scenario with
+DRAM-bandwidth contention at the cloud machine's bandwidth (~180k tasks
+including the lowered transfers, bandwidth-bound by construction).
 
 Every randomized task graph in this module is generated from the
 explicit ``--seed`` (one fixed default), so the gates measure the same
@@ -136,15 +138,23 @@ def random_graph(rng, n_tasks=2000, n_resources=4):
     return tasks
 
 
-def _scenario_graph():
+#: Cloud DRAM bandwidth in bytes/cycle (400 GB/s at 940 MHz), the
+#: contended-scenario gate's operating point.
+CLOUD_DRAM_BW = 400.0 / 0.94
+
+
+def _scenario_graph(dram_bw=None):
     """The acceptance scenario: B×H = 64×16 BERT-Base, merged.
 
     Returns (scenario, tasks, mode, budget) with the issue mode derived
     from the scenario's binding, exactly as
     :func:`repro.simulator.pipeline.scenario_sim` maps it — the graph is
-    prebuilt here so the timed region is scheduling only.
+    prebuilt here so the timed region is scheduling only.  With
+    ``dram_bw`` set, the graph additionally carries the lowered DRAM
+    transfers every instance contends for.
     """
-    scenario = scenario_from_model(BERT, 4096, batch=64, heads=16)
+    scenario = scenario_from_model(BERT, 4096, batch=64, heads=16,
+                                   dram_bw=dram_bw)
     tasks = build_scenario_tasks(scenario)
     mode = "serial" if scenario.binding == "tile-serial" else "interleaved"
     return scenario, tasks, mode, sum(t.duration for t in tasks) + 1
@@ -176,6 +186,12 @@ def main(argv=None):
         "--scenario-budget", type=float, default=30.0, metavar="S",
         help="fail if the 64x16 BERT merged-scenario schedule exceeds "
              "S seconds on the event core (0 disables; default 30)",
+    )
+    parser.add_argument(
+        "--contended-budget", type=float, default=5.0, metavar="S",
+        help="fail if the 64x16 BERT merged scenario with DRAM-bandwidth "
+             "contention (cloud bandwidth) exceeds S seconds on the "
+             "event core (0 disables; default 5)",
     )
     parser.add_argument(
         "--seed", type=int, default=DEFAULT_SEED, metavar="S",
@@ -277,6 +293,27 @@ def main(argv=None):
         )
         print(f"scenario gate: <= {args.scenario_budget:g} s ok")
 
+    if args.contended_budget:
+        scenario, tasks, mode, budget = _scenario_graph(dram_bw=CLOUD_DRAM_BW)
+        start = time.perf_counter()
+        result = Simulator(tasks, mode=mode, slots=scenario.slots,
+                           engine="event").run(budget)
+        took = time.perf_counter() - start
+        util_dram = result.busy_cycles["dram"] / result.makespan
+        print(f"\ncontended scenario {scenario.name} "
+              f"(dram_bw={CLOUD_DRAM_BW:.1f} B/cy): {len(tasks):,} tasks, "
+              f"makespan={result.makespan:,}, util_dram={util_dram:.3f}  "
+              f"{took:5.2f} s")
+        assert util_dram > 0.9, (
+            f"contended scenario not bandwidth-bound (util_dram="
+            f"{util_dram:.3f}) — the gate no longer measures contention"
+        )
+        assert took <= args.contended_budget, (
+            f"contended merged scenario took {took:.1f}s "
+            f"(gate: {args.contended_budget:g}s)"
+        )
+        print(f"contended gate: <= {args.contended_budget:g} s ok")
+
 
 # ---- pytest-benchmark entry points (parity with the other bench modules) ----
 
@@ -316,6 +353,17 @@ def test_bench_merged_scenario_64x16(benchmark):
         ).run(budget)
     )
     assert result.utilization("2d") > 0.9
+
+
+def test_bench_contended_scenario_64x16(benchmark):
+    """The acceptance scenario under DRAM-bandwidth contention."""
+    scenario, tasks, mode, budget = _scenario_graph(dram_bw=CLOUD_DRAM_BW)
+    result = benchmark(
+        lambda: Simulator(
+            tasks, mode=mode, slots=scenario.slots, engine="event"
+        ).run(budget)
+    )
+    assert result.utilization("dram") > 0.9
 
 
 def test_bench_seeded_random_graph_event(benchmark):

@@ -36,6 +36,7 @@ from ..workloads.scenario import (
     BINDINGS,
     Scenario,
     attention_scenario,
+    mixed_model_scenario,
     scenario_from_model,
 )
 
@@ -71,6 +72,11 @@ class RequestValidationError(ValueError):
 def _positive(errors: List[str], name: str, value: Optional[int]) -> None:
     if value is not None and value < 1:
         errors.append(f"{name} must be >= 1, got {value}")
+
+
+def _positive_bandwidth(errors: List[str], value: Optional[float]) -> None:
+    if value is not None and not value > 0:
+        errors.append(f"dram_bw must be > 0, got {value}")
 
 
 def _positive_axis(errors: List[str], name: str, values: Tuple) -> None:
@@ -209,10 +215,13 @@ class ScenarioRequest(Request):
 
     Either ``scenarios`` lists explicit :class:`Scenario` specs, or the
     shape fields derive them: ``model`` (with ``batch``/``heads``) builds
-    the ``B × H`` scenario of a workload model, ``instances`` an explicit
-    count — mutually exclusive, exactly as the CLI flags were.  ``None``
-    fields take the CLI's historical defaults at build time, so the
-    request records what was *asked*, not what was defaulted.
+    the ``B × H`` scenario of a workload model, ``mixed_models`` one
+    merged schedule spanning several models' embedding widths, and
+    ``instances`` an explicit count — mutually exclusive, exactly as the
+    CLI flags were.  ``dram_bw`` (bytes/cycle) adds the shared memory
+    link every instance's transfers contend for.  ``None`` fields take
+    the CLI's historical defaults at build time, so the request records
+    what was *asked*, not what was defaulted.
     """
 
     KIND = "scenario"
@@ -221,12 +230,14 @@ class ScenarioRequest(Request):
     batch: Optional[int] = None
     heads: Optional[int] = None
     instances: Optional[int] = None
+    mixed_models: Optional[Tuple[str, ...]] = None
     chunks: Optional[int] = None
     array_dim: Optional[int] = None
     pe_1d: Optional[int] = None
     slots: Optional[int] = None
     decode_instances: int = 0
     decode_chunks: Optional[int] = None
+    dram_bw: Optional[float] = None
     binding: str = "both"
     engine: str = "event"
     scenarios: Optional[Tuple[Scenario, ...]] = None
@@ -238,12 +249,14 @@ class ScenarioRequest(Request):
             ("batch", self.batch is not None),
             ("heads", self.heads is not None),
             ("instances", self.instances is not None),
+            ("mixed_models", self.mixed_models is not None),
             ("chunks", self.chunks is not None),
             ("array_dim", self.array_dim is not None),
             ("pe_1d", self.pe_1d is not None),
             ("slots", self.slots is not None),
             ("decode_instances", self.decode_instances != 0),
             ("decode_chunks", self.decode_chunks is not None),
+            ("dram_bw", self.dram_bw is not None),
             ("binding", self.binding != "both"),
         )
         if self.scenarios is not None:
@@ -259,19 +272,31 @@ class ScenarioRequest(Request):
                 "instances and model are mutually exclusive (model "
                 "derives the instance count from batch/heads)"
             )
-        if self.model is None:
+        if self.mixed_models is not None:
             errors.extend(
-                f"{field_} requires model (use instances for an explicit count)"
+                f"mixed_models and {field_} are mutually exclusive"
+                for field_, given in (("model", self.model is not None),
+                                      ("instances", self.instances is not None))
+                if given
+            )
+            if not self.mixed_models:
+                errors.append("mixed_models must name at least one model")
+            _known_models(errors, self.mixed_models)
+        if self.model is None and self.mixed_models is None:
+            errors.extend(
+                f"{field_} requires model or mixed_models "
+                "(use instances for an explicit count)"
                 for field_, given in (("batch", self.batch is not None),
                                       ("heads", self.heads is not None))
                 if given
             )
-        elif self.model not in MODELS_BY_NAME:
+        elif self.model is not None and self.model not in MODELS_BY_NAME:
             errors.append(
                 f"unknown model {self.model!r}; have {sorted(MODELS_BY_NAME)}"
             )
         if self.decode_chunks is not None and not self.decode_instances:
             errors.append("decode_chunks requires decode_instances")
+        _positive_bandwidth(errors, self.dram_bw)
         if self.binding not in ("both",) + BINDINGS:
             errors.append(
                 f"unknown binding {self.binding!r}; have "
@@ -304,13 +329,24 @@ class ScenarioRequest(Request):
         array_dim = 256 if self.array_dim is None else self.array_dim
         built = []
         for binding in bindings:
-            if self.model is not None:
+            if self.mixed_models is not None:
+                built.append(mixed_model_scenario(
+                    self.mixed_models, chunks,
+                    batch=1 if self.batch is None else self.batch,
+                    heads=self.heads, binding=binding,
+                    array_dim=array_dim, pe_1d=self.pe_1d, slots=slots,
+                    decode_instances=self.decode_instances,
+                    decode_chunks=self.decode_chunks,
+                    dram_bw=self.dram_bw,
+                ))
+            elif self.model is not None:
                 built.append(scenario_from_model(
                     MODELS_BY_NAME[self.model], chunks * array_dim,
                     batch=batch, heads=self.heads, binding=binding,
                     array_dim=array_dim, pe_1d=self.pe_1d, slots=slots,
                     decode_instances=self.decode_instances,
                     decode_chunks=self.decode_chunks,
+                    dram_bw=self.dram_bw,
                 ))
             else:
                 instances = 4 if self.instances is None else self.instances
@@ -319,6 +355,7 @@ class ScenarioRequest(Request):
                     array_dim=array_dim, pe_1d=self.pe_1d, slots=slots,
                     decode_instances=self.decode_instances,
                     decode_chunks=self.decode_chunks,
+                    dram_bw=self.dram_bw,
                 ))
         return tuple(built)
 
@@ -349,6 +386,7 @@ class ScenarioGridRequest(Request):
     array_dim: int = 256
     pe_1d: Optional[int] = None
     slots: Optional[int] = None
+    dram_bw: Optional[float] = None
     extra_scenarios: Tuple[Scenario, ...] = ()
 
     def rule_violations(self) -> List[str]:
@@ -379,6 +417,7 @@ class ScenarioGridRequest(Request):
             errors.append("decode_chunks requires a nonzero decode_instances")
         for name in ("chunks", "array_dim", "pe_1d", "slots", "decode_chunks"):
             _positive(errors, name, getattr(self, name))
+        _positive_bandwidth(errors, self.dram_bw)
         return errors
 
     def cells(self) -> Tuple[ScenarioGridCell, ...]:
@@ -398,6 +437,7 @@ class ScenarioGridRequest(Request):
                                 array_dim=self.array_dim, pe_1d=self.pe_1d,
                                 slots=slots, decode_instances=decode,
                                 decode_chunks=self.decode_chunks,
+                                dram_bw=self.dram_bw,
                             )
                             built.append(ScenarioGridCell(
                                 scenario=scenario, model=name, batch=batch,
@@ -422,12 +462,16 @@ class CrosscheckRequest(Request):
     """Simulated vs analytical utilization over scenario schedules.
 
     ``scenarios=None`` runs the seed grid of
-    :func:`repro.experiments.crosscheck.seed_scenarios`.
+    :func:`repro.experiments.crosscheck.seed_scenarios`;
+    ``bandwidth=True`` appends the bandwidth-limited grid
+    (:func:`repro.experiments.crosscheck.bandwidth_scenarios`), whose
+    rows also compare the shared ``dram`` link's utilization.
     """
 
     KIND = "crosscheck"
 
     tolerance: float = 0.05
+    bandwidth: bool = False
     scenarios: Optional[Tuple[Scenario, ...]] = None
 
     def rule_violations(self) -> List[str]:
@@ -436,6 +480,11 @@ class CrosscheckRequest(Request):
             errors.append(f"tolerance must be >= 0, got {self.tolerance}")
         if self.scenarios is not None and not self.scenarios:
             errors.append("scenarios must name at least one scenario")
+        if self.scenarios is not None and self.bandwidth:
+            errors.append(
+                "bandwidth applies to the seed grid only (explicit "
+                "scenarios carry their own dram_bw)"
+            )
         return errors
 
 

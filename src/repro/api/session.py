@@ -211,6 +211,7 @@ class Session:
 
             return crosscheck(
                 request.scenarios, tolerance=request.tolerance,
+                bandwidth=request.bandwidth,
                 jobs=self.jobs, cache=self._cache_arg(),
                 registry=self.registry,
             )

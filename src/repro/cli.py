@@ -23,10 +23,13 @@ Commands:
   vs sequence length (``--format table|csv|json``), or ``--scenario``
   to schedule N (batch, head) instances contending for the shared
   arrays in one merged graph (``--model/--batch/--heads`` or
-  ``--instances``, plus ``--decode-instances`` for a decode mix).
+  ``--instances``, plus ``--decode-instances`` for a decode mix,
+  ``--mixed-models`` for one schedule spanning several embedding
+  widths, and ``--dram-bw`` for shared-memory-bandwidth contention).
 - ``crosscheck``        — simulate every seed scenario and diff its
   per-array utilization against the analytical models, flagging
-  divergence beyond ``--tolerance``.
+  divergence beyond ``--tolerance`` (``--bandwidth`` adds the
+  bandwidth-limited grid and its ``dram`` rows).
 
 Grid-backed commands accept ``--jobs N`` (parallel evaluation over
 processes), ``--cache``/``--no-cache`` (content-addressed result reuse;
@@ -185,6 +188,7 @@ def _sweep_grid_flag_errors(args):
         ("--array-dim", args.array_dim is not None),
         ("--pe1d", args.pe1d is not None),
         ("--slots", args.slots is not None),
+        ("--dram-bw", args.dram_bw is not None),
         ("--format", args.format is not None),
         ("--output", args.output is not None),
     )
@@ -266,7 +270,7 @@ def _cmd_sweep_grid(args) -> int:
     for field, value in (
         ("chunks", args.chunks), ("decode_chunks", args.decode_chunks),
         ("array_dim", args.array_dim), ("pe_1d", args.pe1d),
-        ("slots", args.slots),
+        ("slots", args.slots), ("dram_bw", args.dram_bw),
     ):
         if value is not None:
             axes[field] = value
@@ -379,6 +383,7 @@ def _simulate_flag_errors(args):
         errors.append("--sweep and --scenario are mutually exclusive")
     scenario_only = (
         ("--model", args.model is not None),
+        ("--mixed-models", args.mixed_models is not None),
         ("--batch", args.batch is not None),
         ("--heads", args.heads is not None),
         ("--instances", args.instances is not None),
@@ -386,6 +391,7 @@ def _simulate_flag_errors(args):
         ("--slots", args.slots is not None),
         ("--decode-instances", args.decode_instances != 0),
         ("--decode-chunks", args.decode_chunks is not None),
+        ("--dram-bw", args.dram_bw is not None),
         ("--binding", args.binding != "both"),
     )
     sweep_only = (
@@ -497,13 +503,17 @@ def _cmd_simulate_scenario(args) -> int:
                   "only; the cycle oracle path is serial and uncached",
                   file=sys.stderr)
             return 2
+    mixed_models = None
+    if args.mixed_models is not None:
+        mixed_models = tuple(args.mixed_models.split(","))
     result = _run_validated(_session(args), ScenarioRequest(
         model=args.model, batch=args.batch, heads=args.heads,
-        instances=args.instances, chunks=args.chunks,
+        instances=args.instances, mixed_models=mixed_models,
+        chunks=args.chunks,
         array_dim=args.array_dim, pe_1d=args.pe1d, slots=args.slots,
         decode_instances=args.decode_instances,
-        decode_chunks=args.decode_chunks, binding=args.binding,
-        engine=args.engine,
+        decode_chunks=args.decode_chunks, dram_bw=args.dram_bw,
+        binding=args.binding, engine=args.engine,
     ))
     if result is None:
         return 2
@@ -517,7 +527,9 @@ def _cmd_simulate_scenario(args) -> int:
 
 def _cmd_crosscheck(args) -> int:
     """Simulated vs analytical utilization over the seed scenarios."""
-    result = _session(args).run(CrosscheckRequest(tolerance=args.tolerance))
+    result = _session(args).run(CrosscheckRequest(
+        tolerance=args.tolerance, bandwidth=args.bandwidth,
+    ))
     report = result.payload
     print("Scenario cross-check: simulated vs analytical utilization")
     print(_crosscheck.render(report))
@@ -599,6 +611,11 @@ def main(argv=None) -> int:
     sweep.add_argument(
         "--slots", type=_positive_int, default=None, metavar="K",
         help="interleaved issue slots per resource (default 2)",
+    )
+    sweep.add_argument(
+        "--dram-bw", type=float, default=None, metavar="B",
+        help="grid shared DRAM bandwidth in bytes/cycle "
+             "(default: unmodeled)",
     )
     sweep.add_argument(
         "--format", choices=("table", "csv", "json"), default=None,
@@ -696,6 +713,16 @@ def main(argv=None) -> int:
         help="KV-cache chunks per decode instance (default: --chunks)",
     )
     simulate.add_argument(
+        "--dram-bw", type=float, default=None, metavar="B",
+        help="shared DRAM bandwidth in bytes/cycle: every instance's "
+             "traffic contends for one memory link (default: unmodeled)",
+    )
+    simulate.add_argument(
+        "--mixed-models", metavar="A,B", default=None,
+        help="one merged scenario spanning several models' embedding "
+             "widths (e.g. BERT,XLM; mutually exclusive with --model)",
+    )
+    simulate.add_argument(
         "--binding", choices=("both",) + BINDINGS, default="both",
         help="scenario binding(s) to schedule (default: both)",
     )
@@ -725,6 +752,11 @@ def main(argv=None) -> int:
     check.add_argument(
         "--strict", action="store_true",
         help="exit non-zero when any comparison diverges",
+    )
+    check.add_argument(
+        "--bandwidth", action="store_true",
+        help="also cross-check the bandwidth-limited scenario grid "
+             "(adds a dram utilization row per finite-dram_bw scenario)",
     )
     _add_runtime_args(check)
     args = parser.parse_args(argv)

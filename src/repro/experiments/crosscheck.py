@@ -28,6 +28,7 @@ from ..workloads.scenario import (
     BINDINGS,
     Scenario,
     attention_scenario,
+    mixed_model_scenario,
     scenario_from_model,
 )
 from .common import format_table
@@ -36,7 +37,9 @@ from .common import format_table
 DEFAULT_TOLERANCE = 0.05
 
 #: Arrays compared per scenario (the io resource only exists under the
-#: tile-serial binding, so the shared rows are the two PE arrays).
+#: tile-serial binding, so the shared rows are the two PE arrays; the
+#: ``dram`` row is appended for scenarios that model a finite
+#: bandwidth).
 CHECKED_ARRAYS: Tuple[str, ...] = ("2d", "1d")
 
 
@@ -59,6 +62,39 @@ def seed_scenarios() -> Tuple[Scenario, ...]:
         scenarios.append(
             scenario_from_model(BERT, 4096, batch=4, binding=binding)
         )
+    return tuple(scenarios)
+
+
+def bandwidth_scenarios() -> Tuple[Scenario, ...]:
+    """Bandwidth-limited cross-check grid (``--bandwidth``).
+
+    Scenarios whose schedules ride the shared DRAM link: decode-heavy
+    mixes at tight and ample bandwidth, a mixed-model (BERT+XLM)
+    schedule, and a tile-serial bandwidth-bound point — the contention
+    model the simulator and the analytical ``bandwidth-bound`` term must
+    agree on.
+    """
+    tight, ample = 32.0, 65536.0
+    scenarios = []
+    for bw in (tight, ample):
+        scenarios.append(
+            attention_scenario(
+                4, 32, decode_instances=8, decode_chunks=128, dram_bw=bw,
+            )
+        )
+    scenarios.append(attention_scenario(8, 64, dram_bw=tight))
+    scenarios.append(
+        attention_scenario(
+            4, 32, binding="tile-serial",
+            decode_instances=4, decode_chunks=128, dram_bw=tight,
+        )
+    )
+    scenarios.append(
+        mixed_model_scenario(
+            ("BERT", "XLM"), 16, batch=1, heads=4,
+            decode_instances=4, decode_chunks=64, dram_bw=tight,
+        )
+    )
     return tuple(scenarios)
 
 
@@ -108,14 +144,23 @@ def crosscheck(
     scenarios: Optional[Sequence[Scenario]] = None,
     *,
     tolerance: float = DEFAULT_TOLERANCE,
+    bandwidth: bool = False,
     jobs: int = 1,
     cache: Any = True,
     registry: Any = None,
 ) -> CrosscheckReport:
     """Simulate each scenario through the runtime and diff its per-array
-    utilization against the analytical estimate."""
+    utilization against the analytical estimate.
+
+    ``bandwidth=True`` appends the bandwidth-limited grid
+    (:func:`bandwidth_scenarios`) to the default seed scenarios, adding
+    a ``dram`` comparison row for every scenario that models a finite
+    ``dram_bw``.
+    """
     if scenarios is None:
         scenarios = seed_scenarios()
+        if bandwidth:
+            scenarios = scenarios + bandwidth_scenarios()
     simulated = _runtime.sweep_scenarios(
         scenarios, jobs=jobs, cache=cache, registry=registry
     )
@@ -123,7 +168,10 @@ def crosscheck(
     for scenario in scenarios:
         sim = simulated[scenario]
         model = analytical_scenario(scenario)
-        for array in CHECKED_ARRAYS:
+        arrays = CHECKED_ARRAYS
+        if scenario.dram_bw is not None:
+            arrays = arrays + ("dram",)
+        for array in arrays:
             rows.append(
                 CrosscheckRow(
                     scenario=scenario.name,

@@ -202,6 +202,12 @@ class FuseMaxModel:
                 "length; use repro.model.scenario.analytical_scenario "
                 "for heterogeneous chunk mixes"
             )
+        if scenario.mixed_embedding:
+            raise ValueError(
+                "Einsum-level scenario evaluation needs one embedding "
+                "width; use repro.model.scenario.analytical_scenario "
+                "for mixed-model scenarios"
+            )
         seq_len = scenario.seq_len
         model = _scenario_model(scenario)
         arch = self.arch

@@ -9,7 +9,7 @@ any divergence between a simulated and an analytical utilization is a
 modeling statement, not an accounting bug — exactly what the
 cross-check report (:mod:`repro.experiments.crosscheck`) tabulates.
 
-Two estimate kinds cover the binding space:
+Three estimate kinds cover the binding/bandwidth space:
 
 - ``overlap-bound`` — the perfect-overlap bound: the makespan of any
   valid schedule is at least the busiest resource's total work, so per
@@ -18,10 +18,18 @@ Two estimate kinds cover the binding space:
   a *multi-instance* tile-serial schedule approaches it too, because
   independent instances fill each other's stalls until the serialized
   array-edge (``io``) resource saturates.
+- ``bandwidth-bound`` — the same bound when the busiest resource is the
+  shared DRAM link a finite ``dram_bw`` introduces: total transfer
+  cycles (integrated task-by-task with the simulator's own ceiling
+  arithmetic) exceed every array's work, so the schedule rides the
+  memory wall the roofline model predicts for decode-heavy mixes.
 - ``serial-chain`` — the closed-form steady-state chunk interval of a
   *single* tile-serial instance, where the per-chunk dependency chain
   (fill → BQK → drain → max/renorm chain) is exposed and both arrays
   stall.  This is the analytical form of the paper's Fig. 4 argument.
+  (With ``dram_bw`` set, the chain still holds unless total transfer
+  cycles exceed it — transfers are dependency-free and stream ahead —
+  so the estimate takes the maximum of the two.)
 """
 
 from __future__ import annotations
@@ -30,11 +38,16 @@ from dataclasses import dataclass
 from typing import Mapping, Tuple
 
 from ..arch.spec import EXP_AS_MACCS
-from ..simulator.pipeline import chunk_work, instance_config
+from ..simulator.pipeline import (
+    chunk_work,
+    instance_config,
+    scenario_dram_cycles,
+)
 from ..workloads.scenario import Scenario
 
-#: Resources of a scenario schedule, in reporting order.
-ARRAYS: Tuple[str, ...] = ("2d", "1d", "io")
+#: Resources of a scenario schedule, in reporting order (``dram`` only
+#: accrues work when the scenario sets a finite ``dram_bw``).
+ARRAYS: Tuple[str, ...] = ("2d", "1d", "io", "dram")
 
 
 @dataclass(frozen=True)
@@ -61,19 +74,25 @@ class ScenarioEstimate:
     def util_1d(self) -> float:
         return self.utilization("1d")
 
+    @property
+    def util_dram(self) -> float:
+        return self.utilization("dram")
+
 
 def scenario_work(scenario: Scenario) -> Mapping[str, int]:
     """Total busy cycles per resource across every instance — the exact
-    sums the merged task graph's durations add up to."""
+    sums the merged task graph's durations add up to (including the
+    lowered ``dram`` transfers when the scenario sets ``dram_bw``)."""
     serial = scenario.binding == "tile-serial"
     busy = {resource: 0 for resource in ARRAYS}
     for phase in scenario.phases:
-        config = instance_config(scenario, phase.chunks)
+        config = instance_config(scenario, phase)
         work = chunk_work(config, serial=serial, kind=phase.kind)
         cycles = phase.instances * phase.chunks
         busy["2d"] += cycles * work.cycles_2d
         busy["1d"] += cycles * work.cycles_1d
         busy["io"] += cycles * work.cycles_io
+    busy["dram"] = scenario_dram_cycles(scenario)
     return busy
 
 
@@ -90,7 +109,10 @@ def serial_chunk_interval(scenario: Scenario) -> int:
     """
     config = instance_config(
         scenario,
-        max(p.chunks for p in scenario.phases if p.kind == "prefill"),
+        max(
+            (p for p in scenario.phases if p.kind == "prefill"),
+            key=lambda p: p.chunks,
+        ),
     )
     e = config.embedding
     c1 = config.one_d_cycles(1)
@@ -112,9 +134,11 @@ def analytical_scenario(scenario: Scenario) -> ScenarioEstimate:
     Replaces the models' bare ``B × H`` latency scale factor: instead of
     multiplying a single-instance latency by the instance count, the
     estimate reasons about the *shared* arrays directly — total work per
-    resource, bounded below by the busiest one (``overlap-bound``), or
-    the explicit per-chunk serialization chain when a lone tile-serial
-    instance leaves nothing to overlap with (``serial-chain``).
+    resource, bounded below by the busiest one (``overlap-bound``, or
+    ``bandwidth-bound`` when that resource is the finite-``dram_bw``
+    memory link), or the explicit per-chunk serialization chain when a
+    lone tile-serial instance leaves nothing to overlap with
+    (``serial-chain``).
     """
     busy = scenario_work(scenario)
     lone_serial = (
@@ -124,11 +148,17 @@ def analytical_scenario(scenario: Scenario) -> ScenarioEstimate:
     )
     if lone_serial:
         chunks = sum(p.chunks for p in scenario.phases)
-        latency = chunks * serial_chunk_interval(scenario)
+        # Transfers are dependency-free, so they stream ahead of the
+        # chain and only bind when the link itself runs out of cycles.
+        latency = max(chunks * serial_chunk_interval(scenario), busy["dram"])
         kind = "serial-chain"
     else:
         latency = max(busy.values())
-        kind = "overlap-bound"
+        kind = (
+            "bandwidth-bound"
+            if scenario.dram_bw is not None and busy["dram"] == latency
+            else "overlap-bound"
+        )
     return ScenarioEstimate(
         scenario=scenario.name,
         binding=scenario.binding,

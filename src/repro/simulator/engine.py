@@ -17,6 +17,17 @@ The simulator is deliberately tile-granular (a task's duration is the
 cycles its Einsum occupies the array), which is the granularity at which
 the paper's waterfall (Fig. 4) reasons.
 
+Beyond its compute cycles, a task may carry a ``bytes_moved`` cost — the
+DRAM traffic its tile streams (operand fetch or result write-back).
+With a finite ``dram_bw`` (bytes per cycle), :func:`lower_dram` turns
+each such cost into an explicit transfer task on a shared ``dram``
+resource that gates the compute task; both scheduling cores then
+arbitrate memory bandwidth with exactly the same issue discipline as the
+PE arrays, so concurrent instances slow each other down once their
+aggregate traffic exceeds the link.  ``dram_bw=None`` leaves the graph
+untouched (bit-identical to pre-bandwidth schedules), and ``math.inf``
+lowers every transfer to zero cycles — also the untouched graph.
+
 Two interchangeable cores execute the schedule:
 
 - ``engine="event"`` (default) — the event-driven scheduler in
@@ -29,23 +40,84 @@ Two interchangeable cores execute the schedule:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from heapq import heappop, heappush
-from typing import Dict, List, Mapping, Sequence, Set, Tuple
+from math import ceil
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+#: Resource name of the shared memory link :func:`lower_dram` introduces.
+DRAM_RESOURCE = "dram"
+
+#: Name suffix of the transfer task that gates a traffic-carrying task.
+_DRAM_SUFFIX = "@dram"
 
 
 @dataclass
 class Task:
-    """One tile-granular unit of work bound to a resource."""
+    """One tile-granular unit of work bound to a resource.
+
+    ``bytes_moved`` is the DRAM traffic the task's tile streams; it is
+    inert until :func:`lower_dram` (or ``Simulator(dram_bw=...)``) turns
+    it into occupancy on the shared ``dram`` resource.
+    """
 
     name: str
     resource: str
     duration: int
     deps: Tuple[str, ...] = ()
+    bytes_moved: int = 0
 
     def __post_init__(self) -> None:
         if self.duration < 0:
             raise ValueError(f"task {self.name}: negative duration")
+        if self.bytes_moved < 0:
+            raise ValueError(f"task {self.name}: negative bytes_moved")
+
+
+def transfer_cycles(bytes_moved: int, dram_bw: float) -> int:
+    """Cycles ``bytes_moved`` occupies a ``dram_bw`` bytes/cycle link.
+
+    The ceiling of the exact quotient: a transfer holds the link for
+    whole cycles, so any positive traffic costs at least one cycle —
+    except at ``dram_bw=math.inf``, where every transfer is free and the
+    lowered graph degenerates to the unlowered one.
+    """
+    if bytes_moved <= 0 or dram_bw == float("inf"):
+        return 0
+    return ceil(bytes_moved / dram_bw)
+
+
+def lower_dram(tasks: Sequence[Task], dram_bw: Optional[float]) -> List[Task]:
+    """Make each task's ``bytes_moved`` explicit on a shared ``dram``
+    resource.
+
+    Every task whose traffic costs at least one cycle at ``dram_bw``
+    gains a dependency-free transfer task (``<name>@dram``) emitted
+    immediately before it, and the task itself waits on its transfer.
+    Transfers carry no deps — the memory system streams ahead freely —
+    so contention is purely bandwidth: the ``dram`` resource round-robins
+    pending transfers through the same issue slots as the PE arrays, and
+    program order decides ties exactly as it does everywhere else.
+
+    ``dram_bw=None`` returns the tasks unchanged; so does any bandwidth
+    at which no task's transfer costs a cycle (``math.inf``).  The input
+    must not already be lowered (duplicate transfer names are rejected
+    by the :class:`Simulator` constructor).
+    """
+    if dram_bw is None:
+        return list(tasks)
+    if not dram_bw > 0:
+        raise ValueError(f"dram_bw must be > 0, got {dram_bw}")
+    lowered: List[Task] = []
+    for task in tasks:
+        cycles = transfer_cycles(task.bytes_moved, dram_bw)
+        if cycles == 0:
+            lowered.append(task)
+            continue
+        transfer = f"{task.name}{_DRAM_SUFFIX}"
+        lowered.append(Task(transfer, DRAM_RESOURCE, cycles))
+        lowered.append(replace(task, deps=task.deps + (transfer,)))
+    return lowered
 
 
 @dataclass(frozen=True)
@@ -102,6 +174,7 @@ class Simulator:
         mode: str = "interleaved",
         slots: int = 2,
         engine: str = "event",
+        dram_bw: Optional[float] = None,
     ) -> None:
         if mode not in ("serial", "interleaved"):
             raise ValueError(f"unknown issue mode {mode!r}")
@@ -109,6 +182,10 @@ class Simulator:
             raise ValueError(f"unknown engine {engine!r}")
         if slots < 1:
             raise ValueError(f"slots must be >= 1, got {slots}")
+        # A finite dram_bw makes each task's bytes_moved occupy the
+        # shared "dram" resource; both cores then arbitrate it exactly
+        # like the PE arrays (the lowering happens before either runs).
+        tasks = lower_dram(tasks, dram_bw)
         names = [t.name for t in tasks]
         if len(set(names)) != len(names):
             raise ValueError("duplicate task names")
@@ -121,6 +198,7 @@ class Simulator:
         self.mode = mode
         self.slots = slots if mode == "interleaved" else 1
         self.engine = engine
+        self.dram_bw = dram_bw
 
     def run(self, max_cycles: int = 10_000_000) -> SimResult:
         """Simulate to completion; returns makespan and busy counts."""

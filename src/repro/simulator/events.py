@@ -39,6 +39,16 @@ engine's refill scan order — before the next event is computed.
 The result is **bit-identical** to ``Simulator(..., engine="cycle")`` on
 every task graph: same makespan, same per-resource busy cycles, same
 per-task finish times.
+
+The shared ``dram`` resource that bandwidth-lowered graphs carry
+(:func:`repro.simulator.engine.lower_dram`) needs no special handling
+here: transfer tasks are ordinary tasks on one more resource, so the
+closed-form rotation integrates memory contention exactly as it does
+array contention — which is what keeps bandwidth-limited schedules
+inside the bit-identical guarantee rather than beside it.  Note the
+dependency-free transfers make the ``dram`` pending heap large at t=0
+(every instance's stream is admissible immediately); the heap is shared
+with the cycle engine's refill scan, so order stays in lockstep.
 """
 
 from __future__ import annotations

@@ -17,11 +17,21 @@ tile-serial binding stalls both.
 Beyond the single-instance graphs, :func:`build_scenario_tasks` merges
 the graphs of every instance of a :class:`~repro.workloads.scenario
 .Scenario` — N ``(batch, head)`` prefill instances plus optional decode
-steps — into one schedule in which all instances contend for the shared
-2D/1D arrays through the binding's issue slots.  The per-chunk work
-totals the graphs are built from are exposed as :func:`chunk_work` so
-the analytical models (:mod:`repro.model.scenario`) derive their bounds
-from exactly the durations the simulator schedules.
+steps, possibly spanning different models' embedding widths — into one
+schedule in which all instances contend for the shared 2D/1D arrays
+through the binding's issue slots.  The per-chunk work totals the graphs
+are built from are exposed as :func:`chunk_work` so the analytical
+models (:mod:`repro.model.scenario`) derive their bounds from exactly
+the durations the simulator schedules.
+
+Every task additionally carries its DRAM traffic (``bytes_moved``,
+summarized by :func:`chunk_traffic`): the Q/output tiles and the
+once-per-instance K/V stream of a prefill instance, and the KV-cache
+chunks that dominate a decode step.  When the scenario sets ``dram_bw``,
+:func:`build_scenario_tasks` lowers that traffic onto a shared ``dram``
+resource (:func:`repro.simulator.engine.lower_dram`), so N decode
+instances slow each other down exactly as the roofline model predicts —
+the bandwidth wall the array-only contention model could not see.
 """
 
 from __future__ import annotations
@@ -30,27 +40,36 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..arch.spec import EXP_AS_MACCS
-from ..workloads.scenario import BINDINGS, Scenario
-from .engine import SimResult, Simulator, Task
+from ..workloads.scenario import BINDINGS, Phase, Scenario
+from .engine import SimResult, Simulator, Task, lower_dram, transfer_cycles
 from .systolic import bqk_tile_timing
 
 __all__ = [
     "BINDINGS",
+    "ChunkTraffic",
     "ChunkWork",
     "PipelineConfig",
     "PipelineReport",
+    "WORD_BYTES",
     "binding_sim",
     "build_decode_tasks",
     "build_scenario_tasks",
     "build_tasks",
+    "chunk_traffic",
     "chunk_work",
     "compare_bindings",
+    "scenario_dram_cycles",
     "scenario_sim",
     "simulate_binding",
 ]
 
 #: Cycles per exponentiation implemented as sequential MACCs.
 _EXP_MACCS = EXP_AS_MACCS
+
+#: Datapath word size in bytes (fp16/bf16-style, matching the default
+#: :class:`repro.arch.spec.Architecture`); the traffic annotations below
+#: price every streamed word at this width.
+WORD_BYTES = 2
 
 
 @dataclass(frozen=True)
@@ -87,10 +106,16 @@ def build_tasks(
 
     ``prefix`` namespaces task names so several instances' graphs can be
     merged into one schedule (:func:`build_scenario_tasks`).
+
+    DRAM traffic rides on the tasks that consume or produce it: each
+    chunk's BQK streams its Q tile in and RNV streams its output rows
+    out, while the K and V tiles — fetched once per instance in the
+    1-pass cascade — are charged to chunk 0's BQK and SLNV.
     """
     e = config.embedding
     tasks: List[Task] = []
     timing = bqk_tile_timing(config.array_dim, e)
+    tile_bytes = config.array_dim * e * WORD_BYTES
     for i in range(config.chunks):
         prev = i - 1
 
@@ -107,7 +132,12 @@ def build_tasks(
                 fill_deps = (f"{prefix}RNV[{prev}]", f"{prefix}RD[{prev}]")
             tasks.append(Task(f"{prefix}FILL[{i}]", "io", timing.fill, fill_deps))
             bqk_deps = (f"{prefix}FILL[{i}]",)
-        tasks.append(Task(f"{prefix}BQK[{i}]", "2d", e, bqk_deps))
+        tasks.append(
+            Task(
+                f"{prefix}BQK[{i}]", "2d", e, bqk_deps,
+                bytes_moved=tile_bytes * (2 if i == 0 else 1),
+            )
+        )
         lm_dep: Tuple[str, ...] = (f"{prefix}BQK[{i}]",)
         if serial:
             # Non-overlapped drain of the finished tile before the 1D
@@ -136,7 +166,12 @@ def build_tasks(
             Task(f"{prefix}SLD[{i}]", "1d", config.one_d_cycles(1),
                  (f"{prefix}SLN[{i}]",))
         )
-        tasks.append(Task(f"{prefix}SLNV[{i}]", "2d", e, (f"{prefix}SLN[{i}]",)))
+        tasks.append(
+            Task(
+                f"{prefix}SLNV[{i}]", "2d", e, (f"{prefix}SLN[{i}]",),
+                bytes_moved=tile_bytes if i == 0 else 0,
+            )
+        )
         tasks.append(
             Task(
                 f"{prefix}PRM[{i}]",
@@ -160,6 +195,7 @@ def build_tasks(
                 "1d",
                 config.one_d_cycles(2 * e),
                 (f"{prefix}SLNV[{i}]", f"{prefix}PRM[{i}]") + dep("RNV"),
+                bytes_moved=tile_bytes,
             )
         )
     return tasks
@@ -171,16 +207,24 @@ def build_decode_tasks(config: PipelineConfig, prefix: str = "") -> List[Task]:
 
     One query (P = 1) attends M0 keys per chunk: a QK tile and an AV
     tile on the 2D array bracket the running-softmax update on the 1D
-    array.  KV-cache DRAM traffic — the real decode bottleneck — is not
-    a compute resource here; decode instances model the *array-side*
-    contention a decode stream adds to a shared schedule.
+    array.  The KV cache streams from DRAM — each chunk's K tile rides
+    on DQK and its V tile on DAV (plus the one query row in and one
+    output row out), so under a finite ``dram_bw`` a decode stream
+    contends for memory bandwidth, the bottleneck footnote 1 names.
     """
     e = config.embedding
     tasks: List[Task] = []
+    kv_bytes = config.array_dim * e * WORD_BYTES
+    row_bytes = e * WORD_BYTES
     for i in range(config.chunks):
         prev_state = (f"{prefix}DSM[{i - 1}]",) if i else ()
         prev_acc = (f"{prefix}DAC[{i - 1}]",) if i else ()
-        tasks.append(Task(f"{prefix}DQK[{i}]", "2d", e))
+        tasks.append(
+            Task(
+                f"{prefix}DQK[{i}]", "2d", e,
+                bytes_moved=kv_bytes + (row_bytes if i == 0 else 0),
+            )
+        )
         # Running softmax state (max + normalizer) over the chunk's scores.
         tasks.append(
             Task(
@@ -191,7 +235,10 @@ def build_decode_tasks(config: PipelineConfig, prefix: str = "") -> List[Task]:
             )
         )
         tasks.append(
-            Task(f"{prefix}DAV[{i}]", "2d", e, (f"{prefix}DSM[{i}]",))
+            Task(
+                f"{prefix}DAV[{i}]", "2d", e, (f"{prefix}DSM[{i}]",),
+                bytes_moved=kv_bytes,
+            )
         )
         # Rescale-and-accumulate of the running output (2 ops/element).
         tasks.append(
@@ -200,6 +247,7 @@ def build_decode_tasks(config: PipelineConfig, prefix: str = "") -> List[Task]:
                 "1d",
                 config.one_d_cycles(2),
                 (f"{prefix}DAV[{i}]",) + prev_acc,
+                bytes_moved=row_bytes if i == config.chunks - 1 else 0,
             )
         )
     return tasks
@@ -244,14 +292,71 @@ def chunk_work(config: PipelineConfig, serial: bool, kind: str = "prefill") -> C
     )
 
 
-def instance_config(scenario: Scenario, chunks: int) -> PipelineConfig:
-    """The :class:`PipelineConfig` of one instance of ``scenario``."""
+@dataclass(frozen=True)
+class ChunkTraffic:
+    """Per-chunk DRAM bytes by stream — the ``bytes_moved`` totals one
+    instance's tasks carry, split into the steady per-chunk stream and
+    the once-per-instance remainder.
+
+    Unlike :class:`ChunkWork` (which the analytical models integrate
+    directly), this is an *independent* closed-form re-derivation of the
+    builders' byte assignments, kept for the test layer:
+    ``tests/test_scenario_bandwidth.py`` asserts ``chunks ×
+    bytes_per_chunk + bytes_once`` equals the traffic the built graph
+    actually moves, so a traffic edit in the builders that forgets this
+    summary (or vice versa) fails loudly.  The analytical models
+    themselves (:func:`scenario_dram_cycles`) walk the built tasks, so
+    they can never drift from the schedule.
+    """
+
+    bytes_per_chunk: int
+    bytes_once: int
+
+    def instance_bytes(self, chunks: int) -> int:
+        """Total DRAM bytes one ``chunks``-chunk instance streams."""
+        return chunks * self.bytes_per_chunk + self.bytes_once
+
+
+def chunk_traffic(config: PipelineConfig, kind: str = "prefill") -> ChunkTraffic:
+    """Summed ``bytes_moved`` of one chunk of a ``kind`` instance (the
+    test layer's cross-check; see :class:`ChunkTraffic`)."""
+    tile_bytes = config.array_dim * config.embedding * WORD_BYTES
+    row_bytes = config.embedding * WORD_BYTES
+    if kind == "decode":
+        # Steady: one K and one V cache chunk; once: query in, output out.
+        return ChunkTraffic(
+            bytes_per_chunk=2 * tile_bytes, bytes_once=2 * row_bytes
+        )
+    if kind != "prefill":
+        raise ValueError(f"unknown instance kind {kind!r}")
+    # Steady: Q tile in, output tile out; once: the K and V streams.
+    return ChunkTraffic(
+        bytes_per_chunk=2 * tile_bytes, bytes_once=2 * tile_bytes
+    )
+
+
+def instance_config(scenario: Scenario, phase: Phase) -> PipelineConfig:
+    """The :class:`PipelineConfig` of one of ``phase``'s instances —
+    the point where a phase's embedding override (mixed-model
+    scenarios) takes effect."""
     return PipelineConfig(
-        chunks=chunks,
-        embedding=scenario.embedding,
+        chunks=phase.chunks,
+        embedding=scenario.embedding_for(phase),
         array_dim=scenario.array_dim,
         pe_1d=scenario.resolved_pe_1d,
     )
+
+
+def _instance_tasks(
+    scenario: Scenario, phase: Phase, prefix: str = ""
+) -> List[Task]:
+    """One instance's task graph within ``scenario`` (phase-resolved
+    config, binding-resolved structure)."""
+    config = instance_config(scenario, phase)
+    if phase.kind == "decode":
+        return build_decode_tasks(config, prefix)
+    serial = scenario.binding == "tile-serial"
+    return build_tasks(config, serial=serial, prefix=prefix)
 
 
 def build_scenario_tasks(scenario: Scenario) -> List[Task]:
@@ -263,20 +368,42 @@ def build_scenario_tasks(scenario: Scenario) -> List[Task]:
     binding's issue slots.  Instances are emitted in phase order, so the
     engines' program-order tie-break admits earlier instances first when
     several are ready at once.
+
+    With a finite ``scenario.dram_bw``, the merged graph is additionally
+    lowered so every task's ``bytes_moved`` occupies the shared ``dram``
+    resource (:func:`repro.simulator.engine.lower_dram`): instances then
+    contend for memory bandwidth exactly as they do for array slots.
+    ``dram_bw=None`` graphs are bit-identical to pre-bandwidth ones.
     """
-    serial = scenario.binding == "tile-serial"
     tasks: List[Task] = []
     index = 0
     for phase in scenario.phases:
-        config = instance_config(scenario, phase.chunks)
         for _ in range(phase.instances):
-            prefix = f"i{index}:"
-            if phase.kind == "decode":
-                tasks.extend(build_decode_tasks(config, prefix))
-            else:
-                tasks.extend(build_tasks(config, serial=serial, prefix=prefix))
+            tasks.extend(_instance_tasks(scenario, phase, f"i{index}:"))
             index += 1
-    return tasks
+    return lower_dram(tasks, scenario.dram_bw)
+
+
+def scenario_dram_cycles(scenario: Scenario) -> int:
+    """Total ``dram``-resource busy cycles of ``scenario``'s merged
+    graph: the exact sum of the lowered transfer durations, 0 when
+    ``dram_bw`` is None.
+
+    Walks one instance per phase through the same builders and ceiling
+    arithmetic :func:`build_scenario_tasks` lowers with, so the
+    analytical models (:mod:`repro.model.scenario`) can never disagree
+    with the schedule about how long the memory link is held.
+    """
+    if scenario.dram_bw is None:
+        return 0
+    total = 0
+    for phase in scenario.phases:
+        per_instance = sum(
+            transfer_cycles(task.bytes_moved, scenario.dram_bw)
+            for task in _instance_tasks(scenario, phase)
+        )
+        total += phase.instances * per_instance
+    return total
 
 
 @dataclass(frozen=True)

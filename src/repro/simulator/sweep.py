@@ -179,6 +179,11 @@ SCENARIO_FIELDS: Tuple[str, ...] = (
     "util_1d",
 )
 
+#: Bandwidth columns appended to :data:`SCENARIO_FIELDS` when any row's
+#: scenario set a finite ``dram_bw``; results without one keep the
+#: historical column set byte-for-byte.
+SCENARIO_BW_FIELDS: Tuple[str, ...] = ("dram_bw", "busy_dram", "util_dram")
+
 
 @dataclass(frozen=True)
 class ScenarioResult:
@@ -186,7 +191,9 @@ class ScenarioResult:
 
     ``busy_io`` counts fill/drain cycles on the array-edge resource
     (tile-serial graphs only; 0 under the interleaved binding, which
-    hides them behind compute).
+    hides them behind compute).  ``busy_dram`` counts cycles the shared
+    memory link was held (0 unless the scenario set ``dram_bw``, in
+    which case ``n_tasks`` also counts the lowered transfer tasks).
     """
 
     scenario: str
@@ -204,21 +211,39 @@ class ScenarioResult:
     busy_io: int
     util_2d: float
     util_1d: float
+    dram_bw: Optional[float] = None
+    busy_dram: int = 0
 
     @property
     def util_io(self) -> float:
         return self.busy_io / self.makespan if self.makespan else 0.0
 
+    @property
+    def util_dram(self) -> float:
+        return self.busy_dram / self.makespan if self.makespan else 0.0
+
     def utilization(self, resource: str) -> float:
-        busy = {"2d": self.busy_2d, "1d": self.busy_1d, "io": self.busy_io}
+        busy = {"2d": self.busy_2d, "1d": self.busy_1d, "io": self.busy_io,
+                "dram": self.busy_dram}
         return busy[resource] / self.makespan if self.makespan else 0.0
 
-    def row(self) -> Tuple:
-        """The result as a tuple in :data:`SCENARIO_FIELDS` order."""
-        return tuple(getattr(self, field) for field in SCENARIO_FIELDS)
+    def row(self, fields_: Sequence[str] = SCENARIO_FIELDS) -> Tuple:
+        """The result as a tuple in ``fields_`` order (default: the
+        historical :data:`SCENARIO_FIELDS` columns)."""
+        return tuple(getattr(self, field) for field in fields_)
 
 
-assert SCENARIO_FIELDS == tuple(f.name for f in fields(ScenarioResult))
+assert SCENARIO_FIELDS + ("dram_bw", "busy_dram") == tuple(
+    f.name for f in fields(ScenarioResult)
+)
+
+
+def scenario_fields_for(results: Sequence[ScenarioResult]) -> Tuple[str, ...]:
+    """The column set of one scenario result batch: the historical
+    columns, plus the bandwidth columns when any row models DRAM."""
+    if any(r.dram_bw is not None for r in results):
+        return SCENARIO_FIELDS + SCENARIO_BW_FIELDS
+    return SCENARIO_FIELDS
 
 
 def evaluate_scenario_point(
@@ -242,6 +267,8 @@ def evaluate_scenario_point(
         busy_io=result.busy_cycles.get("io", 0),
         util_2d=result.utilization("2d"),
         util_1d=result.utilization("1d"),
+        dram_bw=scenario.dram_bw,
+        busy_dram=result.busy_cycles.get("dram", 0),
     )
 
 
@@ -306,15 +333,20 @@ class ScenarioGridResult:
     est_util_2d: float
     est_util_1d: float
 
-    def row(self) -> Tuple:
-        """The cell as a tuple in :data:`SCENARIO_GRID_FIELDS` order."""
+    def row(self, scenario_fields: Sequence[str] = SCENARIO_FIELDS) -> Tuple:
+        """The cell as a tuple in :data:`SCENARIO_GRID_FIELDS` order
+        (``scenario_fields`` widens the embedded scenario columns when a
+        grid models DRAM bandwidth)."""
         coords = tuple(getattr(self, name) for name in GRID_COORD_FIELDS)
         tail = tuple(getattr(self, name) for name in GRID_ESTIMATE_FIELDS)
-        return coords + self.sim.row() + tail
+        return coords + self.sim.row(scenario_fields) + tail
 
-    def as_dict(self) -> Dict:
+    def as_dict(self, scenario_fields: Sequence[str] = SCENARIO_FIELDS) -> Dict:
         """JSON-ready row object (flat, in column order)."""
-        return dict(zip(SCENARIO_GRID_FIELDS, self.row()))
+        fields_ = (
+            GRID_COORD_FIELDS + tuple(scenario_fields) + GRID_ESTIMATE_FIELDS
+        )
+        return dict(zip(fields_, self.row(scenario_fields)))
 
 
 # --------------------------------------------------------------------------
@@ -363,46 +395,89 @@ def sweep_table(results: SweepResults) -> str:
     return _rows_table(SWEEP_FIELDS, [r.row() for r in results.values()])
 
 
+def _bw_blanked_row(result: ScenarioResult, fields_: Sequence[str]) -> Tuple:
+    """A result row for text emitters: when this row does not model
+    DRAM but the batch's widened columns include the bandwidth fields,
+    render them as ``-`` (matching the grid emitters' absent-value
+    convention) instead of a literal ``None`` and a misleading 0."""
+    return tuple(
+        "-" if result.dram_bw is None and name in SCENARIO_BW_FIELDS
+        else value
+        for name, value in zip(fields_, result.row(fields_))
+    )
+
+
 def scenario_csv(results: ScenarioResults) -> str:
-    """Scenario results as CSV with a :data:`SCENARIO_FIELDS` header."""
-    return _rows_csv(SCENARIO_FIELDS, [r.row() for r in results.values()])
+    """Scenario results as CSV (header widens with the bandwidth
+    columns only when a row models DRAM)."""
+    fields_ = scenario_fields_for(list(results.values()))
+    return _rows_csv(
+        fields_, [_bw_blanked_row(r, fields_) for r in results.values()]
+    )
 
 
 def scenario_json(results: ScenarioResults) -> str:
-    """Scenario results as a JSON array of row objects."""
-    return json.dumps([asdict(r) for r in results.values()], indent=2)
+    """Scenario results as a JSON array of row objects (``dram_bw`` is
+    null on rows that do not model DRAM)."""
+    fields_ = scenario_fields_for(list(results.values()))
+    return json.dumps(
+        [dict(zip(fields_, r.row(fields_))) for r in results.values()],
+        indent=2,
+    )
 
 
 def scenario_table(results: ScenarioResults) -> str:
     """Scenario results as an aligned text table."""
-    return _rows_table(SCENARIO_FIELDS, [r.row() for r in results.values()])
+    fields_ = scenario_fields_for(list(results.values()))
+    return _rows_table(
+        fields_, [_bw_blanked_row(r, fields_) for r in results.values()]
+    )
 
 
 GridResults = Sequence[ScenarioGridResult]
 
 
-def _grid_rows(results: GridResults) -> List[Tuple]:
-    """Grid rows with absent coordinates rendered as ``-`` (the JSON
-    emitter keeps them as nulls via :meth:`ScenarioGridResult.as_dict`)."""
-    return [
-        tuple("-" if value is None else value for value in r.row())
-        for r in results
-    ]
+def _grid_scenario_fields(results: GridResults) -> Tuple[str, ...]:
+    return scenario_fields_for([r.sim for r in results])
+
+
+def _grid_rows(
+    results: GridResults, scenario_fields: Sequence[str]
+) -> List[Tuple]:
+    """Grid rows with absent coordinates — and the bandwidth columns of
+    cells that do not model DRAM — rendered as ``-`` (the JSON emitter
+    keeps them as nulls via :meth:`ScenarioGridResult.as_dict`)."""
+    rows = []
+    for r in results:
+        coords = tuple(getattr(r, name) for name in GRID_COORD_FIELDS)
+        tail = tuple(getattr(r, name) for name in GRID_ESTIMATE_FIELDS)
+        flat = coords + _bw_blanked_row(r.sim, scenario_fields) + tail
+        rows.append(tuple("-" if value is None else value for value in flat))
+    return rows
 
 
 def grid_csv(results: GridResults) -> str:
     """The grid as CSV with a :data:`SCENARIO_GRID_FIELDS` header row."""
-    return _rows_csv(SCENARIO_GRID_FIELDS, _grid_rows(results))
+    fields_ = _grid_scenario_fields(results)
+    return _rows_csv(
+        GRID_COORD_FIELDS + fields_ + GRID_ESTIMATE_FIELDS,
+        _grid_rows(results, fields_),
+    )
 
 
 def grid_json(results: GridResults) -> str:
     """The grid as a JSON array of row objects."""
-    return json.dumps([r.as_dict() for r in results], indent=2)
+    fields_ = _grid_scenario_fields(results)
+    return json.dumps([r.as_dict(fields_) for r in results], indent=2)
 
 
 def grid_table(results: GridResults) -> str:
     """The grid as an aligned text table (the CLI's default view)."""
-    return _rows_table(SCENARIO_GRID_FIELDS, _grid_rows(results))
+    fields_ = _grid_scenario_fields(results)
+    return _rows_table(
+        GRID_COORD_FIELDS + fields_ + GRID_ESTIMATE_FIELDS,
+        _grid_rows(results, fields_),
+    )
 
 
 def encode_binding_result(result: BindingResult) -> Dict:
@@ -425,7 +500,10 @@ def encode_scenario_result(result: ScenarioResult) -> Dict:
 def decode_scenario_result(payload: Mapping) -> ScenarioResult:
     """Inverse of :func:`encode_scenario_result`."""
     return ScenarioResult(
-        **{field: payload[field] for field in SCENARIO_FIELDS}
+        **{
+            field: payload[field]
+            for field in SCENARIO_FIELDS + ("dram_bw", "busy_dram")
+        }
     )
 
 

@@ -15,6 +15,7 @@ from .scenario import (
     Scenario,
     attention_scenario,
     heterogeneous_scenario,
+    mixed_model_scenario,
     scenario_from_model,
 )
 from .sweep import WorkloadPoint, evaluation_grid, work_summary
@@ -49,6 +50,7 @@ __all__ = [
     "XLM",
     "attention_scenario",
     "heterogeneous_scenario",
+    "mixed_model_scenario",
     "scenario_from_model",
     "attention_crossover_length",
     "attention_ops",

@@ -8,8 +8,10 @@ common description the two layers cannot check each other.
 
 A :class:`Scenario` is that common description: a declarative spec of N
 ``(batch, head)`` attention instances (grouped into prefill and optional
-decode :class:`Phase` entries) bound to one PE-array configuration under
-one binding.  Every layer consumes it:
+decode :class:`Phase` entries, each phase optionally pinned to its own
+model's embedding width) bound to one PE-array configuration under one
+binding, optionally behind one shared DRAM link (``dram_bw`` bytes per
+cycle).  Every layer consumes it:
 
 - the simulator replicates the per-instance binding graph N ways with
   shared-slot contention (:func:`repro.simulator.pipeline
@@ -30,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Tuple
 
-from .models import BATCH_SIZE, ModelConfig
+from .models import BATCH_SIZE, MODELS_BY_NAME, ModelConfig
 
 #: The two bindings of Fig. 4/5, in presentation order.  Defined here —
 #: the bottom of the layer stack — so the workload, simulator, model,
@@ -49,11 +51,21 @@ class Phase:
     ``prefill`` phase ``chunks`` is the per-instance M1 chunk count (the
     sequence length in units of the array dimension); for a ``decode``
     phase it is the KV-cache context length in the same units.
+
+    ``embedding`` overrides the scenario's embedding depth for this
+    phase only — the mechanism by which one merged schedule spans
+    *different models* (e.g. BERT heads at E=64 next to XLM heads at
+    E=128).  ``model`` optionally names the workload model the phase was
+    derived from; when set, the phase's embedding is pinned to that
+    model's ``d_head`` and any explicit mismatch is rejected here —
+    before any task graph is built.
     """
 
     kind: str
     instances: int
     chunks: int
+    embedding: Optional[int] = None
+    model: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in PHASE_KINDS:
@@ -64,6 +76,25 @@ class Phase:
             raise ValueError(f"phase instances must be >= 1, got {self.instances}")
         if self.chunks < 1:
             raise ValueError(f"phase chunks must be >= 1, got {self.chunks}")
+        if self.embedding is not None and self.embedding < 1:
+            raise ValueError(
+                f"phase embedding must be >= 1, got {self.embedding}"
+            )
+        if self.model is not None:
+            if self.model not in MODELS_BY_NAME:
+                raise ValueError(
+                    f"unknown phase model {self.model!r}; "
+                    f"have {sorted(MODELS_BY_NAME)}"
+                )
+            d_head = MODELS_BY_NAME[self.model].d_head
+            if self.embedding is None:
+                object.__setattr__(self, "embedding", d_head)
+            elif self.embedding != d_head:
+                raise ValueError(
+                    f"inconsistent embedding width: phase model "
+                    f"{self.model!r} has d_head {d_head} but the phase "
+                    f"declares embedding {self.embedding}"
+                )
 
 
 @dataclass(frozen=True)
@@ -90,6 +121,14 @@ class Scenario:
             same scenario (same schedule, same cache key).
         model: optional name of the workload model this scenario was
             derived from (set by :func:`scenario_from_model`).
+        dram_bw: shared DRAM bandwidth in bytes per cycle, or None to
+            leave memory traffic unmodeled (the historical behaviour —
+            ``None`` schedules are byte-identical to pre-bandwidth
+            results).  When set, every instance's DRAM transfers occupy
+            a shared ``dram`` resource that all instances contend for
+            (:func:`repro.simulator.pipeline.build_scenario_tasks`);
+            ``math.inf`` models infinite bandwidth and reproduces the
+            ``None`` schedule exactly.
     """
 
     name: str
@@ -100,6 +139,7 @@ class Scenario:
     pe_1d: Optional[int] = None
     slots: int = 2
     model: Optional[str] = field(default=None)
+    dram_bw: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.phases:
@@ -114,6 +154,16 @@ class Scenario:
             raise ValueError(f"pe_1d must be >= 1, got {self.pe_1d}")
         if self.slots < 1:
             raise ValueError(f"slots must be >= 1, got {self.slots}")
+        if self.dram_bw is not None and not self.dram_bw > 0:
+            raise ValueError(f"dram_bw must be > 0, got {self.dram_bw}")
+        if self.model is not None and self.model in MODELS_BY_NAME:
+            d_head = MODELS_BY_NAME[self.model].d_head
+            if d_head != self.embedding:
+                raise ValueError(
+                    f"inconsistent embedding width: model {self.model!r} "
+                    f"has d_head {d_head} but the scenario declares "
+                    f"embedding {self.embedding}"
+                )
         if self.binding == "tile-serial":
             # One task issues per resource under the serial discipline;
             # normalizing keeps equality and cache keys truthful.
@@ -128,6 +178,17 @@ class Scenario:
     def resolved_pe_1d(self) -> int:
         return self.pe_1d if self.pe_1d is not None else self.array_dim
 
+    def embedding_for(self, phase: Phase) -> int:
+        """The embedding depth one phase's instances compute at (the
+        phase override, or the scenario-wide default)."""
+        return self.embedding if phase.embedding is None else phase.embedding
+
+    @property
+    def mixed_embedding(self) -> bool:
+        """True when the phases span more than one embedding width (a
+        mixed-*model* scenario)."""
+        return len({self.embedding_for(p) for p in self.phases}) > 1
+
     @property
     def seq_len(self) -> int:
         """Per-instance sequence length of the longest prefill phase
@@ -139,15 +200,31 @@ class Scenario:
         """The same workload under the other binding."""
         return replace(self, binding=binding)
 
+    def _phase_label(self, phase: Phase) -> str:
+        label = f"{phase.instances}x{phase.kind}[{phase.chunks} chunks"
+        if phase.model is not None:
+            label += f", {phase.model}"
+        elif phase.embedding is not None:
+            label += f", E{phase.embedding}"
+        return label + "]"
+
     def describe(self) -> str:
         """One-line summary for CLI output."""
-        parts = ", ".join(
-            f"{p.instances}x{p.kind}[{p.chunks} chunks]" for p in self.phases
-        )
+        parts = ", ".join(self._phase_label(p) for p in self.phases)
+        tail = f"E={self.embedding}"
+        if self.dram_bw is not None:
+            tail += f", bw={self.dram_bw:g}"
         return (
             f"{self.name}: {parts} on {self.array_dim}x{self.array_dim}+"
-            f"{self.resolved_pe_1d} ({self.binding}, E={self.embedding})"
+            f"{self.resolved_pe_1d} ({self.binding}, {tail})"
         )
+
+
+def _bw_suffix(name: str, dram_bw: Optional[float]) -> str:
+    """Suffix an auto-generated scenario name with its bandwidth, so
+    same-shaped scenarios at different ``dram_bw`` stay distinguishable
+    in crosscheck/CSV rows keyed by name."""
+    return name if dram_bw is None else f"{name}@bw{dram_bw:g}"
 
 
 def _append_decode(
@@ -183,6 +260,7 @@ def attention_scenario(
     slots: int = 2,
     decode_instances: int = 0,
     decode_chunks: Optional[int] = None,
+    dram_bw: Optional[float] = None,
     name: Optional[str] = None,
 ) -> Scenario:
     """A scenario of ``instances`` identical prefill attention instances,
@@ -193,26 +271,39 @@ def attention_scenario(
         chunks,
     )
     return Scenario(
-        name=auto_name if name is None else name,
+        name=_bw_suffix(auto_name, dram_bw) if name is None else name,
         phases=tuple(phases),
         binding=binding,
         embedding=embedding,
         array_dim=array_dim,
         pe_1d=pe_1d,
         slots=slots,
+        dram_bw=dram_bw,
     )
+
+
+def _resolve_models(names: Sequence[str]) -> Tuple[ModelConfig, ...]:
+    """Workload models by name, rejecting unknown names up front."""
+    missing = [name for name in names if name not in MODELS_BY_NAME]
+    if missing:
+        raise ValueError(
+            f"unknown model(s) {missing}; have {sorted(MODELS_BY_NAME)}"
+        )
+    return tuple(MODELS_BY_NAME[name] for name in names)
 
 
 def heterogeneous_scenario(
     chunk_counts: Sequence[int],
     *,
+    models: Optional[Sequence[str]] = None,
     binding: str = "interleaved",
-    embedding: int = 64,
+    embedding: Optional[int] = None,
     array_dim: int = 256,
     pe_1d: Optional[int] = None,
     slots: int = 2,
     decode_instances: int = 0,
     decode_chunks: Optional[int] = None,
+    dram_bw: Optional[float] = None,
     name: Optional[str] = None,
 ) -> Scenario:
     """A scenario of prefill instances with *unequal* chunk counts.
@@ -223,25 +314,127 @@ def heterogeneous_scenario(
     :class:`Phase`, in order of first appearance, so equal mixes produce
     equal scenarios regardless of listing order only when the counts
     first appear in the same order — the phase tuple is the identity.
+
+    ``models`` optionally names one workload model per instance, making
+    the mix span *different models*: each instance computes at its
+    model's ``d_head`` and instances with equal (count, model) pairs
+    group into one phase.  Inconsistent inputs — a model list whose
+    length does not match ``chunk_counts``, an unknown model name, or an
+    explicit ``embedding`` that contradicts a named model's head width —
+    are rejected here, before any task graph is built.
     """
     if not chunk_counts:
         raise ValueError("heterogeneous scenario needs at least one instance")
-    groups: dict = {}
-    for count in chunk_counts:
-        groups[count] = groups.get(count, 0) + 1
-    phases = [Phase("prefill", n, count) for count, n in groups.items()]
-    auto_name = "het-" + "+".join(f"{n}x{c}" for c, n in groups.items())
+    if models is None:
+        resolved_embedding = 64 if embedding is None else embedding
+        groups: dict = {}
+        for count in chunk_counts:
+            groups[count] = groups.get(count, 0) + 1
+        phases = [Phase("prefill", n, count) for count, n in groups.items()]
+        auto_name = "het-" + "+".join(f"{n}x{c}" for c, n in groups.items())
+        default_decode_chunks = max(groups)
+    else:
+        if len(models) != len(chunk_counts):
+            raise ValueError(
+                f"models lists {len(models)} entries for "
+                f"{len(chunk_counts)} instances (need one model per "
+                "instance)"
+            )
+        configs = _resolve_models(models)
+        clashing = sorted({
+            m.name for m in configs
+            if embedding is not None and m.d_head != embedding
+        })
+        if clashing:
+            raise ValueError(
+                f"inconsistent embedding widths: explicit embedding "
+                f"{embedding} contradicts d_head of {clashing}"
+            )
+        model_groups: dict = {}
+        for count, model in zip(chunk_counts, models):
+            model_groups[(count, model)] = model_groups.get((count, model), 0) + 1
+        phases = [
+            Phase("prefill", n, count, model=model)
+            for (count, model), n in model_groups.items()
+        ]
+        auto_name = "het-" + "+".join(
+            f"{n}x{model}:{count}" for (count, model), n in model_groups.items()
+        )
+        resolved_embedding = configs[0].d_head
+        default_decode_chunks = max(chunk_counts)
     auto_name = _append_decode(
-        phases, auto_name, decode_instances, decode_chunks, max(groups),
+        phases, auto_name, decode_instances, decode_chunks,
+        default_decode_chunks,
     )
     return Scenario(
-        name=auto_name if name is None else name,
+        name=_bw_suffix(auto_name, dram_bw) if name is None else name,
         phases=tuple(phases),
         binding=binding,
-        embedding=embedding,
+        embedding=resolved_embedding,
         array_dim=array_dim,
         pe_1d=pe_1d,
         slots=slots,
+        dram_bw=dram_bw,
+    )
+
+
+def mixed_model_scenario(
+    models: Sequence[str],
+    chunks: int,
+    *,
+    batch: int = 1,
+    heads: Optional[int] = None,
+    binding: str = "interleaved",
+    array_dim: int = 256,
+    pe_1d: Optional[int] = None,
+    slots: int = 2,
+    decode_instances: int = 0,
+    decode_chunks: Optional[int] = None,
+    dram_bw: Optional[float] = None,
+    name: Optional[str] = None,
+) -> Scenario:
+    """One merged schedule spanning *different models*' attention heads.
+
+    Each named model contributes a prefill phase of ``batch × heads``
+    instances (``heads=None`` uses each model's own head count) computing
+    at that model's ``d_head`` — e.g. ``("BERT", "XLM")`` mixes E=64 and
+    E=128 tiles in one schedule, contending for the same arrays (and,
+    with ``dram_bw``, the same memory bandwidth).  The optional decode
+    phase rides at the first model's embedding width.
+    """
+    if not models:
+        raise ValueError("mixed-model scenario needs at least one model")
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if heads is not None and heads < 1:
+        raise ValueError(f"heads must be >= 1, got {heads}")
+    configs = _resolve_models(models)
+    phases = [
+        Phase(
+            "prefill",
+            batch * (model.n_heads if heads is None else heads),
+            chunks,
+            model=model.name,
+        )
+        for model in configs
+    ]
+    auto_name = (
+        f"mix-{'+'.join(m.name for m in configs)}-B{batch}"
+        + (f"xH{heads}" if heads is not None else "")
+        + f"-L{chunks * array_dim}"
+    )
+    auto_name = _append_decode(
+        phases, auto_name, decode_instances, decode_chunks, chunks,
+    )
+    return Scenario(
+        name=_bw_suffix(auto_name, dram_bw) if name is None else name,
+        phases=tuple(phases),
+        binding=binding,
+        embedding=configs[0].d_head,
+        array_dim=array_dim,
+        pe_1d=pe_1d,
+        slots=slots,
+        dram_bw=dram_bw,
     )
 
 
@@ -257,6 +450,7 @@ def scenario_from_model(
     slots: int = 2,
     decode_instances: int = 0,
     decode_chunks: Optional[int] = None,
+    dram_bw: Optional[float] = None,
 ) -> Scenario:
     """The ``B × H`` scenario of one workload model at ``seq_len``.
 
@@ -278,7 +472,7 @@ def scenario_from_model(
         decode_instances, decode_chunks, chunks,
     )
     return Scenario(
-        name=name,
+        name=_bw_suffix(name, dram_bw),
         phases=tuple(phases),
         binding=binding,
         embedding=model.d_head,
@@ -286,4 +480,5 @@ def scenario_from_model(
         pe_1d=pe_1d,
         slots=slots,
         model=model.name,
+        dram_bw=dram_bw,
     )

@@ -96,6 +96,87 @@ class TestScenarioRequestValidation:
             for e in violations(ScenarioRequest(decode_instances=-1))
         )
 
+    def test_mixed_models_mutually_exclusive_with_model_and_instances(self):
+        errors = violations(
+            ScenarioRequest(mixed_models=("BERT", "XLM"), model="T5")
+        )
+        assert any("mixed_models and model are mutually exclusive" in e
+                   for e in errors)
+        errors = violations(
+            ScenarioRequest(mixed_models=("BERT",), instances=4)
+        )
+        assert any("mixed_models and instances are mutually exclusive" in e
+                   for e in errors)
+
+    def test_mixed_models_unknown_and_empty(self):
+        errors = violations(ScenarioRequest(mixed_models=("BERT", "GPT")))
+        assert any("unknown model 'GPT'" in e for e in errors)
+        errors = violations(ScenarioRequest(mixed_models=()))
+        assert any("at least one model" in e for e in errors)
+
+    def test_mixed_models_allow_batch_and_heads(self):
+        ScenarioRequest(mixed_models=("BERT", "XLM"), batch=2, heads=4).validate()
+        built = ScenarioRequest(
+            mixed_models=("BERT", "XLM"), batch=2, heads=4, chunks=4,
+            binding="interleaved",
+        ).build_scenarios()
+        (one,) = built
+        assert one.instances == 2 * (2 * 4)
+        # Per-phase widths follow each model's d_head: a mixed-model
+        # schedule, rejected nowhere because it is consistent.
+        assert [p.embedding for p in one.phases] == [64, 128]
+        assert one.mixed_embedding
+
+    def test_dram_bw_must_be_positive(self):
+        for bad in (0.0, -1.0, float("nan")):
+            errors = violations(ScenarioRequest(dram_bw=bad))
+            assert any("dram_bw must be > 0" in e for e in errors), bad
+        ScenarioRequest(dram_bw=64.0).validate()
+        ScenarioRequest(dram_bw=float("inf")).validate()
+
+    def test_inconsistent_embedding_rejected_before_graph_build(self):
+        """The mixed-model inconsistency cases: all raise at spec
+        construction, never from inside the simulator."""
+        from repro.workloads.scenario import (
+            Phase, Scenario, heterogeneous_scenario, mixed_model_scenario,
+        )
+
+        with pytest.raises(ValueError, match="inconsistent embedding"):
+            Phase("prefill", 1, 4, embedding=64, model="XLM")
+        with pytest.raises(ValueError, match="d_head"):
+            Scenario(name="bad", phases=(Phase("prefill", 1, 4),),
+                     embedding=64, model="XLM")
+        with pytest.raises(ValueError, match="inconsistent embedding"):
+            heterogeneous_scenario(
+                (4, 8), models=("BERT", "XLM"), embedding=64,
+            )
+        with pytest.raises(ValueError, match="one model per instance"):
+            heterogeneous_scenario((4, 8, 16), models=("BERT", "XLM"))
+        with pytest.raises(ValueError, match="unknown model"):
+            heterogeneous_scenario((4, 8), models=("BERT", "GPT"))
+        with pytest.raises(ValueError, match="unknown model"):
+            mixed_model_scenario(("GPT",), 4)
+        # Consistent mixes build fine.
+        het = heterogeneous_scenario((4, 8), models=("BERT", "XLM"))
+        assert [p.embedding for p in het.phases] == [64, 128]
+
+    def test_crosscheck_bandwidth_excludes_explicit_scenarios(self):
+        errors = violations(CrosscheckRequest(
+            bandwidth=True, scenarios=(attention_scenario(1, 4),),
+        ))
+        assert any("seed grid only" in e for e in errors)
+        CrosscheckRequest(bandwidth=True).validate()
+
+    def test_grid_dram_bw_reaches_every_cell(self):
+        request = ScenarioGridRequest(
+            models=("BERT",), batches=(1,), heads=(2,), chunks=4,
+            array_dim=64, dram_bw=32.0,
+        )
+        request.validate()
+        assert all(c.scenario.dram_bw == 32.0 for c in request.cells())
+        errors = violations(dataclasses.replace(request, dram_bw=-2.0))
+        assert any("dram_bw must be > 0" in e for e in errors)
+
     def test_build_scenarios_matches_cli_defaults(self):
         built = ScenarioRequest().build_scenarios()
         assert len(built) == 2  # both bindings
@@ -199,12 +280,14 @@ SIGNATURE_MUTATIONS = {
         "batch": 2,
         "heads": 2,
         "instances": 8,
+        "mixed_models": ("BERT", "XLM"),
         "chunks": 16,
         "array_dim": 128,
         "pe_1d": 64,
         "slots": 3,
         "decode_instances": 1,
         "decode_chunks": 4,
+        "dram_bw": 64.0,
         "binding": "interleaved",
         "engine": "cycle",
         "scenarios": (attention_scenario(1, 4),),
@@ -220,10 +303,12 @@ SIGNATURE_MUTATIONS = {
         "array_dim": 128,
         "pe_1d": 64,
         "slots": 3,
+        "dram_bw": 64.0,
         "extra_scenarios": (attention_scenario(1, 4),),
     },
     CrosscheckRequest: {
         "tolerance": 0.1,
+        "bandwidth": True,
         "scenarios": (attention_scenario(1, 4),),
     },
 }

@@ -43,6 +43,15 @@ CASES = [
     (["simulate", "--scenario", "--instances", "2", "--chunks", "6",
       "--array-dim", "64", "--binding", "tile-serial", "--engine", "cycle"],
      "simulate-scenario-cycle.txt"),
+    # Bandwidth-limited scenario (PR 5): the dram_bw/busy_dram/util_dram
+    # columns appear, and the schedule rides the shared memory link.
+    (["simulate", "--scenario", "--instances", "2", "--chunks", "4",
+      "--array-dim", "64", "--decode-instances", "2", "--decode-chunks",
+      "16", "--dram-bw", "32", "--format", "csv"],
+     "simulate-scenario-dram.csv"),
+    (["simulate", "--scenario", "--mixed-models", "BERT,XLM", "--chunks",
+      "4", "--array-dim", "64", "--binding", "interleaved"],
+     "simulate-scenario-mixed.txt"),
     (["sweep", "--kind", "attention", "--models", "BERT,T5",
       "--seq-lens", "1024,65536"], "sweep-attention.txt"),
     (["sweep", "--kind", "inference", "--models", "BERT",

@@ -131,6 +131,7 @@ class TestScenarioCacheKey:
             "pe_1d": 128,
             "slots": 3,
             "model": "BERT",
+            "dram_bw": 64.0,
         }
         declared = {f.name for f in dataclasses.fields(Scenario)}
         assert set(mutations) == declared, "new Scenario field without a cache-key mutation test"
@@ -150,8 +151,21 @@ class TestScenarioCacheKey:
             self.BASE,
             phases=(Phase("decode", 4, 16), Phase("prefill", 2, 8)),
         )
-        keys = {self._key(s) for s in (self.BASE, more_instances, longer, swapped_kind)}
-        assert len(keys) == 4
+        # Per-phase mixed-model overrides are part of the identity too.
+        wider_phase = dataclasses.replace(
+            self.BASE,
+            phases=(Phase("prefill", 4, 16, embedding=128), Phase("decode", 2, 8)),
+        )
+        modeled_phase = dataclasses.replace(
+            self.BASE,
+            phases=(Phase("prefill", 4, 16, model="XLM"), Phase("decode", 2, 8)),
+        )
+        keys = {
+            self._key(s)
+            for s in (self.BASE, more_instances, longer, swapped_kind,
+                      wider_phase, modeled_phase)
+        }
+        assert len(keys) == 6
 
     def test_equal_scenarios_share_key(self):
         twin = Scenario(

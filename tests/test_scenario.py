@@ -182,13 +182,14 @@ class TestEinsumScenarioModel:
         assert estimate.latency_cycles > 0
 
     def test_model_embedding_mismatch_rejected(self):
-        bad = Scenario(
-            name="bad", phases=(Phase("prefill", 2, 8),),
-            embedding=64, model="XLM",  # XLM heads are 128-wide
-        )
+        # Rejected at construction, before any graph build — the
+        # mismatch used to surface only deep in the model layer.
         assert XLM.d_head == 128
         with pytest.raises(ValueError, match="d_head"):
-            fusemax().evaluate_scenario(bad)
+            Scenario(
+                name="bad", phases=(Phase("prefill", 2, 8),),
+                embedding=64, model="XLM",  # XLM heads are 128-wide
+            )
         with pytest.raises(ValueError, match="unknown model"):
             fusemax().evaluate_scenario(
                 Scenario(name="x", phases=(Phase("prefill", 1, 8),),

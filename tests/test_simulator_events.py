@@ -54,12 +54,29 @@ from repro.workloads.scenario import (
 )
 
 
-def random_scenario(rng) -> Scenario:
-    """A random multi-instance scenario for merged-graph fuzzing."""
-    phases = [Phase("prefill", rng.randint(1, 4), rng.randint(1, 5))]
+def random_scenario(rng, dram_bw="maybe") -> Scenario:
+    """A random multi-instance scenario for merged-graph fuzzing.
+
+    Covers mixed-model graphs (independent per-phase embedding widths)
+    and, with ``dram_bw`` left at ``"maybe"``, draws the bandwidth from
+    {None, tight, ample}; pass an explicit value to pin it.
+    """
+    phases = [
+        Phase(
+            "prefill", rng.randint(1, 4), rng.randint(1, 5),
+            embedding=rng.choice((None, 8, 16)),
+        )
+    ]
     if rng.random() < 0.5:
-        phases.append(Phase("decode", rng.randint(1, 3), rng.randint(1, 6)))
+        phases.append(
+            Phase(
+                "decode", rng.randint(1, 3), rng.randint(1, 6),
+                embedding=rng.choice((None, 8, 32)),
+            )
+        )
     array_dim = rng.choice((16, 32, 64))
+    if dram_bw == "maybe":
+        dram_bw = rng.choice((None, 8.0, 1e9))
     return Scenario(
         name=f"fuzz-{rng.randint(0, 10**6)}",
         phases=tuple(phases),
@@ -68,6 +85,7 @@ def random_scenario(rng) -> Scenario:
         array_dim=array_dim,
         pe_1d=rng.choice((None, array_dim // 2, 2 * array_dim)),
         slots=rng.randint(2, 4),
+        dram_bw=dram_bw,
     )
 
 
@@ -363,7 +381,9 @@ class TestScenarioGraphs:
 
     @pytest.mark.parametrize("seed", range(120, 150))
     def test_merged_graph_engines_identical(self, seed):
-        """The differential fuzz, extended to scenario merged graphs."""
+        """The differential fuzz, extended to scenario merged graphs
+        (mixed-model phases and dram_bw in {None, tight, ample} ride
+        along through the seeded generator)."""
         rng = random.Random(seed)
         scenario = random_scenario(rng)
         tasks = build_scenario_tasks(scenario)
@@ -374,6 +394,28 @@ class TestScenarioGraphs:
             slots=scenario.slots,
             max_cycles=sum(t.duration for t in tasks) + 1,
         )
+
+    @pytest.mark.parametrize("seed", range(150, 174))
+    def test_bandwidth_graph_engines_identical(self, seed):
+        """Pinned bandwidth coverage: every third seed runs unmodeled
+        (None), tight (contended), and ample (free transfers) dram_bw on
+        an otherwise identical scenario draw — the {None, tight, ample}
+        differential the engines must agree on bit-for-bit."""
+        rng = random.Random(seed)
+        dram_bw = (None, 8.0, 65536.0)[seed % 3]
+        scenario = random_scenario(rng, dram_bw=dram_bw)
+        tasks = build_scenario_tasks(scenario)
+        serial = scenario.binding == "tile-serial"
+        result = both(
+            tasks,
+            mode="serial" if serial else "interleaved",
+            slots=scenario.slots,
+            max_cycles=sum(t.duration for t in tasks) + 1,
+        )
+        if dram_bw is None:
+            assert "dram" not in result.busy_cycles
+        else:
+            assert result.busy_cycles.get("dram", 0) > 0
 
     def test_scenario_sim_engine_parity(self):
         scenario = attention_scenario(3, 4, array_dim=32)
