@@ -35,6 +35,7 @@ budget assertion, and a reported regression always reproduces.
 """
 
 import argparse
+import json
 import random
 import time
 from typing import Dict, List, Set
@@ -202,7 +203,13 @@ def main(argv=None):
         "--random-graphs", type=int, default=8, metavar="R",
         help="number of seeded random graphs in the differential check",
     )
+    parser.add_argument(
+        "--json-out", metavar="FILE", default=None,
+        help="write every measurement as JSON to FILE (the CI perf "
+             "artifact)",
+    )
     args = parser.parse_args(argv)
+    measurements = {"bench": "simulator", "seed": args.seed, "points": []}
 
     print(f"Fig. 4/5 graphs at {args.chunks} chunks, "
           f"{args.array_dim}x{args.array_dim} array "
@@ -238,6 +245,12 @@ def main(argv=None):
               f"({cycle_s / event_s:5.1f}x)  "
               f"seed-baseline{bound}{baseline_s:7.1f} s "
               f"({speedup:,.0f}x{'+' if bound == '>=' else ''})")
+        measurements["points"].append({
+            "point": f"fig45-{binding}", "chunks": args.chunks,
+            "makespan": event.makespan, "event_s": event_s,
+            "cycle_s": cycle_s, "baseline_s": baseline_s,
+            "baseline_bound": bound, "speedup": speedup,
+        })
 
     if args.min_speedup:
         assert gated_speedup >= args.min_speedup, (
@@ -255,6 +268,11 @@ def main(argv=None):
         took = time.perf_counter() - start
         print(f"  {binding:12s} makespan={result.makespan:>10,}  "
               f"{took:5.2f} s  util2d={result.utilization('2d'):.3f}")
+        measurements["points"].append({
+            "point": f"long-{binding}", "chunks": args.long_chunks,
+            "makespan": result.makespan, "event_s": took,
+            "util_2d": result.utilization("2d"),
+        })
         if args.long_budget:
             assert took <= args.long_budget, (
                 f"{binding} at {args.long_chunks} chunks took {took:.1f}s "
@@ -287,6 +305,11 @@ def main(argv=None):
         print(f"\nmerged scenario {scenario.name}: {len(tasks):,} tasks, "
               f"makespan={result.makespan:,}, "
               f"util2d={result.utilization('2d'):.3f}  {took:5.2f} s")
+        measurements["points"].append({
+            "point": "scenario-64x16", "n_tasks": len(tasks),
+            "makespan": result.makespan, "event_s": took,
+            "util_2d": result.utilization("2d"),
+        })
         assert took <= args.scenario_budget, (
             f"merged scenario took {took:.1f}s "
             f"(gate: {args.scenario_budget:g}s)"
@@ -304,6 +327,11 @@ def main(argv=None):
               f"(dram_bw={CLOUD_DRAM_BW:.1f} B/cy): {len(tasks):,} tasks, "
               f"makespan={result.makespan:,}, util_dram={util_dram:.3f}  "
               f"{took:5.2f} s")
+        measurements["points"].append({
+            "point": "contended-64x16", "n_tasks": len(tasks),
+            "makespan": result.makespan, "event_s": took,
+            "util_dram": util_dram,
+        })
         assert util_dram > 0.9, (
             f"contended scenario not bandwidth-bound (util_dram="
             f"{util_dram:.3f}) — the gate no longer measures contention"
@@ -313,6 +341,12 @@ def main(argv=None):
             f"(gate: {args.contended_budget:g}s)"
         )
         print(f"contended gate: <= {args.contended_budget:g} s ok")
+
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(measurements, handle, indent=2)
+            handle.write("\n")
+        print(f"measurements -> {args.json_out}")
 
 
 # ---- pytest-benchmark entry points (parity with the other bench modules) ----

@@ -12,7 +12,9 @@ provenance envelope saying how it came to be.
    including a heterogeneous cell with unequal chunk counts
    (ScenarioGridRequest).
 5. Simulated vs analytical crosscheck (CrosscheckRequest).
-6. submit()/gather(): heterogeneous requests pooled through one pass
+6. Open-loop serving: seeded Poisson arrivals, continuous batching,
+   SLO metrics over a latency-vs-load sweep (ServeRequest).
+7. submit()/gather(): heterogeneous requests pooled through one pass
    of the parallel runtime.
 
 Run:  python examples/api_quickstart.py
@@ -24,6 +26,7 @@ from repro.api import (
     ExperimentRequest,
     ScenarioGridRequest,
     ScenarioRequest,
+    ServeRequest,
     Session,
 )
 from repro.workloads import heterogeneous_scenario
@@ -86,7 +89,19 @@ def main():
     print(f"{len(report.rows)} comparisons, {flagged} diverged "
           f"beyond +/-{report.tolerance:g}")
 
-    section("6. submit()/gather(): one pooled pass, heterogeneous requests")
+    section("6. ServeRequest: latency-vs-offered-load, one rate per request")
+    for rate in (0.2, 0.4, 0.8):
+        session.submit(ServeRequest(
+            rate=rate, duration=16384, seed=7, array_dim=128,
+            deadline=10_000, decode_tokens=2,
+        ))
+    for result in session.gather():
+        point = result.payload
+        print(f"rate={point.rate:4g}/kcy  {point.n_requests:3d} req  "
+              f"ttft_p50={point.ttft_p50:6d}  p50={point.latency_p50:6d}  "
+              f"p99={point.latency_p99:6d}  goodput={point.goodput:.3f}")
+
+    section("7. submit()/gather(): one pooled pass, heterogeneous requests")
     session.submit(BindingSweepRequest(chunks=(16, 32), array_dims=(64,)))
     session.submit(ScenarioRequest(instances=4, chunks=8, array_dim=64))
     session.submit(ScenarioGridRequest(models=("BERT",), batches=(1, 4),

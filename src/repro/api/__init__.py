@@ -34,6 +34,7 @@ from .requests import (
     RequestValidationError,
     ScenarioGridRequest,
     ScenarioRequest,
+    ServeRequest,
 )
 from .session import GRID_EXPERIMENTS, Provenance, Result, Session
 
@@ -52,5 +53,6 @@ __all__ = [
     "Result",
     "ScenarioGridRequest",
     "ScenarioRequest",
+    "ServeRequest",
     "Session",
 ]

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import List, Optional, Tuple
 
+from ..serving import Arrival, ServingSpec, check_sorted, poisson_arrivals
 from ..simulator.sweep import (
     DEFAULT_SWEEP_ARRAY_DIMS,
     DEFAULT_SWEEP_CHUNKS,
@@ -49,8 +50,18 @@ ENGINES: Tuple[str, ...] = ("event", "cycle")
 #: the two composite names: ``report`` (everything) and ``sweep`` (one
 #: evaluation grid with explicit axes).
 EXPERIMENT_NAMES: Tuple[str, ...] = (
-    "report", "sweep", "ablations", "fig1b", "fig6", "fig7", "fig8",
-    "fig9", "fig10", "fig11", "fig12", "table1",
+    "report",
+    "sweep",
+    "ablations",
+    "fig1b",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table1",
 )
 
 #: Evaluation-grid kinds of the ``sweep`` experiment.
@@ -89,9 +100,7 @@ def _positive_axis(errors: List[str], name: str, values: Tuple) -> None:
 def _known_models(errors: List[str], names: Tuple[str, ...]) -> None:
     for name in names:
         if name not in MODELS_BY_NAME:
-            errors.append(
-                f"unknown model {name!r}; have {sorted(MODELS_BY_NAME)}"
-            )
+            errors.append(f"unknown model {name!r}; have {sorted(MODELS_BY_NAME)}")
 
 
 @dataclass(frozen=True)
@@ -146,9 +155,7 @@ class ExperimentRequest(Request):
     def rule_violations(self) -> List[str]:
         errors: List[str] = []
         if self.name not in EXPERIMENT_NAMES:
-            errors.append(
-                f"unknown experiment {self.name!r}; have {EXPERIMENT_NAMES}"
-            )
+            errors.append(f"unknown experiment {self.name!r}; have {EXPERIMENT_NAMES}")
         if self.kind is not None and self.kind not in GRID_KINDS:
             errors.append(f"unknown sweep kind {self.kind!r}; have {GRID_KINDS}")
         if self.name != "sweep":
@@ -291,30 +298,31 @@ class ScenarioRequest(Request):
                 if given
             )
         elif self.model is not None and self.model not in MODELS_BY_NAME:
-            errors.append(
-                f"unknown model {self.model!r}; have {sorted(MODELS_BY_NAME)}"
-            )
+            errors.append(f"unknown model {self.model!r}; have {sorted(MODELS_BY_NAME)}")
         if self.decode_chunks is not None and not self.decode_instances:
             errors.append("decode_chunks requires decode_instances")
         _positive_bandwidth(errors, self.dram_bw)
         if self.binding not in ("both",) + BINDINGS:
-            errors.append(
-                f"unknown binding {self.binding!r}; have "
-                f"{('both',) + BINDINGS}"
-            )
+            errors.append(f"unknown binding {self.binding!r}; have {('both',) + BINDINGS}")
         if self.binding == "tile-serial" and self.slots is not None:
             # The serial discipline issues one task per resource; slots
             # only parameterize the interleaved round-robin.
             errors.append("slots applies to the interleaved binding only")
         if self.engine not in ENGINES:
             errors.append(f"unknown engine {self.engine!r}; have {ENGINES}")
-        for name in ("batch", "heads", "instances", "chunks", "array_dim",
-                     "pe_1d", "slots", "decode_chunks"):
+        for name in (
+            "batch",
+            "heads",
+            "instances",
+            "chunks",
+            "array_dim",
+            "pe_1d",
+            "slots",
+            "decode_chunks",
+        ):
             _positive(errors, name, getattr(self, name))
         if self.decode_instances < 0:
-            errors.append(
-                f"decode_instances must be >= 0, got {self.decode_instances}"
-            )
+            errors.append(f"decode_instances must be >= 0, got {self.decode_instances}")
         return errors
 
     def build_scenarios(self) -> Tuple[Scenario, ...]:
@@ -330,33 +338,52 @@ class ScenarioRequest(Request):
         built = []
         for binding in bindings:
             if self.mixed_models is not None:
-                built.append(mixed_model_scenario(
-                    self.mixed_models, chunks,
-                    batch=1 if self.batch is None else self.batch,
-                    heads=self.heads, binding=binding,
-                    array_dim=array_dim, pe_1d=self.pe_1d, slots=slots,
-                    decode_instances=self.decode_instances,
-                    decode_chunks=self.decode_chunks,
-                    dram_bw=self.dram_bw,
-                ))
+                built.append(
+                    mixed_model_scenario(
+                        self.mixed_models,
+                        chunks,
+                        batch=1 if self.batch is None else self.batch,
+                        heads=self.heads,
+                        binding=binding,
+                        array_dim=array_dim,
+                        pe_1d=self.pe_1d,
+                        slots=slots,
+                        decode_instances=self.decode_instances,
+                        decode_chunks=self.decode_chunks,
+                        dram_bw=self.dram_bw,
+                    )
+                )
             elif self.model is not None:
-                built.append(scenario_from_model(
-                    MODELS_BY_NAME[self.model], chunks * array_dim,
-                    batch=batch, heads=self.heads, binding=binding,
-                    array_dim=array_dim, pe_1d=self.pe_1d, slots=slots,
-                    decode_instances=self.decode_instances,
-                    decode_chunks=self.decode_chunks,
-                    dram_bw=self.dram_bw,
-                ))
+                built.append(
+                    scenario_from_model(
+                        MODELS_BY_NAME[self.model],
+                        chunks * array_dim,
+                        batch=batch,
+                        heads=self.heads,
+                        binding=binding,
+                        array_dim=array_dim,
+                        pe_1d=self.pe_1d,
+                        slots=slots,
+                        decode_instances=self.decode_instances,
+                        decode_chunks=self.decode_chunks,
+                        dram_bw=self.dram_bw,
+                    )
+                )
             else:
                 instances = 4 if self.instances is None else self.instances
-                built.append(attention_scenario(
-                    instances, chunks, binding=binding,
-                    array_dim=array_dim, pe_1d=self.pe_1d, slots=slots,
-                    decode_instances=self.decode_instances,
-                    decode_chunks=self.decode_chunks,
-                    dram_bw=self.dram_bw,
-                ))
+                built.append(
+                    attention_scenario(
+                        instances,
+                        chunks,
+                        binding=binding,
+                        array_dim=array_dim,
+                        pe_1d=self.pe_1d,
+                        slots=slots,
+                        decode_instances=self.decode_instances,
+                        decode_chunks=self.decode_chunks,
+                        dram_bw=self.dram_bw,
+                    )
+                )
         return tuple(built)
 
 
@@ -432,29 +459,147 @@ class ScenarioGridRequest(Request):
                     for decode in self.decode_instances:
                         for binding in self.bindings:
                             scenario = scenario_from_model(
-                                model, self.chunks * self.array_dim,
-                                batch=batch, heads=heads, binding=binding,
-                                array_dim=self.array_dim, pe_1d=self.pe_1d,
-                                slots=slots, decode_instances=decode,
+                                model,
+                                self.chunks * self.array_dim,
+                                batch=batch,
+                                heads=heads,
+                                binding=binding,
+                                array_dim=self.array_dim,
+                                pe_1d=self.pe_1d,
+                                slots=slots,
+                                decode_instances=decode,
                                 decode_chunks=self.decode_chunks,
                                 dram_bw=self.dram_bw,
                             )
-                            built.append(ScenarioGridCell(
-                                scenario=scenario, model=name, batch=batch,
-                                heads=(model.n_heads if heads is None
-                                       else heads),
-                                decode=decode,
-                            ))
+                            built.append(
+                                ScenarioGridCell(
+                                    scenario=scenario,
+                                    model=name,
+                                    batch=batch,
+                                    heads=(model.n_heads if heads is None else heads),
+                                    decode=decode,
+                                )
+                            )
         built.extend(
             ScenarioGridCell(
-                scenario=scenario, model=scenario.model, batch=None,
+                scenario=scenario,
+                model=scenario.model,
+                batch=None,
                 heads=None,
-                decode=sum(p.instances for p in scenario.phases
-                           if p.kind == "decode"),
+                decode=sum(p.instances for p in scenario.phases if p.kind == "decode"),
             )
             for scenario in self.extra_scenarios
         )
         return tuple(built)
+
+
+@dataclass(frozen=True)
+class ServeRequest(Request):
+    """One open-loop serving simulation: arrivals against one array.
+
+    Exactly one of ``rate`` (a seeded Poisson process at that many
+    requests per kilocycle) and ``trace`` (an explicit replayable
+    arrival tuple) supplies the workload.  ``duration``, ``seed``,
+    ``chunks``, and ``decode_tokens`` shape the generated process and
+    apply to rate-driven serving only — a trace carries its own times
+    and shapes.  ``max_inflight`` is the continuous-batching admission
+    window and ``deadline`` the SLO (cycles from arrival to last token)
+    that goodput is measured against.  ``None`` fields take the CLI's
+    historical defaults at build time, so the request records what was
+    *asked*, not what was defaulted.
+    """
+
+    KIND = "serve"
+
+    rate: Optional[float] = None
+    duration: Optional[int] = None
+    seed: Optional[int] = None
+    trace: Optional[Tuple[Arrival, ...]] = None
+    chunks: Optional[int] = None
+    decode_tokens: Optional[int] = None
+    max_inflight: Optional[int] = None
+    deadline: Optional[int] = None
+    binding: str = "interleaved"
+    embedding: Optional[int] = None
+    array_dim: Optional[int] = None
+    pe_1d: Optional[int] = None
+    slots: Optional[int] = None
+    dram_bw: Optional[float] = None
+
+    def rule_violations(self) -> List[str]:
+        errors: List[str] = []
+        if (self.rate is None) == (self.trace is None):
+            errors.append("exactly one of rate and trace must be given")
+        if self.rate is not None and not self.rate > 0:
+            errors.append(f"rate must be > 0, got {self.rate}")
+        if self.trace is not None:
+            errors.extend(
+                f"{field_} applies to rate-driven serving only"
+                for field_, given in (
+                    ("duration", self.duration is not None),
+                    ("seed", self.seed is not None),
+                    ("chunks", self.chunks is not None),
+                    ("decode_tokens", self.decode_tokens is not None),
+                )
+                if given
+            )
+            if not self.trace:
+                errors.append("trace must name at least one arrival")
+            try:
+                check_sorted(self.trace)
+            except ValueError as exc:
+                errors.append(str(exc))
+        if self.binding not in BINDINGS:
+            errors.append(f"unknown binding {self.binding!r}; have {BINDINGS}")
+        if self.binding == "tile-serial" and self.slots is not None:
+            errors.append("slots applies to the interleaved binding only")
+        if self.seed is not None and self.seed < 0:
+            errors.append(f"seed must be >= 0, got {self.seed}")
+        if self.decode_tokens is not None and self.decode_tokens < 0:
+            errors.append(f"decode_tokens must be >= 0, got {self.decode_tokens}")
+        for name in (
+            "duration",
+            "chunks",
+            "max_inflight",
+            "deadline",
+            "embedding",
+            "array_dim",
+            "pe_1d",
+            "slots",
+        ):
+            _positive(errors, name, getattr(self, name))
+        _positive_bandwidth(errors, self.dram_bw)
+        return errors
+
+    def build_spec(self) -> ServingSpec:
+        """The :class:`~repro.serving.ServingSpec` this request
+        describes, with the CLI's historical defaults filled in."""
+        if self.trace is not None:
+            arrivals = check_sorted(self.trace)
+            name, rate = f"trace-{len(arrivals)}req", None
+        else:
+            seed = 0 if self.seed is None else self.seed
+            arrivals = poisson_arrivals(
+                self.rate,
+                32768 if self.duration is None else self.duration,
+                seed=seed,
+                chunks=8 if self.chunks is None else self.chunks,
+                decode_tokens=4 if self.decode_tokens is None else self.decode_tokens,
+            )
+            name, rate = f"poisson-r{self.rate:g}-s{seed}", self.rate
+        return ServingSpec(
+            name=name,
+            arrivals=arrivals,
+            binding=self.binding,
+            embedding=64 if self.embedding is None else self.embedding,
+            array_dim=256 if self.array_dim is None else self.array_dim,
+            pe_1d=self.pe_1d,
+            slots=2 if self.slots is None else self.slots,
+            max_inflight=8 if self.max_inflight is None else self.max_inflight,
+            deadline=self.deadline,
+            dram_bw=self.dram_bw,
+            rate=rate,
+        )
 
 
 @dataclass(frozen=True)
@@ -494,5 +639,6 @@ REQUEST_TYPES: Tuple[type, ...] = (
     BindingSweepRequest,
     ScenarioRequest,
     ScenarioGridRequest,
+    ServeRequest,
     CrosscheckRequest,
 )

@@ -37,6 +37,7 @@ from .requests import (
     Request,
     ScenarioGridRequest,
     ScenarioRequest,
+    ServeRequest,
 )
 
 #: Experiments whose drivers run a grid through the runtime (and so
@@ -75,29 +76,46 @@ def _binding_tasks(request: BindingSweepRequest) -> List[Any]:
     :func:`repro.runtime.executor.binding_grid` so every path (event,
     cycle oracle, pooled gather) shares one grid order and dedup."""
     return _runtime.binding_grid(
-        request.chunks, request.bindings, request.array_dims,
-        request.embeddings, request.pe_1d_dims,
+        request.chunks,
+        request.bindings,
+        request.array_dims,
+        request.embeddings,
+        request.pe_1d_dims,
     )
 
 
 def _point_key(point: Any) -> tuple:
     """The documented result key of :func:`sweep_bindings` rows."""
-    return (point.binding, point.chunks, point.array_dim,
-            point.resolved_pe_1d, point.embedding)
+    return (point.binding, point.chunks, point.array_dim, point.resolved_pe_1d, point.embedding)
 
 
 def _experiment_modules() -> Dict[str, Any]:
     """Name → experiment driver module (imported lazily: the experiment
     drivers themselves build requests through this package)."""
     from ..experiments import (
-        ablations, fig1b, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
+        ablations,
+        fig1b,
+        fig6,
+        fig7,
+        fig8,
+        fig9,
+        fig10,
+        fig11,
+        fig12,
         table1,
     )
 
     return {
-        "ablations": ablations, "fig1b": fig1b, "fig6": fig6, "fig7": fig7,
-        "fig8": fig8, "fig9": fig9, "fig10": fig10, "fig11": fig11,
-        "fig12": fig12, "table1": table1,
+        "ablations": ablations,
+        "fig1b": fig1b,
+        "fig6": fig6,
+        "fig7": fig7,
+        "fig8": fig8,
+        "fig9": fig9,
+        "fig10": fig10,
+        "fig11": fig11,
+        "fig12": fig12,
+        "table1": table1,
     }
 
 
@@ -163,9 +181,7 @@ class Session:
         return Result(
             request=request,
             payload=payload,
-            provenance=self._provenance(
-                request, start, before, record_before
-            ),
+            provenance=self._provenance(request, start, before, record_before),
         )
 
     def _provenance(
@@ -174,8 +190,12 @@ class Session:
         hits = misses = None
         if before is not None:
             after = self._store.stats.as_dict()
-            hits = (after["memory_hits"] + after["disk_hits"]
-                    - before["memory_hits"] - before["disk_hits"])
+            hits = (
+                after["memory_hits"]
+                + after["disk_hits"]
+                - before["memory_hits"]
+                - before["disk_hits"]
+            )
             misses = after["misses"] - before["misses"]
         record = self.registry.last_recorded if self.registry else None
         if record is record_before:
@@ -203,16 +223,27 @@ class Session:
             return self._run_scenario(request)
         if isinstance(request, ScenarioGridRequest):
             return _runtime.sweep_scenario_grid(
-                request.cells(), jobs=self.jobs, cache=self._cache_arg(),
+                request.cells(),
+                jobs=self.jobs,
+                cache=self._cache_arg(),
                 registry=self.registry,
             )
+        if isinstance(request, ServeRequest):
+            return _runtime.sweep_serving(
+                [request.build_spec()],
+                jobs=self.jobs,
+                cache=self._cache_arg(),
+                registry=self.registry,
+            )[0]
         if isinstance(request, CrosscheckRequest):
             from ..experiments.crosscheck import crosscheck
 
             return crosscheck(
-                request.scenarios, tolerance=request.tolerance,
+                request.scenarios,
+                tolerance=request.tolerance,
                 bandwidth=request.bandwidth,
-                jobs=self.jobs, cache=self._cache_arg(),
+                jobs=self.jobs,
+                cache=self._cache_arg(),
                 registry=self.registry,
             )
         raise TypeError(f"unknown request type {type(request).__name__}")
@@ -227,15 +258,17 @@ class Session:
                 "attention": _runtime.sweep_attention,
                 "inference": _runtime.sweep_inference,
             }[request.resolved_kind]
-            models = MODELS if request.models is None else tuple(
-                MODELS_BY_NAME[name] for name in request.models
+            models = (
+                MODELS
+                if request.models is None
+                else tuple(MODELS_BY_NAME[name] for name in request.models)
             )
-            seq_lens = (
-                SEQUENCE_LENGTHS if request.seq_lens is None
-                else request.seq_lens
-            )
+            seq_lens = SEQUENCE_LENGTHS if request.seq_lens is None else request.seq_lens
             return sweep(
-                models, seq_lens, jobs=self.jobs, cache=self._cache_arg(),
+                models,
+                seq_lens,
+                jobs=self.jobs,
+                cache=self._cache_arg(),
                 registry=self.registry,
             )
         # Figure/table drivers print their tables; the captured text is
@@ -255,26 +288,28 @@ class Session:
             # Differential oracle runs stay serial and uncached, so a
             # cached event result can never masquerade as a cycle run.
             return {
-                _point_key(task.config): evaluate_binding_point(
-                    task.config, engine="cycle"
-                )
+                _point_key(task.config): evaluate_binding_point(task.config, engine="cycle")
                 for task in _binding_tasks(request)
             }
         return _runtime.sweep_bindings(
-            request.chunks, request.bindings, request.array_dims,
-            embeddings=request.embeddings, pe_1d_dims=request.pe_1d_dims,
-            jobs=self.jobs, cache=self._cache_arg(), registry=self.registry,
+            request.chunks,
+            request.bindings,
+            request.array_dims,
+            embeddings=request.embeddings,
+            pe_1d_dims=request.pe_1d_dims,
+            jobs=self.jobs,
+            cache=self._cache_arg(),
+            registry=self.registry,
         )
 
     def _run_scenario(self, request: ScenarioRequest) -> Dict:
         scenarios = request.build_scenarios()
         if request.engine == "cycle":
-            return {
-                s: evaluate_scenario_point(s, engine="cycle")
-                for s in scenarios
-            }
+            return {s: evaluate_scenario_point(s, engine="cycle") for s in scenarios}
         return _runtime.sweep_scenarios(
-            scenarios, jobs=self.jobs, cache=self._cache_arg(),
+            scenarios,
+            jobs=self.jobs,
+            cache=self._cache_arg(),
             registry=self.registry,
         )
 
@@ -286,9 +321,7 @@ class Session:
         self._pending.append(request)
         return len(self._pending) - 1
 
-    def _lower(
-        self, request: Request
-    ) -> Optional[Tuple[List[Any], Callable[[List[Any]], Any]]]:
+    def _lower(self, request: Request) -> Optional[Tuple[List[Any], Callable[[List[Any]], Any]]]:
         """(tasks, assemble) for requests that decompose into runtime
         tasks, or None for the ones that must run whole."""
         if isinstance(request, BindingSweepRequest) and request.engine == "event":
@@ -296,9 +329,7 @@ class Session:
             points = [task.config for task in tasks]
 
             def assemble_bindings(results: List[Any]) -> Dict:
-                return {
-                    _point_key(p): r for p, r in zip(points, results)
-                }
+                return {_point_key(p): r for p, r in zip(points, results)}
 
             return tasks, assemble_bindings
         if isinstance(request, ScenarioRequest) and request.engine == "event":
@@ -311,6 +342,13 @@ class Session:
             return tasks, assemble_scenarios
         if isinstance(request, ScenarioGridRequest):
             return _runtime.scenario_grid_tasks(request.cells()), list
+        if isinstance(request, ServeRequest):
+            tasks = _runtime.serving_grid([request.build_spec()])
+
+            def assemble_serving(results: List[Any]) -> Any:
+                return results[0]
+
+            return tasks, assemble_serving
         return None
 
     def gather(self) -> List[Result]:
@@ -336,28 +374,35 @@ class Session:
         results: List[Optional[Result]] = [None] * len(pending)
         if pooled:
             start = time.perf_counter()
-            before = (
-                self._store.stats.as_dict() if self._store is not None else None
-            )
-            record_before = (
-                self.registry.last_recorded if self.registry else None
-            )
+            before = self._store.stats.as_dict() if self._store is not None else None
+            record_before = self.registry.last_recorded if self.registry else None
             all_tasks = [task for _, tasks, _ in pooled for task in tasks]
             flat = run_tasks(all_tasks, jobs=self.jobs, cache=self._cache_arg())
             if self.registry is not None:
+                delta = None
+                if before is not None:
+                    after = self._store.stats.as_dict()
+                    delta = {name: after[name] - before[name] for name in after}
                 self.registry.record(
-                    kind="batch", tasks=all_tasks, results=flat,
-                    duration_s=time.perf_counter() - start, jobs=self.jobs,
+                    kind="batch",
+                    tasks=all_tasks,
+                    results=flat,
+                    duration_s=time.perf_counter() - start,
+                    jobs=self.jobs,
+                    cache_stats=delta,
                 )
             offset = 0
             for i, tasks, assemble in pooled:
-                slice_ = flat[offset:offset + len(tasks)]
+                slice_ = flat[offset : offset + len(tasks)]
                 offset += len(tasks)
                 results[i] = Result(
                     request=pending[i],
                     payload=assemble(slice_),
                     provenance=self._provenance(
-                        pending[i], start, before, record_before,
+                        pending[i],
+                        start,
+                        before,
+                        record_before,
                         batched=True,
                     ),
                 )

@@ -26,6 +26,13 @@ Commands:
   ``--instances``, plus ``--decode-instances`` for a decode mix,
   ``--mixed-models`` for one schedule spanning several embedding
   widths, and ``--dram-bw`` for shared-memory-bandwidth contention).
+- ``serve``             — open-loop serving simulation: seeded Poisson
+  arrivals (``--rate R1,R2`` in requests per kilocycle, one
+  latency-vs-load row per rate) or a replayable ``--trace`` file join a
+  running schedule through a continuous-batching window
+  (``--max-inflight``), reporting TTFT/TBT/p50/p99 latency and goodput
+  at ``--deadline``.  Per-rate points batch through
+  ``Session.submit()/gather()``.
 - ``crosscheck``        — simulate every seed scenario and diff its
   per-array utilization against the analytical models, flagging
   divergence beyond ``--tolerance`` (``--bandwidth`` adds the
@@ -55,6 +62,7 @@ from .api import (
     RequestValidationError,
     ScenarioGridRequest,
     ScenarioRequest,
+    ServeRequest,
     Session,
 )
 from .cascades import (
@@ -67,6 +75,7 @@ from .cascades import (
 from .experiments import crosscheck as _crosscheck
 from .experiments.common import format_table
 from .runtime import ResultCache
+from .serving import parse_trace, serving_csv, serving_json, serving_table
 from .simulator import (
     grid_csv,
     grid_json,
@@ -525,6 +534,73 @@ def _cmd_simulate_scenario(args) -> int:
     return 0
 
 
+def _parse_float_list(text: str, flag: str):
+    """Comma-separated floats, or None after a one-line stderr message
+    (range rules belong to the typed request's ``validate()``)."""
+    try:
+        return tuple(float(item) for item in text.split(","))
+    except ValueError:
+        print(f"invalid {flag} {text!r}: expected comma-separated numbers",
+              file=sys.stderr)
+        return None
+
+
+def _cmd_serve(args) -> int:
+    """Open-loop serving: one latency-vs-load row per offered rate.
+
+    Every rate point becomes one :class:`ServeRequest`; the points batch
+    through ``Session.submit()``/``gather()``, so a multi-rate sweep
+    pools into a single pass of the parallel runtime and reruns are pure
+    cache reads.
+    """
+    if (args.rate is None) == (args.trace is None):
+        print("exactly one of --rate and --trace must be given",
+              file=sys.stderr)
+        return 2
+    common = dict(
+        duration=args.duration, seed=args.seed, chunks=args.chunks,
+        decode_tokens=args.decode_tokens, max_inflight=args.max_inflight,
+        deadline=args.deadline, binding=args.binding,
+        array_dim=args.array_dim, pe_1d=args.pe1d, slots=args.slots,
+        dram_bw=args.dram_bw,
+    )
+    if args.trace is not None:
+        try:
+            with open(args.trace) as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"cannot read --trace {args.trace}: {error}",
+                  file=sys.stderr)
+            return 2
+        try:
+            arrivals = parse_trace(text)
+        except ValueError as error:
+            print(f"--trace {args.trace}: {error}", file=sys.stderr)
+            return 2
+        requests = [ServeRequest(trace=arrivals, **common)]
+    else:
+        rates = _parse_float_list(args.rate, "--rate")
+        if rates is None:
+            return 2
+        requests = [ServeRequest(rate=rate, **common) for rate in rates]
+    session = _session(args)
+    try:
+        for request in requests:
+            session.submit(request)
+    except RequestValidationError as error:
+        for message in error.errors:
+            print(message, file=sys.stderr)
+        return 2
+    results = session.gather()
+    rows = [result.payload for result in results]
+    render = {"table": serving_table, "csv": serving_csv,
+              "json": serving_json}
+    fmt = args.format or "table"
+    _emit_rows(args, fmt, render[fmt](rows), len(rows), "serving points",
+               results[0].provenance)
+    return 0
+
+
 def _cmd_crosscheck(args) -> int:
     """Simulated vs analytical utilization over the seed scenarios."""
     result = _session(args).run(CrosscheckRequest(
@@ -739,6 +815,82 @@ def main(argv=None) -> int:
         help="record the sweep as JSON under DIR",
     )
     _add_runtime_args(simulate)
+    serve = sub.add_parser(
+        "serve",
+        help="open-loop serving simulation: arrivals, continuous "
+             "batching, SLO metrics",
+    )
+    serve.add_argument(
+        "--rate", metavar="R1,R2", default=None,
+        help="offered load(s) in requests per kilocycle; one "
+             "latency-vs-load row per rate (seeded Poisson arrivals)",
+    )
+    serve.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="replay an explicit arrival trace ('at chunks "
+             "[decode_tokens]' per line; mutually exclusive with --rate)",
+    )
+    serve.add_argument(
+        "--duration", type=_positive_int, default=None, metavar="C",
+        help="generate arrivals over C cycles with --rate (default 32768)",
+    )
+    serve.add_argument(
+        "--seed", type=_nonnegative_int, default=None, metavar="S",
+        help="arrival-process seed with --rate (default 0); equal "
+             "(rate, duration, seed) replay identical traces",
+    )
+    serve.add_argument(
+        "--chunks", type=_positive_int, default=None, metavar="N",
+        help="prefill M1 chunks per generated request (default 8)",
+    )
+    serve.add_argument(
+        "--decode-tokens", type=_nonnegative_int, default=None, metavar="T",
+        help="decode steps per generated request (default 4)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=_positive_int, default=None, metavar="K",
+        help="continuous-batching window: max requests in flight "
+             "(default 8)",
+    )
+    serve.add_argument(
+        "--deadline", type=_positive_int, default=None, metavar="C",
+        help="SLO deadline in cycles from arrival to last token; "
+             "fills the goodput column",
+    )
+    serve.add_argument(
+        "--binding", choices=BINDINGS, default="interleaved",
+        help="binding discipline to schedule (default: interleaved)",
+    )
+    serve.add_argument(
+        "--array-dim", type=_positive_int, default=None, metavar="D",
+        help="PE-array dimension (1D array sized to match; default 256)",
+    )
+    serve.add_argument(
+        "--pe1d", type=_positive_int, default=None, metavar="P",
+        help="1D-array lanes (default: matched to --array-dim)",
+    )
+    serve.add_argument(
+        "--slots", type=_positive_int, default=None, metavar="K",
+        help="interleaved issue slots requests contend for (default 2)",
+    )
+    serve.add_argument(
+        "--dram-bw", type=float, default=None, metavar="B",
+        help="shared DRAM bandwidth in bytes/cycle: every request's "
+             "traffic contends for one memory link (default: unmodeled)",
+    )
+    serve.add_argument(
+        "--format", choices=("table", "csv", "json"), default=None,
+        help="output format (default: table)",
+    )
+    serve.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the serving rows to FILE instead of stdout",
+    )
+    serve.add_argument(
+        "--registry", metavar="DIR", default=None,
+        help="record the batched run as JSON under DIR",
+    )
+    _add_runtime_args(serve)
     check = sub.add_parser(
         "crosscheck",
         help="simulated vs analytical utilization over the seed scenarios",
@@ -776,6 +928,8 @@ def main(argv=None) -> int:
         return _cmd_passes(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "crosscheck":
         return _cmd_crosscheck(args)
     parser.error(f"unknown command {args.command!r}")

@@ -29,12 +29,14 @@ from .executor import (
     run_tasks,
     scenario_grid,
     scenario_grid_tasks,
+    serving_grid,
     sweep_attention,
     sweep_bindings,
     sweep_inference,
     sweep_pareto,
     sweep_scenario_grid,
     sweep_scenarios,
+    sweep_serving,
 )
 from .registry import RunRecord, RunRegistry, result_digest
 
@@ -60,10 +62,12 @@ __all__ = [
     "run_tasks",
     "scenario_grid",
     "scenario_grid_tasks",
+    "serving_grid",
     "sweep_attention",
     "sweep_bindings",
     "sweep_inference",
     "sweep_pareto",
     "sweep_scenario_grid",
     "sweep_scenarios",
+    "sweep_serving",
 ]

@@ -23,6 +23,7 @@ from typing import Any, Dict, Optional
 from ..arch.energy import EnergyBreakdown
 from ..model.metrics import AttentionResult, InferenceResult
 from ..model.pareto import DesignPoint
+from ..serving import ServingResult, decode_serving_result, encode_serving_result
 from ..simulator.sweep import (
     BindingResult,
     ScenarioGridResult,
@@ -146,6 +147,8 @@ def encode_result(result: Any) -> Dict[str, Any]:
         return encode_scenario_result(result)
     if isinstance(result, ScenarioGridResult):
         return encode_scenario_grid_result(result)
+    if isinstance(result, ServingResult):
+        return encode_serving_result(result)
     raise TypeError(f"cannot encode result of type {type(result).__name__}")
 
 
@@ -187,6 +190,8 @@ def decode_result(payload: Dict[str, Any]) -> Any:
         return decode_scenario_result(payload)
     if kind == "ScenarioGridResult":
         return decode_scenario_grid_result(payload)
+    if kind == "ServingResult":
+        return decode_serving_result(payload)
     raise ValueError(f"cannot decode result payload tagged {kind!r}")
 
 

@@ -30,13 +30,14 @@ from ..simulator.sweep import (
     evaluate_binding_point,
     evaluate_scenario_point,
 )
+from ..serving import ServingSpec, simulate_serving
 from ..workloads.models import BATCH_SIZE, MODELS, ModelConfig, SEQUENCE_LENGTHS
 from ..workloads.scenario import Scenario
 from .cache import cache_key, canonical, resolve_cache
 from .registry import RunRegistry
 
 #: Task kinds understood by :func:`evaluate_task`.
-KINDS = ("attention", "inference", "pareto", "binding", "scenario", "scenario_grid")
+KINDS = ("attention", "inference", "pareto", "binding", "scenario", "scenario_grid", "serve")
 
 
 @dataclass(frozen=True)
@@ -93,6 +94,8 @@ def evaluate_task(task: EvalTask) -> Any:
         return evaluate_scenario_point(task.config)
     if task.kind == "scenario_grid":
         return evaluate_grid_cell(task.config)
+    if task.kind == "serve":
+        return simulate_serving(task.config)
     raise ValueError(f"unknown task kind {task.kind!r}; have {KINDS}")
 
 
@@ -373,6 +376,34 @@ def sweep_scenario_grid(
     cache under the ``"scenario_grid"`` task kind."""
     tasks = scenario_grid_tasks(cells)
     return _sweep(tasks, "scenario_grid", jobs, cache, registry)
+
+
+def serving_grid(specs: Sequence[ServingSpec]) -> List[EvalTask]:
+    """One runtime task per serving workload (kind ``"serve"``).
+
+    The whole :class:`~repro.serving.ServingSpec` rides in ``config``,
+    so the cache key covers the full arrival trace alongside the array
+    configuration, window, and deadline — replaying a seeded trace hits
+    the cache, changing any arrival misses it."""
+    return [EvalTask("serve", spec, None, spec.seq_len) for spec in specs]
+
+
+def sweep_serving(
+    specs: Sequence[ServingSpec],
+    *,
+    jobs: int = 1,
+    cache: Any = True,
+    registry: Optional[RunRegistry] = None,
+) -> List[Any]:
+    """Open-loop serving simulation of each spec, index-aligned.
+
+    A rate sweep passes one spec per offered-load point and reads the
+    returned :class:`~repro.serving.ServingResult` rows back as a
+    latency-vs-load curve.  Points fan out over processes and
+    content-address into the cache under the ``"serve"`` task kind, so
+    rerunning a seeded sweep is a pure cache read."""
+    tasks = serving_grid(specs)
+    return _sweep(tasks, "serve", jobs, cache, registry)
 
 
 def sweep_pareto(

@@ -1,0 +1,52 @@
+"""Open-loop serving simulator: arrivals, continuous batching, SLO metrics.
+
+Layered on the event core (:mod:`repro.simulator`): a seeded arrival
+process emits prefill→decode requests that join and leave a running
+merged schedule through a FIFO continuous-batching window, and the
+scheduled timeline reduces to the numbers a serving stack quotes —
+TTFT, time between tokens, p50/p99 latency, goodput at a deadline.
+"""
+
+from .arrivals import Arrival, check_sorted, format_trace, parse_trace, poisson_arrivals
+from .metrics import (
+    SERVE_FIELDS,
+    RequestMetrics,
+    ServingResult,
+    decode_serving_result,
+    encode_serving_result,
+    percentile,
+    serving_csv,
+    serving_json,
+    serving_table,
+)
+from .simulator import (
+    CLOCK_RESOURCE,
+    RequestPlan,
+    ServingSpec,
+    build_serving_tasks,
+    serving_sim,
+    simulate_serving,
+)
+
+__all__ = [
+    "CLOCK_RESOURCE",
+    "SERVE_FIELDS",
+    "Arrival",
+    "RequestMetrics",
+    "RequestPlan",
+    "ServingResult",
+    "ServingSpec",
+    "build_serving_tasks",
+    "check_sorted",
+    "decode_serving_result",
+    "encode_serving_result",
+    "format_trace",
+    "parse_trace",
+    "percentile",
+    "poisson_arrivals",
+    "serving_csv",
+    "serving_json",
+    "serving_sim",
+    "serving_table",
+    "simulate_serving",
+]

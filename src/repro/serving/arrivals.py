@@ -1,0 +1,134 @@
+"""Arrival processes for the open-loop serving simulator.
+
+An :class:`Arrival` is one request hitting the accelerator: a timestamp
+(in cycles) plus the request's shape — how many prefill M1 chunks its
+prompt spans and how many decode steps it runs after the first token.
+Two generators produce them:
+
+- :func:`poisson_arrivals` — a seeded open-loop Poisson process at a
+  given offered load (requests per kilocycle).  The generator draws
+  exponential inter-arrival gaps from ``random.Random(seed)``, so the
+  same ``(rate, duration, seed)`` always replays the same trace and the
+  CLI's ``repro serve --rate R --seed S`` is bit-reproducible.
+- :func:`parse_trace` — a replayable trace file (one ``at chunks
+  decode_tokens`` line per request), the exact-workload counterpart for
+  regression traces and hand-built mini-schedules.
+
+Arrival times must be non-decreasing: the continuous-batching admission
+window is FIFO in arrival order, so an out-of-order trace is a spec
+error, not a reorderable input.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+__all__ = [
+    "Arrival",
+    "check_sorted",
+    "format_trace",
+    "parse_trace",
+    "poisson_arrivals",
+]
+
+#: Cycles per "kilocycle", the unit offered load is quoted in.
+KILO = 1000
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One request: arrival time (cycles) and its prefill/decode shape."""
+
+    at: int
+    chunks: int
+    decode_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"arrival time must be >= 0, got {self.at}")
+        if self.chunks < 1:
+            raise ValueError(f"arrival chunks must be >= 1, got {self.chunks}")
+        if self.decode_tokens < 0:
+            raise ValueError(f"arrival decode_tokens must be >= 0, got {self.decode_tokens}")
+
+
+def check_sorted(arrivals: Iterable[Arrival]) -> Tuple[Arrival, ...]:
+    """Validate that ``arrivals`` come in non-decreasing time order.
+
+    Admission is FIFO in arrival order, so a decreasing timestamp would
+    silently reorder the queue; reject it where the trace is built.
+    """
+    ordered = tuple(arrivals)
+    for prev, this in zip(ordered, ordered[1:]):
+        if this.at < prev.at:
+            raise ValueError(f"arrival times must be non-decreasing, got {prev.at} then {this.at}")
+    return ordered
+
+
+def poisson_arrivals(
+    rate: float,
+    duration: int,
+    *,
+    seed: int = 0,
+    chunks: int = 8,
+    decode_tokens: int = 4,
+) -> Tuple[Arrival, ...]:
+    """A seeded Poisson arrival trace at ``rate`` requests/kilocycle.
+
+    Exponential inter-arrival gaps accumulate from t=0 until ``duration``
+    cycles; each arrival lands at the floor of its exact time.  The draw
+    sequence is a pure function of ``seed``, so equal ``(rate, duration,
+    seed)`` triples replay identical traces, and scaling ``rate`` with a
+    fixed seed rescales the *same* gap sequence — the property the
+    goodput-monotonicity tests lean on.
+    """
+    if not rate > 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    if duration < 1:
+        raise ValueError(f"duration must be >= 1, got {duration}")
+    rng = random.Random(seed)
+    per_cycle = rate / KILO
+    arrivals: List[Arrival] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(per_cycle)
+        if t >= duration:
+            return tuple(arrivals)
+        arrivals.append(Arrival(int(t), chunks, decode_tokens))
+
+
+def parse_trace(text: str) -> Tuple[Arrival, ...]:
+    """Parse a replayable trace: one request per line.
+
+    Each line is ``at chunks decode_tokens`` (whitespace- or
+    comma-separated; ``decode_tokens`` defaults to 0 when omitted).
+    Blank lines and ``#`` comments are skipped.  Times must be
+    non-decreasing (see :func:`check_sorted`).
+    """
+    arrivals: List[Arrival] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.replace(",", " ").split()
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"trace line {lineno}: expected 'at chunks [decode_tokens]', got {raw!r}"
+            )
+        try:
+            values = [int(part) for part in parts]
+        except ValueError:
+            raise ValueError(f"trace line {lineno}: non-integer field in {raw!r}") from None
+        at, chunks = values[0], values[1]
+        decode_tokens = values[2] if len(values) == 3 else 0
+        arrivals.append(Arrival(at, chunks, decode_tokens))
+    return check_sorted(arrivals)
+
+
+def format_trace(arrivals: Iterable[Arrival]) -> str:
+    """Render arrivals in the :func:`parse_trace` format (round-trips)."""
+    lines = ["# at chunks decode_tokens"]
+    lines.extend(f"{a.at} {a.chunks} {a.decode_tokens}" for a in arrivals)
+    return "\n".join(lines) + "\n"

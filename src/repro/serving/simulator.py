@@ -1,0 +1,302 @@
+"""Open-loop serving on the event core: arrivals joining a live schedule.
+
+Closed scenarios declare every instance up front; a serving stack sees
+requests *arrive*.  This module bridges the two without touching either
+scheduling engine, by encoding the dynamics as ordinary task-graph
+structure:
+
+- **Arrivals** become a chain of zero-fan-in ``CLK[g]`` tasks on a
+  dedicated ``clock`` resource, one per distinct arrival time, each
+  lasting the gap to the previous one — so ``CLK[g]`` *finishes* exactly
+  at arrival time ``t_g``, and a request gated on its clock task cannot
+  start early.  One chained resource keeps the event core's per-event
+  resource scan O(1) in the request count.
+- **Continuous batching** is a FIFO admission window: request ``j``'s
+  dependency-free tasks additionally wait on the completion sinks of
+  request ``j - max_inflight``, so at most ``max_inflight`` requests are
+  in flight and a finishing request frees its slot to the next arrival —
+  admission, not reordering, exactly like a serving scheduler's queue.
+- **Requests** are the existing per-instance graphs: one prefill graph
+  (:func:`~repro.simulator.pipeline.build_tasks`) chained into
+  ``decode_tokens`` decode steps
+  (:func:`~repro.simulator.pipeline.build_decode_tasks`), each step
+  gated on the previous step's accumulate.  Per-request
+  :func:`~repro.simulator.engine.lower_dram` makes DRAM transfers
+  arrive-gated too (the lowering is per-task-local, so lowering per
+  request equals lowering the merged graph).
+
+Everything else — array-slot contention, issue disciplines, DRAM
+bandwidth arbitration, the event/cycle engine equivalence — applies to
+the dynamic population unchanged, because the population *is* a static
+graph once the clock chain encodes time.
+
+An all-zero arrival batch with a wide-open window degenerates to the
+closed :class:`~repro.workloads.scenario.Scenario` schedule exactly
+(the clock tasks are zero-duration, hence done at t=0 and stripped by
+the dependency frontier) — the equivalence ``tests/test_serving.py``
+locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..simulator.engine import SimResult, Simulator, Task, lower_dram
+from ..simulator.pipeline import PipelineConfig, build_decode_tasks, build_tasks
+from ..workloads.scenario import BINDINGS
+from .arrivals import Arrival, check_sorted
+from .metrics import RequestMetrics, ServingResult
+
+__all__ = [
+    "CLOCK_RESOURCE",
+    "RequestPlan",
+    "ServingSpec",
+    "build_serving_tasks",
+    "serving_sim",
+    "simulate_serving",
+]
+
+#: Resource name of the arrival clock chain (never contended: the chain
+#: is linear, so at most one clock task is ready at a time).
+CLOCK_RESOURCE = "clock"
+
+
+@dataclass(frozen=True)
+class ServingSpec:
+    """One open-loop serving workload over one array configuration.
+
+    Like :class:`~repro.workloads.scenario.Scenario`, the spec is
+    declarative and complete: equal specs describe the same schedule and
+    any field difference changes the runtime cache key (task kind
+    ``"serve"``).  ``rate`` records the offered load that generated
+    ``arrivals`` (None for trace-driven workloads) — it is reporting
+    metadata, but deliberately part of the identity.  ``deadline`` is
+    the SLO (cycles from arrival to last token) that goodput is
+    measured against; ``max_inflight`` is the continuous-batching
+    window.  ``slots`` normalizes to 1 under ``tile-serial`` exactly as
+    scenarios do.
+    """
+
+    name: str
+    arrivals: Tuple[Arrival, ...]
+    binding: str = "interleaved"
+    embedding: int = 64
+    array_dim: int = 256
+    pe_1d: Optional[int] = None
+    slots: int = 2
+    max_inflight: int = 8
+    deadline: Optional[int] = None
+    dram_bw: Optional[float] = None
+    rate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        check_sorted(self.arrivals)
+        if self.binding not in BINDINGS:
+            raise ValueError(f"unknown binding {self.binding!r}; have {BINDINGS}")
+        if self.embedding < 1:
+            raise ValueError(f"embedding must be >= 1, got {self.embedding}")
+        if self.array_dim < 1:
+            raise ValueError(f"array_dim must be >= 1, got {self.array_dim}")
+        if self.pe_1d is not None and self.pe_1d < 1:
+            raise ValueError(f"pe_1d must be >= 1, got {self.pe_1d}")
+        if self.slots < 1:
+            raise ValueError(f"slots must be >= 1, got {self.slots}")
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.deadline is not None and self.deadline < 1:
+            raise ValueError(f"deadline must be >= 1, got {self.deadline}")
+        if self.dram_bw is not None and not self.dram_bw > 0:
+            raise ValueError(f"dram_bw must be > 0, got {self.dram_bw}")
+        if self.rate is not None and not self.rate > 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.binding == "tile-serial":
+            object.__setattr__(self, "slots", 1)
+
+    @property
+    def resolved_pe_1d(self) -> int:
+        return self.pe_1d if self.pe_1d is not None else self.array_dim
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def seq_len(self) -> int:
+        """Longest per-request prefill length (for grid summaries)."""
+        chunks = [a.chunks for a in self.arrivals]
+        return max(chunks, default=0) * self.array_dim
+
+    def describe(self) -> str:
+        """One-line summary for CLI output and run-registry records."""
+        load = "trace" if self.rate is None else f"rate={self.rate:g}/kcy"
+        tail = f"E={self.embedding}"
+        if self.dram_bw is not None:
+            tail += f", bw={self.dram_bw:g}"
+        if self.deadline is not None:
+            tail += f", slo={self.deadline}"
+        return (
+            f"{self.name}: {self.n_requests}req ({load}, window {self.max_inflight}) on "
+            f"{self.array_dim}x{self.array_dim}+{self.resolved_pe_1d} ({self.binding}, {tail})"
+        )
+
+
+@dataclass(frozen=True)
+class RequestPlan:
+    """Where one request's milestones live in the built graph.
+
+    ``gate`` names the tasks whose completion admits the request (its
+    clock task, plus the window predecessor's finish sinks);
+    ``prefill_sinks`` complete when its first token is ready;
+    ``token_sinks`` hold one accumulate task per decode token.
+    """
+
+    index: int
+    arrival: Arrival
+    gate: Tuple[str, ...]
+    prefill_sinks: Tuple[str, ...]
+    token_sinks: Tuple[str, ...]
+
+    @property
+    def finish_sinks(self) -> Tuple[str, ...]:
+        """Tasks whose completion ends the request (last decode token,
+        or the prefill sinks for a prefill-only request)."""
+        return (self.token_sinks[-1],) if self.token_sinks else self.prefill_sinks
+
+
+def _sinks(tasks: Sequence[Task]) -> Tuple[str, ...]:
+    """Tasks no other task in ``tasks`` depends on, in build order."""
+    depended = {dep for task in tasks for dep in task.deps}
+    return tuple(task.name for task in tasks if task.name not in depended)
+
+
+def _gated(tasks: Sequence[Task], gate: Tuple[str, ...]) -> List[Task]:
+    """Hang every dependency-free task on ``gate`` (arrival + window)."""
+    return [replace(task, deps=gate) if not task.deps else task for task in tasks]
+
+
+def build_serving_tasks(spec: ServingSpec) -> Tuple[List[Task], List[RequestPlan]]:
+    """The full serving graph: clock chain + gated request graphs.
+
+    Returns the merged task list plus one :class:`RequestPlan` per
+    arrival, index-aligned with ``spec.arrivals``.
+    """
+    serial = spec.binding == "tile-serial"
+    tasks: List[Task] = []
+    # One clock task per *distinct* arrival time: a duration-0 segment in
+    # the middle of the chain would be treated as done at t=0 by the
+    # dependency frontier, so requests sharing a timestamp share a gate.
+    # (The only zero-duration clock task is a first arrival at t=0,
+    # where done-at-0 is exactly right.)
+    gate_of = {}
+    prev_time = 0
+    prev_name: Optional[str] = None
+    for g, time in enumerate(sorted({a.at for a in spec.arrivals})):
+        name = f"CLK[{g}]"
+        deps = () if prev_name is None else (prev_name,)
+        tasks.append(Task(name, CLOCK_RESOURCE, time - prev_time, deps))
+        gate_of[time] = name
+        prev_time, prev_name = time, name
+
+    plans: List[RequestPlan] = []
+    for index, arrival in enumerate(spec.arrivals):
+        prefix = f"r{index}:"
+        config = PipelineConfig(
+            chunks=arrival.chunks,
+            embedding=spec.embedding,
+            array_dim=spec.array_dim,
+            pe_1d=spec.resolved_pe_1d,
+        )
+        graph = build_tasks(config, serial=serial, prefix=prefix)
+        prefill_sinks = _sinks(graph)
+        prev_sinks = prefill_sinks
+        token_sinks: List[str] = []
+        for step in range(arrival.decode_tokens):
+            step_tasks = build_decode_tasks(config, prefix=f"{prefix}t{step}:")
+            # Chain: the step's dependency-free tasks wait on the
+            # previous step's accumulate (or the prefill sinks).
+            step_tasks = _gated(step_tasks, prev_sinks)
+            prev_sinks = _sinks(step_tasks)
+            token_sinks.extend(prev_sinks)
+            graph.extend(step_tasks)
+        # Lower DRAM traffic per request *before* gating, so the
+        # transfer tasks are arrive-gated too (the memory system cannot
+        # stream a request that has not arrived).  lower_dram inserts
+        # per task, so per-request lowering equals whole-graph lowering.
+        graph = lower_dram(graph, spec.dram_bw)
+        gate = (gate_of[arrival.at],)
+        if index >= spec.max_inflight:
+            gate = gate + plans[index - spec.max_inflight].finish_sinks
+        tasks.extend(_gated(graph, gate))
+        plans.append(
+            RequestPlan(
+                index=index,
+                arrival=arrival,
+                gate=gate,
+                prefill_sinks=prefill_sinks,
+                token_sinks=tuple(token_sinks),
+            )
+        )
+    return tasks, plans
+
+
+def serving_sim(
+    spec: ServingSpec, engine: str = "event"
+) -> Tuple[List[Task], List[RequestPlan], SimResult]:
+    """Build and schedule ``spec``'s serving graph."""
+    tasks, plans = build_serving_tasks(spec)
+    sim = Simulator(
+        tasks,
+        mode="serial" if spec.binding == "tile-serial" else "interleaved",
+        slots=spec.slots,
+        engine=engine,
+    )
+    # Same budget argument as the closed scenarios: while work remains,
+    # some resource issues every cycle — during arrival gaps that
+    # resource is the clock chain itself — so the makespan can never
+    # exceed the summed durations.
+    budget = sum(task.duration for task in tasks) + 1
+    return tasks, plans, sim.run(max_cycles=budget)
+
+
+def simulate_serving(spec: ServingSpec, engine: str = "event") -> ServingResult:
+    """Schedule one serving workload and reduce it to SLO metrics."""
+    if spec.arrivals:
+        tasks, plans, result = serving_sim(spec, engine=engine)
+        finish = result.finish_times
+        requests = tuple(
+            RequestMetrics(
+                index=plan.index,
+                arrival=plan.arrival.at,
+                chunks=plan.arrival.chunks,
+                decode_tokens=plan.arrival.decode_tokens,
+                admitted=max(finish[name] for name in plan.gate),
+                first_token=max(finish[name] for name in plan.prefill_sinks),
+                finish=max(finish[name] for name in plan.finish_sinks),
+            )
+            for plan in plans
+        )
+        n_tasks, makespan, busy = len(tasks), result.makespan, result.busy_cycles
+    else:
+        # An empty trace (e.g. a duration shorter than the first draw)
+        # is a valid, trivially idle workload.
+        requests, n_tasks, makespan, busy = (), 0, 0, {}
+    return ServingResult(
+        name=spec.name,
+        binding=spec.binding,
+        rate=spec.rate,
+        max_inflight=spec.max_inflight,
+        deadline=spec.deadline,
+        array_dim=spec.array_dim,
+        pe_1d=spec.resolved_pe_1d,
+        embedding=spec.embedding,
+        slots=spec.slots,
+        dram_bw=spec.dram_bw,
+        n_tasks=n_tasks,
+        makespan=makespan,
+        busy_2d=busy.get("2d", 0),
+        busy_1d=busy.get("1d", 0),
+        busy_io=busy.get("io", 0),
+        busy_dram=busy.get("dram", 0),
+        requests=requests,
+    )

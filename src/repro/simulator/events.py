@@ -62,9 +62,7 @@ from .engine import SimResult, Task, _dependency_frontier
 _DEADLOCK = "simulation exceeded max_cycles (deadlock?)"
 
 
-def run_event_driven(
-    tasks: Sequence[Task], slots: int, max_cycles: int
-) -> SimResult:
+def run_event_driven(tasks: Sequence[Task], slots: int, max_cycles: int) -> SimResult:
     """Schedule ``tasks`` event by event; see the module docstring.
 
     ``slots`` is the effective issue width (1 for the serial discipline).
@@ -76,9 +74,7 @@ def run_event_driven(
     resources = sorted({t.resource for t in tasks})
     # Readiness semantics are shared with the cycle engine verbatim —
     # the bit-identical guarantee starts here.
-    done, finish, order, dependents, outstanding, pending = (
-        _dependency_frontier(tasks, resources)
-    )
+    done, finish, order, dependents, outstanding, pending = _dependency_frontier(tasks, resources)
     total_nonzero = len(tasks) - len(done)
 
     # Per-resource schedule state.  ``active`` holds [name, remaining]
@@ -175,9 +171,7 @@ def run_event_driven(
                 outstanding[dependent] -= 1
                 if outstanding[dependent] == 0:
                     resource = resource_of[dependent]
-                    heappush(
-                        pending[resource], (order[dependent], dependent)
-                    )
+                    heappush(pending[resource], (order[dependent], dependent))
                     touched.add(resource)
         for resource in touched:
             leak = advance(resource, now)  # arrival-only resources catch up

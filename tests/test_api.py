@@ -26,11 +26,13 @@ from repro.api import (
     RequestValidationError,
     ScenarioGridRequest,
     ScenarioRequest,
+    ServeRequest,
     Session,
 )
 from repro.runtime import ResultCache, RunRegistry
 from repro.runtime import executor as _runtime
 from repro.runtime.cache import code_version
+from repro.serving import Arrival, poisson_arrivals, simulate_serving
 from repro.simulator import evaluate_scenario_point
 from repro.workloads import BERT
 from repro.workloads.scenario import attention_scenario, heterogeneous_scenario
@@ -245,6 +247,62 @@ class TestOtherRequestValidation:
             models=(), extra_scenarios=(attention_scenario(1, 4),),
         ).validate()
 
+    def test_serve_rate_xor_trace(self):
+        errors = violations(ServeRequest())
+        assert "exactly one of rate and trace must be given" in errors
+        errors = violations(ServeRequest(rate=1.0, trace=(Arrival(0, 4),)))
+        assert "exactly one of rate and trace must be given" in errors
+        ServeRequest(rate=1.0).validate()
+        ServeRequest(trace=(Arrival(0, 4),)).validate()
+
+    def test_serve_rate_only_fields_rejected_with_trace(self):
+        errors = violations(ServeRequest(
+            trace=(Arrival(0, 4),), duration=1024, seed=1, chunks=4,
+            decode_tokens=2,
+        ))
+        assert sum("applies to rate-driven serving only" in e
+                   for e in errors) == 4
+
+    def test_serve_trace_shape(self):
+        errors = violations(ServeRequest(trace=()))
+        assert "trace must name at least one arrival" in errors
+        errors = violations(
+            ServeRequest(trace=(Arrival(64, 4), Arrival(0, 4)))
+        )
+        assert any("non-decreasing" in e for e in errors)
+
+    def test_serve_positivity_and_binding(self):
+        errors = violations(ServeRequest(
+            rate=0.0, max_inflight=0, deadline=0, dram_bw=-1.0,
+            binding="spiral",
+        ))
+        assert any("rate must be > 0" in e for e in errors)
+        assert any("max_inflight must be >= 1" in e for e in errors)
+        assert any("deadline must be >= 1" in e for e in errors)
+        assert any("dram_bw must be > 0" in e for e in errors)
+        assert any("unknown binding 'spiral'" in e for e in errors)
+        errors = violations(ServeRequest(rate=1.0, seed=-1, decode_tokens=-1))
+        assert any("seed must be >= 0" in e for e in errors)
+        assert any("decode_tokens must be >= 0" in e for e in errors)
+
+    def test_serve_slots_interleaved_only(self):
+        errors = violations(
+            ServeRequest(rate=1.0, binding="tile-serial", slots=4)
+        )
+        assert "slots applies to the interleaved binding only" in errors
+        ServeRequest(rate=1.0, binding="interleaved", slots=4).validate()
+
+    def test_serve_build_spec_defaults(self):
+        spec = ServeRequest(rate=0.5, seed=3).build_spec()
+        assert spec.name == "poisson-r0.5-s3"
+        assert spec.rate == 0.5
+        assert spec.max_inflight == 8 and spec.slots == 2
+        assert spec.arrivals == poisson_arrivals(0.5, 32768, seed=3)
+        trace_spec = ServeRequest(trace=(Arrival(0, 4, 2),)).build_spec()
+        assert trace_spec.name == "trace-1req"
+        assert trace_spec.rate is None
+        assert trace_spec.arrivals == (Arrival(0, 4, 2),)
+
     def test_crosscheck_rules(self):
         CrosscheckRequest().validate()
         assert any(
@@ -305,6 +363,22 @@ SIGNATURE_MUTATIONS = {
         "slots": 3,
         "dram_bw": 64.0,
         "extra_scenarios": (attention_scenario(1, 4),),
+    },
+    ServeRequest: {
+        "rate": 0.5,
+        "duration": 16384,
+        "seed": 7,
+        "trace": (Arrival(0, 4, 2),),
+        "chunks": 4,
+        "decode_tokens": 2,
+        "max_inflight": 4,
+        "deadline": 5000,
+        "binding": "tile-serial",
+        "embedding": 32,
+        "array_dim": 128,
+        "pe_1d": 64,
+        "slots": 3,
+        "dram_bw": 64.0,
     },
     CrosscheckRequest: {
         "tolerance": 0.1,
@@ -428,6 +502,31 @@ class TestSession:
         assert cell.sim == evaluate_scenario_point(het)
         assert cell.estimate == "overlap-bound"
         assert 0 < cell.est_util_2d <= 1
+
+    def test_serve_payload_matches_simulator(self):
+        request = ServeRequest(
+            rate=0.5, duration=8192, array_dim=64, deadline=4000,
+        )
+        payload = Session(cache=False).run(request).payload
+        assert payload == simulate_serving(request.build_spec())
+        assert payload.goodput is not None
+
+    def test_serve_submit_gather_pools_rate_points(self, tmp_path):
+        requests = [
+            ServeRequest(rate=rate, duration=8192, array_dim=64)
+            for rate in (0.2, 0.4)
+        ]
+        session = Session(cache=ResultCache(), registry=tmp_path / "runs")
+        for request in requests:
+            session.submit(request)
+        gathered = session.gather()
+        single = Session(cache=False)
+        for request, result in zip(requests, gathered):
+            assert result.provenance.batched
+            assert result.payload == single.run(request).payload
+        registry = RunRegistry(tmp_path / "runs")
+        (run_id,) = registry.list_runs()
+        assert registry.load(run_id).kind == "batch"
 
     def test_submit_gather_matches_individual_runs(self, tmp_path):
         requests = [

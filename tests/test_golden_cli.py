@@ -58,6 +58,16 @@ CASES = [
       "--seq-lens", "1024"], "sweep-inference.txt"),
     (["crosscheck"], "crosscheck.txt"),
     (["fig6"], "fig6.txt"),
+    # Open-loop serving (this PR): the seeded rate sweep, the default
+    # table, and a trace-driven point are each locked byte-for-byte —
+    # `repro serve --rate R --seed S` must replay identically forever.
+    (["serve", "--rate", "0.2,0.4", "--duration", "16384", "--seed", "11",
+      "--array-dim", "128", "--deadline", "8000", "--decode-tokens", "2",
+      "--format", "csv"], "serve-rate-sweep.csv"),
+    (["serve", "--rate", "0.5", "--duration", "8192", "--array-dim", "64",
+      "--max-inflight", "4", "--decode-tokens", "1"], "serve-oneshot.txt"),
+    (["serve", "--trace", str(GOLDEN / "serve-trace.in"), "--deadline",
+      "2000", "--array-dim", "64", "--format", "json"], "serve-trace.json"),
 ]
 
 

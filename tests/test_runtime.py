@@ -21,12 +21,26 @@ from repro.runtime import (
     result_digest,
     run_tasks,
     scenario_grid,
+    serving_grid,
     sweep_attention,
     sweep_inference,
     sweep_pareto,
+    sweep_serving,
 )
+from repro.serving import Arrival, ServingSpec, poisson_arrivals
 from repro.workloads import BERT, MODELS, SEQUENCE_LENGTHS, T5
 from repro.workloads.scenario import Phase, Scenario, attention_scenario
+
+
+def serving_spec(**overrides):
+    defaults = dict(
+        name="serve-test",
+        arrivals=poisson_arrivals(0.5, 8192, seed=1, chunks=2, decode_tokens=1),
+        array_dim=64,
+        rate=0.5,
+    )
+    defaults.update(overrides)
+    return ServingSpec(**defaults)
 
 SHORT = (1024, 65536)
 
@@ -175,6 +189,62 @@ class TestScenarioCacheKey:
         assert self._key(twin) == self._key(self.BASE)
 
 
+class TestServingCacheKey:
+    """Cache-key completeness for the serve kind: every ServingSpec
+    field is load-bearing, and a rerun of the same spec is a hit."""
+
+    BASE = ServingSpec(
+        name="base",
+        arrivals=(Arrival(0, 2, 1), Arrival(64, 2, 1)),
+        array_dim=64,
+    )
+
+    @staticmethod
+    def _key(spec):
+        (task,) = serving_grid([spec])
+        return cache_key(task.fingerprint(), version="pinned")
+
+    def test_every_field_mutation_changes_key(self):
+        mutations = {
+            "name": "other",
+            "arrivals": (Arrival(0, 2, 1),),
+            "binding": "tile-serial",
+            "embedding": 32,
+            "array_dim": 128,
+            "pe_1d": 128,
+            "slots": 3,
+            "max_inflight": 4,
+            "deadline": 5000,
+            "dram_bw": 64.0,
+            "rate": 0.5,
+        }
+        declared = {f.name for f in dataclasses.fields(ServingSpec)}
+        assert set(mutations) == declared, "new ServingSpec field without a cache-key mutation test"
+        for field, value in mutations.items():
+            mutated = dataclasses.replace(self.BASE, **{field: value})
+            assert self._key(mutated) != self._key(self.BASE), field
+
+    def test_arrival_payload_changes_key(self):
+        shifted = dataclasses.replace(self.BASE, arrivals=(Arrival(0, 2, 1), Arrival(65, 2, 1)))
+        heavier = dataclasses.replace(self.BASE, arrivals=(Arrival(0, 2, 1), Arrival(64, 4, 1)))
+        chattier = dataclasses.replace(self.BASE, arrivals=(Arrival(0, 2, 1), Arrival(64, 2, 3)))
+        keys = {self._key(s) for s in (self.BASE, shifted, heavier, chattier)}
+        assert len(keys) == 4
+
+    def test_serve_cache_hit_on_rerun(self, tmp_path):
+        spec = serving_spec()
+        cache = ResultCache(directory=tmp_path)
+        first = sweep_serving([spec], cache=cache)
+        assert cache.stats.misses == 1 and cache.stats.puts == 1
+        again = sweep_serving([spec], cache=cache)
+        assert cache.stats.memory_hits == 1
+        assert again == first
+        fresh = ResultCache(directory=tmp_path)  # cold memory, warm disk
+        from_disk = sweep_serving([spec], cache=fresh)
+        assert fresh.stats.disk_hits == 1 and fresh.stats.misses == 0
+        assert from_disk == first
+
+
 class TestResultCache:
     def test_memory_hit_after_miss(self, tmp_path):
         cache = ResultCache(directory=tmp_path)
@@ -255,6 +325,13 @@ class TestCodec:
         )
         (task,) = scenario_grid_tasks([cell])
         result = evaluate_task(task)
+        payload = json.loads(json.dumps(encode_result(result)))
+        assert decode_result(payload) == result
+
+    def test_serving_round_trip_exact(self):
+        (task,) = serving_grid([serving_spec(deadline=4000, dram_bw=64.0)])
+        result = evaluate_task(task)
+        assert result.requests  # a non-trivial trace round-trips
         payload = json.loads(json.dumps(encode_result(result)))
         assert decode_result(payload) == result
 
