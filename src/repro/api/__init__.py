@@ -20,8 +20,15 @@ adapters over this package::
 
 ``Session.submit()``/``gather()`` batch heterogeneous requests through a
 single pass of the parallel runtime.
+
+Sessions also own the fault policy: ``Session(retry=RetryPolicy(...),
+on_error="skip")`` retries failed grid points with deterministic backoff
+and degrades exhausted ones to :class:`~repro.runtime.TaskFailure`
+records, with attempt/failure/recovery counts on every result's
+provenance.
 """
 
+from ..runtime import FaultPlan, RetryPolicy, TaskFailure
 from .requests import (
     ENGINES,
     EXPERIMENT_NAMES,
@@ -47,12 +54,15 @@ __all__ = [
     "BindingSweepRequest",
     "CrosscheckRequest",
     "ExperimentRequest",
+    "FaultPlan",
     "Provenance",
     "Request",
     "RequestValidationError",
     "Result",
+    "RetryPolicy",
     "ScenarioGridRequest",
     "ScenarioRequest",
     "ServeRequest",
     "Session",
+    "TaskFailure",
 ]

@@ -25,7 +25,14 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from .. import __version__
-from ..runtime import RunRegistry, run_tasks
+from ..runtime import (
+    ON_ERROR_MODES,
+    ExecutionOutcome,
+    FaultPlan,
+    RetryPolicy,
+    RunRegistry,
+    execute_tasks,
+)
 from ..runtime import executor as _runtime
 from ..runtime.cache import ResultCache, code_version, resolve_cache
 from ..simulator.sweep import evaluate_binding_point, evaluate_scenario_point
@@ -60,6 +67,13 @@ class Provenance:
     result_digest: Optional[str] = None
     recorded_duration_s: Optional[float] = None
     batched: bool = False
+    #: Fault-handling telemetry (None for requests that don't run
+    #: through the pooled executor): total task attempts, tasks that
+    #: exhausted retries under ``on_error="skip"``, tasks that succeeded
+    #: after at least one failed attempt.
+    attempts: Optional[int] = None
+    failures: Optional[int] = None
+    recovered: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -137,6 +151,9 @@ class Session:
         cache: Any = True,
         cache_dir: Optional[Union[str, Path]] = None,
         registry: Optional[Union[str, Path, RunRegistry]] = None,
+        retry: Optional[RetryPolicy] = None,
+        on_error: str = "raise",
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -144,13 +161,23 @@ class Session:
             if cache is False or cache is None:
                 raise ValueError("cache_dir cannot be combined with cache=False")
             cache = ResultCache(directory=cache_dir)
+        if retry is not None:
+            retry.validate()
+        if on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+            )
         self.jobs = jobs
         self._store = resolve_cache(cache)
         self.registry = (
             registry if isinstance(registry, (RunRegistry, type(None)))
             else RunRegistry(registry)
         )
+        self.retry = retry
+        self.on_error = on_error
+        self.faults = faults
         self._pending: List[Request] = []
+        self._last_outcome: Optional[ExecutionOutcome] = None
 
     # -- identity ----------------------------------------------------------
 
@@ -177,15 +204,24 @@ class Session:
         start = time.perf_counter()
         before = self._store.stats.as_dict() if self._store is not None else None
         record_before = self.registry.last_recorded if self.registry else None
+        self._last_outcome = None
         payload = self._dispatch(request)
         return Result(
             request=request,
             payload=payload,
-            provenance=self._provenance(request, start, before, record_before),
+            provenance=self._provenance(
+                request, start, before, record_before, outcome=self._last_outcome
+            ),
         )
 
     def _provenance(
-        self, request, start, before, record_before, batched: bool = False
+        self,
+        request,
+        start,
+        before,
+        record_before,
+        batched: bool = False,
+        outcome: Optional[ExecutionOutcome] = None,
     ) -> Provenance:
         hits = misses = None
         if before is not None:
@@ -212,29 +248,64 @@ class Session:
             result_digest=record.result_digest if record else None,
             recorded_duration_s=record.duration_s if record else None,
             batched=batched,
+            attempts=outcome.attempts if outcome else None,
+            failures=len(outcome.failures) if outcome else None,
+            recovered=outcome.recovered if outcome else None,
         )
 
+    def _execute_recorded(self, kind: str, tasks: List[Any]) -> ExecutionOutcome:
+        """One pooled pass under the session's fault policy, recorded to
+        the registry (with its health summary) when one is configured."""
+        start = time.perf_counter()
+        before = self._store.stats.as_dict() if self._store is not None else None
+        outcome = execute_tasks(
+            tasks,
+            jobs=self.jobs,
+            cache=self._cache_arg(),
+            retry=self.retry,
+            on_error=self.on_error,
+            faults=self.faults,
+        )
+        if self.registry is not None:
+            delta = None
+            if before is not None:
+                after = self._store.stats.as_dict()
+                delta = {name: after[name] - before[name] for name in after}
+            self.registry.record(
+                kind=kind,
+                tasks=tasks,
+                results=outcome.results,
+                duration_s=time.perf_counter() - start,
+                jobs=self.jobs,
+                cache_stats=delta,
+                health=outcome.health(),
+            )
+        self._last_outcome = outcome
+        return outcome
+
+    #: Registry record kind for each request type the pooled executor
+    #: serves directly (matching the historical sweep_* record kinds).
+    _REGISTRY_KINDS = {
+        BindingSweepRequest: "binding",
+        ScenarioRequest: "scenario",
+        ScenarioGridRequest: "scenario_grid",
+        ServeRequest: "serve",
+    }
+
     def _dispatch(self, request: Request) -> Any:
+        lowered = self._lower(request)
+        if lowered is not None:
+            tasks, assemble = lowered
+            outcome = self._execute_recorded(
+                self._REGISTRY_KINDS[type(request)], tasks
+            )
+            return assemble(outcome.results)
         if isinstance(request, ExperimentRequest):
             return self._run_experiment(request)
         if isinstance(request, BindingSweepRequest):
             return self._run_binding_sweep(request)
         if isinstance(request, ScenarioRequest):
             return self._run_scenario(request)
-        if isinstance(request, ScenarioGridRequest):
-            return _runtime.sweep_scenario_grid(
-                request.cells(),
-                jobs=self.jobs,
-                cache=self._cache_arg(),
-                registry=self.registry,
-            )
-        if isinstance(request, ServeRequest):
-            return _runtime.sweep_serving(
-                [request.build_spec()],
-                jobs=self.jobs,
-                cache=self._cache_arg(),
-                registry=self.registry,
-            )[0]
         if isinstance(request, CrosscheckRequest):
             from ..experiments.crosscheck import crosscheck
 
@@ -270,6 +341,9 @@ class Session:
                 jobs=self.jobs,
                 cache=self._cache_arg(),
                 registry=self.registry,
+                retry=self.retry,
+                on_error=self.on_error,
+                faults=self.faults,
             )
         # Figure/table drivers print their tables; the captured text is
         # the payload, so the CLI adapter stays byte-identical to the
@@ -377,20 +451,8 @@ class Session:
             before = self._store.stats.as_dict() if self._store is not None else None
             record_before = self.registry.last_recorded if self.registry else None
             all_tasks = [task for _, tasks, _ in pooled for task in tasks]
-            flat = run_tasks(all_tasks, jobs=self.jobs, cache=self._cache_arg())
-            if self.registry is not None:
-                delta = None
-                if before is not None:
-                    after = self._store.stats.as_dict()
-                    delta = {name: after[name] - before[name] for name in after}
-                self.registry.record(
-                    kind="batch",
-                    tasks=all_tasks,
-                    results=flat,
-                    duration_s=time.perf_counter() - start,
-                    jobs=self.jobs,
-                    cache_stats=delta,
-                )
+            outcome = self._execute_recorded("batch", all_tasks)
+            flat = outcome.results
             offset = 0
             for i, tasks, assemble in pooled:
                 slice_ = flat[offset : offset + len(tasks)]
@@ -404,6 +466,7 @@ class Session:
                         before,
                         record_before,
                         batched=True,
+                        outcome=outcome,
                     ),
                 )
         for i, request in enumerate(pending):

@@ -41,7 +41,11 @@ Commands:
 Grid-backed commands accept ``--jobs N`` (parallel evaluation over
 processes), ``--cache``/``--no-cache`` (content-addressed result reuse;
 ``--cache`` persists to ``--cache-dir``), and the output is identical
-for every combination.
+for every combination.  ``--retries N``, ``--task-timeout S``, and
+``--on-error raise|skip`` add the fault policy: failed grid points
+retry with deterministic backoff, hung points are timed out, and
+``skip`` degrades exhausted points to per-task failure records instead
+of aborting the sweep.
 """
 
 from __future__ import annotations
@@ -74,7 +78,7 @@ from .cascades import (
 )
 from .experiments import crosscheck as _crosscheck
 from .experiments.common import format_table
-from .runtime import ResultCache
+from .runtime import ResultCache, RetryPolicy
 from .serving import parse_trace, serving_csv, serving_json, serving_table
 from .simulator import (
     grid_csv,
@@ -119,10 +123,17 @@ def _make_cache(args):
 
 def _session(args) -> Session:
     """The Session implied by the runtime flags of one invocation."""
+    retries = getattr(args, "retries", 0)
+    timeout = getattr(args, "task_timeout", None)
+    retry = None
+    if retries or timeout is not None:
+        retry = RetryPolicy(max_attempts=retries + 1, task_timeout_s=timeout)
     return Session(
         jobs=getattr(args, "jobs", 1),
         cache=_make_cache(args),
         registry=getattr(args, "registry", None) or None,
+        retry=retry,
+        on_error=getattr(args, "on_error", "raise"),
     )
 
 
@@ -151,6 +162,13 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
 def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=_positive_int, default=1, metavar="N",
@@ -168,6 +186,22 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", metavar="DIR", default=None,
         help="persist the result cache under DIR (implies --cache)",
+    )
+    parser.add_argument(
+        "--retries", type=_nonnegative_int, default=0, metavar="N",
+        help="retry each failed grid point up to N times with "
+             "deterministic backoff (default 0: fail fast)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=_positive_float, default=None, metavar="S",
+        help="per-grid-point timeout in seconds; a hung point fails the "
+             "attempt (and retries under --retries)",
+    )
+    parser.add_argument(
+        "--on-error", choices=("raise", "skip"), default="raise",
+        help="when a grid point exhausts its attempts: abort the sweep "
+             "(raise, default) or degrade it to a per-task failure "
+             "record (skip)",
     )
 
 
@@ -504,7 +538,11 @@ def _cmd_simulate_scenario(args) -> int:
             flag
             for flag, given in (("--registry", bool(args.registry)),
                                 ("--jobs", args.jobs != 1),
-                                ("--cache-dir", bool(args.cache_dir)))
+                                ("--cache-dir", bool(args.cache_dir)),
+                                ("--retries", args.retries != 0),
+                                ("--task-timeout",
+                                 args.task_timeout is not None),
+                                ("--on-error", args.on_error != "raise"))
             if given
         ]
         if refused:

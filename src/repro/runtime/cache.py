@@ -22,6 +22,7 @@ from typing import Any, Dict, Optional
 
 from ..arch.energy import EnergyBreakdown
 from ..model.metrics import AttentionResult, InferenceResult
+from .faults import TaskFailure
 from ..model.pareto import DesignPoint
 from ..serving import ServingResult, decode_serving_result, encode_serving_result
 from ..simulator.sweep import (
@@ -149,6 +150,16 @@ def encode_result(result: Any) -> Dict[str, Any]:
         return encode_scenario_grid_result(result)
     if isinstance(result, ServingResult):
         return encode_serving_result(result)
+    if isinstance(result, TaskFailure):
+        # Degraded slots from on_error="skip" sweeps digest and persist
+        # like any result, so partial runs stay comparable.
+        return {
+            "__type__": "TaskFailure",
+            "index": result.index,
+            "kind": result.kind,
+            "error": result.error,
+            "attempts": result.attempts,
+        }
     raise TypeError(f"cannot encode result of type {type(result).__name__}")
 
 
@@ -192,6 +203,13 @@ def decode_result(payload: Dict[str, Any]) -> Any:
         return decode_scenario_grid_result(payload)
     if kind == "ServingResult":
         return decode_serving_result(payload)
+    if kind == "TaskFailure":
+        return TaskFailure(
+            index=payload["index"],
+            kind=payload["kind"],
+            error=payload["error"],
+            attempts=payload["attempts"],
+        )
     raise ValueError(f"cannot decode result payload tagged {kind!r}")
 
 
@@ -203,6 +221,7 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     puts: int = 0
+    corrupt: int = 0
 
     @property
     def hits(self) -> int:
@@ -214,6 +233,7 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "puts": self.puts,
+            "corrupt": self.corrupt,
         }
 
 
@@ -236,34 +256,60 @@ class ResultCache:
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, Any]" = OrderedDict()
 
-    def _path(self, key: str) -> Path:
-        assert self.directory is not None
+    def entry_path(self, key: str) -> Optional[Path]:
+        """Where ``key``'s disk entry lives (None for memory-only)."""
+        if self.directory is None:
+            return None
         return self.directory / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Any:
-        """The cached result for ``key``, or None on a miss."""
+        """The cached result for ``key``, or None on a miss.
+
+        A disk entry that fails to parse or decode — truncated by a
+        killed writer, hand-edited, or from an incompatible schema — is
+        quarantined (renamed ``*.corrupt``) and counted as a miss, so
+        one torn file costs a recompute instead of the whole sweep.
+        """
         if key in self._memory:
             self._memory.move_to_end(key)
             self.stats.memory_hits += 1
             return self._memory[key]
-        if self.directory is not None:
-            path = self._path(key)
-            if path.is_file():
+        path = self.entry_path(key)
+        if path is not None and path.is_file():
+            try:
                 with open(path) as handle:
                     payload = json.load(handle)
                 value = decode_result(payload["result"])
+            except (
+                json.JSONDecodeError,
+                KeyError,
+                ValueError,
+                TypeError,
+                OSError,
+            ):
+                self._quarantine(path)
+            else:
                 self._remember(key, value)
                 self.stats.disk_hits += 1
                 return value
         self.stats.misses += 1
         return None
 
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable entry aside so it stops shadowing the
+        slot; a later put atomically writes a fresh entry in its place."""
+        self.stats.corrupt += 1
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:
+            pass  # racing quarantine/recompute — either way it's gone
+
     def put(self, key: str, value: Any) -> None:
         """Store a freshly computed result under ``key``."""
         self._remember(key, value)
         self.stats.puts += 1
         if self.directory is not None:
-            path = self._path(key)
+            path = self.entry_path(key)
             path.parent.mkdir(parents=True, exist_ok=True)
             payload = {"key": key, "result": encode_result(value)}
             handle = tempfile.NamedTemporaryFile(

@@ -9,14 +9,31 @@ the output is bit-identical to the serial path regardless of ``jobs``.
 
 Cache lookups happen before dispatch: only misses reach the pool, and
 every fresh result is written back, so a warm sweep never forks at all.
+
+Fault tolerance (see :mod:`.faults`): :func:`execute_tasks` accepts a
+:class:`~repro.runtime.faults.RetryPolicy` (bounded attempts, capped
+seeded backoff, per-task timeout), recovers a broken process pool by
+respawning it and requeueing every in-flight task, and — under
+``on_error="skip"`` — degrades exhausted tasks to per-task
+:class:`~repro.runtime.faults.TaskFailure` records instead of poisoning
+the sweep.  Because every task is pure, none of this can change a
+payload: a recoverable fault only costs extra attempts, so a chaos run
+digests identically to a clean one (gated by
+``benchmarks/bench_chaos.py``).
 """
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..model import all_attention_models, evaluate_inference
 from ..model.pareto import ARRAY_DIMS, PARETO_SEQ_LEN, design_point
@@ -34,10 +51,30 @@ from ..serving import ServingSpec, simulate_serving
 from ..workloads.models import BATCH_SIZE, MODELS, ModelConfig, SEQUENCE_LENGTHS
 from ..workloads.scenario import Scenario
 from .cache import cache_key, canonical, resolve_cache
+from .faults import (
+    FaultPlan,
+    InjectedFault,
+    RetryPolicy,
+    TaskError,
+    TaskFailure,
+    TaskTimeout,
+    WorkerCrash,
+    corrupt_disk_entry,
+)
 from .registry import RunRegistry
 
 #: Task kinds understood by :func:`evaluate_task`.
 KINDS = ("attention", "inference", "pareto", "binding", "scenario", "scenario_grid", "serve")
+
+#: How :func:`execute_tasks` surfaces a task that exhausted its retry
+#: budget: ``"raise"`` aborts the sweep with a
+#: :class:`~repro.runtime.faults.TaskError`; ``"skip"`` degrades the
+#: task to a :class:`~repro.runtime.faults.TaskFailure` record in its
+#: result slot and the sweep completes with partial results.
+ON_ERROR_MODES = ("raise", "skip")
+
+#: Exit code an injected ``"crash"`` fault kills its worker with.
+_CRASH_EXIT_CODE = 70
 
 
 @dataclass(frozen=True)
@@ -99,18 +136,320 @@ def evaluate_task(task: EvalTask) -> Any:
     raise ValueError(f"unknown task kind {task.kind!r}; have {KINDS}")
 
 
-def run_tasks(
+@dataclass
+class ExecutionOutcome:
+    """What one :func:`execute_tasks` pass did, beyond its results.
+
+    ``results`` is index-aligned with the task list (cache hits count as
+    zero attempts).  ``attempts`` totals every attempt made this pass,
+    ``recovered`` counts tasks that succeeded after at least one failed
+    attempt, ``failures`` the tasks that exhausted their budget under
+    ``on_error="skip"``, and ``respawns`` how many times a broken
+    process pool was replaced.
+    """
+
+    results: List[Any]
+    attempts: int = 0
+    failures: Tuple[TaskFailure, ...] = ()
+    recovered: int = 0
+    respawns: int = 0
+
+    def health(self) -> Dict[str, int]:
+        """The run-record summary of this pass's fault handling."""
+        return {
+            "attempts": self.attempts,
+            "failures": len(self.failures),
+            "recovered": self.recovered,
+            "respawns": self.respawns,
+        }
+
+
+@contextmanager
+def _deadline(timeout_s: Optional[float]):
+    """Raise :class:`TaskTimeout` if the body runs past ``timeout_s``.
+
+    Enforced with ``SIGALRM`` — available in pool workers (tasks run on
+    the worker's main thread) and in the inline path on POSIX.  Where
+    alarms are unavailable the timeout is advisory and the body runs
+    unbounded.
+    """
+    usable = (
+        timeout_s is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TaskTimeout(f"task exceeded its {timeout_s:g}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _attempt_task(
+    task: EvalTask,
+    index: int,
+    attempt: int,
+    timeout_s: Optional[float] = None,
+    directive: Optional[str] = None,
+    hang_s: float = 0.0,
+    inline: bool = False,
+) -> Any:
+    """One attempt at one task (runs in pool workers and inline).
+
+    ``directive`` is the injected fault for this (task, attempt) pair,
+    if any: ``"crash"`` kills the worker process outright (inline, where
+    there is no process to lose, it raises :class:`WorkerCrash`
+    instead), ``"hang"`` sleeps ``hang_s`` inside the timeout window,
+    and ``"raise"`` throws a transient :class:`InjectedFault`.
+    """
+    with _deadline(timeout_s):
+        if directive == "crash":
+            if inline:
+                raise WorkerCrash(
+                    f"injected worker crash (task {index}, attempt {attempt})"
+                )
+            os._exit(_CRASH_EXIT_CODE)
+        if directive == "hang":
+            time.sleep(hang_s)
+        if directive == "raise":
+            raise InjectedFault(
+                f"injected transient fault (task {index}, attempt {attempt})"
+            )
+        return evaluate_task(task)
+
+
+@dataclass
+class _ExecutionState:
+    """Bookkeeping one :func:`execute_tasks` pass threads through its
+    serial/pooled paths: result slots, retry accounting, fault plan."""
+
+    tasks: List[EvalTask]
+    results: List[Any]
+    keys: List[Optional[str]]
+    store: Any
+    policy: RetryPolicy
+    on_error: str
+    faults: Optional[FaultPlan]
+    attempts: int = 0
+    respawns: int = 0
+    failures: List[TaskFailure] = field(default_factory=list)
+    flaky: Set[int] = field(default_factory=set)
+    recovered: Set[int] = field(default_factory=set)
+
+    @property
+    def hang_s(self) -> float:
+        return self.faults.hang_s if self.faults is not None else 0.0
+
+    def directive(self, index: int, attempt: int) -> Optional[str]:
+        if self.faults is None:
+            return None
+        return self.faults.directive(index, attempt)
+
+    def finish(self, index: int, value: Any) -> None:
+        """Record one successful attempt (and write the cache entry)."""
+        self.attempts += 1
+        self.results[index] = value
+        if index in self.flaky:
+            self.recovered.add(index)
+        if self.store is not None:
+            self.store.put(self.keys[index], value)
+            if self.faults is not None and self.faults.corrupts(index):
+                corrupt_disk_entry(self.store, self.keys[index])
+
+    def fail(self, index: int, attempt: int, error: BaseException) -> bool:
+        """Record one failed attempt; True when the task retries."""
+        self.attempts += 1
+        if attempt < self.policy.max_attempts:
+            self.flaky.add(index)
+            return True
+        failure = TaskFailure(
+            index=index,
+            kind=self.tasks[index].kind,
+            error=f"{type(error).__name__}: {error}",
+            attempts=attempt,
+        )
+        if self.on_error == "raise":
+            raise TaskError(failure) from error
+        self.failures.append(failure)
+        self.results[index] = failure
+        return False
+
+
+def _run_inline(state: _ExecutionState, pending: List[int]) -> None:
+    """The serial path: retry loop per task, in submission order."""
+    policy = state.policy
+    for i in pending:
+        attempt = 1
+        while True:
+            try:
+                value = _attempt_task(
+                    state.tasks[i],
+                    i,
+                    attempt,
+                    policy.task_timeout_s,
+                    state.directive(i, attempt),
+                    state.hang_s,
+                    inline=True,
+                )
+            except Exception as error:
+                if not state.fail(i, attempt, error):
+                    break
+                time.sleep(policy.backoff_s(i, attempt))
+                attempt += 1
+                continue
+            state.finish(i, value)
+            break
+
+
+def _run_pool_fast(state: _ExecutionState, pending: List[int], jobs: int) -> None:
+    """The zero-overhead pooled path for the default policy (single
+    attempt, no timeout, no faults): chunked ``pool.map``, exactly the
+    historical executor."""
+    todo = [state.tasks[i] for i in pending]
+    workers = min(jobs, len(todo))
+    chunksize = max(1, len(todo) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        computed = list(pool.map(evaluate_task, todo, chunksize=chunksize))
+    for i, value in zip(pending, computed):
+        state.finish(i, value)
+
+
+def _requeue_failures(
+    state: _ExecutionState,
+    queue: deque,
+    failed: List[Tuple[int, int, BaseException]],
+) -> None:
+    """Charge each failed attempt and requeue the ones with budget left
+    (at their deterministic backoff deadline)."""
+    for i, attempt, error in failed:
+        if state.fail(i, attempt, error):
+            ready_at = time.monotonic() + state.policy.backoff_s(i, attempt)
+            queue.append((i, attempt + 1, ready_at))
+
+
+def _replace_pool(
+    state: _ExecutionState,
+    pool: ProcessPoolExecutor,
+    workers: int,
+    inflight: Dict[Any, Tuple[int, int]],
+    queue: deque,
+) -> ProcessPoolExecutor:
+    """Broken-pool recovery: every in-flight task died with the pool
+    (the culprit is indistinguishable from its neighbours), so charge
+    them all a failed attempt, requeue the survivors, and respawn."""
+    failed = [
+        (i, attempt, WorkerCrash("worker pool broke while task in flight"))
+        for i, attempt in inflight.values()
+    ]
+    inflight.clear()
+    pool.shutdown(wait=False, cancel_futures=True)
+    state.respawns += 1
+    _requeue_failures(state, queue, failed)
+    return ProcessPoolExecutor(max_workers=workers)
+
+
+def _run_pool_supervised(
+    state: _ExecutionState, pending: List[int], jobs: int
+) -> None:
+    """The fault-tolerant pooled path: per-task futures, retry
+    requeueing with deterministic backoff, and broken-pool recovery
+    (respawn the pool, count the lost attempts, requeue the in-flight
+    tasks).  A break can surface at either end — a submit on a
+    just-broken pool or an in-flight future resolving to
+    ``BrokenProcessPool`` — and both recover the same way."""
+    policy = state.policy
+    workers = min(jobs, len(pending))
+    queue = deque((i, 1, 0.0) for i in pending)  # (index, attempt, ready_at)
+    inflight: Dict[Any, Tuple[int, int]] = {}
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        while queue or inflight:
+            while queue and len(inflight) < 2 * workers:
+                i, attempt, ready_at = queue[0]
+                delay = ready_at - time.monotonic()
+                if delay > 0:
+                    if inflight:
+                        break  # revisit after the next completion
+                    time.sleep(delay)
+                    continue
+                queue.popleft()
+                try:
+                    future = pool.submit(
+                        _attempt_task,
+                        state.tasks[i],
+                        i,
+                        attempt,
+                        policy.task_timeout_s,
+                        state.directive(i, attempt),
+                        state.hang_s,
+                    )
+                except BrokenProcessPool:
+                    # Not an attempt — the task never reached a worker.
+                    queue.appendleft((i, attempt, ready_at))
+                    pool = _replace_pool(state, pool, workers, inflight, queue)
+                    continue
+                inflight[future] = (i, attempt)
+            if not inflight:
+                continue
+            done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+            broken = False
+            failed: List[Tuple[int, int, BaseException]] = []
+            for future in done:
+                i, attempt = inflight.pop(future)
+                try:
+                    value = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    failed.append(
+                        (i, attempt, WorkerCrash("worker process died mid-task"))
+                    )
+                except Exception as error:
+                    failed.append((i, attempt, error))
+                else:
+                    state.finish(i, value)
+            _requeue_failures(state, queue, failed)
+            if broken:
+                pool = _replace_pool(state, pool, workers, inflight, queue)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def execute_tasks(
     tasks: Sequence[EvalTask],
     jobs: int = 1,
     cache: Any = True,
-) -> List[Any]:
-    """Evaluate ``tasks``, in order, optionally in parallel and cached.
+    retry: Optional[RetryPolicy] = None,
+    on_error: str = "raise",
+    faults: Optional[FaultPlan] = None,
+) -> ExecutionOutcome:
+    """Evaluate ``tasks`` under a retry policy and report what happened.
 
-    The returned list is index-aligned with ``tasks`` and identical to
-    ``[evaluate_task(t) for t in tasks]`` for every value of ``jobs``.
+    The outcome's ``results`` list is index-aligned with ``tasks`` and —
+    because every task is pure — identical to
+    ``[evaluate_task(t) for t in tasks]`` for every value of ``jobs``,
+    every retry policy, and every *recoverable* fault plan.  Failed
+    attempts are retried up to ``retry.max_attempts`` with deterministic
+    seeded backoff; a broken process pool is respawned and its in-flight
+    tasks requeued; tasks that exhaust the budget either abort the sweep
+    (``on_error="raise"``) or degrade to :class:`TaskFailure` records in
+    their result slots (``on_error="skip"``).  ``faults`` injects
+    deterministic failures for testing (see :mod:`.faults`).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    policy = RetryPolicy() if retry is None else retry
+    policy.validate()
+    if on_error not in ON_ERROR_MODES:
+        raise ValueError(f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}")
     tasks = list(tasks)
     store = resolve_cache(cache)
     results: List[Any] = [None] * len(tasks)
@@ -126,20 +465,48 @@ def run_tasks(
                 continue
         pending.append(i)
 
+    state = _ExecutionState(tasks, results, keys, store, policy, on_error, faults)
     if pending:
-        todo = [tasks[i] for i in pending]
-        if jobs > 1 and len(todo) > 1:
-            workers = min(jobs, len(todo))
-            chunksize = max(1, len(todo) // (workers * 4))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                computed = list(pool.map(evaluate_task, todo, chunksize=chunksize))
+        trivial = (
+            policy.max_attempts == 1
+            and policy.task_timeout_s is None
+            and faults is None
+            and on_error == "raise"
+        )
+        if jobs > 1 and len(pending) > 1:
+            if trivial:
+                _run_pool_fast(state, pending, jobs)
+            else:
+                _run_pool_supervised(state, pending, jobs)
         else:
-            computed = [evaluate_task(task) for task in todo]
-        for i, value in zip(pending, computed):
-            results[i] = value
-            if store is not None:
-                store.put(keys[i], value)
-    return results
+            _run_inline(state, pending)
+    return ExecutionOutcome(
+        results=results,
+        attempts=state.attempts,
+        failures=tuple(state.failures),
+        recovered=len(state.recovered),
+        respawns=state.respawns,
+    )
+
+
+def run_tasks(
+    tasks: Sequence[EvalTask],
+    jobs: int = 1,
+    cache: Any = True,
+    retry: Optional[RetryPolicy] = None,
+    on_error: str = "raise",
+    faults: Optional[FaultPlan] = None,
+) -> List[Any]:
+    """Evaluate ``tasks``, in order, optionally in parallel and cached.
+
+    The returned list is index-aligned with ``tasks`` and identical to
+    ``[evaluate_task(t) for t in tasks]`` for every value of ``jobs``.
+    :func:`execute_tasks` returns the same results plus the retry/fault
+    telemetry.
+    """
+    return execute_tasks(
+        tasks, jobs=jobs, cache=cache, retry=retry, on_error=on_error, faults=faults
+    ).results
 
 
 # --------------------------------------------------------------------------
@@ -194,11 +561,22 @@ def _sweep(
     jobs: int,
     cache: Any,
     registry: Optional[RunRegistry],
+    retry: Optional[RetryPolicy] = None,
+    on_error: str = "raise",
+    faults: Optional[FaultPlan] = None,
 ) -> List[Any]:
     start = time.perf_counter()
     store = resolve_cache(cache)
     before = store.stats.as_dict() if store is not None else None
-    results = run_tasks(tasks, jobs=jobs, cache=store if store is not None else False)
+    outcome = execute_tasks(
+        tasks,
+        jobs=jobs,
+        cache=store if store is not None else False,
+        retry=retry,
+        on_error=on_error,
+        faults=faults,
+    )
+    results = outcome.results
     if registry is not None:
         duration = time.perf_counter() - start
         delta = None
@@ -212,6 +590,7 @@ def _sweep(
             duration_s=duration,
             jobs=jobs,
             cache_stats=delta,
+            health=outcome.health(),
         )
     return results
 
@@ -225,11 +604,14 @@ def sweep_attention(
     cache: Any = True,
     batch: int = BATCH_SIZE,
     registry: Optional[RunRegistry] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_error: str = "raise",
+    faults: Optional[FaultPlan] = None,
 ) -> Dict[Tuple[str, str, int], Any]:
     """Attention-kernel results over the grid, keyed by
     ``(config_name, model_name, seq_len)``."""
     tasks = attention_grid(models, seq_lens, configs, batch)
-    results = _sweep(tasks, "attention", jobs, cache, registry)
+    results = _sweep(tasks, "attention", jobs, cache, registry, retry, on_error, faults)
     return _keyed(tasks, results)
 
 
@@ -242,10 +624,13 @@ def sweep_inference(
     cache: Any = True,
     batch: int = BATCH_SIZE,
     registry: Optional[RunRegistry] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_error: str = "raise",
+    faults: Optional[FaultPlan] = None,
 ) -> Dict[Tuple[str, str, int], Any]:
     """End-to-end inference results over the grid (Figs. 10-11)."""
     tasks = attention_grid(models, seq_lens, configs, batch, kind="inference")
-    results = _sweep(tasks, "inference", jobs, cache, registry)
+    results = _sweep(tasks, "inference", jobs, cache, registry, retry, on_error, faults)
     return _keyed(tasks, results)
 
 
@@ -300,6 +685,9 @@ def sweep_bindings(
     jobs: int = 1,
     cache: Any = True,
     registry: Optional[RunRegistry] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_error: str = "raise",
+    faults: Optional[FaultPlan] = None,
 ) -> Dict[Tuple[str, int, int, int, int], Any]:
     """Binding-simulation results over the long-sequence grid, keyed by
     ``(binding, chunks, array_dim, pe_1d, embedding)``.
@@ -311,7 +699,7 @@ def sweep_bindings(
     independently.
     """
     tasks = binding_grid(chunks, bindings, array_dims, embeddings, pe_1d_dims)
-    results = _sweep(tasks, "binding", jobs, cache, registry)
+    results = _sweep(tasks, "binding", jobs, cache, registry, retry, on_error, faults)
     return {_binding_key(task.config): result for task, result in zip(tasks, results)}
 
 
@@ -329,6 +717,9 @@ def sweep_scenarios(
     jobs: int = 1,
     cache: Any = True,
     registry: Optional[RunRegistry] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_error: str = "raise",
+    faults: Optional[FaultPlan] = None,
 ) -> Dict[Scenario, Any]:
     """Merged-schedule simulation of each scenario, keyed by the
     :class:`Scenario` itself.
@@ -342,7 +733,7 @@ def sweep_scenarios(
     processes and content-address into the cache like every other
     grid."""
     tasks = scenario_grid(scenarios)
-    results = _sweep(tasks, "scenario", jobs, cache, registry)
+    results = _sweep(tasks, "scenario", jobs, cache, registry, retry, on_error, faults)
     return {task.config: result for task, result in zip(tasks, results)}
 
 
@@ -365,6 +756,9 @@ def sweep_scenario_grid(
     jobs: int = 1,
     cache: Any = True,
     registry: Optional[RunRegistry] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_error: str = "raise",
+    faults: Optional[FaultPlan] = None,
 ) -> List[Any]:
     """Evaluate a scenario grid cell-by-cell through the runtime.
 
@@ -375,7 +769,7 @@ def sweep_scenario_grid(
     estimate; cells fan out over processes and content-address into the
     cache under the ``"scenario_grid"`` task kind."""
     tasks = scenario_grid_tasks(cells)
-    return _sweep(tasks, "scenario_grid", jobs, cache, registry)
+    return _sweep(tasks, "scenario_grid", jobs, cache, registry, retry, on_error, faults)
 
 
 def serving_grid(specs: Sequence[ServingSpec]) -> List[EvalTask]:
@@ -394,6 +788,9 @@ def sweep_serving(
     jobs: int = 1,
     cache: Any = True,
     registry: Optional[RunRegistry] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_error: str = "raise",
+    faults: Optional[FaultPlan] = None,
 ) -> List[Any]:
     """Open-loop serving simulation of each spec, index-aligned.
 
@@ -403,7 +800,7 @@ def sweep_serving(
     content-address into the cache under the ``"serve"`` task kind, so
     rerunning a seeded sweep is a pure cache read."""
     tasks = serving_grid(specs)
-    return _sweep(tasks, "serve", jobs, cache, registry)
+    return _sweep(tasks, "serve", jobs, cache, registry, retry, on_error, faults)
 
 
 def sweep_pareto(
@@ -415,10 +812,13 @@ def sweep_pareto(
     cache: Any = True,
     batch: int = BATCH_SIZE,
     registry: Optional[RunRegistry] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_error: str = "raise",
+    faults: Optional[FaultPlan] = None,
 ) -> Dict[Tuple[str, int], Any]:
     """Fig. 12 design points keyed by ``(model_name, array_dim)``."""
     tasks = pareto_grid(models, seq_len, dims, batch)
-    results = _sweep(tasks, "pareto", jobs, cache, registry)
+    results = _sweep(tasks, "pareto", jobs, cache, registry, retry, on_error, faults)
     return {
         (task.model.name, task.config): result
         for task, result in zip(tasks, results)

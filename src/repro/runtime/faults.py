@@ -1,0 +1,221 @@
+"""Deterministic fault injection and retry policy for the runtime.
+
+Production sweeps fail in a handful of well-known ways: a worker raises
+a transient exception, a worker process dies outright, a task hangs past
+any useful deadline, or a cache entry on disk is truncated by a crashed
+writer.  This module makes every one of those paths *exercisable on
+purpose and byte-deterministically*:
+
+- :class:`RetryPolicy` — how the executor responds: bounded attempts,
+  capped exponential backoff with seeded jitter, a per-task timeout.
+- :class:`FaultPlan` / :class:`FaultSpec` — which (task, attempt) pairs
+  fail and how.  A plan is frozen data; :meth:`FaultPlan.seeded` derives
+  one from a seed so a chaos run replays exactly.
+- :class:`TaskFailure` — the per-task record a failed task degrades to
+  when a sweep runs with ``on_error="skip"``.
+- :func:`corrupt_disk_entry` — truncates a cache entry the way a killed
+  writer would, so quarantine-and-recompute is testable.
+
+The injection point is the executor's worker shim (see
+``repro.runtime.executor``): a directive travels with each attempt, so
+results never depend on scheduling — a recoverable fault only costs
+extra attempts, never changes a payload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+#: Injectable fault kinds: a raised transient exception, a worker
+#: process killed mid-task, and a task hanging past the timeout.
+FAULT_KINDS: Tuple[str, ...] = ("raise", "crash", "hang")
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected transient task failure."""
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died before finishing its task (or its inline
+    stand-in when there is no pool to kill)."""
+
+
+class TaskTimeout(RuntimeError):
+    """A task ran past the policy's per-task timeout."""
+
+
+class TaskError(RuntimeError):
+    """A task exhausted its retry budget under ``on_error="raise"``."""
+
+    def __init__(self, failure: "TaskFailure") -> None:
+        self.failure = failure
+        super().__init__(
+            f"task {failure.index} ({failure.kind}) failed after "
+            f"{failure.attempts} attempt(s): {failure.error}"
+        )
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that exhausted its retry budget.
+
+    Under ``on_error="skip"`` the failure record takes the task's slot
+    in the result list, so a sweep degrades to partial results instead
+    of losing everything; the record carries enough to re-drive the
+    point later.
+    """
+
+    index: int
+    kind: str
+    error: str
+    attempts: int
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor responds to failed task attempts.
+
+    ``max_attempts`` bounds tries per task (1 = no retries, the
+    historical behaviour).  Backoff before attempt *n+1* is
+    ``min(cap, base * 2**(n-1))`` stretched by up to ``jitter`` of
+    itself — the jitter is drawn from a generator seeded by
+    ``(seed, task index, attempt)``, so two runs of the same policy
+    sleep identically.  ``task_timeout_s`` converts a hung task into a
+    :class:`TaskTimeout` failure (enforced via ``SIGALRM`` where
+    available; elsewhere the timeout is advisory).
+    """
+
+    max_attempts: int = 1
+    backoff_base_s: float = 0.0
+    backoff_cap_s: float = 1.0
+    jitter: float = 0.0
+    seed: int = 0
+    task_timeout_s: Optional[float] = None
+
+    def rule_violations(self) -> List[str]:
+        """Every rule this policy breaks (empty when valid)."""
+        errors = []
+        if self.max_attempts < 1:
+            errors.append(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_s < 0:
+            errors.append(f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
+        if self.backoff_cap_s < 0:
+            errors.append(f"backoff_cap_s must be >= 0, got {self.backoff_cap_s}")
+        if not 0 <= self.jitter <= 1:
+            errors.append(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.task_timeout_s is not None and not self.task_timeout_s > 0:
+            errors.append(f"task_timeout_s must be > 0, got {self.task_timeout_s}")
+        return errors
+
+    def validate(self) -> None:
+        errors = self.rule_violations()
+        if errors:
+            raise ValueError("; ".join(errors))
+
+    def backoff_s(self, index: int, attempt: int) -> float:
+        """Seconds to wait before retrying ``index`` after ``attempt``.
+
+        Deterministic: equal (policy, index, attempt) always produce the
+        same delay, so a replayed chaos run paces identically.
+        """
+        if self.backoff_base_s <= 0:
+            return 0.0
+        delay = min(self.backoff_cap_s, self.backoff_base_s * 2 ** (attempt - 1))
+        if self.jitter:
+            rng = random.Random(self.seed * 1_000_003 + index * 9_973 + attempt)
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: task ``index`` fails attempt ``attempt``
+    with fault ``kind`` (one of :data:`FAULT_KINDS`)."""
+
+    index: int
+    attempt: int = 1
+    kind: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; have {FAULT_KINDS}")
+        if self.attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {self.attempt}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen schedule of injected faults for one task list.
+
+    ``faults`` names the (task, attempt) pairs that fail and how;
+    ``corrupt`` names task indices whose freshly written disk-cache
+    entry is truncated after the put (the way a killed writer would
+    leave it), exercising quarantine-and-recompute on the next read.
+    ``hang_s`` is how long a ``"hang"`` fault sleeps — pair it with a
+    policy whose ``task_timeout_s`` is shorter, or the hang resolves
+    itself and the attempt succeeds.
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+    corrupt: Tuple[int, ...] = ()
+    hang_s: float = 2.0
+
+    def directive(self, index: int, attempt: int) -> Optional[str]:
+        """The fault kind injected into this attempt, or None."""
+        for spec in self.faults:
+            if spec.index == index and spec.attempt == attempt:
+                return spec.kind
+        return None
+
+    def corrupts(self, index: int) -> bool:
+        """True when this task's disk entry is corrupted after its put."""
+        return index in self.corrupt
+
+    @property
+    def fault_indices(self) -> Tuple[int, ...]:
+        """Distinct task indices with at least one injected attempt
+        fault, ascending."""
+        return tuple(sorted({spec.index for spec in self.faults}))
+
+    @classmethod
+    def seeded(
+        cls,
+        n_tasks: int,
+        seed: int = 0,
+        rate: float = 0.25,
+        kinds: Tuple[str, ...] = FAULT_KINDS,
+        corrupt_rate: float = 0.0,
+        hang_s: float = 2.0,
+    ) -> "FaultPlan":
+        """A reproducible plan: each task independently draws one
+        first-attempt fault with probability ``rate`` (kind uniform over
+        ``kinds``) and a post-put corruption with ``corrupt_rate``.
+        Equal arguments always build equal plans.
+        """
+        unknown = [kind for kind in kinds if kind not in FAULT_KINDS]
+        if unknown:
+            raise ValueError(f"unknown fault kinds {unknown}; have {FAULT_KINDS}")
+        rng = random.Random(seed)
+        faults = []
+        corrupt = []
+        for index in range(n_tasks):
+            if rng.random() < rate:
+                faults.append(FaultSpec(index=index, attempt=1, kind=rng.choice(kinds)))
+            if rng.random() < corrupt_rate:
+                corrupt.append(index)
+        return cls(faults=tuple(faults), corrupt=tuple(corrupt), hang_s=hang_s)
+
+
+def corrupt_disk_entry(store: Any, key: str) -> bool:
+    """Truncate the on-disk cache entry for ``key`` to half its bytes —
+    the torn file a writer killed mid-``os.replace`` sequence would
+    leave if it wrote in place.  Returns True when an entry was
+    corrupted (False for memory-only caches or absent entries)."""
+    path = store.entry_path(key)
+    if path is None or not path.is_file():
+        return False
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    return True

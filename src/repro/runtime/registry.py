@@ -11,8 +11,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -41,6 +42,9 @@ class RunRecord:
     n_results: int
     result_digest: str
     cache_stats: Optional[Dict[str, int]] = field(default=None)
+    #: Fault-handling summary of the sweep (attempts, failures,
+    #: recovered, respawns) — see ``ExecutionOutcome.health()``.
+    health: Optional[Dict[str, int]] = field(default=None)
 
     def matches(self, other: "RunRecord") -> bool:
         """True when both runs produced identical results."""
@@ -51,7 +55,10 @@ class RunRecord:
 
     @classmethod
     def from_json(cls, payload: Dict[str, Any]) -> "RunRecord":
-        return cls(**payload)
+        # Ignore fields this code version doesn't know, so records from
+        # newer versions sharing a registry directory still load.
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})
 
 
 def _grid_summary(tasks: Sequence[Any]) -> Dict[str, Any]:
@@ -106,8 +113,14 @@ class RunRegistry:
         duration_s: float,
         jobs: int,
         cache_stats: Optional[Dict[str, int]] = None,
+        health: Optional[Dict[str, int]] = None,
     ) -> RunRecord:
-        """Persist one completed sweep and return its record."""
+        """Persist one completed sweep and return its record.
+
+        The write is atomic (tmp file + ``os.replace``, like
+        ``ResultCache.put``), so a reader racing a writer — or a writer
+        killed mid-record — never leaves a torn ``run-*.json`` behind.
+        """
         digest = result_digest(results)
         # Nanosecond timestamp ids are unique across concurrent writers
         # and keep list_runs()'s lexicographic order chronological.
@@ -123,17 +136,37 @@ class RunRegistry:
             n_results=len(results),
             result_digest=digest,
             cache_stats=cache_stats,
+            health=health,
         )
-        with open(self._path(run_id), "w") as handle:
-            json.dump(entry.to_json(), handle, indent=2, sort_keys=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.directory, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                json.dump(entry.to_json(), handle, indent=2, sort_keys=True)
+            os.replace(handle.name, self._path(run_id))
+        except BaseException:
+            os.unlink(handle.name)
+            raise
         self.last_recorded = entry
         return entry
 
     def list_runs(self) -> List[str]:
-        """All recorded run ids, oldest first."""
-        return sorted(
-            path.stem[len("run-"):] for path in self.directory.glob("run-*.json")
-        )
+        """All readable run ids, oldest first.
+
+        Unreadable or malformed records (a hand-damaged file, a torn
+        write from a pre-atomic version) are skipped, not raised — one
+        bad record must not take down every consumer of the registry.
+        """
+        runs = []
+        for path in sorted(self.directory.glob("run-*.json")):
+            try:
+                with open(path) as handle:
+                    RunRecord.from_json(json.load(handle))
+            except (OSError, ValueError, TypeError, KeyError):
+                continue
+            runs.append(path.stem[len("run-"):])
+        return runs
 
     def load(self, run_id: str) -> RunRecord:
         with open(self._path(run_id)) as handle:

@@ -9,13 +9,17 @@ from repro.experiments.report import full_report
 from repro.model import UnfusedModel, fusemax
 from repro.runtime import (
     EvalTask,
+    FaultPlan,
+    FaultSpec,
     ResultCache,
+    RetryPolicy,
     RunRegistry,
     attention_grid,
     cache_key,
     decode_result,
     encode_result,
     evaluate_task,
+    execute_tasks,
     pareto_grid,
     resolve_cache,
     result_digest,
@@ -252,6 +256,7 @@ class TestResultCache:
         stats = cache.stats.as_dict()
         assert stats == {
             "memory_hits": 0, "disk_hits": 0, "misses": 10, "puts": 10,
+            "corrupt": 0,
         }
         again = sweep_attention((BERT,), SHORT, cache=cache)
         assert cache.stats.memory_hits == 10
@@ -397,3 +402,66 @@ class TestCLI:
 
         assert main(["fig6", "--no-cache"]) == 0
         assert "util 1D" in capsys.readouterr().out
+
+
+class TestFaultTolerance:
+    """Worker-crash recovery and on-disk corruption, end to end."""
+
+    def test_pool_worker_crash_recovers(self):
+        tasks = attention_grid((BERT,), SHORT)
+        clean = run_tasks(tasks, cache=False)
+        outcome = execute_tasks(
+            tasks,
+            jobs=2,
+            cache=False,
+            retry=RetryPolicy(max_attempts=3),
+            faults=FaultPlan(faults=(FaultSpec(index=3, attempt=1, kind="crash"),)),
+        )
+        assert outcome.results == clean
+        assert outcome.respawns >= 1
+        assert outcome.recovered >= 1
+        assert outcome.attempts > len(tasks)
+
+    def test_crash_recovery_recorded_in_registry(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        tasks = attention_grid((BERT,), SHORT)
+        clean = sweep_attention((BERT,), SHORT, cache=False)
+        crashed = sweep_attention(
+            (BERT,),
+            SHORT,
+            cache=False,
+            jobs=2,
+            registry=registry,
+            retry=RetryPolicy(max_attempts=3),
+            faults=FaultPlan(faults=(FaultSpec(index=1, attempt=1, kind="crash"),)),
+        )
+        assert crashed == clean
+        record = registry.latest()
+        assert record.health is not None
+        assert record.health["respawns"] >= 1
+        assert record.health["recovered"] >= 1
+        assert record.health["attempts"] > len(tasks)
+
+    def test_truncated_disk_entry_recomputed(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        clean = sweep_attention((BERT,), SHORT, cache=cache)
+        entry = sorted(tmp_path.glob("*/*.json"))[0]
+        entry.write_bytes(entry.read_bytes()[:20])
+        fresh = ResultCache(directory=tmp_path)
+        again = sweep_attention((BERT,), SHORT, cache=fresh)
+        assert again == clean
+        assert fresh.stats.corrupt == 1
+        assert fresh.stats.disk_hits == len(clean) - 1
+        quarantined = list(tmp_path.glob("*/*.corrupt"))
+        assert len(quarantined) == 1
+        # The recompute rewrote a good entry in the quarantined slot.
+        assert ResultCache(directory=tmp_path).get(entry.stem) is not None
+
+    def test_registry_skips_malformed_records(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        sweep_attention((BERT,), SHORT, cache=False, registry=registry)
+        (tmp_path / "run-zzz.json").write_text("{ torn write")
+        (run_id,) = registry.list_runs()
+        assert registry.load(run_id).kind == "attention"
+        assert registry.latest().run_id == run_id
+        assert not list(tmp_path.glob("*.tmp"))  # atomic record left no temp
