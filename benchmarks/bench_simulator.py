@@ -28,6 +28,13 @@ tasks); and ``--contended-budget S`` gates the same scenario with
 DRAM-bandwidth contention at the cloud machine's bandwidth (~180k tasks
 including the lowered transfers, bandwidth-bound by construction).
 
+The vector core (``engine="vector"``: symmetry folding + recurrence
+replay) has two gates of its own: ``--vector-min-speedup X`` requires
+it to beat the event core by X on the contended 64×16 scenario
+(bit-identical results asserted first), and ``--million-budget S``
+bounds a ~1M-task contended point (B×H = 384×16) that runs folded-only
+— the merged task list is never materialized.
+
 Every randomized task graph in this module is generated from the
 explicit ``--seed`` (one fixed default), so the gates measure the same
 graphs on every run — an unlucky draw can never flake a speedup or
@@ -46,6 +53,8 @@ from repro.simulator import (
     Task,
     build_scenario_tasks,
     build_tasks,
+    fold_scenario,
+    run_folded,
 )
 from repro.workloads import BERT
 from repro.workloads.scenario import scenario_from_model
@@ -195,6 +204,18 @@ def main(argv=None):
              "event core (0 disables; default 5)",
     )
     parser.add_argument(
+        "--vector-min-speedup", type=float, default=10.0, metavar="X",
+        help="fail unless the vector core (fold + folded run) beats the "
+             "event core by X on the contended 64x16 BERT scenario "
+             "(0 disables; default 10)",
+    )
+    parser.add_argument(
+        "--million-budget", type=float, default=30.0, metavar="S",
+        help="fail if the ~1M-task contended folded point (384x16 "
+             "BERT) exceeds S seconds on the vector core (0 disables; "
+             "default 30)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=DEFAULT_SEED, metavar="S",
         help="RNG seed for the randomized differential graphs "
              f"(default {DEFAULT_SEED}; fixed so gates cannot flake)",
@@ -293,8 +314,11 @@ def main(argv=None):
                           engine="event").run(budget)
         cycle = Simulator(tasks, mode=mode, slots=slots,
                           engine="cycle").run(budget)
+        vector = Simulator(tasks, mode=mode, slots=slots,
+                           engine="vector").run(budget)
         assert event == cycle, f"graph {index}: engines diverged"
-    print(f"  {args.random_graphs} graphs: event == cycle ok")
+        assert vector == cycle, f"graph {index}: vector core diverged"
+    print(f"  {args.random_graphs} graphs: event == cycle == vector ok")
 
     if args.scenario_budget:
         scenario, tasks, mode, budget = _scenario_graph()
@@ -316,7 +340,7 @@ def main(argv=None):
         )
         print(f"scenario gate: <= {args.scenario_budget:g} s ok")
 
-    if args.contended_budget:
+    if args.contended_budget or args.vector_min_speedup:
         scenario, tasks, mode, budget = _scenario_graph(dram_bw=CLOUD_DRAM_BW)
         start = time.perf_counter()
         result = Simulator(tasks, mode=mode, slots=scenario.slots,
@@ -336,11 +360,76 @@ def main(argv=None):
             f"contended scenario not bandwidth-bound (util_dram="
             f"{util_dram:.3f}) — the gate no longer measures contention"
         )
-        assert took <= args.contended_budget, (
-            f"contended merged scenario took {took:.1f}s "
-            f"(gate: {args.contended_budget:g}s)"
+        if args.contended_budget:
+            assert took <= args.contended_budget, (
+                f"contended merged scenario took {took:.1f}s "
+                f"(gate: {args.contended_budget:g}s)"
+            )
+            print(f"contended gate: <= {args.contended_budget:g} s ok")
+
+        if args.vector_min_speedup:
+            # The tentpole gate: symmetry folding collapses the 1,024
+            # identical (batch, head) instances into one counted class,
+            # and DRAM contention makes the steady state recur, so the
+            # vector core replays it instead of simulating it.  Timed
+            # end to end from the scenario spec (fold + folded run) —
+            # the fair comparison, since the event core's timed region
+            # also starts from a prebuilt graph.
+            slots = 1 if mode == "serial" else scenario.slots
+            stats = {}
+            vector_s, vector = _best_of(
+                lambda: run_folded(fold_scenario(scenario), slots=slots,
+                                   stats=stats)
+            )
+            assert vector == result, "vector core diverged on the gate"
+            speedup = took / vector_s
+            print(f"vector core: {vector_s * 1e3:7.1f} ms "
+                  f"({speedup:5.1f}x event, {stats['jumps']} jumps, "
+                  f"{stats['replayed']:,} of {len(tasks):,} completions "
+                  f"replayed)")
+            measurements["points"].append({
+                "point": "vector-contended-64x16", "n_tasks": len(tasks),
+                "vector_s": vector_s, "event_s": took,
+                "speedup": speedup, "jumps": stats["jumps"],
+                "replayed": stats["replayed"],
+            })
+            assert speedup >= args.vector_min_speedup, (
+                f"vector core only {speedup:.1f}x faster than the event "
+                f"core on the contended scenario "
+                f"(gate: {args.vector_min_speedup:g}x)"
+            )
+            print(f"vector gate: {speedup:.1f}x >= "
+                  f"{args.vector_min_speedup:g}x ok")
+
+    if args.million_budget:
+        # Cluster scale: ~1M tasks (B x H = 384 x 16 BERT-Base,
+        # contended).  Folded-only — the task list is never built, which
+        # is the point: lowering cost is per *class*, not per instance.
+        scenario = scenario_from_model(BERT, 4096, batch=384, heads=16,
+                                       dram_bw=CLOUD_DRAM_BW)
+        slots = 1 if scenario.binding == "tile-serial" else scenario.slots
+        stats = {}
+        start = time.perf_counter()
+        folded = fold_scenario(scenario)
+        result = run_folded(folded, slots=slots, stats=stats)
+        took = time.perf_counter() - start
+        print(f"\nmillion-task point {scenario.name}: "
+              f"{folded.n_tasks:,} tasks in {folded.n_instances:,} "
+              f"instances, makespan={result.makespan:,}  {took:5.2f} s "
+              f"({stats['jumps']} jumps)")
+        measurements["points"].append({
+            "point": "vector-million", "n_tasks": folded.n_tasks,
+            "makespan": result.makespan, "vector_s": took,
+            "jumps": stats["jumps"],
+        })
+        assert folded.n_tasks >= 1_000_000, (
+            f"million-task point shrank to {folded.n_tasks:,} tasks"
         )
-        print(f"contended gate: <= {args.contended_budget:g} s ok")
+        assert took <= args.million_budget, (
+            f"million-task folded point took {took:.1f}s "
+            f"(gate: {args.million_budget:g}s)"
+        )
+        print(f"million-task gate: <= {args.million_budget:g} s ok")
 
     if args.json_out:
         with open(args.json_out, "w") as handle:
@@ -398,6 +487,21 @@ def test_bench_contended_scenario_64x16(benchmark):
         ).run(budget)
     )
     assert result.utilization("dram") > 0.9
+
+
+def test_bench_vector_contended_scenario_64x16(benchmark):
+    """The tentpole gate's workload on the vector core: fold + folded
+    run from the scenario spec, steady state replayed, not simulated."""
+    scenario, tasks, mode, _ = _scenario_graph(dram_bw=CLOUD_DRAM_BW)
+    event = Simulator(tasks, mode=mode, slots=scenario.slots,
+                      engine="event").run(
+        sum(t.duration for t in tasks) + 1
+    )
+    slots = 1 if mode == "serial" else scenario.slots
+    result = benchmark(
+        lambda: run_folded(fold_scenario(scenario), slots=slots)
+    )
+    assert result == event
 
 
 def test_bench_seeded_random_graph_event(benchmark):

@@ -43,8 +43,9 @@ from ..workloads.scenario import (
 
 #: Engines a simulation request may name.  ``"cycle"`` selects the
 #: cycle-accurate oracle — always serial and uncached, so a cached event
-#: result can never masquerade as a differential run.
-ENGINES: Tuple[str, ...] = ("event", "cycle")
+#: result can never masquerade as a differential run.  ``"vector"`` is
+#: the vectorized core with symmetry folding, bit-identical to both.
+ENGINES: Tuple[str, ...] = ("event", "cycle", "vector")
 
 #: Figure/table experiments a :class:`ExperimentRequest` can name, plus
 #: the two composite names: ``report`` (everything) and ``sweep`` (one
@@ -247,6 +248,7 @@ class ScenarioRequest(Request):
     dram_bw: Optional[float] = None
     binding: str = "both"
     engine: str = "event"
+    profile: bool = False
     scenarios: Optional[Tuple[Scenario, ...]] = None
 
     def rule_violations(self) -> List[str]:
@@ -525,11 +527,18 @@ class ServeRequest(Request):
     pe_1d: Optional[int] = None
     slots: Optional[int] = None
     dram_bw: Optional[float] = None
+    engine: str = "event"
 
     def rule_violations(self) -> List[str]:
         errors: List[str] = []
         if (self.rate is None) == (self.trace is None):
             errors.append("exactly one of rate and trace must be given")
+        if self.engine == "cycle":
+            # Serving batches re-simulate per admission window; the
+            # serial oracle is a differential tool, not a serving core.
+            errors.append("serve supports engines ('event', 'vector')")
+        elif self.engine not in ENGINES:
+            errors.append(f"unknown engine {self.engine!r}; have {ENGINES}")
         if self.rate is not None and not self.rate > 0:
             errors.append(f"rate must be > 0, got {self.rate}")
         if self.trace is not None:

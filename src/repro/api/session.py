@@ -35,7 +35,11 @@ from ..runtime import (
 )
 from ..runtime import executor as _runtime
 from ..runtime.cache import ResultCache, code_version, resolve_cache
-from ..simulator.sweep import evaluate_binding_point, evaluate_scenario_point
+from ..simulator.sweep import (
+    evaluate_binding_point,
+    evaluate_scenario_point,
+    profile_scenario_point,
+)
 from ..workloads.models import MODELS, MODELS_BY_NAME, SEQUENCE_LENGTHS
 from .requests import (
     BindingSweepRequest,
@@ -74,6 +78,11 @@ class Provenance:
     attempts: Optional[int] = None
     failures: Optional[int] = None
     recovered: Optional[int] = None
+    #: Per-scenario wall-time breakdowns (``ScenarioRequest.profile``
+    #: runs only): build vs schedule seconds for each scenario, in
+    #: payload order.  Timing is observability, not part of the payload,
+    #: so it rides in provenance like the cache and fault telemetry.
+    profiles: Optional[Tuple[Any, ...]] = None
 
 
 @dataclass(frozen=True)
@@ -95,6 +104,7 @@ def _binding_tasks(request: BindingSweepRequest) -> List[Any]:
         request.array_dims,
         request.embeddings,
         request.pe_1d_dims,
+        engine=request.engine,
     )
 
 
@@ -178,6 +188,7 @@ class Session:
         self.faults = faults
         self._pending: List[Request] = []
         self._last_outcome: Optional[ExecutionOutcome] = None
+        self._last_profiles: Optional[Tuple[Any, ...]] = None
 
     # -- identity ----------------------------------------------------------
 
@@ -205,6 +216,7 @@ class Session:
         before = self._store.stats.as_dict() if self._store is not None else None
         record_before = self.registry.last_recorded if self.registry else None
         self._last_outcome = None
+        self._last_profiles = None
         payload = self._dispatch(request)
         return Result(
             request=request,
@@ -251,6 +263,7 @@ class Session:
             attempts=outcome.attempts if outcome else None,
             failures=len(outcome.failures) if outcome else None,
             recovered=outcome.recovered if outcome else None,
+            profiles=self._last_profiles,
         )
 
     def _execute_recorded(self, kind: str, tasks: List[Any]) -> ExecutionOutcome:
@@ -374,10 +387,23 @@ class Session:
             jobs=self.jobs,
             cache=self._cache_arg(),
             registry=self.registry,
+            engine=request.engine,
         )
 
     def _run_scenario(self, request: ScenarioRequest) -> Dict:
         scenarios = request.build_scenarios()
+        if request.profile:
+            # Profiling is a measurement of *this* process doing the
+            # work, so it runs inline — no workers, no cache — and the
+            # timings ride back in the Result's provenance.
+            payload: Dict = {}
+            profiles = []
+            for scenario in scenarios:
+                result, prof = profile_scenario_point(scenario, engine=request.engine)
+                payload[scenario] = result
+                profiles.append(prof)
+            self._last_profiles = tuple(profiles)
+            return payload
         if request.engine == "cycle":
             return {s: evaluate_scenario_point(s, engine="cycle") for s in scenarios}
         return _runtime.sweep_scenarios(
@@ -385,6 +411,7 @@ class Session:
             jobs=self.jobs,
             cache=self._cache_arg(),
             registry=self.registry,
+            engine=request.engine,
         )
 
     # -- batched heterogeneous execution -----------------------------------
@@ -398,7 +425,7 @@ class Session:
     def _lower(self, request: Request) -> Optional[Tuple[List[Any], Callable[[List[Any]], Any]]]:
         """(tasks, assemble) for requests that decompose into runtime
         tasks, or None for the ones that must run whole."""
-        if isinstance(request, BindingSweepRequest) and request.engine == "event":
+        if isinstance(request, BindingSweepRequest) and request.engine != "cycle":
             tasks = _binding_tasks(request)
             points = [task.config for task in tasks]
 
@@ -406,9 +433,13 @@ class Session:
                 return {_point_key(p): r for p, r in zip(points, results)}
 
             return tasks, assemble_bindings
-        if isinstance(request, ScenarioRequest) and request.engine == "event":
+        if (
+            isinstance(request, ScenarioRequest)
+            and request.engine != "cycle"
+            and not request.profile
+        ):
             scenarios = request.build_scenarios()
-            tasks = _runtime.scenario_grid(scenarios)
+            tasks = _runtime.scenario_grid(scenarios, engine=request.engine)
 
             def assemble_scenarios(results: List[Any]) -> Dict:
                 return dict(zip(scenarios, results))
@@ -417,7 +448,7 @@ class Session:
         if isinstance(request, ScenarioGridRequest):
             return _runtime.scenario_grid_tasks(request.cells()), list
         if isinstance(request, ServeRequest):
-            tasks = _runtime.serving_grid([request.build_spec()])
+            tasks = _runtime.serving_grid([request.build_spec()], engine=request.engine)
 
             def assemble_serving(results: List[Any]) -> Any:
                 return results[0]
@@ -438,6 +469,7 @@ class Session:
         result.
         """
         pending, self._pending = self._pending, []
+        self._last_profiles = None
         lowered = [self._lower(request) for request in pending]
         pooled = [
             (i, tasks, assemble)

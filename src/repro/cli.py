@@ -18,7 +18,7 @@ Commands:
   (``3pass``, ``3pass-divopt``, ``2pass``, ``1pass``, ``causal``,
   ``sigmoid``).
 - ``simulate``          — run the binding pipeline simulation
-  (``--engine event|cycle``), ``--sweep`` to scan chunk counts ×
+  (``--engine event|cycle|vector``), ``--sweep`` to scan chunk counts ×
   bindings × array dims × 1D lanes × embeddings and emit utilization
   vs sequence length (``--format table|csv|json``), or ``--scenario``
   to schedule N (batch, head) instances contending for the shared
@@ -436,6 +436,7 @@ def _simulate_flag_errors(args):
         ("--decode-chunks", args.decode_chunks is not None),
         ("--dram-bw", args.dram_bw is not None),
         ("--binding", args.binding != "both"),
+        ("--profile", args.profile),
     )
     sweep_only = (
         ("--chunks-list", args.chunks_list is not None),
@@ -501,10 +502,10 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_simulate_sweep(args) -> int:
     """The long-sequence binding sweep through the parallel runtime."""
-    if args.engine != "event":
-        print("--sweep always runs the event-driven core (the cycle "
-              "oracle cannot reach the long-sequence points); --engine "
-              "applies to the one-shot comparison only", file=sys.stderr)
+    if args.engine == "cycle":
+        print("--sweep runs the event-driven core (or --engine vector); "
+              "the cycle oracle cannot reach the long-sequence points",
+              file=sys.stderr)
         return 2
     axes = {}
     for field, flag, text in (
@@ -518,7 +519,8 @@ def _cmd_simulate_sweep(args) -> int:
             if values is None:
                 return 2
             axes[field] = values
-    result = _run_validated(_session(args), BindingSweepRequest(**axes))
+    result = _run_validated(_session(args),
+                            BindingSweepRequest(engine=args.engine, **axes))
     if result is None:
         return 2
     render = {"table": sweep_table, "csv": sweep_csv, "json": sweep_json}
@@ -560,10 +562,13 @@ def _cmd_simulate_scenario(args) -> int:
         array_dim=args.array_dim, pe_1d=args.pe1d, slots=args.slots,
         decode_instances=args.decode_instances,
         decode_chunks=args.decode_chunks, dram_bw=args.dram_bw,
-        binding=args.binding, engine=args.engine,
+        binding=args.binding, engine=args.engine, profile=args.profile,
     ))
     if result is None:
         return 2
+    if result.provenance.profiles:
+        for prof in result.provenance.profiles:
+            print(prof.describe(), file=sys.stderr)
     render = {"table": scenario_table, "csv": scenario_csv,
               "json": scenario_json}
     fmt = args.format or "table"
@@ -600,7 +605,7 @@ def _cmd_serve(args) -> int:
         decode_tokens=args.decode_tokens, max_inflight=args.max_inflight,
         deadline=args.deadline, binding=args.binding,
         array_dim=args.array_dim, pe_1d=args.pe1d, slots=args.slots,
-        dram_bw=args.dram_bw,
+        dram_bw=args.dram_bw, engine=args.engine,
     )
     if args.trace is not None:
         try:
@@ -760,10 +765,10 @@ def main(argv=None) -> int:
         help="PE-array dimension (1D array sized to match; default 256)",
     )
     simulate.add_argument(
-        "--engine", choices=("event", "cycle"), default="event",
-        help="scheduler core for the one-shot comparison: event-driven "
-             "(default) or the cycle-accurate oracle — results are "
-             "identical (--sweep always uses the event core)",
+        "--engine", choices=("event", "cycle", "vector"), default="event",
+        help="scheduler core: event-driven (default), the cycle-accurate "
+             "oracle, or the vectorized folding core — results are "
+             "identical (--sweep accepts event and vector)",
     )
     simulate.add_argument(
         "--sweep", action="store_true",
@@ -791,6 +796,11 @@ def main(argv=None) -> int:
         "--scenario", action="store_true",
         help="schedule N (batch, head) instances contending for the "
              "shared arrays in one merged graph",
+    )
+    simulate.add_argument(
+        "--profile", action="store_true",
+        help="with --scenario: print a build/schedule wall-time "
+             "breakdown per scenario to stderr (runs inline, uncached)",
     )
     simulate.add_argument(
         "--model", metavar="NAME", default=None,
@@ -915,6 +925,11 @@ def main(argv=None) -> int:
         "--dram-bw", type=float, default=None, metavar="B",
         help="shared DRAM bandwidth in bytes/cycle: every request's "
              "traffic contends for one memory link (default: unmodeled)",
+    )
+    serve.add_argument(
+        "--engine", choices=("event", "vector"), default="event",
+        help="scheduler core for each admission window (results are "
+             "identical; vector folds symmetric in-flight requests)",
     )
     serve.add_argument(
         "--format", choices=("table", "csv", "json"), default=None,

@@ -169,7 +169,7 @@ def analytical_scenario(scenario: Scenario) -> ScenarioEstimate:
     )
 
 
-def evaluate_grid_cell(cell: "ScenarioGridCell") -> "ScenarioGridResult":
+def evaluate_grid_cell(cell: "ScenarioGridCell", engine: str = "event") -> "ScenarioGridResult":
     """Evaluate one scenario-grid cell: simulate the merged schedule and
     join the closed-form analytical estimate of the same scenario.
 
@@ -181,7 +181,7 @@ def evaluate_grid_cell(cell: "ScenarioGridCell") -> "ScenarioGridResult":
     """
     from ..simulator.sweep import ScenarioGridResult, evaluate_scenario_point
 
-    sim = evaluate_scenario_point(cell.scenario)
+    sim = evaluate_scenario_point(cell.scenario, engine=engine)
     estimate = analytical_scenario(cell.scenario)
     return ScenarioGridResult(
         model=cell.model,

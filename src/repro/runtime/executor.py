@@ -92,9 +92,18 @@ class EvalTask:
     model: Optional[ModelConfig]
     seq_len: int
     batch: int = BATCH_SIZE
+    #: Scheduling core for simulation-backed kinds.  Deliberately NOT
+    #: part of :meth:`fingerprint`: all engines are bit-identical, so a
+    #: result cached under one engine is the result of every engine —
+    #: cache keys and registry digests stay engine-agnostic.
+    engine: str = "event"
 
     def fingerprint(self, memo: Optional[Dict[int, Any]] = None) -> Dict[str, Any]:
         """The cache-key fields identifying this evaluation.
+
+        ``engine`` is intentionally absent — the cores are bit-identical
+        (differentially enforced), so the engine choice is an execution
+        detail, not part of the result's identity.
 
         ``memo`` (keyed by object id) lets a sweep canonicalize each of
         its shared config/model objects once instead of per grid point;
@@ -126,13 +135,13 @@ def evaluate_task(task: EvalTask) -> Any:
     if task.kind == "pareto":
         return design_point(task.model, task.config, task.seq_len, task.batch)
     if task.kind == "binding":
-        return evaluate_binding_point(task.config)
+        return evaluate_binding_point(task.config, engine=task.engine)
     if task.kind == "scenario":
-        return evaluate_scenario_point(task.config)
+        return evaluate_scenario_point(task.config, engine=task.engine)
     if task.kind == "scenario_grid":
-        return evaluate_grid_cell(task.config)
+        return evaluate_grid_cell(task.config, engine=task.engine)
     if task.kind == "serve":
-        return simulate_serving(task.config)
+        return simulate_serving(task.config, engine=task.engine)
     raise ValueError(f"unknown task kind {task.kind!r}; have {KINDS}")
 
 
@@ -640,6 +649,7 @@ def binding_grid(
     array_dims: Sequence[int] = DEFAULT_SWEEP_ARRAY_DIMS,
     embeddings: Sequence[int] = (64,),
     pe_1d_dims: Sequence[Optional[int]] = (None,),
+    engine: str = "event",
 ) -> List[EvalTask]:
     """The (array dim, 1D lanes, embedding, binding, chunk count)
     simulation grid, in presentation order: utilization-vs-length curves
@@ -666,7 +676,9 @@ def binding_grid(
                         if key in seen:
                             continue
                         seen.add(key)
-                        tasks.append(EvalTask("binding", point, None, point.chunks * dim))
+                        tasks.append(
+                            EvalTask("binding", point, None, point.chunks * dim, engine=engine)
+                        )
     return tasks
 
 
@@ -688,6 +700,7 @@ def sweep_bindings(
     retry: Optional[RetryPolicy] = None,
     on_error: str = "raise",
     faults: Optional[FaultPlan] = None,
+    engine: str = "event",
 ) -> Dict[Tuple[str, int, int, int, int], Any]:
     """Binding-simulation results over the long-sequence grid, keyed by
     ``(binding, chunks, array_dim, pe_1d, embedding)``.
@@ -698,17 +711,22 @@ def sweep_bindings(
     ``array_dims``, ``pe_1d_dims``, and ``embeddings`` axes sweep
     independently.
     """
-    tasks = binding_grid(chunks, bindings, array_dims, embeddings, pe_1d_dims)
+    tasks = binding_grid(chunks, bindings, array_dims, embeddings, pe_1d_dims, engine=engine)
     results = _sweep(tasks, "binding", jobs, cache, registry, retry, on_error, faults)
     return {_binding_key(task.config): result for task, result in zip(tasks, results)}
 
 
-def scenario_grid(scenarios: Sequence[Scenario]) -> List[EvalTask]:
+def scenario_grid(scenarios: Sequence[Scenario], engine: str = "event") -> List[EvalTask]:
     """One runtime task per scenario (kind ``"scenario"``).
 
     The whole :class:`Scenario` rides in ``config``, so the cache key
-    covers every field — instances, phase mix, binding, array dims."""
-    return [EvalTask("scenario", scenario, None, scenario.seq_len) for scenario in scenarios]
+    covers every field — instances, phase mix, binding, array dims.
+    ``engine`` picks the scheduling core but never enters the cache key
+    (engines are bit-identical)."""
+    return [
+        EvalTask("scenario", scenario, None, scenario.seq_len, engine=engine)
+        for scenario in scenarios
+    ]
 
 
 def sweep_scenarios(
@@ -720,6 +738,7 @@ def sweep_scenarios(
     retry: Optional[RetryPolicy] = None,
     on_error: str = "raise",
     faults: Optional[FaultPlan] = None,
+    engine: str = "event",
 ) -> Dict[Scenario, Any]:
     """Merged-schedule simulation of each scenario, keyed by the
     :class:`Scenario` itself.
@@ -732,12 +751,14 @@ def sweep_scenarios(
     head) task graph on the event-driven core; points fan out over
     processes and content-address into the cache like every other
     grid."""
-    tasks = scenario_grid(scenarios)
+    tasks = scenario_grid(scenarios, engine=engine)
     results = _sweep(tasks, "scenario", jobs, cache, registry, retry, on_error, faults)
     return {task.config: result for task, result in zip(tasks, results)}
 
 
-def scenario_grid_tasks(cells: Sequence[ScenarioGridCell]) -> List[EvalTask]:
+def scenario_grid_tasks(
+    cells: Sequence[ScenarioGridCell], engine: str = "event"
+) -> List[EvalTask]:
     """One runtime task per grid cell (kind ``"scenario_grid"``).
 
     The whole :class:`ScenarioGridCell` rides in ``config``, so the
@@ -745,7 +766,7 @@ def scenario_grid_tasks(cells: Sequence[ScenarioGridCell]) -> List[EvalTask]:
     that schedule the same scenario under different coordinates stay
     distinct cache entries, and a relabel can never shadow a row."""
     return [
-        EvalTask("scenario_grid", cell, None, cell.scenario.seq_len)
+        EvalTask("scenario_grid", cell, None, cell.scenario.seq_len, engine=engine)
         for cell in cells
     ]
 
@@ -759,6 +780,7 @@ def sweep_scenario_grid(
     retry: Optional[RetryPolicy] = None,
     on_error: str = "raise",
     faults: Optional[FaultPlan] = None,
+    engine: str = "event",
 ) -> List[Any]:
     """Evaluate a scenario grid cell-by-cell through the runtime.
 
@@ -768,18 +790,18 @@ def sweep_scenario_grid(
     multi-instance graph on the event core and joins the analytical
     estimate; cells fan out over processes and content-address into the
     cache under the ``"scenario_grid"`` task kind."""
-    tasks = scenario_grid_tasks(cells)
+    tasks = scenario_grid_tasks(cells, engine=engine)
     return _sweep(tasks, "scenario_grid", jobs, cache, registry, retry, on_error, faults)
 
 
-def serving_grid(specs: Sequence[ServingSpec]) -> List[EvalTask]:
+def serving_grid(specs: Sequence[ServingSpec], engine: str = "event") -> List[EvalTask]:
     """One runtime task per serving workload (kind ``"serve"``).
 
     The whole :class:`~repro.serving.ServingSpec` rides in ``config``,
     so the cache key covers the full arrival trace alongside the array
     configuration, window, and deadline — replaying a seeded trace hits
     the cache, changing any arrival misses it."""
-    return [EvalTask("serve", spec, None, spec.seq_len) for spec in specs]
+    return [EvalTask("serve", spec, None, spec.seq_len, engine=engine) for spec in specs]
 
 
 def sweep_serving(
@@ -791,6 +813,7 @@ def sweep_serving(
     retry: Optional[RetryPolicy] = None,
     on_error: str = "raise",
     faults: Optional[FaultPlan] = None,
+    engine: str = "event",
 ) -> List[Any]:
     """Open-loop serving simulation of each spec, index-aligned.
 
@@ -799,7 +822,7 @@ def sweep_serving(
     latency-vs-load curve.  Points fan out over processes and
     content-address into the cache under the ``"serve"`` task kind, so
     rerunning a seeded sweep is a pure cache read."""
-    tasks = serving_grid(specs)
+    tasks = serving_grid(specs, engine=engine)
     return _sweep(tasks, "serve", jobs, cache, registry, retry, on_error, faults)
 
 

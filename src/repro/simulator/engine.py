@@ -28,13 +28,17 @@ aggregate traffic exceeds the link.  ``dram_bw=None`` leaves the graph
 untouched (bit-identical to pre-bandwidth schedules), and ``math.inf``
 lowers every transfer to zero cycles — also the untouched graph.
 
-Two interchangeable cores execute the schedule:
+Three interchangeable cores execute the schedule:
 
 - ``engine="event"`` (default) — the event-driven scheduler in
   :mod:`.events`, which jumps straight from completion to completion in
   O(tasks) steps; this is what makes long-sequence sweeps tractable.
+- ``engine="vector"`` — the int-lowered event core in :mod:`.vector`;
+  through :func:`~repro.simulator.pipeline.scenario_sim` it adds
+  symmetry folding, which replays recurring windows of a merged
+  scenario's schedule arithmetically instead of simulating them.
 - ``engine="cycle"`` — the original cycle-by-cycle loop below, kept as
-  the differential oracle: both cores produce bit-identical
+  the differential oracle: all cores produce bit-identical
   :class:`SimResult` values on every task graph.
 """
 
@@ -178,7 +182,7 @@ class Simulator:
     ) -> None:
         if mode not in ("serial", "interleaved"):
             raise ValueError(f"unknown issue mode {mode!r}")
-        if engine not in ("event", "cycle"):
+        if engine not in ("event", "cycle", "vector"):
             raise ValueError(f"unknown engine {engine!r}")
         if slots < 1:
             raise ValueError(f"slots must be >= 1, got {slots}")
@@ -206,6 +210,10 @@ class Simulator:
             from .events import run_event_driven
 
             return run_event_driven(self.tasks, self.slots, max_cycles)
+        if self.engine == "vector":
+            from .vector import run_vectorized
+
+            return run_vectorized(self.tasks, self.slots, max_cycles)
         return self._run_cycles(max_cycles)
 
     def _run_cycles(self, max_cycles: int) -> SimResult:

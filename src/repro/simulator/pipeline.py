@@ -43,6 +43,7 @@ from ..arch.spec import EXP_AS_MACCS
 from ..workloads.scenario import BINDINGS, Phase, Scenario
 from .engine import SimResult, Simulator, Task, lower_dram, transfer_cycles
 from .systolic import bqk_tile_timing
+from .vector import FoldedScenario, fold_templates, run_folded
 
 __all__ = [
     "BINDINGS",
@@ -58,8 +59,10 @@ __all__ = [
     "chunk_traffic",
     "chunk_work",
     "compare_bindings",
+    "fold_scenario",
     "scenario_dram_cycles",
     "scenario_sim",
+    "schedule_scenario_tasks",
     "simulate_binding",
 ]
 
@@ -374,14 +377,48 @@ def build_scenario_tasks(scenario: Scenario) -> List[Task]:
     resource (:func:`repro.simulator.engine.lower_dram`): instances then
     contend for memory bandwidth exactly as they do for array slots.
     ``dram_bw=None`` graphs are bit-identical to pre-bandwidth ones.
+
+    A phase's instances are identical up to the ``i<n>:`` namespace, so
+    each phase's template graph is built (and dram-lowered) exactly once
+    and replicated per instance with a plain prefix concat — the per-task
+    builder arithmetic, f-string assembly and lowering stay out of the
+    inner loop.  Lowering commutes with prefixing: a transfer's name is
+    ``<task>@dram`` either way, and both orders emit it immediately
+    before its compute task.
     """
     tasks: List[Task] = []
     index = 0
     for phase in scenario.phases:
+        template = [
+            (t.name, t.resource, t.duration, t.deps, t.bytes_moved)
+            for t in lower_dram(_instance_tasks(scenario, phase), scenario.dram_bw)
+        ]
         for _ in range(phase.instances):
-            tasks.extend(_instance_tasks(scenario, phase, f"i{index}:"))
+            prefix = f"i{index}:"
+            tasks.extend(
+                Task(prefix + name, resource, duration,
+                     tuple(prefix + dep for dep in deps), bytes_moved)
+                for name, resource, duration, deps, bytes_moved in template
+            )
             index += 1
-    return lower_dram(tasks, scenario.dram_bw)
+    return tasks
+
+
+def fold_scenario(scenario: Scenario) -> FoldedScenario:
+    """Collapse ``scenario``'s instances into counted equivalence
+    classes — one per phase, since a phase's instances are identical up
+    to the namespace prefix (exactly the replication
+    :func:`build_scenario_tasks` performs).  The folded form is what
+    ``engine="vector"`` schedules via
+    :func:`~repro.simulator.vector.run_folded`; expanding it
+    reproduces the merged graph's schedule bit for bit.
+    """
+    return fold_templates(
+        [
+            (lower_dram(_instance_tasks(scenario, phase), scenario.dram_bw), phase.instances)
+            for phase in scenario.phases
+        ]
+    )
 
 
 def scenario_dram_cycles(scenario: Scenario) -> int:
@@ -443,13 +480,30 @@ def binding_sim(
     return tasks, _run(tasks, serial, slots=2, engine=engine)
 
 
+def schedule_scenario_tasks(
+    scenario: Scenario, tasks: List[Task], engine: str = "event"
+) -> SimResult:
+    """Schedule an already-built merged graph of ``scenario``.
+
+    ``engine="vector"`` takes the folded path: the instance classes are
+    re-derived from the scenario (cheap — one template per phase) and
+    scheduled by :func:`~repro.simulator.vector.run_folded`, whose
+    default cycle budget is the same total-duration bound
+    :func:`_run` computes from the task list.  The other engines
+    schedule ``tasks`` directly.
+    """
+    serial = scenario.binding == "tile-serial"
+    if engine == "vector":
+        return run_folded(fold_scenario(scenario), slots=1 if serial else scenario.slots)
+    return _run(tasks, serial, slots=scenario.slots, engine=engine)
+
+
 def scenario_sim(
     scenario: Scenario, engine: str = "event"
 ) -> Tuple[List[Task], SimResult]:
     """Build and run ``scenario``'s merged graph; returns (tasks, result)."""
     tasks = build_scenario_tasks(scenario)
-    serial = scenario.binding == "tile-serial"
-    return tasks, _run(tasks, serial, slots=scenario.slots, engine=engine)
+    return tasks, schedule_scenario_tasks(scenario, tasks, engine=engine)
 
 
 def simulate_binding(

@@ -32,8 +32,17 @@ import json
 from dataclasses import asdict, dataclass, fields
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from time import perf_counter
+
 from ..workloads.scenario import Scenario
-from .pipeline import BINDINGS, PipelineConfig, binding_sim, scenario_sim
+from .pipeline import (
+    BINDINGS,
+    PipelineConfig,
+    binding_sim,
+    build_scenario_tasks,
+    scenario_sim,
+    schedule_scenario_tasks,
+)
 
 #: Chunk counts (M1) of the default sweep: 16 → 8192 in powers of two,
 #: i.e. sequence lengths 4K → 2M at the default 256-column array.
@@ -246,11 +255,8 @@ def scenario_fields_for(results: Sequence[ScenarioResult]) -> Tuple[str, ...]:
     return SCENARIO_FIELDS
 
 
-def evaluate_scenario_point(
-    scenario: Scenario, engine: str = "event"
-) -> ScenarioResult:
-    """Schedule one scenario's merged graph and measure utilizations."""
-    tasks, result = scenario_sim(scenario, engine=engine)
+def _scenario_row(scenario: Scenario, n_tasks: int, result) -> ScenarioResult:
+    """Fold one schedule into the :class:`ScenarioResult` row shape."""
     return ScenarioResult(
         scenario=scenario.name,
         binding=scenario.binding,
@@ -260,7 +266,7 @@ def evaluate_scenario_point(
         embedding=scenario.embedding,
         slots=scenario.slots,
         seq_len=scenario.seq_len,
-        n_tasks=len(tasks),
+        n_tasks=n_tasks,
         makespan=result.makespan,
         busy_2d=result.busy_cycles.get("2d", 0),
         busy_1d=result.busy_cycles.get("1d", 0),
@@ -270,6 +276,55 @@ def evaluate_scenario_point(
         dram_bw=scenario.dram_bw,
         busy_dram=result.busy_cycles.get("dram", 0),
     )
+
+
+def evaluate_scenario_point(
+    scenario: Scenario, engine: str = "event"
+) -> ScenarioResult:
+    """Schedule one scenario's merged graph and measure utilizations."""
+    tasks, result = scenario_sim(scenario, engine=engine)
+    return _scenario_row(scenario, len(tasks), result)
+
+
+@dataclass(frozen=True)
+class ScenarioProfile:
+    """Wall-time breakdown of one scenario evaluation (``--profile``):
+    graph construction vs scheduling, so an engine regression is
+    attributable from CI artifacts rather than inferred from totals."""
+
+    scenario: str
+    engine: str
+    n_tasks: int
+    build_s: float
+    schedule_s: float
+
+    def describe(self) -> str:
+        return (
+            f"profile {self.scenario}: engine={self.engine} tasks={self.n_tasks}"
+            f" build={self.build_s:.3f}s schedule={self.schedule_s:.3f}s"
+        )
+
+
+def profile_scenario_point(
+    scenario: Scenario, engine: str = "event"
+) -> Tuple[ScenarioResult, ScenarioProfile]:
+    """Evaluate one scenario with per-stage wall timing.
+
+    Same result as :func:`evaluate_scenario_point` — the stages are the
+    same calls, separately clocked — plus the breakdown."""
+    t0 = perf_counter()
+    tasks = build_scenario_tasks(scenario)
+    t1 = perf_counter()
+    result = schedule_scenario_tasks(scenario, tasks, engine=engine)
+    t2 = perf_counter()
+    profile = ScenarioProfile(
+        scenario=scenario.name,
+        engine=engine,
+        n_tasks=len(tasks),
+        build_s=t1 - t0,
+        schedule_s=t2 - t1,
+    )
+    return _scenario_row(scenario, len(tasks), result), profile
 
 
 # --------------------------------------------------------------------------

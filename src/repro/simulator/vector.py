@@ -1,0 +1,683 @@
+"""Vectorized event core with symmetry folding.
+
+Third engine (``engine="vector"``), bit-identical to the cycle oracle
+like :mod:`.events` is, built from two composing attacks:
+
+**Vectorization** (:func:`run_vectorized`) — the ``Task`` list is
+lowered once into numpy arrays (int task ids, durations, resource ids,
+a CSR dependency-adjacency built with ``argsort``/``bincount``/
+``cumsum``) so the per-event bookkeeping runs on machine integers
+instead of str-keyed dicts: pending heaps hold plain ints (program
+order *is* the task id), dependency fan-out walks CSR slices, and the
+closed-form round-robin from :mod:`.events` is evaluated over the whole
+active set at once — as numpy array ops when the set is wide
+(``>= _WIDE``), as an int loop below that, where array-call overhead
+would dominate.
+
+**Symmetry folding** (:func:`fold_templates` / :func:`run_folded`) —
+``build_scenario_tasks`` emits N identical per-instance graphs whose
+schedules coincide until shared-resource (array slots, ``dram``)
+arbitration breaks the tie.  Instances collapse into counted
+equivalence classes (one per scenario phase) at lowering time; the
+engine simulates concretely but materializes instances *lazily* —
+an instance's tasks enter the pending heaps only when some resource's
+refill would pop one of them — so the live state stays O(window), not
+O(N).  At each materialization event it snapshots the schedule state
+*relative to the oldest live instance*; when the same relative state
+recurs, every future window is an exact shift of the recorded one
+(uniform per-class instance shift ``dA``, uniform time shift ``dt``),
+so the engine replays the window arithmetically ``m`` times instead of
+simulating it, then resumes concretely for the drain — exactly where
+arbitration order makes classes diverge.
+
+Why the replay is exact
+-----------------------
+
+The event engine is deterministic, and every scheduling decision it
+makes reduces to comparisons of ``(class, instance, template-task)``
+triples: classes occupy disjoint program-order ranges (so cross-class
+comparisons never flip), and within a class, order shifts uniformly
+with the instance index.  The snapshot captures everything the
+transition function reads — active sets, pending-heap contents,
+outstanding dependency counts, per-class materialization cursors (all
+instance-relative), rotation counters mod ``lcm(1..slots)``, and
+completion/sync times relative to *now*.  Two equal snapshots therefore
+evolve identically up to the (``dA``, ``dt``) shift, for as many
+repeats as keep every advancing class's cursor in range; ``m`` is
+clamped to that, and the drain tail is simulated concretely.  Exhausted
+classes cannot carry stragglers through a match: a draining live set
+that is also a shift of itself must be empty.
+
+Busy cycles need no simulation at all: every issued cycle serves
+exactly one task-cycle and every task completes, so a resource's busy
+count is the plain sum of its tasks' durations — which is also exactly
+what the cycle engine accumulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
+from math import lcm
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .engine import SimResult, Task
+
+#: Error text shared with both other engines so callers can match any.
+_DEADLOCK = "simulation exceeded max_cycles (deadlock?)"
+
+#: Active sets at least this wide evaluate the closed-form round-robin
+#: as numpy array ops; below it, scalar ints win on call overhead.
+_WIDE = 32
+
+#: Unmatched relative-state snapshots kept before giving up on folding
+#: for the run.  Detection failure costs speed, never correctness.
+_SNAP_CAP = 512
+
+#: Live-instance windows wider than this skip snapshotting: a window
+#: that keeps growing (an uncontended bottleneck backlog) never recurs,
+#: and hashing its state would cost more than it could save.
+_LIVE_CAP = 128
+
+
+def _served_counts(k: int, base: int, quotient: int, extra: int) -> np.ndarray:
+    """Cycles served to each of ``k`` active positions over one window."""
+    served = np.full(k, quotient, dtype=np.int64)
+    served[(np.arange(k) - base) % k < extra] += 1
+    return served
+
+
+def run_vectorized(tasks: Sequence[Task], slots: int, max_cycles: int) -> SimResult:
+    """Event-driven schedule over an int-lowered graph; bit-identical to
+    both other engines on every task graph (same makespan, busy cycles,
+    finish times — same deadlock behaviour too)."""
+    n = len(tasks)
+    names = [t.name for t in tasks]
+    index = {name: i for i, name in enumerate(names)}
+    duration = np.fromiter((t.duration for t in tasks), dtype=np.int64, count=n)
+    resources = sorted({t.resource for t in tasks})
+    res_index = {r: i for i, r in enumerate(resources)}
+    res_of = np.fromiter((res_index[t.resource] for t in tasks), dtype=np.int64, count=n)
+
+    # Readiness semantics mirror _dependency_frontier verbatim on ids:
+    # zero-duration tasks are done at t=0; outstanding counts *unique*
+    # not-yet-done deps; unknown dep names block forever (deadlock).
+    outstanding = [0] * n
+    edges_src: List[int] = []
+    edges_dst: List[int] = []
+    for i, task in enumerate(tasks):
+        if duration[i] == 0:
+            continue
+        waiting = {d for d in task.deps if d not in index or duration[index[d]] != 0}
+        outstanding[i] = len(waiting)
+        for dep in waiting:
+            j = index.get(dep)
+            if j is not None:
+                edges_src.append(j)
+                edges_dst.append(i)
+    src = np.asarray(edges_src, dtype=np.int64)
+    dst = np.asarray(edges_dst, dtype=np.int64)
+    csr_indices = dst[np.argsort(src, kind="stable")]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+
+    # The hot loop runs on plain ints: numpy scalar indexing would cost
+    # more per event than it saves.
+    dur = duration.tolist()
+    res = res_of.tolist()
+    indptr_l = indptr.tolist()
+    indices_l = csr_indices.tolist()
+    total_nonzero = n - int(np.count_nonzero(duration == 0))
+
+    n_res = len(resources)
+    active: List[List[List[int]]] = [[] for _ in range(n_res)]
+    pending: List[List[int]] = [[] for _ in range(n_res)]
+    # Ascending appends form a valid min-heap: program order is the id.
+    for i in np.flatnonzero(duration > 0).tolist():
+        if outstanding[i] == 0:
+            pending[res[i]].append(i)
+    rr = [0] * n_res
+    sync = [0] * n_res
+    next_done: List[Optional[int]] = [None] * n_res
+    busy = [0] * n_res
+    ft = np.zeros(n, dtype=np.int64)
+
+    def advance(resource: int, now: int) -> int:
+        """Apply ``now - sync`` round-robin cycles; return completed id
+        or -1.  The closed form is applied to the whole active set at
+        once — with numpy once the set is wide enough to amortize it."""
+        acts = active[resource]
+        delta = now - sync[resource]
+        sync[resource] = now
+        if not acts or delta == 0:
+            return -1
+        rr[resource] += delta
+        busy[resource] += delta
+        k = len(acts)
+        if k == 1:  # fast path: serial mode / lone active task
+            entry = acts[0]
+            entry[1] -= delta
+            if entry[1] == 0:
+                return acts.pop()[0]
+            return -1
+        quotient, extra = divmod(delta, k)
+        base = rr[resource] - delta
+        completed = -1
+        if k >= _WIDE:
+            rem = np.fromiter((e[1] for e in acts), dtype=np.int64, count=k)
+            rem -= _served_counts(k, base, quotient, extra)
+            done = np.flatnonzero(rem == 0)
+            rem_l = rem.tolist()
+            for j, entry in enumerate(acts):
+                entry[1] = rem_l[j]
+            if done.size:
+                completed = int(done[0])
+        else:
+            for j, entry in enumerate(acts):
+                served = quotient + (1 if (j - base) % k < extra else 0)
+                if served:
+                    entry[1] -= served
+                    if entry[1] == 0:
+                        completed = j
+        if completed < 0:
+            return -1
+        return acts.pop(completed)[0]
+
+    def refill(resource: int) -> None:
+        heap = pending[resource]
+        acts = active[resource]
+        while len(acts) < slots and heap:
+            tid = heappop(heap)
+            acts.append([tid, dur[tid]])
+
+    def completion_time(resource: int) -> Optional[int]:
+        acts = active[resource]
+        if not acts:
+            return None
+        k = len(acts)
+        start = sync[resource]
+        if k == 1:
+            return start + acts[0][1]
+        base = rr[resource]
+        if k >= _WIDE:
+            rem = np.fromiter((e[1] for e in acts), dtype=np.int64, count=k)
+            when = start + (np.arange(k) - base) % k + (rem - 1) * k + 1
+            return int(when.min())
+        best: Optional[int] = None
+        for j, (_, remaining) in enumerate(acts):
+            when = start + (j - base) % k + (remaining - 1) * k + 1
+            if best is None or when < best:
+                best = when
+        return best
+
+    for resource in range(n_res):
+        refill(resource)
+        next_done[resource] = completion_time(resource)
+
+    now = 0
+    completed_count = 0
+    while completed_count < total_nonzero:
+        now = -1
+        for when in next_done:
+            if when is not None and (now < 0 or when < now):
+                now = when
+        if now < 0 or now > max_cycles:
+            raise RuntimeError(_DEADLOCK)
+        touched = {r for r in range(n_res) if next_done[r] == now}
+        finished: List[int] = []
+        for resource in touched:
+            tid = advance(resource, now)
+            if tid < 0:  # pragma: no cover - violated scheduling math
+                raise RuntimeError(f"lost completion on {resources[resource]} at {now}")
+            ft[tid] = now
+            finished.append(tid)
+        completed_count += len(finished)
+        for tid in finished:
+            for j in range(indptr_l[tid], indptr_l[tid + 1]):
+                dependent = indices_l[j]
+                outstanding[dependent] -= 1
+                if outstanding[dependent] == 0:
+                    resource = res[dependent]
+                    heappush(pending[resource], dependent)
+                    touched.add(resource)
+        for resource in touched:
+            leak = advance(resource, now)
+            if leak >= 0:  # pragma: no cover - violated math
+                raise RuntimeError(f"lost completion on {resources[resource]} at {now}")
+            refill(resource)
+            next_done[resource] = completion_time(resource)
+
+    busy_map = {resources[r]: busy[r] for r in range(n_res) if busy[r] > 0}
+    return SimResult(
+        makespan=now,
+        busy_cycles=busy_map,
+        finish_times=dict(zip(names, ft.tolist())),
+    )
+
+
+@dataclass
+class FoldedClass:
+    """One equivalence class: ``count`` identical instance graphs."""
+
+    count: int
+    ginst_base: int  #: global instance index of the class's first instance
+    order_base: int  #: global program order of instance 0's first task
+    size: int  #: template length (tasks per instance, post-lowering)
+    names: Tuple[str, ...]  #: template task names (unprefixed)
+    durations: List[int]
+    res: List[int]  #: template resource ids into FoldedScenario.resources
+    indptr: List[int]  #: template-local dependents CSR
+    indices: List[int]
+    outstanding0: List[int]  #: initial unique positive-duration dep counts
+    ready0: List[int]  #: ascending tids ready at t=0 (positive duration)
+    nonzero: int  #: positive-duration templates per instance
+    min_ready: List[int] = field(default_factory=list)  #: per resource: min ready0 tid or -1
+
+
+@dataclass
+class FoldedScenario:
+    """A scenario lowered to counted instance classes."""
+
+    classes: List[FoldedClass]
+    resources: List[str]
+    n_tasks: int
+    n_instances: int
+    total_duration: int  #: Σ durations — the engines' makespan bound
+    busy_totals: List[int]  #: per resource id: Σ durations (exact busy)
+
+
+def fold_templates(templates: Sequence[Tuple[Sequence[Task], int]]) -> FoldedScenario:
+    """Lower ``(template_tasks, instance_count)`` pairs — one per
+    scenario phase, in program order, already dram-lowered — into a
+    :class:`FoldedScenario`.  Template deps must stay inside the
+    template (instance prefixing guarantees this for scenario graphs)."""
+    resources = sorted({t.resource for tasks, _ in templates for t in tasks})
+    res_index = {r: i for i, r in enumerate(resources)}
+    n_res = len(resources)
+    classes: List[FoldedClass] = []
+    order_base = 0
+    ginst_base = 0
+    n_tasks = 0
+    total_duration = 0
+    busy_totals = [0] * n_res
+    for tasks, count in templates:
+        size = len(tasks)
+        index = {t.name: i for i, t in enumerate(tasks)}
+        durations = [t.duration for t in tasks]
+        res = [res_index[t.resource] for t in tasks]
+        outstanding0 = [0] * size
+        edges: List[List[int]] = [[] for _ in range(size)]
+        for i, task in enumerate(tasks):
+            if durations[i] == 0:
+                continue
+            waiting = set()
+            for dep in task.deps:
+                j = index.get(dep)
+                if j is None:
+                    raise ValueError(f"template task {task.name}: dep {dep!r} leaves the instance")
+                if durations[j] != 0:
+                    waiting.add(j)
+            outstanding0[i] = len(waiting)
+            for j in waiting:
+                edges[j].append(i)
+        indptr = [0] * (size + 1)
+        indices: List[int] = []
+        for i, outs in enumerate(edges):
+            indices.extend(outs)
+            indptr[i + 1] = len(indices)
+        ready0 = [i for i in range(size) if durations[i] > 0 and outstanding0[i] == 0]
+        min_ready = [-1] * n_res
+        for tid in reversed(ready0):  # ascending scan reversed: min wins
+            min_ready[res[tid]] = tid
+        for i in range(size):
+            busy_totals[res[i]] += durations[i] * count
+        per_instance = sum(durations)
+        classes.append(
+            FoldedClass(
+                count=count,
+                ginst_base=ginst_base,
+                order_base=order_base,
+                size=size,
+                names=tuple(t.name for t in tasks),
+                durations=durations,
+                res=res,
+                indptr=indptr,
+                indices=indices,
+                outstanding0=outstanding0,
+                ready0=ready0,
+                nonzero=sum(1 for d in durations if d > 0),
+                min_ready=min_ready,
+            )
+        )
+        order_base += count * size
+        ginst_base += count
+        n_tasks += count * size
+        total_duration += per_instance * count
+    return FoldedScenario(
+        classes=classes,
+        resources=resources,
+        n_tasks=n_tasks,
+        n_instances=ginst_base,
+        total_duration=total_duration,
+        busy_totals=busy_totals,
+    )
+
+
+def run_folded(
+    folded: FoldedScenario,
+    slots: int,
+    max_cycles: Optional[int] = None,
+    stats: Optional[Dict[str, int]] = None,
+) -> SimResult:
+    """Schedule a folded scenario; bit-identical to running the fully
+    materialized graph through any engine.  ``max_cycles`` defaults to
+    the graph's makespan bound (total duration + 1) — the same budget
+    :func:`~repro.simulator.pipeline.scenario_sim` derives from the task
+    list.  ``stats``, when given, receives ``events`` (concrete events
+    simulated), ``replayed`` (completions expanded arithmetically) and
+    ``jumps`` counters — the fold's effectiveness, for tests and the
+    ``--profile`` breakdown."""
+    if max_cycles is None:
+        max_cycles = folded.total_duration + 1
+    classes = folded.classes
+    n_classes = len(classes)
+    resources = folded.resources
+    n_res = len(resources)
+    counts = [c.count for c in classes]
+    sizes = [c.size for c in classes]
+    order_bases = [c.order_base for c in classes]
+    ginst_bases = [c.ginst_base for c in classes]
+    #: per resource: (class id, min ready tid, that tid's resource-local
+    #: head order offset) for classes with any t=0-ready work there.
+    classes_on: List[List[Tuple[int, int]]] = [[] for _ in range(n_res)]
+    for c, cls in enumerate(classes):
+        for r in range(n_res):
+            if cls.min_ready[r] >= 0:
+                classes_on[r].append((c, cls.min_ready[r]))
+
+    active: List[List[List[int]]] = [[] for _ in range(n_res)]
+    pending: List[List[Tuple[int, int, int]]] = [[] for _ in range(n_res)]
+    rr = [0] * n_res
+    sync = [0] * n_res
+    next_done: List[Optional[int]] = [None] * n_res
+    cursor = [0] * n_classes
+    #: live instance -> [class id, outstanding counts, unfinished count]
+    live: Dict[int, List] = {}
+    inst_log: List[int] = []
+    tid_log: List[int] = []
+    t_log: List[int] = []
+    #: (log start, log end, repeats, instance shift, time shift)
+    blocks: List[Tuple[int, int, int, int, int]] = []
+    materialized = 0
+    rr_mod = lcm(*range(1, slots + 1))
+
+    def materialize(c: int) -> None:
+        nonlocal materialized
+        cls = classes[c]
+        local = cursor[c]
+        cursor[c] = local + 1
+        gi = cls.ginst_base + local
+        ob = cls.order_base + local * cls.size
+        live[gi] = [c, cls.outstanding0.copy(), cls.nonzero]
+        for tid in cls.ready0:
+            heappush(pending[cls.res[tid]], (ob + tid, gi, tid))
+        materialized += 1
+
+    def refill(resource: int) -> None:
+        """Engine refill, plus lazy materialization: an unmaterialized
+        instance's earliest ready task on this resource competes with
+        the heap top by program order, exactly as if it had been pending
+        since t=0 (pending membership has no side effects; only pops
+        matter, and instance order keys ascend within a class)."""
+        acts = active[resource]
+        heap = pending[resource]
+        while len(acts) < slots:
+            vmin = -1
+            vcls = -1
+            for c, head_tid in classes_on[resource]:
+                cur = cursor[c]
+                if cur < counts[c]:
+                    order = order_bases[c] + cur * sizes[c] + head_tid
+                    if vmin < 0 or order < vmin:
+                        vmin = order
+                        vcls = c
+            if vmin >= 0 and (not heap or vmin < heap[0][0]):
+                materialize(vcls)
+                continue
+            if not heap:
+                break
+            _, gi, tid = heappop(heap)
+            acts.append([gi, tid, classes[live[gi][0]].durations[tid]])
+
+    def advance(resource: int, now: int) -> Optional[Tuple[int, int]]:
+        acts = active[resource]
+        delta = now - sync[resource]
+        sync[resource] = now
+        if not acts or delta == 0:
+            return None
+        rr[resource] += delta
+        k = len(acts)
+        if k == 1:
+            entry = acts[0]
+            entry[2] -= delta
+            if entry[2] == 0:
+                acts.pop()
+                return (entry[0], entry[1])
+            return None
+        quotient, extra = divmod(delta, k)
+        base = rr[resource] - delta
+        completed = -1
+        for j, entry in enumerate(acts):
+            served = quotient + (1 if (j - base) % k < extra else 0)
+            if served:
+                entry[2] -= served
+                if entry[2] == 0:
+                    completed = j
+        if completed < 0:
+            return None
+        entry = acts.pop(completed)
+        return (entry[0], entry[1])
+
+    def completion_time(resource: int) -> Optional[int]:
+        acts = active[resource]
+        if not acts:
+            return None
+        k = len(acts)
+        start = sync[resource]
+        if k == 1:
+            return start + acts[0][2]
+        base = rr[resource]
+        best: Optional[int] = None
+        for j, entry in enumerate(acts):
+            when = start + (j - base) % k + (entry[2] - 1) * k + 1
+            if best is None or when < best:
+                best = when
+        return best
+
+    def state_key(anchor: int, now: int):
+        """Everything the transition function reads, instance-relative."""
+        res_state = []
+        for r in range(n_res):
+            acts = tuple((e[0] - anchor, live[e[0]][0], e[1], e[2]) for e in active[r])
+            heap = tuple(sorted((gi - anchor, live[gi][0], tid) for _, gi, tid in pending[r]))
+            nd = next_done[r]
+            res_state.append(
+                (acts, heap, rr[r] % rr_mod, sync[r] - now, -1 if nd is None else nd - now)
+            )
+        inst_state = tuple(
+            sorted((gi - anchor, st[0], tuple(st[1]), st[2]) for gi, st in live.items())
+        )
+        # A class that has not admitted any instance yet snapshots as a
+        # plain sentinel, not a relative position: classes start strictly
+        # in program order (an earlier unexhausted class's virtual head
+        # order is always below a later class's order base), so an
+        # unstarted class can never win refill arbitration during a
+        # replayed window and its distance from the anchor is inert.
+        cursors = tuple(
+            "unstarted"
+            if cursor[c] == 0
+            else (ginst_bases[c] + cursor[c] - anchor) if cursor[c] < counts[c] else "done"
+            for c in range(n_classes)
+        )
+        return (tuple(res_state), inst_state, cursors)
+
+    total_nonzero = sum(counts[c] * classes[c].nonzero for c in range(n_classes))
+    for resource in range(n_res):
+        refill(resource)
+        next_done[resource] = completion_time(resource)
+
+    now = 0
+    completed_count = 0
+    events = 0
+    replayed = 0
+    jumps = 0
+    snapshots: Dict = {}
+    folding = True
+    while completed_count < total_nonzero:
+        now = -1
+        for when in next_done:
+            if when is not None and (now < 0 or when < now):
+                now = when
+        if now < 0 or now > max_cycles:
+            raise RuntimeError(_DEADLOCK)
+        events += 1
+        touched = {r for r in range(n_res) if next_done[r] == now}
+        finished: List[Tuple[int, int]] = []
+        for resource in touched:
+            done = advance(resource, now)
+            if done is None:  # pragma: no cover - violated scheduling math
+                raise RuntimeError(f"lost completion on {resources[resource]} at {now}")
+            gi, tid = done
+            inst_log.append(gi)
+            tid_log.append(tid)
+            t_log.append(now)
+            finished.append(done)
+        completed_count += len(finished)
+        for gi, tid in finished:
+            st = live[gi]
+            cls = classes[st[0]]
+            outstanding = st[1]
+            ob = cls.order_base + (gi - cls.ginst_base) * cls.size
+            for j in range(cls.indptr[tid], cls.indptr[tid + 1]):
+                dependent = cls.indices[j]
+                outstanding[dependent] -= 1
+                if outstanding[dependent] == 0:
+                    resource2 = cls.res[dependent]
+                    heappush(pending[resource2], (ob + dependent, gi, dependent))
+                    touched.add(resource2)
+            st[2] -= 1
+            if st[2] == 0:
+                del live[gi]
+        grew = materialized
+        for resource in touched:
+            leak = advance(resource, now)
+            if leak is not None:  # pragma: no cover - violated math
+                raise RuntimeError(f"lost completion on {resources[resource]} at {now}")
+            refill(resource)
+            next_done[resource] = completion_time(resource)
+        if not folding or materialized == grew or not live or len(live) > _LIVE_CAP:
+            continue
+        # A materialization event ended: snapshot the relative state and
+        # jump if it recurs (see the module docstring for the argument).
+        anchor = min(live)
+        key = state_key(anchor, now)
+        prev = snapshots.get(key)
+        if prev is None:
+            if len(snapshots) >= _SNAP_CAP:
+                folding = False
+                snapshots.clear()
+            else:
+                snapshots[key] = (anchor, now, len(t_log), completed_count)
+            continue
+        prev_anchor, prev_now, prev_log, prev_completed = prev
+        d_inst = anchor - prev_anchor
+        d_time = now - prev_now
+        if d_inst <= 0 or d_time <= 0:
+            continue
+        # Matching snapshots mean every *started, unexhausted* class
+        # advanced exactly d_inst instances over the window (their cursor
+        # positions are anchor-relative in the key); only those consume
+        # instances per repeat, so only they bound the repeat count.
+        repeats: Optional[int] = None
+        for c in range(n_classes):
+            if 0 < cursor[c] < counts[c]:
+                fit = (counts[c] - 1 - cursor[c]) // d_inst
+                if repeats is None or fit < repeats:
+                    repeats = fit
+        if not repeats or repeats <= 0:
+            continue
+        # Apply the jump: record the window for arithmetic expansion,
+        # then shift every absolute time and instance index in place.
+        blocks.append((prev_log, len(t_log), repeats, d_inst, d_time))
+        window_completions = completed_count - prev_completed
+        completed_count += repeats * window_completions
+        replayed += repeats * window_completions
+        jumps += 1
+        shift_t = repeats * d_time
+        shift_i = repeats * d_inst
+        for r in range(n_res):
+            sync[r] += shift_t
+            if next_done[r] is not None:
+                next_done[r] += shift_t
+            for entry in active[r]:
+                entry[0] += shift_i
+            if pending[r]:
+                # Order keys shift by the *class's* stride, so re-heapify
+                # rather than assume the list shape survives.
+                pending[r] = [
+                    (order + shift_i * sizes[live[gi][0]], gi + shift_i, tid)
+                    for order, gi, tid in pending[r]
+                ]
+                heapify(pending[r])
+        live = {gi + shift_i: st for gi, st in live.items()}
+        for c in range(n_classes):
+            if 0 < cursor[c] < counts[c]:
+                cursor[c] += shift_i
+        # Windows spanning a jump cannot be replayed from the log.
+        snapshots.clear()
+
+    if stats is not None:
+        stats["events"] = events
+        stats["replayed"] = replayed
+        stats["jumps"] = jumps
+
+    # Expansion: global program order is a dense 0..n_tasks-1 index, so
+    # finish times land in one flat array — concrete completions first,
+    # then each recorded window shifted arithmetically per repeat.
+    ft = np.zeros(folded.n_tasks, dtype=np.int64)
+    if inst_log:
+        inst_a = np.asarray(inst_log, dtype=np.int64)
+        tid_a = np.asarray(tid_log, dtype=np.int64)
+        t_a = np.asarray(t_log, dtype=np.int64)
+        starts = np.asarray(ginst_bases, dtype=np.int64)
+        cls_a = np.searchsorted(starts, inst_a, side="right") - 1
+        sizes_a = np.asarray(sizes, dtype=np.int64)
+        orders = (
+            np.asarray(order_bases, dtype=np.int64)[cls_a]
+            + (inst_a - starts[cls_a]) * sizes_a[cls_a]
+            + tid_a
+        )
+        ft[orders] = t_a
+        for log_start, log_end, repeats, d_inst, d_time in blocks:
+            seg_orders = orders[log_start:log_end]
+            seg_shift = d_inst * sizes_a[cls_a[log_start:log_end]]
+            seg_t = t_a[log_start:log_end]
+            for repeat in range(1, repeats + 1):
+                ft[seg_orders + repeat * seg_shift] = seg_t + repeat * d_time
+
+    finish_names: List[str] = []
+    for cls in classes:
+        template = cls.names
+        for local in range(cls.count):
+            prefix = f"i{cls.ginst_base + local}:"
+            finish_names.extend([prefix + name for name in template])
+    busy_map = {
+        resources[r]: folded.busy_totals[r] for r in range(n_res) if folded.busy_totals[r] > 0
+    }
+    return SimResult(
+        makespan=int(ft.max()) if folded.n_tasks else 0,
+        busy_cycles=busy_map,
+        finish_times=dict(zip(finish_names, ft.tolist())),
+    )

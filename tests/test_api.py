@@ -292,6 +292,13 @@ class TestOtherRequestValidation:
         assert "slots applies to the interleaved binding only" in errors
         ServeRequest(rate=1.0, binding="interleaved", slots=4).validate()
 
+    def test_serve_engine_rules(self):
+        errors = violations(ServeRequest(rate=1.0, engine="quantum"))
+        assert any("unknown engine 'quantum'" in e for e in errors)
+        errors = violations(ServeRequest(rate=1.0, engine="cycle"))
+        assert "serve supports engines ('event', 'vector')" in errors
+        ServeRequest(rate=1.0, engine="vector").validate()
+
     def test_serve_build_spec_defaults(self):
         spec = ServeRequest(rate=0.5, seed=3).build_spec()
         assert spec.name == "poisson-r0.5-s3"
@@ -348,6 +355,7 @@ SIGNATURE_MUTATIONS = {
         "dram_bw": 64.0,
         "binding": "interleaved",
         "engine": "cycle",
+        "profile": True,
         "scenarios": (attention_scenario(1, 4),),
     },
     ScenarioGridRequest: {
@@ -379,6 +387,7 @@ SIGNATURE_MUTATIONS = {
         "pe_1d": 64,
         "slots": 3,
         "dram_bw": 64.0,
+        "engine": "vector",
     },
     CrosscheckRequest: {
         "tolerance": 0.1,
@@ -449,6 +458,38 @@ class TestSession:
         one_cycle = Session(cache=False).run(BindingSweepRequest(
             chunks=(4,), array_dims=(64,), engine="cycle"))
         assert one_event.payload == one_cycle.payload
+
+    def test_vector_engine_matches_event(self):
+        event = Session(cache=False).run(
+            ScenarioRequest(instances=3, chunks=4, array_dim=64,
+                            dram_bw=8.0)
+        )
+        vector = Session(cache=False).run(
+            ScenarioRequest(instances=3, chunks=4, array_dim=64,
+                            dram_bw=8.0, engine="vector")
+        )
+        assert event.payload == vector.payload
+        one_vector = Session(cache=False).run(BindingSweepRequest(
+            chunks=(4,), array_dims=(64,), engine="vector"))
+        one_event = Session(cache=False).run(BindingSweepRequest(
+            chunks=(4,), array_dims=(64,)))
+        assert one_vector.payload == one_event.payload
+
+    def test_profile_rides_in_provenance(self):
+        request = ScenarioRequest(instances=2, chunks=4, array_dim=64,
+                                  profile=True, engine="vector")
+        result = Session(cache=False).run(request)
+        plain = Session(cache=False).run(
+            ScenarioRequest(instances=2, chunks=4, array_dim=64)
+        )
+        assert result.payload == plain.payload  # timing never changes results
+        assert plain.provenance.profiles is None
+        profiles = result.provenance.profiles
+        assert profiles is not None and len(profiles) == len(result.payload)
+        for prof in profiles:
+            assert prof.engine == "vector"
+            assert prof.build_s >= 0 and prof.schedule_s >= 0
+            assert "schedule=" in prof.describe()
 
     def test_provenance_cache_and_registry(self, tmp_path):
         session = Session(

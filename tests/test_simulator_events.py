@@ -90,17 +90,18 @@ def random_scenario(rng, dram_bw="maybe") -> Scenario:
 
 
 def both(tasks, mode="interleaved", slots=2, max_cycles=10_000_000):
-    """Run both engines; assert equality; return the shared result."""
+    """Run all three engines; assert equality; return the shared result."""
     cycle = Simulator(tasks, mode=mode, slots=slots, engine="cycle").run(
         max_cycles=max_cycles
     )
-    event = Simulator(tasks, mode=mode, slots=slots, engine="event").run(
-        max_cycles=max_cycles
-    )
-    assert event == cycle
-    assert dict(event.busy_cycles) == dict(cycle.busy_cycles)
-    assert dict(event.finish_times) == dict(cycle.finish_times)
-    return event
+    for engine in ("event", "vector"):
+        result = Simulator(tasks, mode=mode, slots=slots, engine=engine).run(
+            max_cycles=max_cycles
+        )
+        assert result == cycle
+        assert dict(result.busy_cycles) == dict(cycle.busy_cycles)
+        assert dict(result.finish_times) == dict(cycle.finish_times)
+    return cycle
 
 
 def random_graph(rng, max_tasks=40, allow_zero=True):
@@ -187,20 +188,20 @@ class TestDifferentialEdgeCases:
 
     def test_deadlock_raises_in_both_engines(self):
         tasks = [Task("a", "r", 1, deps=("b",)), Task("b", "r", 1, deps=("a",))]
-        for engine in ("event", "cycle"):
+        for engine in ("event", "cycle", "vector"):
             sim = Simulator(tasks, engine=engine)
             with pytest.raises(RuntimeError, match="max_cycles"):
                 sim.run(max_cycles=100)
 
     def test_max_cycles_exceeded_raises_in_both_engines(self):
         tasks = [Task("a", "r", 50)]
-        for engine in ("event", "cycle"):
+        for engine in ("event", "cycle", "vector"):
             sim = Simulator([*tasks], engine=engine)
             with pytest.raises(RuntimeError, match="max_cycles"):
                 sim.run(max_cycles=10)
 
     def test_makespan_exactly_at_max_cycles_succeeds(self):
-        for engine in ("event", "cycle"):
+        for engine in ("event", "cycle", "vector"):
             result = Simulator([Task("a", "r", 10)], engine=engine).run(
                 max_cycles=10
             )
@@ -388,12 +389,17 @@ class TestScenarioGraphs:
         scenario = random_scenario(rng)
         tasks = build_scenario_tasks(scenario)
         serial = scenario.binding == "tile-serial"
-        both(
+        result = both(
             tasks,
             mode="serial" if serial else "interleaved",
             slots=scenario.slots,
             max_cycles=sum(t.duration for t in tasks) + 1,
         )
+        # The folded path (scenario_sim engine="vector") must agree too:
+        # it never materializes the merged task list, so this is the one
+        # place lazy materialization and replay face the oracle.
+        _, folded = scenario_sim(scenario, engine="vector")
+        assert folded == result
 
     @pytest.mark.parametrize("seed", range(150, 174))
     def test_bandwidth_graph_engines_identical(self, seed):
@@ -416,12 +422,16 @@ class TestScenarioGraphs:
             assert "dram" not in result.busy_cycles
         else:
             assert result.busy_cycles.get("dram", 0) > 0
+        _, folded = scenario_sim(scenario, engine="vector")
+        assert folded == result
 
     def test_scenario_sim_engine_parity(self):
         scenario = attention_scenario(3, 4, array_dim=32)
         _, event = scenario_sim(scenario, engine="event")
         _, cycle = scenario_sim(scenario, engine="cycle")
+        _, vector = scenario_sim(scenario, engine="vector")
         assert event == cycle
+        assert vector == cycle
 
     def test_single_instance_matches_binding_graph(self):
         """A one-instance scenario is the Fig. 4/5 graph, renamed."""
@@ -488,6 +498,99 @@ class TestScenarioGraphs:
             Phase("train", 1, 4)
         with pytest.raises(ValueError, match="divisible"):
             scenario_from_model(BERT, 1000)
+
+
+class TestSymmetryFolding:
+    """The folded path's own contract: recurrence replay fires on
+    contended scenarios, expansion is exact where arbitration breaks
+    symmetry, and malformed templates are rejected at fold time."""
+
+    def _assert_folded_exact(self, scenario, stats=None):
+        from repro.simulator import fold_scenario, run_folded
+
+        tasks = build_scenario_tasks(scenario)
+        serial = scenario.binding == "tile-serial"
+        expected = Simulator(
+            tasks,
+            mode="serial" if serial else "interleaved",
+            slots=scenario.slots,
+            engine="event",
+        ).run(max_cycles=sum(t.duration for t in tasks) + 1)
+        folded = run_folded(
+            fold_scenario(scenario),
+            slots=1 if serial else scenario.slots,
+            stats=stats,
+        )
+        assert folded == expected
+        assert dict(folded.finish_times) == dict(expected.finish_times)
+        return folded
+
+    def test_contended_scenario_replays(self):
+        """DRAM contention throttles admission, the live window recurs,
+        and the steady state is replayed rather than simulated — and the
+        expansion is still bit-identical to the event core."""
+        scenario = attention_scenario(16, 4, dram_bw=4.0, array_dim=32)
+        stats = {}
+        self._assert_folded_exact(scenario, stats)
+        assert stats["jumps"] >= 1
+        assert stats["replayed"] > stats["events"]
+
+    def test_prefill_decode_contention_folds_both_phases(self):
+        """Two instance classes, both contended: the detector must jump
+        inside the prefill regime without the (not-yet-started) decode
+        class pinning the replay count to zero."""
+        scenario = attention_scenario(
+            24, 4, decode_instances=8, decode_chunks=6,
+            dram_bw=8.0, array_dim=32,
+        )
+        stats = {}
+        self._assert_folded_exact(scenario, stats)
+        assert stats["jumps"] >= 2
+
+    def test_symmetry_breaking_arbitration_expands_exactly(self):
+        """Identical instances do NOT get identical schedules: slot
+        arbitration staggers them, so expansion must place each
+        instance's finish times individually, not stamp one template."""
+        scenario = attention_scenario(5, 3, array_dim=32, slots=2)
+        folded = self._assert_folded_exact(scenario)
+        per_instance = {}
+        for name, finish in folded.finish_times.items():
+            prefix, task = name.split(":", 1)
+            per_instance.setdefault(task, {})[prefix] = finish
+        # At least one template task finishes at a different relative
+        # offset across instances (pure shift would make all gaps equal).
+        gaps = {
+            task: {
+                prefix: finish - min(times.values())
+                for prefix, finish in times.items()
+            }
+            for task, times in per_instance.items()
+        }
+        assert any(len(set(offsets.values())) > 1 for offsets in gaps.values())
+
+    def test_uncontended_scenario_still_exact_without_jumps(self):
+        """No recurrence is a speed miss, never a correctness miss."""
+        scenario = attention_scenario(6, 4, array_dim=32)
+        stats = {}
+        self._assert_folded_exact(scenario, stats)
+        assert stats["jumps"] == 0
+
+    def test_fold_rejects_cross_template_deps(self):
+        from repro.simulator.vector import fold_templates
+
+        template = [Task("a", "r", 1, deps=("elsewhere",))]
+        with pytest.raises(ValueError, match="leaves the instance"):
+            fold_templates([(template, 2)])
+
+    def test_run_folded_deadlock_raises(self):
+        from repro.simulator.vector import fold_templates, run_folded
+
+        template = [
+            Task("a", "r", 1, deps=("b",)),
+            Task("b", "r", 1, deps=("a",)),
+        ]
+        with pytest.raises(RuntimeError, match="max_cycles"):
+            run_folded(fold_templates([(template, 3)]), slots=2, max_cycles=50)
 
 
 class TestScenarioCrossValidation:
