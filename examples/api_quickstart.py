@@ -16,12 +16,16 @@ provenance envelope saying how it came to be.
    SLO metrics over a latency-vs-load sweep (ServeRequest).
 7. submit()/gather(): heterogeneous requests pooled through one pass
    of the parallel runtime.
+8. Multi-chip strong scaling: one scenario sharded over 1/2/4/8 chips
+   on a priced interconnect, and the link-bound knee the analytical
+   cluster model reads off without simulating (ClusterRequest).
 
 Run:  python examples/api_quickstart.py
 """
 
 from repro.api import (
     BindingSweepRequest,
+    ClusterRequest,
     CrosscheckRequest,
     ExperimentRequest,
     ScenarioGridRequest,
@@ -29,7 +33,10 @@ from repro.api import (
     ServeRequest,
     Session,
 )
-from repro.workloads import heterogeneous_scenario
+from repro.cluster import ClusterSpec
+from repro.model.cluster import analytical_cluster
+from repro.workloads import BERT, heterogeneous_scenario
+from repro.workloads.scenario import scenario_from_model
 
 
 def section(title):
@@ -109,6 +116,25 @@ def main():
     for result in session.gather():
         print(f"{result.provenance.kind:14s} -> {len(result.payload):3d} "
               f"rows (batched={result.provenance.batched})")
+
+    section("8. ClusterRequest: strong scaling until the link binds")
+    result = session.run(ClusterRequest(
+        model="BERT", batch=2, heads=8, chunks=16, array_dim=64,
+        chips=(1, 2, 4, 8), link_bws=(1024.0,), link_latency=4,
+    ))
+    scenario = scenario_from_model(
+        BERT, 16 * 64, batch=2, heads=8, array_dim=64
+    )
+    for row in result.payload:
+        estimate = analytical_cluster(scenario, ClusterSpec(
+            n_chips=row.n_chips, link_bw=1024.0, link_latency=4,
+        ))
+        link = "-" if row.link_bw is None else f"{row.util_link:.3f}"
+        print(f"chips={row.n_chips}  makespan={row.makespan:7d}  "
+              f"util2d={row.util_2d:.3f}  util_link={link:>5s}  "
+              f"bound={estimate.kind}")
+    # The knee: past it the collective traffic (which grows with the
+    # chip count) binds, and adding chips stops paying.
 
 
 if __name__ == "__main__":

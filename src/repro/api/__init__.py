@@ -35,6 +35,7 @@ from .requests import (
     GRID_KINDS,
     REQUEST_TYPES,
     BindingSweepRequest,
+    ClusterRequest,
     CrosscheckRequest,
     ExperimentRequest,
     Request,
@@ -52,6 +53,7 @@ __all__ = [
     "GRID_KINDS",
     "REQUEST_TYPES",
     "BindingSweepRequest",
+    "ClusterRequest",
     "CrosscheckRequest",
     "ExperimentRequest",
     "FaultPlan",

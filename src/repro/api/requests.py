@@ -3,8 +3,9 @@
 Each request class describes one evaluation the reproduction can run —
 a figure/report regeneration, an evaluation-grid sweep, a long-sequence
 binding sweep, a merged multi-instance scenario schedule, a scenario
-*grid* over models × batch × heads × decode-instances, or the
-simulated-vs-analytical crosscheck.  Requests are:
+*grid* over models × batch × heads × decode-instances, a sharded
+multi-chip cluster sweep, or the simulated-vs-analytical crosscheck.
+Requests are:
 
 - **declarative** — fields name workload axes, never execution knobs
   (``jobs``/``cache``/``registry`` belong to the
@@ -26,6 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import List, Optional, Tuple
 
+from ..cluster import (
+    SHARDINGS,
+    TOPOLOGIES,
+    ClusterPoint,
+    ClusterSpec,
+    shard_config,
+)
 from ..serving import Arrival, ServingSpec, check_sorted, poisson_arrivals
 from ..simulator.sweep import (
     DEFAULT_SWEEP_ARRAY_DIMS,
@@ -506,9 +514,12 @@ class ServeRequest(Request):
     apply to rate-driven serving only — a trace carries its own times
     and shapes.  ``max_inflight`` is the continuous-batching admission
     window and ``deadline`` the SLO (cycles from arrival to last token)
-    that goodput is measured against.  ``None`` fields take the CLI's
-    historical defaults at build time, so the request records what was
-    *asked*, not what was defaulted.
+    that goodput is measured against.  ``chips`` spreads requests over a
+    cluster of identical arrays (request parallelism, round-robin by
+    arrival order), with ``link_bw``/``link_latency`` pricing each
+    request's prefill-output gather on the shared interconnect.
+    ``None`` fields take the CLI's historical defaults at build time, so
+    the request records what was *asked*, not what was defaulted.
     """
 
     KIND = "serve"
@@ -527,6 +538,9 @@ class ServeRequest(Request):
     pe_1d: Optional[int] = None
     slots: Optional[int] = None
     dram_bw: Optional[float] = None
+    chips: Optional[int] = None
+    link_bw: Optional[float] = None
+    link_latency: Optional[int] = None
     engine: str = "event"
 
     def rule_violations(self) -> List[str]:
@@ -575,9 +589,16 @@ class ServeRequest(Request):
             "array_dim",
             "pe_1d",
             "slots",
+            "chips",
         ):
             _positive(errors, name, getattr(self, name))
         _positive_bandwidth(errors, self.dram_bw)
+        if self.link_bw is not None and not self.link_bw > 0:
+            errors.append(f"link_bw must be > 0, got {self.link_bw}")
+        if self.link_latency is not None and self.link_latency < 0:
+            errors.append(f"link_latency must be >= 0, got {self.link_latency}")
+        if self.link_bw is not None and (self.chips is None or self.chips < 2):
+            errors.append("link_bw requires chips >= 2 (one chip has no interconnect)")
         return errors
 
     def build_spec(self) -> ServingSpec:
@@ -607,7 +628,170 @@ class ServeRequest(Request):
             max_inflight=8 if self.max_inflight is None else self.max_inflight,
             deadline=self.deadline,
             dram_bw=self.dram_bw,
+            n_chips=1 if self.chips is None else self.chips,
+            link_bw=self.link_bw,
+            link_latency=0 if self.link_latency is None else self.link_latency,
             rate=rate,
+        )
+
+
+@dataclass(frozen=True)
+class ClusterRequest(Request):
+    """A multi-chip sweep: one scenario sharded over chips × shardings
+    × link bandwidths.
+
+    The scenario shape fields mirror :class:`ScenarioRequest` (minus
+    ``mixed_models``/``scenarios``: a cluster shards one homogeneous
+    workload); the cluster axes then cross every requested chip count
+    with every sharding policy and link bandwidth, one
+    :class:`~repro.cluster.ClusterPoint` per combination.  A ``None``
+    link bandwidth leaves the interconnect unmodeled — collectives cost
+    nothing, the degenerate baseline every sweep should include.
+    """
+
+    KIND = "cluster"
+
+    model: Optional[str] = None
+    batch: Optional[int] = None
+    heads: Optional[int] = None
+    instances: Optional[int] = None
+    chunks: Optional[int] = None
+    array_dim: Optional[int] = None
+    pe_1d: Optional[int] = None
+    slots: Optional[int] = None
+    decode_instances: int = 0
+    decode_chunks: Optional[int] = None
+    dram_bw: Optional[float] = None
+    binding: str = "interleaved"
+    chips: Tuple[int, ...] = (1, 2, 4)
+    shardings: Tuple[str, ...] = ("head",)
+    link_bws: Tuple[Optional[float], ...] = (None,)
+    link_latency: int = 0
+    topology: str = "all-to-all"
+    engine: str = "event"
+
+    def rule_violations(self) -> List[str]:
+        errors: List[str] = []
+        if self.model is not None and self.instances is not None:
+            errors.append(
+                "instances and model are mutually exclusive (model "
+                "derives the instance count from batch/heads)"
+            )
+        if self.model is None:
+            errors.extend(
+                f"{field_} requires model (use instances for an explicit count)"
+                for field_, given in (("batch", self.batch is not None),
+                                      ("heads", self.heads is not None))
+                if given
+            )
+        elif self.model not in MODELS_BY_NAME:
+            errors.append(f"unknown model {self.model!r}; have {sorted(MODELS_BY_NAME)}")
+        if self.decode_chunks is not None and not self.decode_instances:
+            errors.append("decode_chunks requires decode_instances")
+        _positive_bandwidth(errors, self.dram_bw)
+        if self.binding not in BINDINGS:
+            errors.append(f"unknown binding {self.binding!r}; have {BINDINGS}")
+        if self.binding == "tile-serial" and self.slots is not None:
+            errors.append("slots applies to the interleaved binding only")
+        if self.engine not in ENGINES:
+            errors.append(f"unknown engine {self.engine!r}; have {ENGINES}")
+        _positive_axis(errors, "chips", self.chips)
+        if not self.shardings:
+            errors.append("shardings must name at least one policy")
+        errors.extend(
+            f"unknown sharding {sharding!r}; have {SHARDINGS}"
+            for sharding in self.shardings
+            if sharding not in SHARDINGS
+        )
+        if not self.link_bws:
+            errors.append("link_bws must name at least one bandwidth")
+        errors.extend(
+            f"link_bws values must be > 0, got {bw}"
+            for bw in self.link_bws
+            if bw is not None and not bw > 0
+        )
+        if self.link_latency < 0:
+            errors.append(f"link_latency must be >= 0, got {self.link_latency}")
+        if self.topology not in TOPOLOGIES:
+            errors.append(f"unknown topology {self.topology!r}; have {TOPOLOGIES}")
+        for name in (
+            "batch",
+            "heads",
+            "instances",
+            "chunks",
+            "array_dim",
+            "pe_1d",
+            "slots",
+            "decode_chunks",
+        ):
+            _positive(errors, name, getattr(self, name))
+        if self.decode_instances < 0:
+            errors.append(f"decode_instances must be >= 0, got {self.decode_instances}")
+        if not errors and "tensor" in self.shardings:
+            scenario = self.build_scenario()
+            seen: List[str] = []
+            for phase in scenario.phases:
+                for n_chips in self.chips:
+                    try:
+                        shard_config(scenario, phase, "tensor", n_chips)
+                    except ValueError as error:
+                        if str(error) not in seen:
+                            seen.append(str(error))
+            errors.extend(seen)
+        return errors
+
+    def build_scenario(self) -> Scenario:
+        """The one scenario every cluster point shards, with the CLI's
+        historical defaults filled in (matching ``repro scenario``)."""
+        batch = BATCH_SIZE if self.batch is None else self.batch
+        slots = 2 if self.slots is None else self.slots
+        chunks = 32 if self.chunks is None else self.chunks
+        array_dim = 256 if self.array_dim is None else self.array_dim
+        if self.model is not None:
+            return scenario_from_model(
+                MODELS_BY_NAME[self.model],
+                chunks * array_dim,
+                batch=batch,
+                heads=self.heads,
+                binding=self.binding,
+                array_dim=array_dim,
+                pe_1d=self.pe_1d,
+                slots=slots,
+                decode_instances=self.decode_instances,
+                decode_chunks=self.decode_chunks,
+                dram_bw=self.dram_bw,
+            )
+        instances = 4 if self.instances is None else self.instances
+        return attention_scenario(
+            instances,
+            chunks,
+            binding=self.binding,
+            array_dim=array_dim,
+            pe_1d=self.pe_1d,
+            slots=slots,
+            decode_instances=self.decode_instances,
+            decode_chunks=self.decode_chunks,
+            dram_bw=self.dram_bw,
+        )
+
+    def build_points(self) -> Tuple[ClusterPoint, ...]:
+        """Every cluster point of the sweep, chips outermost, then
+        shardings, then link bandwidths."""
+        scenario = self.build_scenario()
+        return tuple(
+            ClusterPoint(
+                scenario=scenario,
+                spec=ClusterSpec(
+                    n_chips=n_chips,
+                    link_bw=link_bw,
+                    link_latency=self.link_latency,
+                    topology=self.topology,
+                ),
+                sharding=sharding,
+            )
+            for n_chips in self.chips
+            for sharding in self.shardings
+            for link_bw in self.link_bws
         )
 
 
@@ -619,13 +803,17 @@ class CrosscheckRequest(Request):
     :func:`repro.experiments.crosscheck.seed_scenarios`;
     ``bandwidth=True`` appends the bandwidth-limited grid
     (:func:`repro.experiments.crosscheck.bandwidth_scenarios`), whose
-    rows also compare the shared ``dram`` link's utilization.
+    rows also compare the shared ``dram`` link's utilization;
+    ``cluster=True`` appends the sharded multi-chip grid
+    (:func:`repro.experiments.crosscheck.cluster_points`), whose rows
+    compare the shared ``link``'s utilization.
     """
 
     KIND = "crosscheck"
 
     tolerance: float = 0.05
     bandwidth: bool = False
+    cluster: bool = False
     scenarios: Optional[Tuple[Scenario, ...]] = None
 
     def rule_violations(self) -> List[str]:
@@ -639,6 +827,11 @@ class CrosscheckRequest(Request):
                 "bandwidth applies to the seed grid only (explicit "
                 "scenarios carry their own dram_bw)"
             )
+        if self.scenarios is not None and self.cluster:
+            errors.append(
+                "cluster applies to the seed grid only (explicit "
+                "scenarios are unsharded)"
+            )
         return errors
 
 
@@ -649,5 +842,6 @@ REQUEST_TYPES: Tuple[type, ...] = (
     ScenarioRequest,
     ScenarioGridRequest,
     ServeRequest,
+    ClusterRequest,
     CrosscheckRequest,
 )

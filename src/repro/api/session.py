@@ -43,6 +43,7 @@ from ..simulator.sweep import (
 from ..workloads.models import MODELS, MODELS_BY_NAME, SEQUENCE_LENGTHS
 from .requests import (
     BindingSweepRequest,
+    ClusterRequest,
     CrosscheckRequest,
     ExperimentRequest,
     Request,
@@ -303,6 +304,7 @@ class Session:
         ScenarioRequest: "scenario",
         ScenarioGridRequest: "scenario_grid",
         ServeRequest: "serve",
+        ClusterRequest: "cluster",
     }
 
     def _dispatch(self, request: Request) -> Any:
@@ -319,6 +321,15 @@ class Session:
             return self._run_binding_sweep(request)
         if isinstance(request, ScenarioRequest):
             return self._run_scenario(request)
+        if isinstance(request, ClusterRequest):
+            # engine="cycle": the differential oracle runs serial and
+            # uncached, mirroring the binding/scenario cycle paths.
+            from ..cluster import evaluate_cluster_point
+
+            return [
+                evaluate_cluster_point(point, engine="cycle")
+                for point in request.build_points()
+            ]
         if isinstance(request, CrosscheckRequest):
             from ..experiments.crosscheck import crosscheck
 
@@ -326,6 +337,7 @@ class Session:
                 request.scenarios,
                 tolerance=request.tolerance,
                 bandwidth=request.bandwidth,
+                cluster=request.cluster,
                 jobs=self.jobs,
                 cache=self._cache_arg(),
                 registry=self.registry,
@@ -447,6 +459,10 @@ class Session:
             return tasks, assemble_scenarios
         if isinstance(request, ScenarioGridRequest):
             return _runtime.scenario_grid_tasks(request.cells()), list
+        if isinstance(request, ClusterRequest) and request.engine != "cycle":
+            return _runtime.cluster_grid(
+                request.build_points(), engine=request.engine
+            ), list
         if isinstance(request, ServeRequest):
             tasks = _runtime.serving_grid([request.build_spec()], engine=request.engine)
 

@@ -31,12 +31,19 @@ Commands:
   latency-vs-load row per rate) or a replayable ``--trace`` file join a
   running schedule through a continuous-batching window
   (``--max-inflight``), reporting TTFT/TBT/p50/p99 latency and goodput
-  at ``--deadline``.  Per-rate points batch through
-  ``Session.submit()/gather()``.
+  at ``--deadline``.  ``--chips N`` spreads requests over a cluster of
+  identical arrays, with ``--link-bw``/``--link-latency`` pricing each
+  request's prefill-output gather on the shared interconnect.  Per-rate
+  points batch through ``Session.submit()/gather()``.
+- ``cluster``           — sharded multi-chip scenario sweep: one
+  workload lowered over ``--chips`` × ``--shardings`` ×
+  ``--link-bws`` (collectives arbitrate a shared ``link`` resource),
+  one strong-scaling row per cluster point through the pooled runtime.
 - ``crosscheck``        — simulate every seed scenario and diff its
   per-array utilization against the analytical models, flagging
   divergence beyond ``--tolerance`` (``--bandwidth`` adds the
-  bandwidth-limited grid and its ``dram`` rows).
+  bandwidth-limited grid and its ``dram`` rows; ``--cluster`` the
+  sharded multi-chip grid and its ``link`` rows).
 
 Grid-backed commands accept ``--jobs N`` (parallel evaluation over
 processes), ``--cache``/``--no-cache`` (content-addressed result reuse;
@@ -61,6 +68,7 @@ from .api import (
     GRID_EXPERIMENTS,
     GRID_KINDS,
     BindingSweepRequest,
+    ClusterRequest,
     CrosscheckRequest,
     ExperimentRequest,
     RequestValidationError,
@@ -76,6 +84,7 @@ from .cascades import (
     causal_attention,
     sigmoid_attention,
 )
+from .cluster import SHARDINGS, TOPOLOGIES, cluster_csv, cluster_json, cluster_table
 from .experiments import crosscheck as _crosscheck
 from .experiments.common import format_table
 from .runtime import ResultCache, RetryPolicy
@@ -605,7 +614,8 @@ def _cmd_serve(args) -> int:
         decode_tokens=args.decode_tokens, max_inflight=args.max_inflight,
         deadline=args.deadline, binding=args.binding,
         array_dim=args.array_dim, pe_1d=args.pe1d, slots=args.slots,
-        dram_bw=args.dram_bw, engine=args.engine,
+        dram_bw=args.dram_bw, chips=args.chips, link_bw=args.link_bw,
+        link_latency=args.link_latency, engine=args.engine,
     )
     if args.trace is not None:
         try:
@@ -644,10 +654,62 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _parse_link_bws(text: str):
+    """Comma-separated link bandwidths where ``none`` leaves the
+    interconnect unmodeled (the degenerate baseline of every sweep)."""
+    values = []
+    for item in text.split(","):
+        if item.strip().lower() == "none":
+            values.append(None)
+            continue
+        try:
+            values.append(float(item))
+        except ValueError:
+            print(f"invalid --link-bws {text!r}: expected comma-separated "
+                  "numbers or 'none'", file=sys.stderr)
+            return None
+    return tuple(values)
+
+
+def _cmd_cluster(args) -> int:
+    """Sharded multi-chip scenario sweep through the pooled runtime."""
+    axes = {}
+    if args.chips is not None:
+        chips = _parse_int_list(args.chips, "--chips")
+        if chips is None:
+            return 2
+        axes["chips"] = chips
+    if args.shardings is not None:
+        axes["shardings"] = tuple(args.shardings.split(","))
+    if args.link_bws is not None:
+        link_bws = _parse_link_bws(args.link_bws)
+        if link_bws is None:
+            return 2
+        axes["link_bws"] = link_bws
+    result = _run_validated(_session(args), ClusterRequest(
+        model=args.model, batch=args.batch, heads=args.heads,
+        instances=args.instances, chunks=args.chunks,
+        array_dim=args.array_dim, pe_1d=args.pe1d, slots=args.slots,
+        decode_instances=args.decode_instances,
+        decode_chunks=args.decode_chunks, dram_bw=args.dram_bw,
+        binding=args.binding, link_latency=args.link_latency,
+        topology=args.topology, engine=args.engine, **axes,
+    ))
+    if result is None:
+        return 2
+    render = {"table": cluster_table, "csv": cluster_csv,
+              "json": cluster_json}
+    fmt = args.format or "table"
+    _emit_rows(args, fmt, render[fmt](result.payload), len(result.payload),
+               "cluster points", result.provenance)
+    return 0
+
+
 def _cmd_crosscheck(args) -> int:
     """Simulated vs analytical utilization over the seed scenarios."""
     result = _session(args).run(CrosscheckRequest(
         tolerance=args.tolerance, bandwidth=args.bandwidth,
+        cluster=args.cluster,
     ))
     report = result.payload
     print("Scenario cross-check: simulated vs analytical utilization")
@@ -927,6 +989,21 @@ def main(argv=None) -> int:
              "traffic contends for one memory link (default: unmodeled)",
     )
     serve.add_argument(
+        "--chips", type=_positive_int, default=None, metavar="N",
+        help="spread requests over N identical arrays (request "
+             "parallelism, round-robin by arrival; default 1)",
+    )
+    serve.add_argument(
+        "--link-bw", type=float, default=None, metavar="B",
+        help="interconnect bandwidth in bytes/cycle: each request's "
+             "prefill-output gather contends for one shared link "
+             "(requires --chips >= 2; default: unmodeled)",
+    )
+    serve.add_argument(
+        "--link-latency", type=_nonnegative_int, default=None, metavar="C",
+        help="per-gather hop latency in cycles (default 0)",
+    )
+    serve.add_argument(
         "--engine", choices=("event", "vector"), default="event",
         help="scheduler core for each admission window (results are "
              "identical; vector folds symmetric in-flight requests)",
@@ -944,6 +1021,101 @@ def main(argv=None) -> int:
         help="record the batched run as JSON under DIR",
     )
     _add_runtime_args(serve)
+    cluster = sub.add_parser(
+        "cluster",
+        help="sharded multi-chip scenario sweep over a modeled "
+             "interconnect",
+    )
+    cluster.add_argument(
+        "--model", metavar="NAME", default=None,
+        help="derive the workload from a model (BERT/TrXL/T5/XLM; "
+             "instances = batch x heads)",
+    )
+    cluster.add_argument(
+        "--batch", type=_positive_int, default=None, metavar="B",
+        help=f"batch size with --model (default {BATCH_SIZE})",
+    )
+    cluster.add_argument(
+        "--heads", type=_positive_int, default=None, metavar="H",
+        help="override the model's head count with --model",
+    )
+    cluster.add_argument(
+        "--instances", type=_positive_int, default=None, metavar="N",
+        help="explicit (batch, head) instance count (default 4; "
+             "mutually exclusive with --model)",
+    )
+    cluster.add_argument(
+        "--chunks", type=_positive_int, default=None, metavar="N",
+        help="prefill M1 chunks per instance (default 32)",
+    )
+    cluster.add_argument(
+        "--array-dim", type=_positive_int, default=None, metavar="D",
+        help="per-chip PE-array dimension (default 256)",
+    )
+    cluster.add_argument(
+        "--pe1d", type=_positive_int, default=None, metavar="P",
+        help="1D-array lanes (default: matched to --array-dim)",
+    )
+    cluster.add_argument(
+        "--slots", type=_positive_int, default=None, metavar="K",
+        help="interleaved issue slots per chip resource (default 2)",
+    )
+    cluster.add_argument(
+        "--decode-instances", type=_nonnegative_int, default=0, metavar="N",
+        help="add N decode-step instances to the workload",
+    )
+    cluster.add_argument(
+        "--decode-chunks", type=_positive_int, default=None, metavar="C",
+        help="KV-cache chunks per decode instance (default: --chunks)",
+    )
+    cluster.add_argument(
+        "--dram-bw", type=float, default=None, metavar="B",
+        help="per-chip DRAM bandwidth in bytes/cycle (default: unmodeled)",
+    )
+    cluster.add_argument(
+        "--binding", choices=BINDINGS, default="interleaved",
+        help="binding discipline to schedule (default: interleaved)",
+    )
+    cluster.add_argument(
+        "--chips", metavar="N1,N2", default=None,
+        help="chip counts to sweep (default: 1,2,4)",
+    )
+    cluster.add_argument(
+        "--shardings", metavar="S1,S2", default=None,
+        help=f"sharding policies to sweep, from {SHARDINGS} "
+             "(default: head)",
+    )
+    cluster.add_argument(
+        "--link-bws", metavar="B1,B2", default=None,
+        help="interconnect bandwidths in bytes/cycle to sweep; 'none' "
+             "leaves the link unmodeled (default: none)",
+    )
+    cluster.add_argument(
+        "--link-latency", type=_nonnegative_int, default=0, metavar="C",
+        help="per-collective hop latency in cycles (default 0)",
+    )
+    cluster.add_argument(
+        "--topology", choices=TOPOLOGIES, default="all-to-all",
+        help="interconnect topology (default: all-to-all)",
+    )
+    cluster.add_argument(
+        "--engine", choices=("event", "cycle", "vector"), default="event",
+        help="scheduler core (results are identical; the cycle oracle "
+             "runs serial and uncached)",
+    )
+    cluster.add_argument(
+        "--format", choices=("table", "csv", "json"), default=None,
+        help="output format (default: table)",
+    )
+    cluster.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the cluster rows to FILE instead of stdout",
+    )
+    cluster.add_argument(
+        "--registry", metavar="DIR", default=None,
+        help="record the sweep as JSON under DIR",
+    )
+    _add_runtime_args(cluster)
     check = sub.add_parser(
         "crosscheck",
         help="simulated vs analytical utilization over the seed scenarios",
@@ -962,6 +1134,11 @@ def main(argv=None) -> int:
         "--bandwidth", action="store_true",
         help="also cross-check the bandwidth-limited scenario grid "
              "(adds a dram utilization row per finite-dram_bw scenario)",
+    )
+    check.add_argument(
+        "--cluster", action="store_true",
+        help="also cross-check the sharded multi-chip grid (adds a "
+             "link utilization row per cluster point)",
     )
     _add_runtime_args(check)
     args = parser.parse_args(argv)
@@ -983,6 +1160,8 @@ def main(argv=None) -> int:
         return _cmd_simulate(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "crosscheck":
         return _cmd_crosscheck(args)
     parser.error(f"unknown command {args.command!r}")

@@ -1,0 +1,334 @@
+"""Lower a scenario onto a cluster: per-chip graphs + link collectives.
+
+The lowering generalizes :func:`~repro.simulator.pipeline
+.build_scenario_tasks` from one accelerator to ``spec.n_chips``
+identical ones.  Each phase of the scenario becomes one template class
+per chip — the phase's instance graph built at the chip's shard of the
+work, its resources renamed ``c<k>:2d`` / ``c<k>:1d`` / ``c<k>:io`` /
+``c<k>:dram`` so chips never contend for each other's arrays or memory
+— and the cross-chip output exchange becomes an explicit *collective*
+task (``AG``, an all-gather) on the one shared ``link`` resource,
+emitted exactly the way :func:`~repro.simulator.engine.lower_dram`
+emits transfers: as ordinary graph structure, so all three engines run
+cluster graphs bit-identically with zero engine changes.
+
+Sharding (:data:`~repro.cluster.spec.SHARDINGS`) decides how a phase's
+instances map to chips:
+
+- **block** (the ``"head"`` policy, and decode phases under either
+  policy): instances are partitioned into contiguous, balanced blocks —
+  head parallelism for prefill, request parallelism for decode.  Each
+  instance's full output (its tensor-shape bytes) is all-gathered to
+  the other ``n_chips - 1`` chips.
+- **tensor** (the ``"tensor"`` policy, prefill phases only): every chip
+  runs every instance over a ``1/n_chips`` slice of the embedding
+  (column-parallel), so each chip all-gathers its *slice* of the
+  output — per-collective traffic shrinks by ``n_chips`` while the
+  collective count grows by the same factor.
+
+Collective traffic is computed from the cascade's tensor shapes
+(:func:`instance_out_bytes`): a prefill instance's output is its
+``seq_len × E`` tile stream, a decode step's output is one ``E``-wide
+row.  Duration is the link's ceiling-arithmetic transfer time plus the
+fixed per-collective ``link_latency``.  A collective that would cost
+zero cycles (``link_bw=None``/``inf``, or a single chip) is simply not
+emitted — so a 1-chip cluster's merged graph is *byte-identical* to
+the unsharded scenario's, the degenerate invariant the tests lock.
+
+Every template keeps its dependencies inside the instance (collectives
+hang off their own instance's sinks), so the folded vector engine
+(:func:`~repro.simulator.vector.fold_templates`) accepts cluster
+classes unchanged and ``engine="vector"`` replays cluster-scale grids
+arithmetically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..simulator.engine import (
+    SimResult,
+    Simulator,
+    Task,
+    lower_dram,
+    transfer_cycles,
+)
+from ..simulator.pipeline import (
+    WORD_BYTES,
+    PipelineConfig,
+    build_decode_tasks,
+    build_tasks,
+    instance_config,
+)
+from ..simulator.vector import FoldedScenario, fold_templates, run_folded
+from ..workloads.scenario import Phase, Scenario
+from .spec import LINK_RESOURCE, SHARDINGS, ClusterSpec
+
+__all__ = [
+    "build_cluster_tasks",
+    "chip_instance_counts",
+    "cluster_link_cycles",
+    "cluster_sim",
+    "cluster_templates",
+    "collective_bytes",
+    "fold_cluster",
+    "instance_out_bytes",
+    "schedule_cluster_tasks",
+    "shard_config",
+    "template_dram_cycles",
+]
+
+
+def _check_sharding(sharding: str) -> None:
+    if sharding not in SHARDINGS:
+        raise ValueError(f"unknown sharding {sharding!r}; have {SHARDINGS}")
+
+
+def _tensor_sharded(phase: Phase, sharding: str, n_chips: int) -> bool:
+    """Whether this phase slices the embedding across chips (tensor
+    policy, prefill only — decode rows are too small to slice)."""
+    return sharding == "tensor" and phase.kind != "decode" and n_chips > 1
+
+
+def shard_config(
+    scenario: Scenario, phase: Phase, sharding: str, n_chips: int
+) -> PipelineConfig:
+    """One chip's :class:`PipelineConfig` for its shard of ``phase``.
+
+    Block-parallel phases run the unmodified per-instance config;
+    tensor-parallel prefill slices the embedding evenly (the slice must
+    divide, as real column-parallel projections require)."""
+    config = instance_config(scenario, phase)
+    if not _tensor_sharded(phase, sharding, n_chips):
+        return config
+    if config.embedding % n_chips:
+        raise ValueError(
+            f"tensor sharding needs embedding divisible by n_chips; "
+            f"got E={config.embedding}, n_chips={n_chips}"
+        )
+    return replace(config, embedding=config.embedding // n_chips)
+
+
+def chip_instance_counts(
+    phase: Phase, sharding: str, n_chips: int
+) -> List[int]:
+    """How many copies of the (phase, chip) template each chip runs.
+
+    Block-parallel: contiguous balanced blocks (earlier chips take the
+    remainder, so counts differ by at most one).  Tensor-parallel: every
+    chip runs every instance (each over its embedding slice)."""
+    if _tensor_sharded(phase, sharding, n_chips):
+        return [phase.instances] * n_chips
+    base, rem = divmod(phase.instances, n_chips)
+    return [base + (1 if k < rem else 0) for k in range(n_chips)]
+
+
+def instance_out_bytes(config: PipelineConfig, kind: str) -> int:
+    """Bytes of one instance's attention output at ``config``'s shapes:
+    the full ``seq_len × E`` tile stream for prefill, one ``E``-wide
+    row for a decode step.  (Matches the output-side ``bytes_moved``
+    the graph builders charge to RNV / the final DAC.)"""
+    row_bytes = config.embedding * WORD_BYTES
+    if kind == "decode":
+        return row_bytes
+    return config.chunks * config.array_dim * row_bytes
+
+
+def collective_bytes(
+    config: PipelineConfig, kind: str, n_chips: int
+) -> int:
+    """Link bytes one instance's all-gather moves: its (possibly
+    embedding-sliced) output, sent to each of the other chips.  Zero on
+    a single chip — there is no one to gather from."""
+    return instance_out_bytes(config, kind) * (n_chips - 1)
+
+
+def template_dram_cycles(
+    config: PipelineConfig,
+    kind: str,
+    serial: bool,
+    dram_bw: Optional[float],
+) -> int:
+    """DRAM busy cycles of one instance at ``config``'s shard — the
+    sharded counterpart of :func:`~repro.simulator.pipeline
+    .scenario_dram_cycles`, walking the same builders and ceiling
+    arithmetic so the analytical cluster model can never disagree with
+    the lowered schedule."""
+    if dram_bw is None:
+        return 0
+    if kind == "decode":
+        tasks = build_decode_tasks(config)
+    else:
+        tasks = build_tasks(config, serial=serial)
+    return sum(transfer_cycles(t.bytes_moved, dram_bw) for t in tasks)
+
+
+def _sink_names(tasks: Sequence[Task]) -> Tuple[str, ...]:
+    """Tasks no other task in ``tasks`` depends on, in build order."""
+    depended = {dep for task in tasks for dep in task.deps}
+    return tuple(task.name for task in tasks if task.name not in depended)
+
+
+def _chip_template(
+    scenario: Scenario,
+    phase: Phase,
+    chip: int,
+    spec: ClusterSpec,
+    sharding: str,
+) -> List[Task]:
+    """One chip's template graph for one phase: the shard's instance
+    graph, dram-lowered, chip-renamed, plus its output collective."""
+    config = shard_config(scenario, phase, sharding, spec.n_chips)
+    chip_prefix = "" if spec.n_chips == 1 else f"c{chip}:"
+    serial = scenario.binding == "tile-serial"
+    if phase.kind == "decode":
+        tasks = build_decode_tasks(config, prefix=chip_prefix)
+    else:
+        tasks = build_tasks(config, serial=serial, prefix=chip_prefix)
+    tasks = lower_dram(tasks, scenario.dram_bw)
+    if spec.n_chips > 1:
+        # Each chip owns private arrays and a private DRAM stack; only
+        # the interconnect below is shared.
+        tasks = [
+            replace(task, resource=f"c{chip}:{task.resource}")
+            for task in tasks
+        ]
+    if spec.link_bw is not None:
+        cycles = transfer_cycles(
+            collective_bytes(config, phase.kind, spec.n_chips), spec.link_bw
+        )
+        if cycles:
+            tasks.append(
+                Task(
+                    f"{chip_prefix}AG",
+                    LINK_RESOURCE,
+                    cycles + spec.link_latency,
+                    _sink_names(tasks),
+                )
+            )
+    return tasks
+
+
+def cluster_templates(
+    scenario: Scenario, spec: ClusterSpec, sharding: str = "head"
+) -> List[Tuple[List[Task], int]]:
+    """The counted template classes of a sharded scenario, in phase-
+    major then chip-ascending order — the cluster counterpart of the
+    per-phase classes :func:`~repro.simulator.pipeline.fold_scenario`
+    folds.  Chips whose block is empty contribute no class."""
+    _check_sharding(sharding)
+    classes: List[Tuple[List[Task], int]] = []
+    for phase in scenario.phases:
+        counts = chip_instance_counts(phase, sharding, spec.n_chips)
+        for chip, count in enumerate(counts):
+            if count:
+                classes.append(
+                    (_chip_template(scenario, phase, chip, spec, sharding), count)
+                )
+    return classes
+
+
+def build_cluster_tasks(
+    scenario: Scenario, spec: ClusterSpec, sharding: str = "head"
+) -> List[Task]:
+    """The merged task graph of ``scenario`` sharded over ``spec``.
+
+    Same replication idiom as :func:`~repro.simulator.pipeline
+    .build_scenario_tasks` — each class's template is built once and
+    stamped out per instance under an ``i<n>:`` namespace, with ``n``
+    counting globally in class order (the numbering the folded engine
+    reconstructs).  A 1-chip cluster, or any spec whose collectives
+    cost zero cycles, reproduces the unsharded merged graph byte for
+    byte."""
+    tasks: List[Task] = []
+    index = 0
+    for template_tasks, count in cluster_templates(scenario, spec, sharding):
+        template = [
+            (t.name, t.resource, t.duration, t.deps, t.bytes_moved)
+            for t in template_tasks
+        ]
+        for _ in range(count):
+            prefix = f"i{index}:"
+            tasks.extend(
+                Task(prefix + name, resource, duration,
+                     tuple(prefix + dep for dep in deps), bytes_moved)
+                for name, resource, duration, deps, bytes_moved in template
+            )
+            index += 1
+    return tasks
+
+
+def fold_cluster(
+    scenario: Scenario, spec: ClusterSpec, sharding: str = "head"
+) -> FoldedScenario:
+    """Collapse the sharded scenario into counted template classes for
+    ``engine="vector"``.  Collectives depend only on their own
+    instance's sinks, so the fold's instance-locality requirement holds
+    by construction."""
+    return fold_templates(cluster_templates(scenario, spec, sharding))
+
+
+def cluster_link_cycles(
+    scenario: Scenario, spec: ClusterSpec, sharding: str = "head"
+) -> int:
+    """Total ``link`` busy cycles of the sharded merged graph: the
+    exact sum of the emitted collective durations, 0 when the
+    interconnect is unmodeled.  Walks one shard per (phase, chip) class
+    through the same byte and ceiling arithmetic the builder lowers
+    with, so the analytical cluster model (:mod:`repro.model.cluster`)
+    can never disagree with the schedule about link occupancy."""
+    if spec.link_bw is None or spec.n_chips == 1:
+        return 0
+    total = 0
+    for phase in scenario.phases:
+        config = shard_config(scenario, phase, sharding, spec.n_chips)
+        cycles = transfer_cycles(
+            collective_bytes(config, phase.kind, spec.n_chips), spec.link_bw
+        )
+        if not cycles:
+            continue
+        count = sum(chip_instance_counts(phase, sharding, spec.n_chips))
+        total += count * (cycles + spec.link_latency)
+    return total
+
+
+def schedule_cluster_tasks(
+    scenario: Scenario,
+    spec: ClusterSpec,
+    sharding: str,
+    tasks: List[Task],
+    engine: str = "event",
+) -> SimResult:
+    """Schedule an already-built sharded merged graph.
+
+    Mirrors :func:`~repro.simulator.pipeline.schedule_scenario_tasks`:
+    ``engine="vector"`` re-derives the template classes (cheap) and
+    takes the folded path; the other engines schedule ``tasks``
+    directly under the scenario's binding discipline with the same
+    total-duration cycle budget."""
+    serial = scenario.binding == "tile-serial"
+    if engine == "vector":
+        return run_folded(
+            fold_cluster(scenario, spec, sharding),
+            slots=1 if serial else scenario.slots,
+        )
+    sim = Simulator(
+        tasks,
+        mode="serial" if serial else "interleaved",
+        slots=scenario.slots,
+        engine=engine,
+    )
+    budget = sum(task.duration for task in tasks) + 1
+    return sim.run(max_cycles=budget)
+
+
+def cluster_sim(
+    scenario: Scenario,
+    spec: ClusterSpec,
+    sharding: str = "head",
+    engine: str = "event",
+) -> Tuple[List[Task], SimResult]:
+    """Build and schedule ``scenario`` sharded over ``spec``."""
+    tasks = build_cluster_tasks(scenario, spec, sharding)
+    return tasks, schedule_cluster_tasks(scenario, spec, sharding, tasks, engine=engine)

@@ -1,0 +1,304 @@
+"""Cluster evaluation points, result rows, emitters, and cache codec.
+
+One :class:`ClusterPoint` pairs a workload (:class:`~repro.workloads
+.scenario.Scenario`) with a machine (:class:`~repro.cluster.spec
+.ClusterSpec`) and a sharding policy; evaluating it schedules the
+sharded merged graph and folds the measurement into a
+:class:`ClusterResult` row.  Points are frozen and pure, so they flow
+through the pooled runtime unchanged under task kind ``"cluster"``:
+fan out over processes, content-address into the cache, replay from a
+rerun.
+
+Column gating follows the scenario emitters exactly: the historical
+columns always render; the DRAM columns join only when a row models
+memory bandwidth; the link columns (``link_bw`` / ``link_latency`` /
+``busy_link`` / ``util_link``) join only when a row models the
+interconnect (more than one chip *and* a bandwidth) — so single-chip
+and unlinked sweeps keep their narrow byte-stable shape.
+
+Utilization conventions: the per-chip arrays and DRAM stacks report
+*per-chip-normalized* utilization (busy summed over chips, divided by
+``makespan × n_chips`` — 1.0 means every chip's array was busy every
+cycle), which degenerates to the scenario convention at one chip.  The
+link is a single shared resource, so ``util_link`` divides by the
+makespan alone.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..simulator.sweep import _rows_csv, _rows_table
+from ..workloads.scenario import Scenario
+from .build import cluster_sim
+from .spec import LINK_RESOURCE, SHARDINGS, ClusterSpec
+
+__all__ = [
+    "CLUSTER_BW_FIELDS",
+    "CLUSTER_FIELDS",
+    "CLUSTER_LINK_FIELDS",
+    "ClusterPoint",
+    "ClusterResult",
+    "cluster_csv",
+    "cluster_fields_for",
+    "cluster_json",
+    "cluster_table",
+    "decode_cluster_result",
+    "encode_cluster_result",
+    "evaluate_cluster_point",
+]
+
+#: Keys of one cluster result, in CSV column order (always present).
+CLUSTER_FIELDS: Tuple[str, ...] = (
+    "scenario",
+    "binding",
+    "sharding",
+    "topology",
+    "n_chips",
+    "instances",
+    "array_dim",
+    "pe_1d",
+    "embedding",
+    "slots",
+    "seq_len",
+    "n_tasks",
+    "makespan",
+    "busy_2d",
+    "busy_1d",
+    "busy_io",
+    "util_2d",
+    "util_1d",
+)
+
+#: DRAM columns, appended when any row's scenario models memory
+#: bandwidth (same gating as the scenario emitters).
+CLUSTER_BW_FIELDS: Tuple[str, ...] = ("dram_bw", "busy_dram", "util_dram")
+
+#: Interconnect columns, appended when any row models the link (more
+#: than one chip and a finite-or-infinite ``link_bw``).
+CLUSTER_LINK_FIELDS: Tuple[str, ...] = (
+    "link_bw",
+    "link_latency",
+    "busy_link",
+    "util_link",
+)
+
+
+@dataclass(frozen=True)
+class ClusterPoint:
+    """One grid point of a cluster sweep (pickles cleanly to workers)."""
+
+    scenario: Scenario
+    spec: ClusterSpec = ClusterSpec()
+    sharding: str = "head"
+
+    def __post_init__(self) -> None:
+        if self.sharding not in SHARDINGS:
+            raise ValueError(
+                f"unknown sharding {self.sharding!r}; have {SHARDINGS}"
+            )
+
+    @property
+    def name(self) -> str:
+        """Short display label (crosscheck rows, registry summaries)."""
+        return f"{self.scenario.name}@x{self.spec.n_chips}-{self.sharding}"
+
+    def describe(self) -> str:
+        """Full point label for run-registry grid summaries."""
+        return f"{self.scenario.describe()} | {self.sharding} on {self.spec.describe()}"
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Measured schedule of one sharded cluster graph.
+
+    ``busy_2d`` / ``busy_1d`` / ``busy_io`` / ``busy_dram`` sum the
+    per-chip resources (``c<k>:2d`` …); ``busy_link`` counts cycles the
+    one shared interconnect was held (0 unless the point models it, in
+    which case ``n_tasks`` also counts the collective tasks).
+    ``link_bw`` is None — and the link columns stay gated off — when
+    the interconnect is unmodeled (single chip or ``link_bw=None``).
+    """
+
+    scenario: str
+    binding: str
+    sharding: str
+    topology: str
+    n_chips: int
+    instances: int
+    array_dim: int
+    pe_1d: int
+    embedding: int
+    slots: int
+    seq_len: int
+    n_tasks: int
+    makespan: int
+    busy_2d: int
+    busy_1d: int
+    busy_io: int
+    util_2d: float
+    util_1d: float
+    dram_bw: Optional[float] = None
+    busy_dram: int = 0
+    link_bw: Optional[float] = None
+    link_latency: int = 0
+    busy_link: int = 0
+
+    @property
+    def util_io(self) -> float:
+        if not self.makespan:
+            return 0.0
+        return self.busy_io / (self.makespan * self.n_chips)
+
+    @property
+    def util_dram(self) -> float:
+        if not self.makespan:
+            return 0.0
+        return self.busy_dram / (self.makespan * self.n_chips)
+
+    @property
+    def util_link(self) -> float:
+        """Shared-link occupancy: one resource, so no per-chip factor."""
+        return self.busy_link / self.makespan if self.makespan else 0.0
+
+    def utilization(self, resource: str) -> float:
+        if resource == "link":
+            return self.util_link
+        busy = {"2d": self.busy_2d, "1d": self.busy_1d, "io": self.busy_io,
+                "dram": self.busy_dram}
+        if not self.makespan:
+            return 0.0
+        return busy[resource] / (self.makespan * self.n_chips)
+
+    def row(self, fields_: Sequence[str] = CLUSTER_FIELDS) -> Tuple:
+        """The result as a tuple in ``fields_`` order (default: the
+        always-present :data:`CLUSTER_FIELDS` columns)."""
+        return tuple(getattr(self, field) for field in fields_)
+
+
+assert CLUSTER_FIELDS + (
+    "dram_bw", "busy_dram", "link_bw", "link_latency", "busy_link"
+) == tuple(f.name for f in fields(ClusterResult))
+
+
+def cluster_fields_for(results: Sequence[ClusterResult]) -> Tuple[str, ...]:
+    """The column set of one result batch: historical columns, plus the
+    DRAM columns when any row models memory bandwidth, plus the link
+    columns when any row models the interconnect — each gate
+    independent, mirroring :func:`~repro.simulator.sweep
+    .scenario_fields_for`."""
+    fields_ = CLUSTER_FIELDS
+    if any(r.dram_bw is not None for r in results):
+        fields_ = fields_ + CLUSTER_BW_FIELDS
+    if any(r.link_bw is not None for r in results):
+        fields_ = fields_ + CLUSTER_LINK_FIELDS
+    return fields_
+
+
+def evaluate_cluster_point(
+    point: ClusterPoint, engine: str = "event"
+) -> ClusterResult:
+    """Schedule one sharded cluster graph and measure utilizations —
+    the worker function behind the runtime's ``"cluster"`` task kind."""
+    scenario, spec = point.scenario, point.spec
+    tasks, result = cluster_sim(scenario, spec, point.sharding, engine=engine)
+    busy = result.busy_cycles
+
+    def total(base: str) -> int:
+        if spec.n_chips == 1:
+            return busy.get(base, 0)
+        return sum(
+            busy.get(f"c{k}:{base}", 0) for k in range(spec.n_chips)
+        )
+
+    makespan = result.makespan
+    denom = makespan * spec.n_chips
+    busy_2d = total("2d")
+    busy_1d = total("1d")
+    # A spec whose link can never be occupied (single chip, or no
+    # bandwidth at all) reports the link as unmodeled, so mixed batches
+    # gate the link columns per row exactly like the DRAM columns.
+    linked = spec.n_chips > 1 and spec.link_bw is not None
+    return ClusterResult(
+        scenario=scenario.name,
+        binding=scenario.binding,
+        sharding=point.sharding,
+        topology=spec.topology,
+        n_chips=spec.n_chips,
+        instances=scenario.instances,
+        array_dim=scenario.array_dim,
+        pe_1d=scenario.resolved_pe_1d,
+        embedding=scenario.embedding,
+        slots=scenario.slots,
+        seq_len=scenario.seq_len,
+        n_tasks=len(tasks),
+        makespan=makespan,
+        busy_2d=busy_2d,
+        busy_1d=busy_1d,
+        busy_io=total("io"),
+        util_2d=busy_2d / denom if denom else 0.0,
+        util_1d=busy_1d / denom if denom else 0.0,
+        dram_bw=scenario.dram_bw,
+        busy_dram=total("dram"),
+        link_bw=spec.link_bw if linked else None,
+        link_latency=spec.link_latency if linked else 0,
+        busy_link=busy.get(LINK_RESOURCE, 0),
+    )
+
+
+# --------------------------------------------------------------------------
+# Emitters: cluster rows as CSV / JSON / aligned text.
+# --------------------------------------------------------------------------
+
+ClusterResults = Sequence[ClusterResult]
+
+
+def _blanked_row(result: ClusterResult, fields_: Sequence[str]) -> Tuple:
+    """A result row for text emitters: DRAM / link columns a widened
+    batch includes but this row does not model render as ``-`` (JSON
+    keeps them as nulls), matching the scenario emitters."""
+    return tuple(
+        "-"
+        if (result.dram_bw is None and name in CLUSTER_BW_FIELDS)
+        or (result.link_bw is None and name in CLUSTER_LINK_FIELDS)
+        else value
+        for name, value in zip(fields_, result.row(fields_))
+    )
+
+
+def cluster_csv(results: ClusterResults) -> str:
+    """Cluster results as CSV (header widens with the DRAM / link
+    columns only when a row models them)."""
+    fields_ = cluster_fields_for(list(results))
+    return _rows_csv(fields_, [_blanked_row(r, fields_) for r in results])
+
+
+def cluster_json(results: ClusterResults) -> str:
+    """Cluster results as a JSON array of row objects (``link_bw`` is
+    null on rows that do not model the interconnect)."""
+    fields_ = cluster_fields_for(list(results))
+    return json.dumps(
+        [dict(zip(fields_, r.row(fields_))) for r in results], indent=2
+    )
+
+
+def cluster_table(results: ClusterResults) -> str:
+    """Cluster results as an aligned text table (the CLI default)."""
+    fields_ = cluster_fields_for(list(results))
+    return _rows_table(fields_, [_blanked_row(r, fields_) for r in results])
+
+
+#: Scalar dataclass fields, the exact set the codec round-trips.
+_RESULT_FIELDS: Tuple[str, ...] = tuple(f.name for f in fields(ClusterResult))
+
+
+def encode_cluster_result(result: ClusterResult) -> Dict:
+    """JSON-ready payload for the runtime's result cache."""
+    return {"__type__": "ClusterResult", **asdict(result)}
+
+
+def decode_cluster_result(payload: Mapping) -> ClusterResult:
+    """Inverse of :func:`encode_cluster_result`."""
+    return ClusterResult(**{field: payload[field] for field in _RESULT_FIELDS})

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence, Tuple
 
+from ..cluster import SHARDINGS, ClusterPoint, ClusterSpec
+from ..model.cluster import analytical_cluster
 from ..model.scenario import analytical_scenario
 from ..runtime import executor as _runtime
 from ..workloads.models import BERT
@@ -98,6 +100,30 @@ def bandwidth_scenarios() -> Tuple[Scenario, ...]:
     return tuple(scenarios)
 
 
+def cluster_points() -> Tuple[ClusterPoint, ...]:
+    """Sharded multi-chip cross-check grid (``--cluster``).
+
+    One compute-dense scenario sharded over 2 and 4 chips under both
+    policies, at a tight and an ample link bandwidth — the two regimes
+    where the analytical bound is sharp (clearly link-bound, clearly
+    compute-bound).  Mid-range bandwidths are deliberately absent: there
+    the schedule genuinely overlaps collectives with compute, and the
+    bound's divergence is a modeling statement, not a regression.
+    """
+    tight, ample = 8.0, 65536.0
+    scenario = attention_scenario(8, 8, array_dim=64)
+    return tuple(
+        ClusterPoint(
+            scenario=scenario,
+            spec=ClusterSpec(n_chips=n_chips, link_bw=bw),
+            sharding=sharding,
+        )
+        for n_chips in (2, 4)
+        for sharding in SHARDINGS
+        for bw in (tight, ample)
+    )
+
+
 @dataclass(frozen=True)
 class CrosscheckRow:
     """One (scenario, array) comparison."""
@@ -145,6 +171,7 @@ def crosscheck(
     *,
     tolerance: float = DEFAULT_TOLERANCE,
     bandwidth: bool = False,
+    cluster: bool = False,
     jobs: int = 1,
     cache: Any = True,
     registry: Any = None,
@@ -155,12 +182,17 @@ def crosscheck(
     ``bandwidth=True`` appends the bandwidth-limited grid
     (:func:`bandwidth_scenarios`) to the default seed scenarios, adding
     a ``dram`` comparison row for every scenario that models a finite
-    ``dram_bw``.
+    ``dram_bw``.  ``cluster=True`` appends the sharded multi-chip grid
+    (:func:`cluster_points`), whose rows compare the shared ``link``'s
+    utilization against the analytical cluster bound.
     """
+    points: Tuple[ClusterPoint, ...] = ()
     if scenarios is None:
         scenarios = seed_scenarios()
         if bandwidth:
             scenarios = scenarios + bandwidth_scenarios()
+        if cluster:
+            points = cluster_points()
     simulated = _runtime.sweep_scenarios(
         scenarios, jobs=jobs, cache=cache, registry=registry
     )
@@ -181,6 +213,24 @@ def crosscheck(
                     sim_util=sim.utilization(array),
                     model_util=model.utilization(array),
                     model_kind=model.kind,
+                    tolerance=tolerance,
+                )
+            )
+    if points:
+        clustered = _runtime.sweep_cluster(
+            points, jobs=jobs, cache=cache, registry=registry
+        )
+        for point, sim in zip(points, clustered):
+            estimate = analytical_cluster(point.scenario, point.spec, point.sharding)
+            rows.append(
+                CrosscheckRow(
+                    scenario=point.name,
+                    binding=point.scenario.binding,
+                    instances=point.scenario.instances,
+                    array="link",
+                    sim_util=sim.util_link,
+                    model_util=estimate.util_link,
+                    model_kind=estimate.kind,
                     tolerance=tolerance,
                 )
             )

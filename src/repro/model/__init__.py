@@ -1,5 +1,11 @@
 """Analytical performance/energy models of the evaluated accelerators."""
 
+from .cluster import (
+    CLUSTER_ARRAYS,
+    ClusterEstimate,
+    analytical_cluster,
+    cluster_work,
+)
 from .decode import DecodeStep, decode_attention, machine_balance
 from .flat import FLATModel, SpillDecision, spill_decision
 from .fusemax import (
@@ -36,7 +42,9 @@ def all_attention_models():
 
 __all__ = [
     "ARRAY_DIMS",
+    "CLUSTER_ARRAYS",
     "AttentionResult",
+    "ClusterEstimate",
     "DecodeStep",
     "DesignPoint",
     "FLATModel",
@@ -50,7 +58,9 @@ __all__ = [
     "SpillDecision",
     "UnfusedModel",
     "all_attention_models",
+    "analytical_cluster",
     "analytical_scenario",
+    "cluster_work",
     "decode_attention",
     "evaluate_cascade",
     "evaluate_grid_cell",

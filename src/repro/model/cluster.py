@@ -1,0 +1,162 @@
+"""Analytical cluster models: compute-, DRAM-, and link-bound terms.
+
+The cluster counterpart of :mod:`repro.model.scenario`: predicts the
+shape of a sharded schedule without simulating it, by integrating the
+same per-chunk work function the graphs are built from
+(:func:`repro.simulator.pipeline.chunk_work`) over each chip's shard,
+and pricing the collectives with the same byte and ceiling arithmetic
+the builder lowers with (:func:`repro.cluster.cluster_link_cycles`).
+Because every term reads the builder's own helpers, a divergence
+between a simulated and an analytical link utilization is a modeling
+statement about *overlap*, not an accounting bug — exactly what
+``repro crosscheck --cluster`` gates.
+
+The bound: any valid schedule is at least as long as the busiest
+resource's total work, where the candidate resources are now each
+chip's private arrays and DRAM stack (their own work only) and the one
+shared link (everyone's collectives).  The estimate kind names which
+term binds:
+
+- ``overlap-bound`` — the busiest chip's busiest array.
+- ``bandwidth-bound`` — the busiest chip's DRAM stack.
+- ``link-bound`` — the shared interconnect: aggregate collective
+  traffic exceeds every per-chip term, the regime where adding chips
+  stops helping (the strong-scaling knee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Tuple
+
+from ..cluster.build import (
+    chip_instance_counts,
+    cluster_link_cycles,
+    shard_config,
+    template_dram_cycles,
+)
+from ..cluster.spec import ClusterSpec
+from ..simulator.pipeline import chunk_work
+from ..workloads.scenario import Scenario
+
+#: Resources of a cluster schedule, in reporting order (``dram`` and
+#: ``link`` only accrue work when their bandwidths are modeled).
+CLUSTER_ARRAYS: Tuple[str, ...] = ("2d", "1d", "io", "dram", "link")
+
+#: The per-chip resources (everything but the shared link).
+_CHIP_ARRAYS: Tuple[str, ...] = ("2d", "1d", "io", "dram")
+
+
+@dataclass(frozen=True)
+class ClusterEstimate:
+    """Analytical latency + utilization of one sharded cluster point.
+
+    ``busy`` holds cluster totals (per-chip resources summed over
+    chips; the link as-is); ``chip_busy`` holds the busiest chip's
+    cycles per resource — the per-chip binding terms the latency bound
+    maximizes over.  Utilization follows the simulator's convention:
+    per-chip resources normalize by ``latency × n_chips``, the shared
+    link by the latency alone.
+    """
+
+    scenario: str
+    binding: str
+    sharding: str
+    n_chips: int
+    kind: str  # "overlap-bound" | "bandwidth-bound" | "link-bound"
+    latency_cycles: int
+    busy: Mapping[str, int]
+    chip_busy: Mapping[str, int]
+
+    def utilization(self, resource: str) -> float:
+        if not self.latency_cycles:
+            return 0.0
+        if resource == "link":
+            return self.busy.get("link", 0) / self.latency_cycles
+        return self.busy.get(resource, 0) / (self.latency_cycles * self.n_chips)
+
+    @property
+    def util_2d(self) -> float:
+        return self.utilization("2d")
+
+    @property
+    def util_1d(self) -> float:
+        return self.utilization("1d")
+
+    @property
+    def util_dram(self) -> float:
+        return self.utilization("dram")
+
+    @property
+    def util_link(self) -> float:
+        return self.utilization("link")
+
+
+def cluster_work(
+    scenario: Scenario, spec: ClusterSpec, sharding: str = "head"
+) -> Tuple[List[Mapping[str, int]], int]:
+    """Busy cycles per chip per resource, plus the shared link total —
+    the exact sums the sharded merged graph's durations add up to.
+
+    Walks each (phase, chip) shard through the same
+    :func:`~repro.simulator.pipeline.chunk_work` integration the
+    scenario model uses, at the shard's own config (tensor-sharded
+    prefill integrates at the sliced embedding), weighted by the chip's
+    instance count."""
+    serial = scenario.binding == "tile-serial"
+    chips: List[Mapping[str, int]] = [
+        {resource: 0 for resource in _CHIP_ARRAYS}
+        for _ in range(spec.n_chips)
+    ]
+    for phase in scenario.phases:
+        config = shard_config(scenario, phase, sharding, spec.n_chips)
+        work = chunk_work(config, serial=serial, kind=phase.kind)
+        dram = template_dram_cycles(
+            config, phase.kind, serial, scenario.dram_bw
+        )
+        counts = chip_instance_counts(phase, sharding, spec.n_chips)
+        for chip, count in enumerate(counts):
+            cycles = count * phase.chunks
+            chips[chip]["2d"] += cycles * work.cycles_2d
+            chips[chip]["1d"] += cycles * work.cycles_1d
+            chips[chip]["io"] += cycles * work.cycles_io
+            chips[chip]["dram"] += count * dram
+    return chips, cluster_link_cycles(scenario, spec, sharding)
+
+
+def analytical_cluster(
+    scenario: Scenario, spec: ClusterSpec, sharding: str = "head"
+) -> ClusterEstimate:
+    """The analytical counterpart of one simulated cluster point.
+
+    The latency bound maximizes over every chip's every private
+    resource and the shared link; the kind records which term won, so a
+    chip-count sweep reads off the strong-scaling knee (the chip count
+    where ``kind`` flips to ``link-bound``) without simulating."""
+    chips, link = cluster_work(scenario, spec, sharding)
+    chip_busy = {
+        resource: max(chip[resource] for chip in chips)
+        for resource in _CHIP_ARRAYS
+    }
+    busy = {
+        resource: sum(chip[resource] for chip in chips)
+        for resource in _CHIP_ARRAYS
+    }
+    busy["link"] = link
+    latency = max(max(chip_busy.values()), link)
+    if link and link == latency:
+        kind = "link-bound"
+    elif scenario.dram_bw is not None and chip_busy["dram"] == latency:
+        kind = "bandwidth-bound"
+    else:
+        kind = "overlap-bound"
+    return ClusterEstimate(
+        scenario=scenario.name,
+        binding=scenario.binding,
+        sharding=sharding,
+        n_chips=spec.n_chips,
+        kind=kind,
+        latency_cycles=latency,
+        busy=busy,
+        chip_busy=chip_busy,
+    )

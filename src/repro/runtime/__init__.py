@@ -32,6 +32,7 @@ from .executor import (
     ExecutionOutcome,
     attention_grid,
     binding_grid,
+    cluster_grid,
     evaluate_task,
     execute_tasks,
     pareto_grid,
@@ -41,6 +42,7 @@ from .executor import (
     serving_grid,
     sweep_attention,
     sweep_bindings,
+    sweep_cluster,
     sweep_inference,
     sweep_pareto,
     sweep_scenario_grid,
@@ -82,6 +84,7 @@ __all__ = [
     "attention_grid",
     "binding_grid",
     "cache_key",
+    "cluster_grid",
     "canonical",
     "code_version",
     "corrupt_disk_entry",
@@ -99,6 +102,7 @@ __all__ = [
     "serving_grid",
     "sweep_attention",
     "sweep_bindings",
+    "sweep_cluster",
     "sweep_inference",
     "sweep_pareto",
     "sweep_scenario_grid",

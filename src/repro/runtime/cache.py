@@ -21,6 +21,11 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from ..arch.energy import EnergyBreakdown
+from ..cluster.sweep import (
+    ClusterResult,
+    decode_cluster_result,
+    encode_cluster_result,
+)
 from ..model.metrics import AttentionResult, InferenceResult
 from .faults import TaskFailure
 from ..model.pareto import DesignPoint
@@ -150,6 +155,8 @@ def encode_result(result: Any) -> Dict[str, Any]:
         return encode_scenario_grid_result(result)
     if isinstance(result, ServingResult):
         return encode_serving_result(result)
+    if isinstance(result, ClusterResult):
+        return encode_cluster_result(result)
     if isinstance(result, TaskFailure):
         # Degraded slots from on_error="skip" sweeps digest and persist
         # like any result, so partial runs stay comparable.
@@ -203,6 +210,8 @@ def decode_result(payload: Dict[str, Any]) -> Any:
         return decode_scenario_grid_result(payload)
     if kind == "ServingResult":
         return decode_serving_result(payload)
+    if kind == "ClusterResult":
+        return decode_cluster_result(payload)
     if kind == "TaskFailure":
         return TaskFailure(
             index=payload["index"],

@@ -35,6 +35,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..cluster import ClusterPoint, evaluate_cluster_point
 from ..model import all_attention_models, evaluate_inference
 from ..model.pareto import ARRAY_DIMS, PARETO_SEQ_LEN, design_point
 from ..model.scenario import evaluate_grid_cell
@@ -64,7 +65,16 @@ from .faults import (
 from .registry import RunRegistry
 
 #: Task kinds understood by :func:`evaluate_task`.
-KINDS = ("attention", "inference", "pareto", "binding", "scenario", "scenario_grid", "serve")
+KINDS = (
+    "attention",
+    "inference",
+    "pareto",
+    "binding",
+    "scenario",
+    "scenario_grid",
+    "serve",
+    "cluster",
+)
 
 #: How :func:`execute_tasks` surfaces a task that exhausted its retry
 #: budget: ``"raise"`` aborts the sweep with a
@@ -142,6 +152,8 @@ def evaluate_task(task: EvalTask) -> Any:
         return evaluate_grid_cell(task.config, engine=task.engine)
     if task.kind == "serve":
         return simulate_serving(task.config, engine=task.engine)
+    if task.kind == "cluster":
+        return evaluate_cluster_point(task.config, engine=task.engine)
     raise ValueError(f"unknown task kind {task.kind!r}; have {KINDS}")
 
 
@@ -824,6 +836,43 @@ def sweep_serving(
     rerunning a seeded sweep is a pure cache read."""
     tasks = serving_grid(specs, engine=engine)
     return _sweep(tasks, "serve", jobs, cache, registry, retry, on_error, faults)
+
+
+def cluster_grid(points: Sequence[ClusterPoint], engine: str = "event") -> List[EvalTask]:
+    """One runtime task per cluster point (kind ``"cluster"``).
+
+    The whole :class:`~repro.cluster.ClusterPoint` — scenario, frozen
+    :class:`~repro.cluster.ClusterSpec`, sharding policy — rides in
+    ``config``, so the cache key covers every axis a cluster sweep
+    varies: chip count, link bandwidth and latency, topology, sharding,
+    and the full workload underneath."""
+    return [
+        EvalTask("cluster", point, None, point.scenario.seq_len, engine=engine)
+        for point in points
+    ]
+
+
+def sweep_cluster(
+    points: Sequence[ClusterPoint],
+    *,
+    jobs: int = 1,
+    cache: Any = True,
+    registry: Optional[RunRegistry] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_error: str = "raise",
+    faults: Optional[FaultPlan] = None,
+    engine: str = "event",
+) -> List[Any]:
+    """Sharded cluster simulation of each point, index-aligned.
+
+    A chip-count × sharding × link-bandwidth sweep passes one point per
+    grid cell and reads the returned
+    :class:`~repro.cluster.ClusterResult` rows back as strong-scaling
+    curves.  Points fan out over processes and content-address into the
+    cache under the ``"cluster"`` task kind, so rerunning a sweep is a
+    pure cache read."""
+    tasks = cluster_grid(points, engine=engine)
+    return _sweep(tasks, "cluster", jobs, cache, registry, retry, on_error, faults)
 
 
 def sweep_pareto(

@@ -42,7 +42,15 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
-from ..simulator.engine import SimResult, Simulator, Task, lower_dram
+from ..cluster.build import instance_out_bytes
+from ..cluster.spec import LINK_RESOURCE
+from ..simulator.engine import (
+    SimResult,
+    Simulator,
+    Task,
+    lower_dram,
+    transfer_cycles,
+)
 from ..simulator.pipeline import PipelineConfig, build_decode_tasks, build_tasks
 from ..workloads.scenario import BINDINGS
 from .arrivals import Arrival, check_sorted
@@ -76,6 +84,17 @@ class ServingSpec:
     measured against; ``max_inflight`` is the continuous-batching
     window.  ``slots`` normalizes to 1 under ``tile-serial`` exactly as
     scenarios do.
+
+    ``n_chips`` spreads requests over a cluster of identical arrays —
+    request parallelism, the decode-side sharding policy of
+    :mod:`repro.cluster` — assigning request ``j`` to chip ``j %
+    n_chips`` (its resources become ``c{k}:``-prefixed, exactly like the
+    sharded scenario lowering).  ``link_bw``/``link_latency`` price each
+    request's prefill-output gather (KV publication to the other chips)
+    on the shared ``link`` resource before its decode steps run, so
+    concurrent requests contend for the interconnect under load.  One
+    chip, or an unmodeled link at one chip, builds a byte-identical
+    graph to the unclustered spec.
     """
 
     name: str
@@ -88,6 +107,9 @@ class ServingSpec:
     max_inflight: int = 8
     deadline: Optional[int] = None
     dram_bw: Optional[float] = None
+    n_chips: int = 1
+    link_bw: Optional[float] = None
+    link_latency: int = 0
     rate: Optional[float] = None
 
     def __post_init__(self) -> None:
@@ -108,10 +130,22 @@ class ServingSpec:
             raise ValueError(f"deadline must be >= 1, got {self.deadline}")
         if self.dram_bw is not None and not self.dram_bw > 0:
             raise ValueError(f"dram_bw must be > 0, got {self.dram_bw}")
+        if self.n_chips < 1:
+            raise ValueError(f"n_chips must be >= 1, got {self.n_chips}")
+        if self.link_bw is not None and not self.link_bw > 0:
+            raise ValueError(f"link_bw must be > 0, got {self.link_bw}")
+        if self.link_latency < 0:
+            raise ValueError(f"link_latency must be >= 0, got {self.link_latency}")
         if self.rate is not None and not self.rate > 0:
             raise ValueError(f"rate must be > 0, got {self.rate}")
         if self.binding == "tile-serial":
             object.__setattr__(self, "slots", 1)
+
+    @property
+    def models_link(self) -> bool:
+        """Whether the shared interconnect carries modeled traffic (one
+        chip needs no collectives, mirroring ``ClusterSpec``)."""
+        return self.n_chips > 1 and self.link_bw is not None
 
     @property
     def resolved_pe_1d(self) -> int:
@@ -135,6 +169,10 @@ class ServingSpec:
             tail += f", bw={self.dram_bw:g}"
         if self.deadline is not None:
             tail += f", slo={self.deadline}"
+        if self.n_chips > 1:
+            tail += f", chips={self.n_chips}"
+            if self.link_bw is not None:
+                tail += f", link={self.link_bw:g}+{self.link_latency}"
         return (
             f"{self.name}: {self.n_requests}req ({load}, window {self.max_inflight}) on "
             f"{self.array_dim}x{self.array_dim}+{self.resolved_pe_1d} ({self.binding}, {tail})"
@@ -148,7 +186,10 @@ class RequestPlan:
     ``gate`` names the tasks whose completion admits the request (its
     clock task, plus the window predecessor's finish sinks);
     ``prefill_sinks`` complete when its first token is ready;
-    ``token_sinks`` hold one accumulate task per decode token.
+    ``token_sinks`` hold one accumulate task per decode token.  On a
+    multi-chip spec ``chip`` is the array the request ran on and
+    ``gather`` the link task publishing its prefill output (empty when
+    the interconnect is unmodeled).
     """
 
     index: int
@@ -156,12 +197,16 @@ class RequestPlan:
     gate: Tuple[str, ...]
     prefill_sinks: Tuple[str, ...]
     token_sinks: Tuple[str, ...]
+    chip: int = 0
+    gather: Tuple[str, ...] = ()
 
     @property
     def finish_sinks(self) -> Tuple[str, ...]:
         """Tasks whose completion ends the request (last decode token,
-        or the prefill sinks for a prefill-only request)."""
-        return (self.token_sinks[-1],) if self.token_sinks else self.prefill_sinks
+        or the gather/prefill sinks for a prefill-only request)."""
+        if self.token_sinks:
+            return (self.token_sinks[-1],)
+        return self.gather or self.prefill_sinks
 
 
 def _sinks(tasks: Sequence[Task]) -> Tuple[str, ...]:
@@ -201,6 +246,7 @@ def build_serving_tasks(spec: ServingSpec) -> Tuple[List[Task], List[RequestPlan
     plans: List[RequestPlan] = []
     for index, arrival in enumerate(spec.arrivals):
         prefix = f"r{index}:"
+        chip = index % spec.n_chips
         config = PipelineConfig(
             chunks=arrival.chunks,
             embedding=spec.embedding,
@@ -210,11 +256,25 @@ def build_serving_tasks(spec: ServingSpec) -> Tuple[List[Task], List[RequestPlan
         graph = build_tasks(config, serial=serial, prefix=prefix)
         prefill_sinks = _sinks(graph)
         prev_sinks = prefill_sinks
+        gather: Tuple[str, ...] = ()
+        if spec.models_link:
+            # Publish the prefill output (the request's KV shard) to the
+            # other chips before decode proceeds — the cross-chip
+            # dependency that makes the link a contended shared
+            # resource.  Same arithmetic as the cluster lowering's
+            # all-gather: (n_chips - 1) peer copies of one instance's
+            # output, priced by transfer_cycles plus the hop latency.
+            moved = instance_out_bytes(config, "prefill") * (spec.n_chips - 1)
+            cycles = transfer_cycles(moved, spec.link_bw) + spec.link_latency
+            if cycles > 0:
+                graph.append(Task(f"{prefix}AG", LINK_RESOURCE, cycles, prefill_sinks))
+                gather = (f"{prefix}AG",)
+                prev_sinks = gather
         token_sinks: List[str] = []
         for step in range(arrival.decode_tokens):
             step_tasks = build_decode_tasks(config, prefix=f"{prefix}t{step}:")
             # Chain: the step's dependency-free tasks wait on the
-            # previous step's accumulate (or the prefill sinks).
+            # previous step's accumulate (or the gather/prefill sinks).
             step_tasks = _gated(step_tasks, prev_sinks)
             prev_sinks = _sinks(step_tasks)
             token_sinks.extend(prev_sinks)
@@ -224,6 +284,14 @@ def build_serving_tasks(spec: ServingSpec) -> Tuple[List[Task], List[RequestPlan
         # stream a request that has not arrived).  lower_dram inserts
         # per task, so per-request lowering equals whole-graph lowering.
         graph = lower_dram(graph, spec.dram_bw)
+        if spec.n_chips > 1:
+            # The request's compute and DRAM traffic live on its own
+            # chip's resources; only the link (and the clock) is shared.
+            graph = [
+                task if task.resource == LINK_RESOURCE
+                else replace(task, resource=f"c{chip}:{task.resource}")
+                for task in graph
+            ]
         gate = (gate_of[arrival.at],)
         if index >= spec.max_inflight:
             gate = gate + plans[index - spec.max_inflight].finish_sinks
@@ -235,6 +303,8 @@ def build_serving_tasks(spec: ServingSpec) -> Tuple[List[Task], List[RequestPlan
                 gate=gate,
                 prefill_sinks=prefill_sinks,
                 token_sinks=tuple(token_sinks),
+                chip=chip,
+                gather=gather,
             )
         )
     return tasks, plans
@@ -281,6 +351,15 @@ def simulate_serving(spec: ServingSpec, engine: str = "event") -> ServingResult:
         # An empty trace (e.g. a duration shorter than the first draw)
         # is a valid, trivially idle workload.
         requests, n_tasks, makespan, busy = (), 0, 0, {}
+
+    def total(base: str) -> int:
+        # Cluster-wide busy cycles: on a multi-chip spec each chip's
+        # resources are ``c{k}:``-prefixed, so the report sums them.
+        return busy.get(base, 0) + sum(
+            cycles for name, cycles in busy.items()
+            if name.endswith(f":{base}") and name != base
+        )
+
     return ServingResult(
         name=spec.name,
         binding=spec.binding,
@@ -294,9 +373,9 @@ def simulate_serving(spec: ServingSpec, engine: str = "event") -> ServingResult:
         dram_bw=spec.dram_bw,
         n_tasks=n_tasks,
         makespan=makespan,
-        busy_2d=busy.get("2d", 0),
-        busy_1d=busy.get("1d", 0),
-        busy_io=busy.get("io", 0),
-        busy_dram=busy.get("dram", 0),
+        busy_2d=total("2d"),
+        busy_1d=total("1d"),
+        busy_io=total("io"),
+        busy_dram=total("dram"),
         requests=requests,
     )

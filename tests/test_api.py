@@ -20,6 +20,7 @@ import pytest
 from repro import __version__
 from repro.api import (
     BindingSweepRequest,
+    ClusterRequest,
     CrosscheckRequest,
     ExperimentRequest,
     REQUEST_TYPES,
@@ -168,6 +169,11 @@ class TestScenarioRequestValidation:
         ))
         assert any("seed grid only" in e for e in errors)
         CrosscheckRequest(bandwidth=True).validate()
+        errors = violations(CrosscheckRequest(
+            cluster=True, scenarios=(attention_scenario(1, 4),),
+        ))
+        assert any("explicit scenarios are unsharded" in e for e in errors)
+        CrosscheckRequest(cluster=True).validate()
 
     def test_grid_dram_bw_reaches_every_cell(self):
         request = ScenarioGridRequest(
@@ -310,6 +316,81 @@ class TestOtherRequestValidation:
         assert trace_spec.rate is None
         assert trace_spec.arrivals == (Arrival(0, 4, 2),)
 
+    def test_serve_cluster_rules(self):
+        ServeRequest(rate=1.0, chips=4, link_bw=64.0, link_latency=2).validate()
+        errors = violations(ServeRequest(rate=1.0, chips=0))
+        assert any("chips must be >= 1" in e for e in errors)
+        errors = violations(ServeRequest(rate=1.0, chips=4, link_bw=0.0))
+        assert any("link_bw must be > 0" in e for e in errors)
+        errors = violations(
+            ServeRequest(rate=1.0, chips=4, link_latency=-1)
+        )
+        assert any("link_latency must be >= 0" in e for e in errors)
+        errors = violations(ServeRequest(rate=1.0, link_bw=64.0))
+        assert any("link_bw requires chips >= 2" in e for e in errors)
+        errors = violations(ServeRequest(rate=1.0, chips=1, link_bw=64.0))
+        assert any("link_bw requires chips >= 2" in e for e in errors)
+
+    def test_cluster_request_rules(self):
+        ClusterRequest().validate()
+        ClusterRequest(model="BERT", batch=2, chips=(1, 2),
+                       shardings=("head", "tensor"),
+                       link_bws=(None, 64.0)).validate()
+        errors = violations(ClusterRequest(model="BERT", instances=4))
+        assert any("mutually exclusive" in e for e in errors)
+        errors = violations(ClusterRequest(batch=2, heads=4))
+        assert sum("requires model" in e for e in errors) == 2
+        errors = violations(ClusterRequest(
+            model="GPT", binding="spiral", engine="magic",
+            chips=(0,), shardings=("diagonal",), link_bws=(-1.0,),
+            link_latency=-1, topology="mesh",
+        ))
+        assert any("unknown model 'GPT'" in e for e in errors)
+        assert any("unknown binding 'spiral'" in e for e in errors)
+        assert any("unknown engine 'magic'" in e for e in errors)
+        assert any("chips values must be >= 1" in e for e in errors)
+        assert any("unknown sharding 'diagonal'" in e for e in errors)
+        assert any("link_bws values must be > 0" in e for e in errors)
+        assert any("link_latency must be >= 0" in e for e in errors)
+        assert any("unknown topology 'mesh'" in e for e in errors)
+        errors = violations(ClusterRequest(chips=(), shardings=(),
+                                           link_bws=()))
+        assert any("chips must name at least one value" in e for e in errors)
+        assert any("at least one policy" in e for e in errors)
+        assert any("at least one bandwidth" in e for e in errors)
+        errors = violations(ClusterRequest(binding="tile-serial", slots=4))
+        assert "slots applies to the interleaved binding only" in errors
+        errors = violations(ClusterRequest(decode_chunks=8))
+        assert "decode_chunks requires decode_instances" in errors
+        # Tensor-sharding divisibility is caught at validation, not as
+        # a traceback from inside the pooled worker.
+        errors = violations(ClusterRequest(
+            model="BERT", batch=1, heads=2, chunks=4, array_dim=64,
+            chips=(3,), shardings=("tensor",),
+        ))
+        assert errors == ["tensor sharding needs embedding divisible "
+                          "by n_chips; got E=64, n_chips=3"]
+        ClusterRequest(model="BERT", batch=1, heads=2, chunks=4,
+                       array_dim=64, chips=(3,),
+                       shardings=("head",)).validate()
+
+    def test_cluster_request_build_points(self):
+        request = ClusterRequest(
+            instances=4, chunks=4, array_dim=64,
+            chips=(1, 2), shardings=("head", "tensor"), link_bws=(None, 8.0),
+            link_latency=2,
+        )
+        points = request.build_points()
+        assert len(points) == 8
+        # chips outermost, shardings, then link bandwidths.
+        assert [(p.spec.n_chips, p.sharding, p.spec.link_bw)
+                for p in points[:4]] == [
+            (1, "head", None), (1, "head", 8.0),
+            (1, "tensor", None), (1, "tensor", 8.0),
+        ]
+        assert all(p.scenario == points[0].scenario for p in points)
+        assert all(p.spec.link_latency == 2 for p in points)
+
     def test_crosscheck_rules(self):
         CrosscheckRequest().validate()
         assert any(
@@ -387,11 +468,35 @@ SIGNATURE_MUTATIONS = {
         "pe_1d": 64,
         "slots": 3,
         "dram_bw": 64.0,
+        "chips": 4,
+        "link_bw": 128.0,
+        "link_latency": 8,
+        "engine": "vector",
+    },
+    ClusterRequest: {
+        "model": "BERT",
+        "batch": 2,
+        "heads": 2,
+        "instances": 8,
+        "chunks": 16,
+        "array_dim": 128,
+        "pe_1d": 64,
+        "slots": 3,
+        "decode_instances": 1,
+        "decode_chunks": 4,
+        "dram_bw": 64.0,
+        "binding": "tile-serial",
+        "chips": (2, 8),
+        "shardings": ("tensor",),
+        "link_bws": (128.0,),
+        "link_latency": 8,
+        "topology": "ring",
         "engine": "vector",
     },
     CrosscheckRequest: {
         "tolerance": 0.1,
         "bandwidth": True,
+        "cluster": True,
         "scenarios": (attention_scenario(1, 4),),
     },
 }

@@ -68,6 +68,15 @@ CASES = [
       "--max-inflight", "4", "--decode-tokens", "1"], "serve-oneshot.txt"),
     (["serve", "--trace", str(GOLDEN / "serve-trace.in"), "--deadline",
       "2000", "--array-dim", "64", "--format", "json"], "serve-trace.json"),
+    # Multi-chip cluster sweeps (this PR): one unlinked chip sweep (the
+    # narrow historical columns, no link gating) and one sharded sweep
+    # over a priced interconnect (the widened link columns) — both
+    # locked byte-for-byte through the pooled runtime.
+    (["cluster", "--instances", "4", "--chunks", "8", "--array-dim", "64",
+      "--chips", "1,2", "--link-bws", "none"], "cluster-unlinked.txt"),
+    (["cluster", "--instances", "4", "--chunks", "8", "--array-dim", "64",
+      "--chips", "2,4", "--shardings", "head,tensor", "--link-bws", "64",
+      "--link-latency", "4", "--format", "csv"], "cluster-linked.csv"),
 ]
 
 

@@ -221,6 +221,9 @@ class TestServingCacheKey:
             "max_inflight": 4,
             "deadline": 5000,
             "dram_bw": 64.0,
+            "n_chips": 2,
+            "link_bw": 128.0,
+            "link_latency": 6,
             "rate": 0.5,
         }
         declared = {f.name for f in dataclasses.fields(ServingSpec)}

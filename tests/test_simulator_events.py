@@ -12,6 +12,12 @@ import random
 
 import pytest
 
+from repro.cluster import (
+    ClusterSpec,
+    build_cluster_tasks,
+    cluster_link_cycles,
+    cluster_sim,
+)
 from repro.model.scenario import analytical_scenario
 from repro.runtime import (
     ResultCache,
@@ -423,6 +429,41 @@ class TestScenarioGraphs:
         else:
             assert result.busy_cycles.get("dram", 0) > 0
         _, folded = scenario_sim(scenario, engine="vector")
+        assert folded == result
+
+    @pytest.mark.parametrize("seed", range(174, 198))
+    def test_cluster_graph_engines_identical(self, seed):
+        """Sharded multi-chip coverage: the same {None, tight, ample}
+        differential, now over a modeled interconnect — every third
+        seed runs unlinked, contended, and ample link bandwidth, and
+        both sharding policies alternate across the seed range.  The
+        engines must agree bit-for-bit on the merged cluster graph,
+        and the shared link's busy cycles must equal the closed-form
+        collective sum exactly."""
+        rng = random.Random(seed)
+        scenario = random_scenario(rng)
+        link_bw = (None, 8.0, 65536.0)[seed % 3]
+        spec = ClusterSpec(
+            n_chips=(2, 4)[seed % 2],
+            link_bw=link_bw,
+            link_latency=rng.choice((0, 4)),
+        )
+        sharding = ("head", "tensor")[(seed // 3) % 2]
+        tasks = build_cluster_tasks(scenario, spec, sharding)
+        serial = scenario.binding == "tile-serial"
+        result = both(
+            tasks,
+            mode="serial" if serial else "interleaved",
+            slots=scenario.slots,
+            max_cycles=sum(t.duration for t in tasks) + 1,
+        )
+        assert result.busy_cycles.get("link", 0) == cluster_link_cycles(
+            scenario, spec, sharding
+        )
+        if link_bw is None:
+            assert "link" not in result.busy_cycles
+        # The folded path must replay the sharded classes exactly too.
+        _, folded = cluster_sim(scenario, spec, sharding, engine="vector")
         assert folded == result
 
     def test_scenario_sim_engine_parity(self):
