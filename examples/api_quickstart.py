@@ -19,6 +19,9 @@ provenance envelope saying how it came to be.
 8. Multi-chip strong scaling: one scenario sharded over 1/2/4/8 chips
    on a priced interconnect, and the link-bound knee the analytical
    cluster model reads off without simulating (ClusterRequest).
+9. Memory QoS: decode token gaps under a prefill burst, uniform vs
+   decode-first DRAM arbitration on a finite on-chip buffer
+   (ServeRequest with buffer_bytes/qos).
 
 Run:  python examples/api_quickstart.py
 """
@@ -35,6 +38,7 @@ from repro.api import (
 )
 from repro.cluster import ClusterSpec
 from repro.model.cluster import analytical_cluster
+from repro.serving import Arrival
 from repro.workloads import BERT, heterogeneous_scenario
 from repro.workloads.scenario import scenario_from_model
 
@@ -135,6 +139,23 @@ def main():
               f"bound={estimate.kind}")
     # The knee: past it the collective traffic (which grows with the
     # chip count) binds, and adding chips stops paying.
+
+    section("9. Memory QoS: decode token gaps under a prefill burst")
+    # A small request decodes behind a 24-chunk prefill burst on a
+    # tight DRAM link with a finite on-chip buffer (working-set spills
+    # included).  Uniform arbitration prefetches FIFO, so the burst's
+    # bulk transfers starve the decoder's token gaps; decode-first
+    # issues decode transfers just-in-time and gives them priority at
+    # the link — smaller TBT, paid for with the burst's TTFT.
+    burst = (Arrival(0, 24, 0), Arrival(500, 2, 12))
+    for qos in ("uniform", "decode-first"):
+        point = session.run(ServeRequest(
+            trace=burst, dram_bw=32.0, buffer_bytes=100_000.0, qos=qos,
+        )).payload
+        print(f"qos={qos:12s}  tbt_p50={point.tbt_p50:7.1f}  "
+              f"tbt_p99={point.tbt_p99:7.1f}  "
+              f"burst_ttft={point.requests[0].ttft:6d}  "
+              f"spill_bytes={point.spill_bytes}")
 
 
 if __name__ == "__main__":

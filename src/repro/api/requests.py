@@ -43,6 +43,7 @@ from ..simulator.sweep import (
 from ..workloads.models import BATCH_SIZE, MODELS_BY_NAME
 from ..workloads.scenario import (
     BINDINGS,
+    QOS_MODES,
     Scenario,
     attention_scenario,
     mixed_model_scenario,
@@ -97,6 +98,23 @@ def _positive(errors: List[str], name: str, value: Optional[int]) -> None:
 def _positive_bandwidth(errors: List[str], value: Optional[float]) -> None:
     if value is not None and not value > 0:
         errors.append(f"dram_bw must be > 0, got {value}")
+
+
+def _buffer_qos(
+    errors: List[str],
+    buffer_bytes: Optional[float],
+    qos: str,
+    dram_bw: Optional[float],
+) -> None:
+    if buffer_bytes is not None and not buffer_bytes > 0:
+        errors.append(f"buffer_bytes must be > 0, got {buffer_bytes}")
+    if buffer_bytes is not None and dram_bw is None:
+        errors.append(
+            "buffer_bytes requires dram_bw (spill traffic is priced on "
+            "the shared memory link)"
+        )
+    if qos not in QOS_MODES:
+        errors.append(f"unknown qos {qos!r}; have {QOS_MODES}")
 
 
 def _positive_axis(errors: List[str], name: str, values: Tuple) -> None:
@@ -235,9 +253,11 @@ class ScenarioRequest(Request):
     merged schedule spanning several models' embedding widths, and
     ``instances`` an explicit count — mutually exclusive, exactly as the
     CLI flags were.  ``dram_bw`` (bytes/cycle) adds the shared memory
-    link every instance's transfers contend for.  ``None`` fields take
-    the CLI's historical defaults at build time, so the request records
-    what was *asked*, not what was defaulted.
+    link every instance's transfers contend for; ``buffer_bytes``
+    bounds the on-chip buffer (working-set overflow spills extra DRAM
+    traffic) and ``qos`` picks the link's arbitration policy.  ``None``
+    fields take the CLI's historical defaults at build time, so the
+    request records what was *asked*, not what was defaulted.
     """
 
     KIND = "scenario"
@@ -254,6 +274,8 @@ class ScenarioRequest(Request):
     decode_instances: int = 0
     decode_chunks: Optional[int] = None
     dram_bw: Optional[float] = None
+    buffer_bytes: Optional[float] = None
+    qos: str = "uniform"
     binding: str = "both"
     engine: str = "event"
     profile: bool = False
@@ -274,6 +296,8 @@ class ScenarioRequest(Request):
             ("decode_instances", self.decode_instances != 0),
             ("decode_chunks", self.decode_chunks is not None),
             ("dram_bw", self.dram_bw is not None),
+            ("buffer_bytes", self.buffer_bytes is not None),
+            ("qos", self.qos != "uniform"),
             ("binding", self.binding != "both"),
         )
         if self.scenarios is not None:
@@ -312,6 +336,7 @@ class ScenarioRequest(Request):
         if self.decode_chunks is not None and not self.decode_instances:
             errors.append("decode_chunks requires decode_instances")
         _positive_bandwidth(errors, self.dram_bw)
+        _buffer_qos(errors, self.buffer_bytes, self.qos, self.dram_bw)
         if self.binding not in ("both",) + BINDINGS:
             errors.append(f"unknown binding {self.binding!r}; have {('both',) + BINDINGS}")
         if self.binding == "tile-serial" and self.slots is not None:
@@ -361,6 +386,8 @@ class ScenarioRequest(Request):
                         decode_instances=self.decode_instances,
                         decode_chunks=self.decode_chunks,
                         dram_bw=self.dram_bw,
+                        buffer_bytes=self.buffer_bytes,
+                        qos=self.qos,
                     )
                 )
             elif self.model is not None:
@@ -377,6 +404,8 @@ class ScenarioRequest(Request):
                         decode_instances=self.decode_instances,
                         decode_chunks=self.decode_chunks,
                         dram_bw=self.dram_bw,
+                        buffer_bytes=self.buffer_bytes,
+                        qos=self.qos,
                     )
                 )
             else:
@@ -392,6 +421,8 @@ class ScenarioRequest(Request):
                         decode_instances=self.decode_instances,
                         decode_chunks=self.decode_chunks,
                         dram_bw=self.dram_bw,
+                        buffer_bytes=self.buffer_bytes,
+                        qos=self.qos,
                     )
                 )
         return tuple(built)
@@ -424,6 +455,8 @@ class ScenarioGridRequest(Request):
     pe_1d: Optional[int] = None
     slots: Optional[int] = None
     dram_bw: Optional[float] = None
+    buffer_bytes: Optional[float] = None
+    qos: str = "uniform"
     extra_scenarios: Tuple[Scenario, ...] = ()
 
     def rule_violations(self) -> List[str]:
@@ -455,6 +488,7 @@ class ScenarioGridRequest(Request):
         for name in ("chunks", "array_dim", "pe_1d", "slots", "decode_chunks"):
             _positive(errors, name, getattr(self, name))
         _positive_bandwidth(errors, self.dram_bw)
+        _buffer_qos(errors, self.buffer_bytes, self.qos, self.dram_bw)
         return errors
 
     def cells(self) -> Tuple[ScenarioGridCell, ...]:
@@ -480,6 +514,8 @@ class ScenarioGridRequest(Request):
                                 decode_instances=decode,
                                 decode_chunks=self.decode_chunks,
                                 dram_bw=self.dram_bw,
+                                buffer_bytes=self.buffer_bytes,
+                                qos=self.qos,
                             )
                             built.append(
                                 ScenarioGridCell(
@@ -518,8 +554,12 @@ class ServeRequest(Request):
     cluster of identical arrays (request parallelism, round-robin by
     arrival order), with ``link_bw``/``link_latency`` pricing each
     request's prefill-output gather on the shared interconnect.
-    ``None`` fields take the CLI's historical defaults at build time, so
-    the request records what was *asked*, not what was defaulted.
+    ``buffer_bytes``/``qos`` model the on-chip buffer and the memory
+    link's arbitration policy (``"decode-first"`` protects in-flight
+    token gaps under a prefill burst), exactly as
+    :class:`~repro.serving.ServingSpec` documents.  ``None`` fields
+    take the CLI's historical defaults at build time, so the request
+    records what was *asked*, not what was defaulted.
     """
 
     KIND = "serve"
@@ -538,6 +578,8 @@ class ServeRequest(Request):
     pe_1d: Optional[int] = None
     slots: Optional[int] = None
     dram_bw: Optional[float] = None
+    buffer_bytes: Optional[float] = None
+    qos: str = "uniform"
     chips: Optional[int] = None
     link_bw: Optional[float] = None
     link_latency: Optional[int] = None
@@ -593,6 +635,7 @@ class ServeRequest(Request):
         ):
             _positive(errors, name, getattr(self, name))
         _positive_bandwidth(errors, self.dram_bw)
+        _buffer_qos(errors, self.buffer_bytes, self.qos, self.dram_bw)
         if self.link_bw is not None and not self.link_bw > 0:
             errors.append(f"link_bw must be > 0, got {self.link_bw}")
         if self.link_latency is not None and self.link_latency < 0:
@@ -632,6 +675,8 @@ class ServeRequest(Request):
             link_bw=self.link_bw,
             link_latency=0 if self.link_latency is None else self.link_latency,
             rate=rate,
+            buffer_bytes=self.buffer_bytes,
+            qos=self.qos,
         )
 
 
@@ -804,7 +849,10 @@ class CrosscheckRequest(Request):
     ``bandwidth=True`` appends the bandwidth-limited grid
     (:func:`repro.experiments.crosscheck.bandwidth_scenarios`), whose
     rows also compare the shared ``dram`` link's utilization;
-    ``cluster=True`` appends the sharded multi-chip grid
+    ``capacity=True`` appends the finite-buffer grid
+    (:func:`repro.experiments.crosscheck.capacity_scenarios`), pitting
+    the spill-inflated schedules against the ``capacity-bound``
+    roofline term; ``cluster=True`` appends the sharded multi-chip grid
     (:func:`repro.experiments.crosscheck.cluster_points`), whose rows
     compare the shared ``link``'s utilization.
     """
@@ -813,6 +861,7 @@ class CrosscheckRequest(Request):
 
     tolerance: float = 0.05
     bandwidth: bool = False
+    capacity: bool = False
     cluster: bool = False
     scenarios: Optional[Tuple[Scenario, ...]] = None
 
@@ -826,6 +875,11 @@ class CrosscheckRequest(Request):
             errors.append(
                 "bandwidth applies to the seed grid only (explicit "
                 "scenarios carry their own dram_bw)"
+            )
+        if self.scenarios is not None and self.capacity:
+            errors.append(
+                "capacity applies to the seed grid only (explicit "
+                "scenarios carry their own buffer_bytes)"
             )
         if self.scenarios is not None and self.cluster:
             errors.append(

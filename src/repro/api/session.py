@@ -337,6 +337,7 @@ class Session:
                 request.scenarios,
                 tolerance=request.tolerance,
                 bandwidth=request.bandwidth,
+                capacity=request.capacity,
                 cluster=request.cluster,
                 jobs=self.jobs,
                 cache=self._cache_arg(),

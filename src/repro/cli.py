@@ -25,7 +25,9 @@ Commands:
   arrays in one merged graph (``--model/--batch/--heads`` or
   ``--instances``, plus ``--decode-instances`` for a decode mix,
   ``--mixed-models`` for one schedule spanning several embedding
-  widths, and ``--dram-bw`` for shared-memory-bandwidth contention).
+  widths, ``--dram-bw`` for shared-memory-bandwidth contention, and
+  ``--buffer-bytes``/``--qos`` for buffer-capacity spills and DRAM
+  arbitration policy).
 - ``serve``             — open-loop serving simulation: seeded Poisson
   arrivals (``--rate R1,R2`` in requests per kilocycle, one
   latency-vs-load row per rate) or a replayable ``--trace`` file join a
@@ -42,8 +44,9 @@ Commands:
 - ``crosscheck``        — simulate every seed scenario and diff its
   per-array utilization against the analytical models, flagging
   divergence beyond ``--tolerance`` (``--bandwidth`` adds the
-  bandwidth-limited grid and its ``dram`` rows; ``--cluster`` the
-  sharded multi-chip grid and its ``link`` rows).
+  bandwidth-limited grid and its ``dram`` rows; ``--capacity`` the
+  finite-buffer grid against the capacity-bound roofline term;
+  ``--cluster`` the sharded multi-chip grid and its ``link`` rows).
 
 Grid-backed commands accept ``--jobs N`` (parallel evaluation over
 processes), ``--cache``/``--no-cache`` (content-addressed result reuse;
@@ -101,7 +104,7 @@ from .simulator import (
     sweep_table,
 )
 from .workloads.models import BATCH_SIZE, seq_label
-from .workloads.scenario import BINDINGS
+from .workloads.scenario import BINDINGS, QOS_MODES
 
 _CASCADES: Dict[str, Callable] = {
     "3pass": attention_3pass,
@@ -241,6 +244,8 @@ def _sweep_grid_flag_errors(args):
         ("--pe1d", args.pe1d is not None),
         ("--slots", args.slots is not None),
         ("--dram-bw", args.dram_bw is not None),
+        ("--buffer-bytes", args.buffer_bytes is not None),
+        ("--qos", args.qos is not None),
         ("--format", args.format is not None),
         ("--output", args.output is not None),
     )
@@ -323,6 +328,7 @@ def _cmd_sweep_grid(args) -> int:
         ("chunks", args.chunks), ("decode_chunks", args.decode_chunks),
         ("array_dim", args.array_dim), ("pe_1d", args.pe1d),
         ("slots", args.slots), ("dram_bw", args.dram_bw),
+        ("buffer_bytes", args.buffer_bytes), ("qos", args.qos),
     ):
         if value is not None:
             axes[field] = value
@@ -444,6 +450,8 @@ def _simulate_flag_errors(args):
         ("--decode-instances", args.decode_instances != 0),
         ("--decode-chunks", args.decode_chunks is not None),
         ("--dram-bw", args.dram_bw is not None),
+        ("--buffer-bytes", args.buffer_bytes is not None),
+        ("--qos", args.qos is not None),
         ("--binding", args.binding != "both"),
         ("--profile", args.profile),
     )
@@ -571,6 +579,8 @@ def _cmd_simulate_scenario(args) -> int:
         array_dim=args.array_dim, pe_1d=args.pe1d, slots=args.slots,
         decode_instances=args.decode_instances,
         decode_chunks=args.decode_chunks, dram_bw=args.dram_bw,
+        buffer_bytes=args.buffer_bytes,
+        qos="uniform" if args.qos is None else args.qos,
         binding=args.binding, engine=args.engine, profile=args.profile,
     ))
     if result is None:
@@ -614,7 +624,9 @@ def _cmd_serve(args) -> int:
         decode_tokens=args.decode_tokens, max_inflight=args.max_inflight,
         deadline=args.deadline, binding=args.binding,
         array_dim=args.array_dim, pe_1d=args.pe1d, slots=args.slots,
-        dram_bw=args.dram_bw, chips=args.chips, link_bw=args.link_bw,
+        dram_bw=args.dram_bw, buffer_bytes=args.buffer_bytes,
+        qos="uniform" if args.qos is None else args.qos,
+        chips=args.chips, link_bw=args.link_bw,
         link_latency=args.link_latency, engine=args.engine,
     )
     if args.trace is not None:
@@ -709,7 +721,7 @@ def _cmd_crosscheck(args) -> int:
     """Simulated vs analytical utilization over the seed scenarios."""
     result = _session(args).run(CrosscheckRequest(
         tolerance=args.tolerance, bandwidth=args.bandwidth,
-        cluster=args.cluster,
+        capacity=args.capacity, cluster=args.cluster,
     ))
     report = result.payload
     print("Scenario cross-check: simulated vs analytical utilization")
@@ -797,6 +809,16 @@ def main(argv=None) -> int:
         "--dram-bw", type=float, default=None, metavar="B",
         help="grid shared DRAM bandwidth in bytes/cycle "
              "(default: unmodeled)",
+    )
+    sweep.add_argument(
+        "--buffer-bytes", type=float, default=None, metavar="BYTES",
+        help="grid on-chip buffer capacity; working-set overflow "
+             "spills extra DRAM traffic (requires --dram-bw; "
+             "default: unbounded)",
+    )
+    sweep.add_argument(
+        "--qos", choices=QOS_MODES, default=None,
+        help="grid DRAM arbitration policy (default: uniform)",
     )
     sweep.add_argument(
         "--format", choices=("table", "csv", "json"), default=None,
@@ -904,6 +926,17 @@ def main(argv=None) -> int:
              "traffic contends for one memory link (default: unmodeled)",
     )
     simulate.add_argument(
+        "--buffer-bytes", type=float, default=None, metavar="BYTES",
+        help="on-chip buffer capacity per instance: working-set "
+             "overflow spills and refills as extra DRAM traffic "
+             "(requires --dram-bw; default: unbounded)",
+    )
+    simulate.add_argument(
+        "--qos", choices=QOS_MODES, default=None,
+        help="shared-resource arbitration policy: decode-first "
+             "prioritizes decode instances (default: uniform)",
+    )
+    simulate.add_argument(
         "--mixed-models", metavar="A,B", default=None,
         help="one merged scenario spanning several models' embedding "
              "widths (e.g. BERT,XLM; mutually exclusive with --model)",
@@ -987,6 +1020,19 @@ def main(argv=None) -> int:
         "--dram-bw", type=float, default=None, metavar="B",
         help="shared DRAM bandwidth in bytes/cycle: every request's "
              "traffic contends for one memory link (default: unmodeled)",
+    )
+    serve.add_argument(
+        "--buffer-bytes", type=float, default=None, metavar="BYTES",
+        help="on-chip buffer capacity per request: working-set "
+             "overflow spills and refills as extra DRAM traffic "
+             "(requires --dram-bw; default: unbounded)",
+    )
+    serve.add_argument(
+        "--qos", choices=QOS_MODES, default=None,
+        help="DRAM arbitration policy: decode-first issues decode "
+             "transfers just-in-time and ahead of prefill bulk, "
+             "protecting token gaps under a prefill burst "
+             "(default: uniform)",
     )
     serve.add_argument(
         "--chips", type=_positive_int, default=None, metavar="N",
@@ -1134,6 +1180,11 @@ def main(argv=None) -> int:
         "--bandwidth", action="store_true",
         help="also cross-check the bandwidth-limited scenario grid "
              "(adds a dram utilization row per finite-dram_bw scenario)",
+    )
+    check.add_argument(
+        "--capacity", action="store_true",
+        help="also cross-check the finite-buffer grid (spill-inflated "
+             "schedules vs the capacity-bound roofline term)",
     )
     check.add_argument(
         "--cluster", action="store_true",

@@ -100,6 +100,34 @@ def bandwidth_scenarios() -> Tuple[Scenario, ...]:
     return tuple(scenarios)
 
 
+def capacity_scenarios() -> Tuple[Scenario, ...]:
+    """Buffer-capacity cross-check grid (``--capacity``).
+
+    Decisively bandwidth-bound points (tight DRAM link, transfer cycles
+    well past every array's work) whose finite ``buffer_bytes`` forces
+    spill/refill traffic — so the simulated schedule and the analytical
+    ``capacity-bound`` roofline term must agree that the *inflated*
+    byte count is what sets the makespan.  Buffers are chosen around
+    the prefill working set (2 tiles resident + 2 transient at the
+    default 256×64 geometry = 128 KiB demand): one point spills a
+    partial tile, one spills the full resident set, one decode-heavy
+    mix whose tighter buffer spills on both phase kinds, plus an
+    infinite-buffer control that must stay plain ``bandwidth-bound``.
+    """
+    tight = 32.0
+    return (
+        attention_scenario(8, 64, dram_bw=tight, buffer_bytes=98304.0),
+        attention_scenario(8, 64, dram_bw=tight, buffer_bytes=49152.0),
+        attention_scenario(
+            4, 32, decode_instances=8, decode_chunks=128,
+            dram_bw=tight, buffer_bytes=49152.0,
+        ),
+        attention_scenario(
+            8, 64, dram_bw=tight, buffer_bytes=float("inf"),
+        ),
+    )
+
+
 def cluster_points() -> Tuple[ClusterPoint, ...]:
     """Sharded multi-chip cross-check grid (``--cluster``).
 
@@ -171,6 +199,7 @@ def crosscheck(
     *,
     tolerance: float = DEFAULT_TOLERANCE,
     bandwidth: bool = False,
+    capacity: bool = False,
     cluster: bool = False,
     jobs: int = 1,
     cache: Any = True,
@@ -182,7 +211,10 @@ def crosscheck(
     ``bandwidth=True`` appends the bandwidth-limited grid
     (:func:`bandwidth_scenarios`) to the default seed scenarios, adding
     a ``dram`` comparison row for every scenario that models a finite
-    ``dram_bw``.  ``cluster=True`` appends the sharded multi-chip grid
+    ``dram_bw``.  ``capacity=True`` appends the finite-buffer grid
+    (:func:`capacity_scenarios`), whose ``dram`` rows pit the spill
+    -inflated schedule against the ``capacity-bound`` roofline term.
+    ``cluster=True`` appends the sharded multi-chip grid
     (:func:`cluster_points`), whose rows compare the shared ``link``'s
     utilization against the analytical cluster bound.
     """
@@ -191,6 +223,8 @@ def crosscheck(
         scenarios = seed_scenarios()
         if bandwidth:
             scenarios = scenarios + bandwidth_scenarios()
+        if capacity:
+            scenarios = scenarios + capacity_scenarios()
         if cluster:
             points = cluster_points()
     simulated = _runtime.sweep_scenarios(

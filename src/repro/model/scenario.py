@@ -23,6 +23,13 @@ Three estimate kinds cover the binding/bandwidth space:
   cycles (integrated task-by-task with the simulator's own ceiling
   arithmetic) exceed every array's work, so the schedule rides the
   memory wall the roofline model predicts for decode-heavy mixes.
+  With a finite ``Scenario.buffer_bytes`` the traffic is additionally
+  inflated by the closed-form spill volume
+  (:func:`repro.simulator.pipeline.scenario_spill_bytes`): working-set
+  demand beyond the buffer re-fetches the resident stream every chunk,
+  shifting the roofline's traffic term exactly as the built graph's
+  ``bytes_moved`` shifts — the estimate is reported as
+  ``capacity-bound`` when that spill traffic is what pins the link.
 - ``serial-chain`` — the closed-form steady-state chunk interval of a
   *single* tile-serial instance, where the per-chunk dependency chain
   (fill → BQK → drain → max/renorm chain) is exposed and both arrays
@@ -42,6 +49,7 @@ from ..simulator.pipeline import (
     chunk_work,
     instance_config,
     scenario_dram_cycles,
+    scenario_spill_bytes,
 )
 from ..workloads.scenario import Scenario
 
@@ -154,11 +162,16 @@ def analytical_scenario(scenario: Scenario) -> ScenarioEstimate:
         kind = "serial-chain"
     else:
         latency = max(busy.values())
-        kind = (
-            "bandwidth-bound"
-            if scenario.dram_bw is not None and busy["dram"] == latency
-            else "overlap-bound"
-        )
+        if scenario.dram_bw is not None and busy["dram"] == latency:
+            # The link binds; attribute it to capacity spills when the
+            # buffer model is what inflated the traffic past the arrays.
+            kind = (
+                "capacity-bound"
+                if scenario_spill_bytes(scenario) > 0
+                else "bandwidth-bound"
+            )
+        else:
+            kind = "overlap-bound"
     return ScenarioEstimate(
         scenario=scenario.name,
         binding=scenario.binding,

@@ -10,11 +10,13 @@ TTFT, time between tokens, p50/p99 latency, goodput at a deadline.
 from .arrivals import Arrival, check_sorted, format_trace, parse_trace, poisson_arrivals
 from .metrics import (
     SERVE_FIELDS,
+    SERVE_QOS_FIELDS,
     RequestMetrics,
     ServingResult,
     decode_serving_result,
     encode_serving_result,
     percentile,
+    serve_fields_for,
     serving_csv,
     serving_json,
     serving_table,
@@ -31,6 +33,7 @@ from .simulator import (
 __all__ = [
     "CLOCK_RESOURCE",
     "SERVE_FIELDS",
+    "SERVE_QOS_FIELDS",
     "Arrival",
     "RequestMetrics",
     "RequestPlan",
@@ -44,6 +47,7 @@ __all__ = [
     "parse_trace",
     "percentile",
     "poisson_arrivals",
+    "serve_fields_for",
     "serving_csv",
     "serving_json",
     "serving_sim",

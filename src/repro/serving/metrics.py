@@ -29,11 +29,13 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "SERVE_FIELDS",
+    "SERVE_QOS_FIELDS",
     "RequestMetrics",
     "ServingResult",
     "decode_serving_result",
     "encode_serving_result",
     "percentile",
+    "serve_fields_for",
     "serving_csv",
     "serving_json",
     "serving_table",
@@ -120,6 +122,26 @@ SERVE_FIELDS: Tuple[str, ...] = (
     "goodput",
 )
 
+#: Columns appended (after :data:`SERVE_FIELDS`) when any result models
+#: buffer capacity or non-uniform DRAM QoS — the decode-TBT percentiles
+#: are what a prefill burst moves, so they only surface with the knobs.
+SERVE_QOS_FIELDS: Tuple[str, ...] = (
+    "buffer_bytes",
+    "qos",
+    "spill_bytes",
+    "tbt_p50",
+    "tbt_p99",
+)
+
+
+def serve_fields_for(results: Sequence["ServingResult"]) -> Tuple[str, ...]:
+    """Column set for ``results``: the historical :data:`SERVE_FIELDS`
+    widen with :data:`SERVE_QOS_FIELDS` only when some row exercises the
+    buffer/QoS model, so existing outputs stay byte-identical."""
+    if any(r.buffer_bytes is not None or r.qos != "uniform" for r in results):
+        return SERVE_FIELDS + SERVE_QOS_FIELDS
+    return SERVE_FIELDS
+
 
 @dataclass(frozen=True)
 class ServingResult:
@@ -148,6 +170,9 @@ class ServingResult:
     busy_io: int
     busy_dram: int
     requests: Tuple[RequestMetrics, ...]
+    buffer_bytes: Optional[float] = None
+    qos: str = "uniform"
+    spill_bytes: int = 0
 
     @property
     def n_requests(self) -> int:
@@ -198,6 +223,17 @@ class ServingResult:
         return sum(gaps) / len(gaps) if gaps else None
 
     @property
+    def tbt_p50(self) -> Optional[float]:
+        """Median per-request decode-token gap — with ``decode-first``
+        QoS this is the headline number a prefill burst cannot move."""
+        return percentile([r.tbt for r in self.requests if r.tbt is not None], 50)
+
+    @property
+    def tbt_p99(self) -> Optional[float]:
+        """Tail per-request decode-token gap under the offered load."""
+        return percentile([r.tbt for r in self.requests if r.tbt is not None], 99)
+
+    @property
     def throughput(self) -> float:
         """Completed requests per kilocycle of makespan."""
         return self.n_requests * 1000 / self.makespan if self.makespan else 0.0
@@ -212,33 +248,14 @@ class ServingResult:
         met = sum(1 for r in self.requests if r.met(self.deadline))
         return met / self.n_requests
 
-    def row(self) -> Tuple:
-        """The result as a tuple in :data:`SERVE_FIELDS` order (absent
-        values stay None; the text emitters render them as ``-``)."""
-        return (
-            self.name,
-            self.binding,
-            self.n_requests,
-            self.rate,
-            self.max_inflight,
-            self.deadline,
-            self.array_dim,
-            self.pe_1d,
-            self.embedding,
-            self.slots,
-            self.dram_bw,
-            self.n_tasks,
-            self.makespan,
-            self.util_2d,
-            self.util_1d,
-            self.util_dram,
-            self.ttft_p50,
-            self.ttft_p99,
-            self.tbt_mean,
-            self.latency_p50,
-            self.latency_p99,
-            self.throughput,
-            self.goodput,
+    #: Column names whose value lives under a different attribute.
+    _ALIASES = {"workload": "name", "requests": "n_requests"}
+
+    def row(self, fields_: Tuple[str, ...] = SERVE_FIELDS) -> Tuple:
+        """The result as a tuple in ``fields_`` order (absent values
+        stay None; the text emitters render them as ``-``)."""
+        return tuple(
+            getattr(self, self._ALIASES.get(name, name)) for name in fields_
         )
 
 
@@ -258,10 +275,28 @@ def encode_serving_result(result: ServingResult) -> Dict:
     }
 
 
+#: Defaults for scalar fields added after the cache format shipped, so
+#: pre-capacity cache entries still decode (they never modeled either).
+_SCALAR_DEFAULTS: Dict[str, object] = {
+    "buffer_bytes": None,
+    "qos": "uniform",
+    "spill_bytes": 0,
+}
+
+
 def decode_serving_result(payload: Mapping) -> ServingResult:
-    """Inverse of :func:`encode_serving_result`."""
+    """Inverse of :func:`encode_serving_result` (strict on the
+    historical fields, defaulting for the capacity/QoS columns)."""
+    data = {
+        name: (
+            payload.get(name, _SCALAR_DEFAULTS[name])
+            if name in _SCALAR_DEFAULTS
+            else payload[name]
+        )
+        for name in _SCALAR_FIELDS
+    }
     return ServingResult(
-        **{name: payload[name] for name in _SCALAR_FIELDS},
+        **data,
         requests=tuple(RequestMetrics(**entry) for entry in payload["requests"]),
     )
 
@@ -279,32 +314,37 @@ def _blanked(row: Tuple) -> Tuple:
 
 
 def serving_csv(results: Sequence[ServingResult]) -> str:
-    """Serving results as CSV with a :data:`SERVE_FIELDS` header row."""
+    """Serving results as CSV with a :func:`serve_fields_for` header."""
+    fields_ = serve_fields_for(results)
     buffer = io.StringIO()
     writer = csv.writer(buffer, lineterminator="\n")
-    writer.writerow(SERVE_FIELDS)
+    writer.writerow(fields_)
     for result in results:
-        writer.writerow(_blanked(result.row()))
+        writer.writerow(_blanked(result.row(fields_)))
     return buffer.getvalue()
 
 
 def serving_json(results: Sequence[ServingResult]) -> str:
     """Serving results as a JSON array of row objects (absent values
     are nulls)."""
-    return json.dumps([dict(zip(SERVE_FIELDS, r.row())) for r in results], indent=2)
+    fields_ = serve_fields_for(results)
+    return json.dumps(
+        [dict(zip(fields_, r.row(fields_))) for r in results], indent=2
+    )
 
 
 def serving_table(results: Sequence[ServingResult]) -> str:
     """Serving results as an aligned text table (the CLI default)."""
-    text_rows: List[Tuple[str, ...]] = [SERVE_FIELDS]
+    fields_ = serve_fields_for(results)
+    text_rows: List[Tuple[str, ...]] = [fields_]
     for result in results:
         text_rows.append(
             tuple(
                 f"{value:.3f}" if isinstance(value, float) else str(value)
-                for value in _blanked(result.row())
+                for value in _blanked(result.row(fields_))
             )
         )
-    widths = [max(len(row[i]) for row in text_rows) for i in range(len(SERVE_FIELDS))]
+    widths = [max(len(row[i]) for row in text_rows) for i in range(len(fields_))]
     return "\n".join(
         "  ".join(cell.rjust(width) for cell, width in zip(row, widths)) for row in text_rows
     )

@@ -42,17 +42,26 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
+import re
+
 from ..cluster.build import instance_out_bytes
 from ..cluster.spec import LINK_RESOURCE
 from ..simulator.engine import (
+    DRAM_RESOURCE,
     SimResult,
     Simulator,
     Task,
     lower_dram,
     transfer_cycles,
 )
-from ..simulator.pipeline import PipelineConfig, build_decode_tasks, build_tasks
-from ..workloads.scenario import BINDINGS
+from ..simulator.pipeline import (
+    PipelineConfig,
+    apply_buffer_spills,
+    build_decode_tasks,
+    build_tasks,
+    instance_spill_bytes,
+)
+from ..workloads.scenario import BINDINGS, QOS_MODES
 from .arrivals import Arrival, check_sorted
 from .metrics import RequestMetrics, ServingResult
 
@@ -95,6 +104,22 @@ class ServingSpec:
     concurrent requests contend for the interconnect under load.  One
     chip, or an unmodeled link at one chip, builds a byte-identical
     graph to the unclustered spec.
+
+    ``buffer_bytes`` models the per-request on-chip buffer exactly as
+    ``Scenario.buffer_bytes`` does: working-set overflow spills and
+    refills (inflating each request's DRAM traffic) and the dram
+    lowering bounds prefetch depth to the capacity.
+    ``qos="decode-first"`` reclassifies every in-flight request's
+    *decode* DRAM transfers as an urgent stream: they issue
+    just-in-time (gated with their decode step instead of prefetching
+    at admission) and take priority over prefill bulk transfers at the
+    shared memory link — the knob that answers "what happens to decode
+    TBT under a prefill burst".  Under ``"uniform"`` all transfers are
+    one prefetched bulk stream arbitrated FIFO, which favors whoever
+    arrived first; ``"decode-first"`` trades prefetch depth on the
+    decode stream for arbitration priority, protecting token gaps of
+    requests decoding *behind* a large queued prefill.  The defaults
+    (None, ``"uniform"``) are byte-identical to the historical graphs.
     """
 
     name: str
@@ -111,6 +136,8 @@ class ServingSpec:
     link_bw: Optional[float] = None
     link_latency: int = 0
     rate: Optional[float] = None
+    buffer_bytes: Optional[float] = None
+    qos: str = "uniform"
 
     def __post_init__(self) -> None:
         check_sorted(self.arrivals)
@@ -138,6 +165,12 @@ class ServingSpec:
             raise ValueError(f"link_latency must be >= 0, got {self.link_latency}")
         if self.rate is not None and not self.rate > 0:
             raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.buffer_bytes is not None and not self.buffer_bytes > 0:
+            raise ValueError(
+                f"buffer_bytes must be > 0, got {self.buffer_bytes}"
+            )
+        if self.qos not in QOS_MODES:
+            raise ValueError(f"unknown qos {self.qos!r}; have {QOS_MODES}")
         if self.binding == "tile-serial":
             object.__setattr__(self, "slots", 1)
 
@@ -167,6 +200,10 @@ class ServingSpec:
         tail = f"E={self.embedding}"
         if self.dram_bw is not None:
             tail += f", bw={self.dram_bw:g}"
+        if self.buffer_bytes is not None:
+            tail += f", buf={self.buffer_bytes:g}"
+        if self.qos != "uniform":
+            tail += f", qos={self.qos}"
         if self.deadline is not None:
             tail += f", slo={self.deadline}"
         if self.n_chips > 1:
@@ -215,6 +252,20 @@ def _sinks(tasks: Sequence[Task]) -> Tuple[str, ...]:
     return tuple(task.name for task in tasks if task.name not in depended)
 
 
+#: Decode-step tasks live in a ``r{i}:t{step}:`` namespace; prefill
+#: tasks never carry a ``t{step}:`` segment, so the name alone
+#: classifies a lowered DRAM transfer's stream (and its step index).
+_DECODE_STEP = re.compile(r":t(\d+):")
+
+
+def _is_decode_transfer(task: Task) -> bool:
+    """Whether ``task`` is a decode-step DRAM transfer (on any chip)."""
+    on_dram = task.resource == DRAM_RESOURCE or task.resource.endswith(
+        f":{DRAM_RESOURCE}"
+    )
+    return on_dram and _DECODE_STEP.search(task.name) is not None
+
+
 def _gated(tasks: Sequence[Task], gate: Tuple[str, ...]) -> List[Task]:
     """Hang every dependency-free task on ``gate`` (arrival + window)."""
     return [replace(task, deps=gate) if not task.deps else task for task in tasks]
@@ -254,6 +305,9 @@ def build_serving_tasks(spec: ServingSpec) -> Tuple[List[Task], List[RequestPlan
             pe_1d=spec.resolved_pe_1d,
         )
         graph = build_tasks(config, serial=serial, prefix=prefix)
+        graph = apply_buffer_spills(
+            graph, config, "prefill", spec.buffer_bytes, prefix
+        )
         prefill_sinks = _sinks(graph)
         prev_sinks = prefill_sinks
         gather: Tuple[str, ...] = ()
@@ -271,10 +325,16 @@ def build_serving_tasks(spec: ServingSpec) -> Tuple[List[Task], List[RequestPlan
                 gather = (f"{prefix}AG",)
                 prev_sinks = gather
         token_sinks: List[str] = []
+        step_gates: List[Tuple[str, ...]] = []
         for step in range(arrival.decode_tokens):
-            step_tasks = build_decode_tasks(config, prefix=f"{prefix}t{step}:")
+            step_prefix = f"{prefix}t{step}:"
+            step_tasks = build_decode_tasks(config, prefix=step_prefix)
+            step_tasks = apply_buffer_spills(
+                step_tasks, config, "decode", spec.buffer_bytes, step_prefix
+            )
             # Chain: the step's dependency-free tasks wait on the
             # previous step's accumulate (or the gather/prefill sinks).
+            step_gates.append(prev_sinks)
             step_tasks = _gated(step_tasks, prev_sinks)
             prev_sinks = _sinks(step_tasks)
             token_sinks.extend(prev_sinks)
@@ -283,7 +343,26 @@ def build_serving_tasks(spec: ServingSpec) -> Tuple[List[Task], List[RequestPlan
         # transfer tasks are arrive-gated too (the memory system cannot
         # stream a request that has not arrived).  lower_dram inserts
         # per task, so per-request lowering equals whole-graph lowering.
-        graph = lower_dram(graph, spec.dram_bw)
+        # A finite buffer_bytes bounds each request's prefetch window.
+        graph = lower_dram(graph, spec.dram_bw, spec.buffer_bytes)
+        if spec.qos == "decode-first":
+            # Decode streams issue just-in-time: each step's DRAM
+            # transfers wait on the step's own gate instead of
+            # prefetching at admission, so prioritizing them (the
+            # partition below) means "cut ahead of queued prefill bulk
+            # when a token needs data" rather than "stream the whole
+            # decode working set before the request's own prefill".
+            def jit(task: Task) -> Task:
+                if task.resource != DRAM_RESOURCE:
+                    return task
+                match = _DECODE_STEP.search(task.name)
+                if match is None:
+                    return task
+                gate_deps = step_gates[int(match.group(1))]
+                extra = tuple(d for d in gate_deps if d not in task.deps)
+                return replace(task, deps=task.deps + extra)
+
+            graph = [jit(task) for task in graph]
         if spec.n_chips > 1:
             # The request's compute and DRAM traffic live on its own
             # chip's resources; only the link (and the clock) is shared.
@@ -307,6 +386,18 @@ def build_serving_tasks(spec: ServingSpec) -> Tuple[List[Task], List[RequestPlan
                 gather=gather,
             )
         )
+    if spec.qos == "decode-first":
+        # Engines arbitrate ties by program order, so a stable partition
+        # that floats every decode-step DRAM transfer ahead of the rest
+        # *is* the priority scheme: whenever a decode refill and a
+        # prefill bulk transfer are both ready, the link issues the
+        # decode one first — across requests, so an in-flight request's
+        # tokens beat a newly arriving request's prefill burst.  Deps
+        # are name-based, so list position carries no semantics beyond
+        # tie-breaking and ``"uniform"`` stays byte-identical.
+        front = [task for task in tasks if _is_decode_transfer(task)]
+        rest = [task for task in tasks if not _is_decode_transfer(task)]
+        tasks = front + rest
     return tasks, plans
 
 
@@ -360,6 +451,19 @@ def simulate_serving(spec: ServingSpec, engine: str = "event") -> ServingResult:
             if name.endswith(f":{base}") and name != base
         )
 
+    spill = 0
+    for arrival in spec.arrivals:
+        config = PipelineConfig(
+            chunks=arrival.chunks,
+            embedding=spec.embedding,
+            array_dim=spec.array_dim,
+            pe_1d=spec.resolved_pe_1d,
+        )
+        spill += instance_spill_bytes(config, "prefill", spec.buffer_bytes)
+        spill += arrival.decode_tokens * instance_spill_bytes(
+            config, "decode", spec.buffer_bytes
+        )
+
     return ServingResult(
         name=spec.name,
         binding=spec.binding,
@@ -378,4 +482,7 @@ def simulate_serving(spec: ServingSpec, engine: str = "event") -> ServingResult:
         busy_io=total("io"),
         busy_dram=total("dram"),
         requests=requests,
+        buffer_bytes=spec.buffer_bytes,
+        qos=spec.qos,
+        spill_bytes=spill,
     )

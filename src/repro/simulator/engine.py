@@ -91,17 +91,33 @@ def transfer_cycles(bytes_moved: int, dram_bw: float) -> int:
     return ceil(bytes_moved / dram_bw)
 
 
-def lower_dram(tasks: Sequence[Task], dram_bw: Optional[float]) -> List[Task]:
+def lower_dram(
+    tasks: Sequence[Task],
+    dram_bw: Optional[float],
+    buffer_bytes: Optional[float] = None,
+) -> List[Task]:
     """Make each task's ``bytes_moved`` explicit on a shared ``dram``
     resource.
 
     Every task whose traffic costs at least one cycle at ``dram_bw``
-    gains a dependency-free transfer task (``<name>@dram``) emitted
-    immediately before it, and the task itself waits on its transfer.
-    Transfers carry no deps — the memory system streams ahead freely —
-    so contention is purely bandwidth: the ``dram`` resource round-robins
+    gains a transfer task (``<name>@dram``) emitted immediately before
+    it, and the task itself waits on its transfer.  By default transfers
+    carry no deps — the memory system streams ahead freely — so
+    contention is purely bandwidth: the ``dram`` resource round-robins
     pending transfers through the same issue slots as the PE arrays, and
     program order decides ties exactly as it does everywhere else.
+
+    A finite ``buffer_bytes`` bounds that prefetch depth to an on-chip
+    buffer capacity: fetched tiles hold their bytes from transfer until
+    their consumer completes (last use), tracked as a FIFO window of
+    ``(consumer, bytes)`` residents.  A transfer that would overflow the
+    window gains dependencies on the *oldest* residents' consumers — it
+    cannot start until their buffer space frees — and evicts them from
+    the window.  The bound is thus ordinary graph structure: every dep
+    points backward in program order (acyclic, deadlock-free) and all
+    three engines schedule it with zero changes.  ``buffer_bytes=None``
+    and ``math.inf`` leave every transfer dependency-free, reproducing
+    the unbounded lowering exactly.
 
     ``dram_bw=None`` returns the tasks unchanged; so does any bandwidth
     at which no task's transfer costs a cycle (``math.inf``).  The input
@@ -112,6 +128,11 @@ def lower_dram(tasks: Sequence[Task], dram_bw: Optional[float]) -> List[Task]:
         return list(tasks)
     if not dram_bw > 0:
         raise ValueError(f"dram_bw must be > 0, got {dram_bw}")
+    if buffer_bytes is not None and not buffer_bytes > 0:
+        raise ValueError(f"buffer_bytes must be > 0, got {buffer_bytes}")
+    bounded = buffer_bytes is not None and buffer_bytes != float("inf")
+    window: List[Tuple[str, int]] = []  # FIFO of (consumer, bytes) residents
+    held = 0
     lowered: List[Task] = []
     for task in tasks:
         cycles = transfer_cycles(task.bytes_moved, dram_bw)
@@ -119,7 +140,15 @@ def lower_dram(tasks: Sequence[Task], dram_bw: Optional[float]) -> List[Task]:
             lowered.append(task)
             continue
         transfer = f"{task.name}{_DRAM_SUFFIX}"
-        lowered.append(Task(transfer, DRAM_RESOURCE, cycles))
+        evicted: Tuple[str, ...] = ()
+        if bounded:
+            while window and held + task.bytes_moved > buffer_bytes:
+                consumer, freed = window.pop(0)
+                held -= freed
+                evicted += (consumer,)
+            window.append((task.name, task.bytes_moved))
+            held += task.bytes_moved
+        lowered.append(Task(transfer, DRAM_RESOURCE, cycles, evicted))
         lowered.append(replace(task, deps=task.deps + (transfer,)))
     return lowered
 
@@ -179,6 +208,7 @@ class Simulator:
         slots: int = 2,
         engine: str = "event",
         dram_bw: Optional[float] = None,
+        buffer_bytes: Optional[float] = None,
     ) -> None:
         if mode not in ("serial", "interleaved"):
             raise ValueError(f"unknown issue mode {mode!r}")
@@ -189,7 +219,8 @@ class Simulator:
         # A finite dram_bw makes each task's bytes_moved occupy the
         # shared "dram" resource; both cores then arbitrate it exactly
         # like the PE arrays (the lowering happens before either runs).
-        tasks = lower_dram(tasks, dram_bw)
+        # A finite buffer_bytes additionally bounds prefetch depth.
+        tasks = lower_dram(tasks, dram_bw, buffer_bytes)
         names = [t.name for t in tasks]
         if len(set(names)) != len(names):
             raise ValueError("duplicate task names")
@@ -203,6 +234,7 @@ class Simulator:
         self.slots = slots if mode == "interleaved" else 1
         self.engine = engine
         self.dram_bw = dram_bw
+        self.buffer_bytes = buffer_bytes
 
     def run(self, max_cycles: int = 10_000_000) -> SimResult:
         """Simulate to completion; returns makespan and busy counts."""

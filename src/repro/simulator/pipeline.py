@@ -36,8 +36,9 @@ the bandwidth wall the array-only contention model could not see.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, replace
+from math import ceil
+from typing import Dict, List, Optional, Tuple
 
 from ..arch.spec import EXP_AS_MACCS
 from ..workloads.scenario import BINDINGS, Phase, Scenario
@@ -47,23 +48,29 @@ from .vector import FoldedScenario, fold_templates, run_folded
 
 __all__ = [
     "BINDINGS",
+    "ChunkResidency",
     "ChunkTraffic",
     "ChunkWork",
     "PipelineConfig",
     "PipelineReport",
     "WORD_BYTES",
+    "apply_buffer_spills",
     "binding_sim",
     "build_decode_tasks",
     "build_scenario_tasks",
     "build_tasks",
+    "chunk_residency",
     "chunk_traffic",
     "chunk_work",
     "compare_bindings",
     "fold_scenario",
+    "instance_spill_bytes",
     "scenario_dram_cycles",
     "scenario_sim",
+    "scenario_spill_bytes",
     "schedule_scenario_tasks",
     "simulate_binding",
+    "spill_bytes_per_chunk",
 ]
 
 #: Cycles per exponentiation implemented as sequential MACCs.
@@ -338,6 +345,134 @@ def chunk_traffic(config: PipelineConfig, kind: str = "prefill") -> ChunkTraffic
     )
 
 
+@dataclass(frozen=True)
+class ChunkResidency:
+    """Per-chunk on-chip working set of one instance, in bytes.
+
+    ``resident_bytes`` is the stream an instance holds across chunks —
+    tiles fetched once and reused by every chunk (the fusion payoff the
+    paper trades buffer space for).  ``transient_bytes`` is the
+    per-chunk stream that passes through the buffer once.  Together they
+    are the peak demand one chunk places on a ``Scenario.buffer_bytes``
+    capacity; demand beyond it forces the resident stream to spill and
+    refill (:func:`spill_bytes_per_chunk`).
+    """
+
+    resident_bytes: int
+    transient_bytes: int
+
+    @property
+    def demand_bytes(self) -> int:
+        """Peak buffer bytes one chunk needs to run spill-free."""
+        return self.resident_bytes + self.transient_bytes
+
+
+def chunk_residency(
+    config: PipelineConfig, kind: str = "prefill"
+) -> ChunkResidency:
+    """The closed-form working set of one ``kind`` chunk.
+
+    Prefill holds the once-fetched K and V tiles resident across all
+    chunks (the 1-pass cascade's reuse) while each chunk's Q tile and
+    output tile stream through; a decode step holds only its query row
+    and running output row while the KV-cache chunks stream through.
+    The byte totals re-derive the builders' ``bytes_moved`` splits
+    (:func:`chunk_traffic`): resident == ``bytes_once`` reuse for
+    prefill, transient == ``bytes_per_chunk``.
+    """
+    tile_bytes = config.array_dim * config.embedding * WORD_BYTES
+    row_bytes = config.embedding * WORD_BYTES
+    if kind == "decode":
+        return ChunkResidency(
+            resident_bytes=2 * row_bytes, transient_bytes=2 * tile_bytes
+        )
+    if kind != "prefill":
+        raise ValueError(f"unknown instance kind {kind!r}")
+    return ChunkResidency(
+        resident_bytes=2 * tile_bytes, transient_bytes=2 * tile_bytes
+    )
+
+
+def spill_bytes_per_chunk(
+    config: PipelineConfig,
+    kind: str,
+    buffer_bytes: Optional[float],
+) -> int:
+    """Bytes one chunk re-fetches when the working set overflows the
+    buffer: the overflow, clamped to the resident stream (only resident
+    tiles *can* spill — the transient stream passes through regardless).
+
+    0 when the buffer is unmodeled (None), infinite, or large enough —
+    so spill volume is monotonically non-increasing in ``buffer_bytes``
+    and the None/inf degeneracies are exact.
+    """
+    if buffer_bytes is None or buffer_bytes == float("inf"):
+        return 0
+    residency = chunk_residency(config, kind)
+    overflow = residency.demand_bytes - buffer_bytes
+    if overflow <= 0:
+        return 0
+    return min(residency.resident_bytes, ceil(overflow))
+
+
+def instance_spill_bytes(
+    config: PipelineConfig,
+    kind: str,
+    buffer_bytes: Optional[float],
+) -> int:
+    """Total spill/refill traffic of one ``config.chunks``-chunk
+    instance: chunk 0 fetches the resident stream fresh (already
+    charged as ``bytes_once``), each later chunk re-fetches what
+    spilled."""
+    return (config.chunks - 1) * spill_bytes_per_chunk(
+        config, kind, buffer_bytes
+    )
+
+
+def apply_buffer_spills(
+    tasks: List[Task],
+    config: PipelineConfig,
+    kind: str,
+    buffer_bytes: Optional[float],
+    prefix: str = "",
+) -> List[Task]:
+    """Inflate one instance graph's traffic with its capacity spills.
+
+    Each chunk past the first re-fetches the spilled slice of the
+    resident stream; the bytes ride on the chunk's leading 2D task
+    (``BQK``/``DQK`` — the tile that consumes the refetched operands),
+    so the inflated traffic flows through :func:`lower_dram` and all
+    three engines identically, and total ``bytes_moved`` is exactly
+    baseline + :func:`instance_spill_bytes` by construction.  A
+    spill-free buffer returns the tasks untouched (the None/inf
+    byte-identity contract).
+    """
+    spill = spill_bytes_per_chunk(config, kind, buffer_bytes)
+    if not spill:
+        return tasks
+    lead = "DQK" if kind == "decode" else "BQK"
+    refetch = {f"{prefix}{lead}[{i}]" for i in range(1, config.chunks)}
+    return [
+        replace(task, bytes_moved=task.bytes_moved + spill)
+        if task.name in refetch
+        else task
+        for task in tasks
+    ]
+
+
+def scenario_spill_bytes(scenario: Scenario) -> int:
+    """Total spill/refill bytes ``scenario``'s merged graph moves over
+    its baseline traffic — the capacity term the analytical roofline
+    adds (:mod:`repro.model.scenario`), closed-form from working sets."""
+    total = 0
+    for phase in scenario.phases:
+        config = instance_config(scenario, phase)
+        total += phase.instances * instance_spill_bytes(
+            config, phase.kind, scenario.buffer_bytes
+        )
+    return total
+
+
 def instance_config(scenario: Scenario, phase: Phase) -> PipelineConfig:
     """The :class:`PipelineConfig` of one of ``phase``'s instances —
     the point where a phase's embedding override (mixed-model
@@ -354,12 +489,25 @@ def _instance_tasks(
     scenario: Scenario, phase: Phase, prefix: str = ""
 ) -> List[Task]:
     """One instance's task graph within ``scenario`` (phase-resolved
-    config, binding-resolved structure)."""
+    config, binding-resolved structure, capacity-resolved traffic).
+
+    With a finite ``scenario.buffer_bytes``, each chunk past the first
+    re-fetches the spilled slice of the resident stream: the spill
+    bytes ride on the chunk's leading 2D task (``BQK``/``DQK`` — the
+    tile that consumes the refetched operands), so the inflated traffic
+    flows through :func:`lower_dram`, :func:`scenario_dram_cycles`, and
+    all three engines identically, and total ``bytes_moved`` is exactly
+    baseline + :func:`instance_spill_bytes` by construction.
+    """
     config = instance_config(scenario, phase)
     if phase.kind == "decode":
-        return build_decode_tasks(config, prefix)
-    serial = scenario.binding == "tile-serial"
-    return build_tasks(config, serial=serial, prefix=prefix)
+        tasks = build_decode_tasks(config, prefix)
+    else:
+        serial = scenario.binding == "tile-serial"
+        tasks = build_tasks(config, serial=serial, prefix=prefix)
+    return apply_buffer_spills(
+        tasks, config, phase.kind, scenario.buffer_bytes, prefix
+    )
 
 
 def build_scenario_tasks(scenario: Scenario) -> List[Task]:
@@ -385,13 +533,26 @@ def build_scenario_tasks(scenario: Scenario) -> List[Task]:
     inner loop.  Lowering commutes with prefixing: a transfer's name is
     ``<task>@dram`` either way, and both orders emit it immediately
     before its compute task.
+
+    Phases are emitted in ``scenario.emission_phases`` order —
+    descending effective DRAM priority, stably — so a prioritized phase
+    (``qos="decode-first"`` or explicit ``dram_priority``) wins every
+    ready-at-once tie at the shared resources through the engines'
+    ordinary program-order arbitration.  Uniform priorities reduce to
+    declaration order: byte-identical to historical schedules.  A
+    finite ``scenario.buffer_bytes`` additionally bounds each
+    instance's dependency-free prefetch depth in the lowering.
     """
     tasks: List[Task] = []
     index = 0
-    for phase in scenario.phases:
+    for phase in scenario.emission_phases:
         template = [
             (t.name, t.resource, t.duration, t.deps, t.bytes_moved)
-            for t in lower_dram(_instance_tasks(scenario, phase), scenario.dram_bw)
+            for t in lower_dram(
+                _instance_tasks(scenario, phase),
+                scenario.dram_bw,
+                scenario.buffer_bytes,
+            )
         ]
         for _ in range(phase.instances):
             prefix = f"i{index}:"
@@ -415,8 +576,15 @@ def fold_scenario(scenario: Scenario) -> FoldedScenario:
     """
     return fold_templates(
         [
-            (lower_dram(_instance_tasks(scenario, phase), scenario.dram_bw), phase.instances)
-            for phase in scenario.phases
+            (
+                lower_dram(
+                    _instance_tasks(scenario, phase),
+                    scenario.dram_bw,
+                    scenario.buffer_bytes,
+                ),
+                phase.instances,
+            )
+            for phase in scenario.emission_phases
         ]
     )
 

@@ -41,6 +41,7 @@ from .pipeline import (
     binding_sim,
     build_scenario_tasks,
     scenario_sim,
+    scenario_spill_bytes,
     schedule_scenario_tasks,
 )
 
@@ -193,6 +194,12 @@ SCENARIO_FIELDS: Tuple[str, ...] = (
 #: historical column set byte-for-byte.
 SCENARIO_BW_FIELDS: Tuple[str, ...] = ("dram_bw", "busy_dram", "util_dram")
 
+#: Capacity/QoS columns appended after the bandwidth columns when any
+#: row's scenario models the on-chip buffer or a non-uniform QoS
+#: discipline; plain rows keep the historical column set byte-for-byte
+#: (the same gating contract as :data:`SCENARIO_BW_FIELDS`).
+SCENARIO_CAP_FIELDS: Tuple[str, ...] = ("buffer_bytes", "qos", "spill_bytes")
+
 
 @dataclass(frozen=True)
 class ScenarioResult:
@@ -203,6 +210,9 @@ class ScenarioResult:
     hides them behind compute).  ``busy_dram`` counts cycles the shared
     memory link was held (0 unless the scenario set ``dram_bw``, in
     which case ``n_tasks`` also counts the lowered transfer tasks).
+    ``spill_bytes`` is the refill traffic the scenario's finite
+    ``buffer_bytes`` forced over the baseline (0 when the buffer is
+    unmodeled or ample).
     """
 
     scenario: str
@@ -222,6 +232,9 @@ class ScenarioResult:
     util_1d: float
     dram_bw: Optional[float] = None
     busy_dram: int = 0
+    buffer_bytes: Optional[float] = None
+    qos: str = "uniform"
+    spill_bytes: int = 0
 
     @property
     def util_io(self) -> float:
@@ -242,17 +255,24 @@ class ScenarioResult:
         return tuple(getattr(self, field) for field in fields_)
 
 
-assert SCENARIO_FIELDS + ("dram_bw", "busy_dram") == tuple(
+assert SCENARIO_FIELDS + ("dram_bw", "busy_dram") + SCENARIO_CAP_FIELDS == tuple(
     f.name for f in fields(ScenarioResult)
 )
 
 
 def scenario_fields_for(results: Sequence[ScenarioResult]) -> Tuple[str, ...]:
     """The column set of one scenario result batch: the historical
-    columns, plus the bandwidth columns when any row models DRAM."""
+    columns, plus the bandwidth columns when any row models DRAM, plus
+    the capacity/QoS columns when any row models the buffer or a
+    non-uniform discipline."""
+    fields_ = SCENARIO_FIELDS
     if any(r.dram_bw is not None for r in results):
-        return SCENARIO_FIELDS + SCENARIO_BW_FIELDS
-    return SCENARIO_FIELDS
+        fields_ = fields_ + SCENARIO_BW_FIELDS
+    if any(
+        r.buffer_bytes is not None or r.qos != "uniform" for r in results
+    ):
+        fields_ = fields_ + SCENARIO_CAP_FIELDS
+    return fields_
 
 
 def _scenario_row(scenario: Scenario, n_tasks: int, result) -> ScenarioResult:
@@ -275,6 +295,9 @@ def _scenario_row(scenario: Scenario, n_tasks: int, result) -> ScenarioResult:
         util_1d=result.utilization("1d"),
         dram_bw=scenario.dram_bw,
         busy_dram=result.busy_cycles.get("dram", 0),
+        buffer_bytes=scenario.buffer_bytes,
+        qos=scenario.qos,
+        spill_bytes=scenario_spill_bytes(scenario),
     )
 
 
@@ -452,11 +475,15 @@ def sweep_table(results: SweepResults) -> str:
 
 def _bw_blanked_row(result: ScenarioResult, fields_: Sequence[str]) -> Tuple:
     """A result row for text emitters: when this row does not model
-    DRAM but the batch's widened columns include the bandwidth fields,
-    render them as ``-`` (matching the grid emitters' absent-value
-    convention) instead of a literal ``None`` and a misleading 0."""
+    DRAM (or the buffer) but the batch's widened columns include the
+    bandwidth (capacity) fields, render them as ``-`` (matching the
+    grid emitters' absent-value convention) instead of a literal
+    ``None`` and a misleading 0."""
     return tuple(
-        "-" if result.dram_bw is None and name in SCENARIO_BW_FIELDS
+        "-" if (
+            (result.dram_bw is None and name in SCENARIO_BW_FIELDS)
+            or (result.buffer_bytes is None and name == "buffer_bytes")
+        )
         else value
         for name, value in zip(fields_, result.row(fields_))
     )
@@ -553,13 +580,17 @@ def encode_scenario_result(result: ScenarioResult) -> Dict:
 
 
 def decode_scenario_result(payload: Mapping) -> ScenarioResult:
-    """Inverse of :func:`encode_scenario_result`."""
-    return ScenarioResult(
-        **{
-            field: payload[field]
-            for field in SCENARIO_FIELDS + ("dram_bw", "busy_dram")
-        }
-    )
+    """Inverse of :func:`encode_scenario_result`.  The capacity/QoS
+    fields default when absent, so cache entries written before the
+    buffer model decode unchanged."""
+    data = {
+        field: payload[field]
+        for field in SCENARIO_FIELDS + ("dram_bw", "busy_dram")
+    }
+    data["buffer_bytes"] = payload.get("buffer_bytes")
+    data["qos"] = payload.get("qos", "uniform")
+    data["spill_bytes"] = payload.get("spill_bytes", 0)
+    return ScenarioResult(**data)
 
 
 def encode_scenario_grid_result(result: ScenarioGridResult) -> Dict:

@@ -42,6 +42,13 @@ BINDINGS: Tuple[str, ...] = ("tile-serial", "interleaved")
 #: Phase kinds a scenario may mix.
 PHASE_KINDS: Tuple[str, ...] = ("prefill", "decode")
 
+#: DRAM quality-of-service disciplines a scenario may request.
+#: ``"uniform"`` keeps the historical program-order arbitration;
+#: ``"decode-first"`` grants every decode phase one extra priority
+#: level, so latency-critical decode streams win ties at the shared
+#: resources over bulk prefill traffic.
+QOS_MODES: Tuple[str, ...] = ("uniform", "decode-first")
+
 
 @dataclass(frozen=True)
 class Phase:
@@ -59,6 +66,12 @@ class Phase:
     derived from; when set, the phase's embedding is pinned to that
     model's ``d_head`` and any explicit mismatch is rejected here —
     before any task graph is built.
+
+    ``dram_priority`` is the phase's arbitration priority at the shared
+    resources (higher wins ties; 0 for all phases reproduces the
+    historical program-order schedule exactly).  The scenario-level
+    ``qos="decode-first"`` discipline adds one level to every decode
+    phase on top of this explicit offset.
     """
 
     kind: str
@@ -66,6 +79,7 @@ class Phase:
     chunks: int
     embedding: Optional[int] = None
     model: Optional[str] = None
+    dram_priority: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in PHASE_KINDS:
@@ -129,6 +143,22 @@ class Scenario:
             (:func:`repro.simulator.pipeline.build_scenario_tasks`);
             ``math.inf`` models infinite bandwidth and reproduces the
             ``None`` schedule exactly.
+        buffer_bytes: per-instance on-chip buffer capacity in bytes, or
+            None to leave the buffer unmodeled (the historical
+            behaviour).  When finite, each instance's working set is
+            held on chip between uses: demand beyond the capacity
+            spills, re-inflating ``bytes_moved`` with the refill
+            traffic, and the dram lowering bounds dependency-free
+            prefetch depth to the capacity
+            (:func:`repro.simulator.engine.lower_dram`).
+            ``math.inf`` models an infinite buffer and reproduces the
+            ``None`` schedule exactly, mirroring the ``dram_bw``
+            contract.
+        qos: DRAM arbitration discipline, one of :data:`QOS_MODES`.
+            ``"uniform"`` (default) keeps program-order arbitration;
+            ``"decode-first"`` raises every decode phase one priority
+            level so decode transfers win ties over prefill bulk
+            traffic at the shared resources.
     """
 
     name: str
@@ -140,6 +170,8 @@ class Scenario:
     slots: int = 2
     model: Optional[str] = field(default=None)
     dram_bw: Optional[float] = None
+    buffer_bytes: Optional[float] = None
+    qos: str = "uniform"
 
     def __post_init__(self) -> None:
         if not self.phases:
@@ -156,6 +188,12 @@ class Scenario:
             raise ValueError(f"slots must be >= 1, got {self.slots}")
         if self.dram_bw is not None and not self.dram_bw > 0:
             raise ValueError(f"dram_bw must be > 0, got {self.dram_bw}")
+        if self.buffer_bytes is not None and not self.buffer_bytes > 0:
+            raise ValueError(
+                f"buffer_bytes must be > 0, got {self.buffer_bytes}"
+            )
+        if self.qos not in QOS_MODES:
+            raise ValueError(f"unknown qos {self.qos!r}; have {QOS_MODES}")
         if self.model is not None and self.model in MODELS_BY_NAME:
             d_head = MODELS_BY_NAME[self.model].d_head
             if d_head != self.embedding:
@@ -200,6 +238,36 @@ class Scenario:
         """The same workload under the other binding."""
         return replace(self, binding=binding)
 
+    def effective_priority(self, phase: Phase) -> int:
+        """The arbitration priority one phase's transfers carry: its
+        explicit ``dram_priority`` plus the QoS discipline's decode
+        boost."""
+        boost = 1 if self.qos == "decode-first" and phase.kind == "decode" else 0
+        return phase.dram_priority + boost
+
+    @property
+    def emission_phases(self) -> Tuple[Phase, ...]:
+        """Phases in schedule-emission order: descending effective
+        priority, ties broken by declaration order (a stable sort).
+
+        Program order is the engines' only arbitration key, so priority
+        is *encoded as emission order* — higher-priority phases' tasks
+        precede lower-priority ones in the merged list and therefore win
+        every ready-at-once tie at the shared resources, with zero
+        engine changes.  Uniform priorities make the sort the identity,
+        so historical schedules are reproduced byte for byte.
+        """
+        return tuple(
+            sorted(self.phases, key=lambda p: -self.effective_priority(p))
+        )
+
+    @property
+    def prioritized(self) -> bool:
+        """True when any phase outranks another (the schedule deviates
+        from plain declaration order)."""
+        ranks = {self.effective_priority(p) for p in self.phases}
+        return len(ranks) > 1
+
     def _phase_label(self, phase: Phase) -> str:
         label = f"{phase.instances}x{phase.kind}[{phase.chunks} chunks"
         if phase.model is not None:
@@ -214,6 +282,10 @@ class Scenario:
         tail = f"E={self.embedding}"
         if self.dram_bw is not None:
             tail += f", bw={self.dram_bw:g}"
+        if self.buffer_bytes is not None:
+            tail += f", buf={self.buffer_bytes:g}"
+        if self.qos != "uniform":
+            tail += f", qos={self.qos}"
         return (
             f"{self.name}: {parts} on {self.array_dim}x{self.array_dim}+"
             f"{self.resolved_pe_1d} ({self.binding}, {tail})"
@@ -225,6 +297,19 @@ def _bw_suffix(name: str, dram_bw: Optional[float]) -> str:
     same-shaped scenarios at different ``dram_bw`` stay distinguishable
     in crosscheck/CSV rows keyed by name."""
     return name if dram_bw is None else f"{name}@bw{dram_bw:g}"
+
+
+def _cap_suffix(
+    name: str, buffer_bytes: Optional[float], qos: str
+) -> str:
+    """Suffix an auto-generated scenario name with its buffer capacity
+    and QoS discipline (same contract as :func:`_bw_suffix`: defaults
+    leave the name untouched, so historical names are stable)."""
+    if buffer_bytes is not None:
+        name += f"@buf{buffer_bytes:g}"
+    if qos != "uniform":
+        name += f"@{qos}"
+    return name
 
 
 def _append_decode(
@@ -261,6 +346,8 @@ def attention_scenario(
     decode_instances: int = 0,
     decode_chunks: Optional[int] = None,
     dram_bw: Optional[float] = None,
+    buffer_bytes: Optional[float] = None,
+    qos: str = "uniform",
     name: Optional[str] = None,
 ) -> Scenario:
     """A scenario of ``instances`` identical prefill attention instances,
@@ -270,8 +357,9 @@ def attention_scenario(
         phases, f"attn-{instances}x{chunks}", decode_instances, decode_chunks,
         chunks,
     )
+    auto_name = _cap_suffix(_bw_suffix(auto_name, dram_bw), buffer_bytes, qos)
     return Scenario(
-        name=_bw_suffix(auto_name, dram_bw) if name is None else name,
+        name=auto_name if name is None else name,
         phases=tuple(phases),
         binding=binding,
         embedding=embedding,
@@ -279,6 +367,8 @@ def attention_scenario(
         pe_1d=pe_1d,
         slots=slots,
         dram_bw=dram_bw,
+        buffer_bytes=buffer_bytes,
+        qos=qos,
     )
 
 
@@ -304,6 +394,8 @@ def heterogeneous_scenario(
     decode_instances: int = 0,
     decode_chunks: Optional[int] = None,
     dram_bw: Optional[float] = None,
+    buffer_bytes: Optional[float] = None,
+    qos: str = "uniform",
     name: Optional[str] = None,
 ) -> Scenario:
     """A scenario of prefill instances with *unequal* chunk counts.
@@ -366,8 +458,9 @@ def heterogeneous_scenario(
         phases, auto_name, decode_instances, decode_chunks,
         default_decode_chunks,
     )
+    auto_name = _cap_suffix(_bw_suffix(auto_name, dram_bw), buffer_bytes, qos)
     return Scenario(
-        name=_bw_suffix(auto_name, dram_bw) if name is None else name,
+        name=auto_name if name is None else name,
         phases=tuple(phases),
         binding=binding,
         embedding=resolved_embedding,
@@ -375,6 +468,8 @@ def heterogeneous_scenario(
         pe_1d=pe_1d,
         slots=slots,
         dram_bw=dram_bw,
+        buffer_bytes=buffer_bytes,
+        qos=qos,
     )
 
 
@@ -391,6 +486,8 @@ def mixed_model_scenario(
     decode_instances: int = 0,
     decode_chunks: Optional[int] = None,
     dram_bw: Optional[float] = None,
+    buffer_bytes: Optional[float] = None,
+    qos: str = "uniform",
     name: Optional[str] = None,
 ) -> Scenario:
     """One merged schedule spanning *different models*' attention heads.
@@ -426,8 +523,9 @@ def mixed_model_scenario(
     auto_name = _append_decode(
         phases, auto_name, decode_instances, decode_chunks, chunks,
     )
+    auto_name = _cap_suffix(_bw_suffix(auto_name, dram_bw), buffer_bytes, qos)
     return Scenario(
-        name=_bw_suffix(auto_name, dram_bw) if name is None else name,
+        name=auto_name if name is None else name,
         phases=tuple(phases),
         binding=binding,
         embedding=configs[0].d_head,
@@ -435,6 +533,8 @@ def mixed_model_scenario(
         pe_1d=pe_1d,
         slots=slots,
         dram_bw=dram_bw,
+        buffer_bytes=buffer_bytes,
+        qos=qos,
     )
 
 
@@ -451,6 +551,8 @@ def scenario_from_model(
     decode_instances: int = 0,
     decode_chunks: Optional[int] = None,
     dram_bw: Optional[float] = None,
+    buffer_bytes: Optional[float] = None,
+    qos: str = "uniform",
 ) -> Scenario:
     """The ``B × H`` scenario of one workload model at ``seq_len``.
 
@@ -472,7 +574,7 @@ def scenario_from_model(
         decode_instances, decode_chunks, chunks,
     )
     return Scenario(
-        name=_bw_suffix(name, dram_bw),
+        name=_cap_suffix(_bw_suffix(name, dram_bw), buffer_bytes, qos),
         phases=tuple(phases),
         binding=binding,
         embedding=model.d_head,
@@ -481,4 +583,6 @@ def scenario_from_model(
         slots=slots,
         model=model.name,
         dram_bw=dram_bw,
+        buffer_bytes=buffer_bytes,
+        qos=qos,
     )

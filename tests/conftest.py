@@ -3,6 +3,39 @@
 import numpy as np
 import pytest
 
+#: Differential-fuzz seed ranges, one disjoint block per generator
+#: family.  Every randomized engine-parity test draws its seeds here so
+#: a new family cannot silently re-run (or shadow) another family's
+#: draws — extend by appending a fresh block past the current maximum.
+FUZZ_SEED_RANGES = {
+    "graph-interleaved": range(0, 60),
+    "graph-serial": range(60, 100),
+    "graph-wide": range(100, 120),
+    "scenario-merged": range(120, 150),
+    "scenario-bandwidth": range(150, 174),
+    "cluster": range(174, 198),
+    "buffer-qos": range(198, 234),
+}
+
+
+def fuzz_seeds(family: str) -> range:
+    """The registered seed block of one fuzz family."""
+    return FUZZ_SEED_RANGES[family]
+
+
+def _assert_disjoint(ranges) -> None:
+    names = sorted(ranges)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            overlap = set(ranges[a]) & set(ranges[b])
+            assert not overlap, (
+                f"fuzz seed ranges {a!r} and {b!r} overlap on "
+                f"{sorted(overlap)[:5]}"
+            )
+
+
+_assert_disjoint(FUZZ_SEED_RANGES)
+
 
 @pytest.fixture
 def rng():

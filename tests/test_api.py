@@ -434,6 +434,8 @@ SIGNATURE_MUTATIONS = {
         "decode_instances": 1,
         "decode_chunks": 4,
         "dram_bw": 64.0,
+        "buffer_bytes": 65536.0,
+        "qos": "decode-first",
         "binding": "interleaved",
         "engine": "cycle",
         "profile": True,
@@ -451,6 +453,8 @@ SIGNATURE_MUTATIONS = {
         "pe_1d": 64,
         "slots": 3,
         "dram_bw": 64.0,
+        "buffer_bytes": 65536.0,
+        "qos": "decode-first",
         "extra_scenarios": (attention_scenario(1, 4),),
     },
     ServeRequest: {
@@ -468,6 +472,8 @@ SIGNATURE_MUTATIONS = {
         "pe_1d": 64,
         "slots": 3,
         "dram_bw": 64.0,
+        "buffer_bytes": 65536.0,
+        "qos": "decode-first",
         "chips": 4,
         "link_bw": 128.0,
         "link_latency": 8,
@@ -496,6 +502,7 @@ SIGNATURE_MUTATIONS = {
     CrosscheckRequest: {
         "tolerance": 0.1,
         "bandwidth": True,
+        "capacity": True,
         "cluster": True,
         "scenarios": (attention_scenario(1, 4),),
     },

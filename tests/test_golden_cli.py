@@ -68,6 +68,19 @@ CASES = [
       "--max-inflight", "4", "--decode-tokens", "1"], "serve-oneshot.txt"),
     (["serve", "--trace", str(GOLDEN / "serve-trace.in"), "--deadline",
       "2000", "--array-dim", "64", "--format", "json"], "serve-trace.json"),
+    # Buffer capacity + DRAM QoS (this PR): a spilling decode-first
+    # scenario (widened buffer_bytes/qos/spill_bytes columns) and a
+    # capacity-swept grid whose estimates take the capacity-bound
+    # roofline term — locked byte-for-byte.
+    (["simulate", "--scenario", "--instances", "2", "--chunks", "4",
+      "--array-dim", "64", "--decode-instances", "2", "--decode-chunks",
+      "16", "--dram-bw", "32", "--buffer-bytes", "24576", "--qos",
+      "decode-first", "--format", "csv", "--no-cache"],
+     "simulate-scenario-capacity.csv"),
+    (["sweep", "--grid", "--models", "BERT", "--batches", "1",
+      "--heads-list", "2,4", "--chunks", "8", "--array-dim", "64",
+      "--decode-list", "2", "--dram-bw", "32", "--buffer-bytes", "24576",
+      "--format", "csv", "--no-cache"], "sweep-grid-capacity.csv"),
     # Multi-chip cluster sweeps (this PR): one unlinked chip sweep (the
     # narrow historical columns, no link gating) and one sharded sweep
     # over a priced interconnect (the widened link columns) — both

@@ -151,6 +151,8 @@ class TestScenarioCacheKey:
             "slots": 3,
             "model": "BERT",
             "dram_bw": 64.0,
+            "buffer_bytes": 65536.0,
+            "qos": "decode-first",
         }
         declared = {f.name for f in dataclasses.fields(Scenario)}
         assert set(mutations) == declared, "new Scenario field without a cache-key mutation test"
@@ -179,12 +181,18 @@ class TestScenarioCacheKey:
             self.BASE,
             phases=(Phase("prefill", 4, 16, model="XLM"), Phase("decode", 2, 8)),
         )
+        # Per-phase DRAM priority is part of the identity: it reorders
+        # emission, hence arbitration, hence the schedule.
+        prioritized_phase = dataclasses.replace(
+            self.BASE,
+            phases=(Phase("prefill", 4, 16), Phase("decode", 2, 8, dram_priority=1)),
+        )
         keys = {
             self._key(s)
             for s in (self.BASE, more_instances, longer, swapped_kind,
-                      wider_phase, modeled_phase)
+                      wider_phase, modeled_phase, prioritized_phase)
         }
-        assert len(keys) == 6
+        assert len(keys) == 7
 
     def test_equal_scenarios_share_key(self):
         twin = Scenario(
@@ -225,6 +233,8 @@ class TestServingCacheKey:
             "link_bw": 128.0,
             "link_latency": 6,
             "rate": 0.5,
+            "buffer_bytes": 65536.0,
+            "qos": "decode-first",
         }
         declared = {f.name for f in dataclasses.fields(ServingSpec)}
         assert set(mutations) == declared, "new ServingSpec field without a cache-key mutation test"
@@ -397,6 +407,36 @@ class TestCodec:
         assert result.requests  # a non-trivial trace round-trips
         payload = json.loads(json.dumps(encode_result(result)))
         assert decode_result(payload) == result
+
+    def test_capacity_scenario_round_trip_exact(self):
+        (task,) = scenario_grid([attention_scenario(
+            2, 4, array_dim=64, dram_bw=8.0, buffer_bytes=16384.0,
+            qos="decode-first", decode_instances=1,
+        )])
+        result = evaluate_task(task)
+        assert result.spill_bytes > 0  # a spilling row round-trips
+        payload = json.loads(json.dumps(encode_result(result)))
+        assert decode_result(payload) == result
+
+    def test_qos_serving_round_trip_exact(self):
+        (task,) = serving_grid([serving_spec(
+            dram_bw=64.0, buffer_bytes=16384.0, qos="decode-first",
+        )])
+        result = evaluate_task(task)
+        payload = json.loads(json.dumps(encode_result(result)))
+        assert decode_result(payload) == result
+
+    def test_pre_capacity_payloads_still_decode(self):
+        """Cache entries written before the buffer/QoS fields existed
+        decode to the explicit defaults (they never modeled either)."""
+        (task,) = serving_grid([serving_spec(dram_bw=64.0)])
+        result = evaluate_task(task)
+        payload = json.loads(json.dumps(encode_result(result)))
+        for legacy_field in ("buffer_bytes", "qos", "spill_bytes"):
+            payload.pop(legacy_field)
+        decoded = decode_result(payload)
+        assert decoded == result
+        assert decoded.buffer_bytes is None and decoded.qos == "uniform"
 
     def test_unknown_payload_rejected(self):
         with pytest.raises(ValueError):

@@ -9,8 +9,10 @@ graphs, and through the binding-sweep runtime path.
 
 import json
 import random
+from dataclasses import replace
 
 import pytest
+from conftest import fuzz_seeds
 
 from repro.cluster import (
     ClusterSpec,
@@ -125,19 +127,19 @@ def random_graph(rng, max_tasks=40, allow_zero=True):
 
 
 class TestDifferentialRandom:
-    @pytest.mark.parametrize("seed", range(60))
+    @pytest.mark.parametrize("seed", fuzz_seeds("graph-interleaved"))
     def test_random_graphs_interleaved(self, seed):
         rng = random.Random(seed)
         tasks = random_graph(rng, allow_zero=seed % 2 == 0)
         both(tasks, mode="interleaved", slots=rng.randint(1, 4))
 
-    @pytest.mark.parametrize("seed", range(60, 100))
+    @pytest.mark.parametrize("seed", fuzz_seeds("graph-serial"))
     def test_random_graphs_serial(self, seed):
         rng = random.Random(seed)
         tasks = random_graph(rng, allow_zero=seed % 2 == 0)
         both(tasks, mode="serial")
 
-    @pytest.mark.parametrize("seed", range(100, 120))
+    @pytest.mark.parametrize("seed", fuzz_seeds("graph-wide"))
     def test_wide_graphs_many_slots(self, seed):
         """More ready tasks than slots: the pending frontier is exercised."""
         rng = random.Random(seed)
@@ -386,7 +388,7 @@ class TestBindingSweep:
 class TestScenarioGraphs:
     """Merged multi-(batch, head) graphs: structure + engine parity."""
 
-    @pytest.mark.parametrize("seed", range(120, 150))
+    @pytest.mark.parametrize("seed", fuzz_seeds("scenario-merged"))
     def test_merged_graph_engines_identical(self, seed):
         """The differential fuzz, extended to scenario merged graphs
         (mixed-model phases and dram_bw in {None, tight, ample} ride
@@ -407,7 +409,7 @@ class TestScenarioGraphs:
         _, folded = scenario_sim(scenario, engine="vector")
         assert folded == result
 
-    @pytest.mark.parametrize("seed", range(150, 174))
+    @pytest.mark.parametrize("seed", fuzz_seeds("scenario-bandwidth"))
     def test_bandwidth_graph_engines_identical(self, seed):
         """Pinned bandwidth coverage: every third seed runs unmodeled
         (None), tight (contended), and ample (free transfers) dram_bw on
@@ -431,7 +433,7 @@ class TestScenarioGraphs:
         _, folded = scenario_sim(scenario, engine="vector")
         assert folded == result
 
-    @pytest.mark.parametrize("seed", range(174, 198))
+    @pytest.mark.parametrize("seed", fuzz_seeds("cluster"))
     def test_cluster_graph_engines_identical(self, seed):
         """Sharded multi-chip coverage: the same {None, tight, ample}
         differential, now over a modeled interconnect — every third
@@ -464,6 +466,44 @@ class TestScenarioGraphs:
             assert "link" not in result.busy_cycles
         # The folded path must replay the sharded classes exactly too.
         _, folded = cluster_sim(scenario, spec, sharding, engine="vector")
+        assert folded == result
+
+    @pytest.mark.parametrize("seed", fuzz_seeds("buffer-qos"))
+    def test_buffer_qos_graph_engines_identical(self, seed):
+        """Capacity + QoS coverage: the same three-way differential over
+        buffer_bytes in {None, tight, ample} crossed with the QoS
+        discipline and an explicit per-phase dram_priority.  A tight
+        buffer inflates traffic with spills and bounds prefetch depth; a
+        non-uniform priority reorders phase emission — both must leave
+        the three engines (and the folded replay) bit-identical."""
+        rng = random.Random(seed)
+        scenario = random_scenario(rng, dram_bw=(None, 8.0, 65536.0)[seed % 3])
+        # 600 bytes undercuts the smallest drawn working set (1 KiB), so
+        # the tight arm always spills; the ample arm never does.
+        buffer_bytes = (None, 600.0, 1e12)[(seed // 3) % 3]
+        phases = scenario.phases
+        if seed % 5 == 0:
+            # Explicit priority, including the prefill-outranks-decode
+            # direction the qos switch alone can't reach.
+            phases = tuple(
+                replace(p, dram_priority=1 if p.kind == "prefill" else 0)
+                for p in phases
+            )
+        scenario = replace(
+            scenario,
+            phases=phases,
+            buffer_bytes=buffer_bytes,
+            qos=("uniform", "decode-first")[seed % 2],
+        )
+        tasks = build_scenario_tasks(scenario)
+        serial = scenario.binding == "tile-serial"
+        result = both(
+            tasks,
+            mode="serial" if serial else "interleaved",
+            slots=scenario.slots,
+            max_cycles=sum(t.duration for t in tasks) + 1,
+        )
+        _, folded = scenario_sim(scenario, engine="vector")
         assert folded == result
 
     def test_scenario_sim_engine_parity(self):
